@@ -1,0 +1,23 @@
+"""Shared pytest-benchmark configuration for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the modelled rows/series so `pytest benchmarks/ --benchmark-only` doubles as
+the reproduction report generator.  Benchmarks use reduced sweep sizes where
+the full sweep would take minutes; the printed output states the sweep used.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks are about regenerating results, not micro-optimising; a
+    # single round per benchmark keeps the whole suite fast.
+    config.option.benchmark_min_rounds = 1
+    config.option.benchmark_warmup = False
+
+
+def emit(title: str, lines) -> None:
+    """Print a titled block of result lines beneath the benchmark output."""
+    print(f"\n=== {title} ===")
+    for line in lines:
+        print(f"  {line}")

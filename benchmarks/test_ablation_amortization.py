@@ -1,0 +1,56 @@
+"""Ablation: mapping-invariant per-action energy amortisation.
+
+DESIGN.md calls out the mapping-invariance assumption (paper Sec. III-D3)
+for ablation: this benchmark measures evaluation throughput with the
+per-action energy cache enabled (energies computed once per layer and
+reused across mappings) versus disabled (recomputed for every mapping).
+"""
+
+import time
+
+from conftest import emit
+
+from repro.core.fast_pipeline import AmortizedEvaluator, PerActionEnergyCache
+from repro.plugins import NeuroSimPlugin
+from repro.workloads import resnet18
+from repro.workloads.distributions import profile_layer
+
+
+def test_ablation_amortized_vs_recomputed(benchmark):
+    layer = list(resnet18())[2]
+    macro = NeuroSimPlugin().build_macro()
+    distributions = profile_layer(layer)
+    num_mappings = 300
+
+    def amortized():
+        evaluator = AmortizedEvaluator(macro, PerActionEnergyCache())
+        return evaluator.evaluate_mappings(layer, num_mappings, distributions=distributions)
+
+    def recomputed():
+        # Disable amortisation: recompute the per-action energies for every
+        # candidate mapping, as a naive data-value-dependent model would.
+        evaluator = AmortizedEvaluator(macro, PerActionEnergyCache())
+        candidates = evaluator.candidate_counts(layer, num_mappings)
+        start = time.perf_counter()
+        best = None
+        for counts in candidates:
+            context = macro.operand_context(distributions)
+            per_action = macro.per_action_energies(context)
+            total = sum(macro.energy_breakdown(counts, per_action).values())
+            if best is None or total < best:
+                best = total
+        return time.perf_counter() - start
+
+    result = benchmark(amortized)
+    recompute_seconds = recomputed()
+    amortized_rate = num_mappings / max(result.elapsed_s, 1e-9)
+    recomputed_rate = num_mappings / max(recompute_seconds, 1e-9)
+    emit(
+        "Ablation: amortising mapping-invariant per-action energies",
+        [
+            f"amortised  : {amortized_rate:10.1f} mappings/s",
+            f"recomputed : {recomputed_rate:10.1f} mappings/s",
+            f"speedup    : {amortized_rate / recomputed_rate:10.1f}x",
+        ],
+    )
+    assert amortized_rate > recomputed_rate * 5

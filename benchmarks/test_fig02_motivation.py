@@ -1,0 +1,39 @@
+"""Benchmark regenerating Fig. 2a/2b: the full-stack motivation study."""
+
+from conftest import emit
+
+from repro.experiments import fig02
+from repro.workloads import resnet18
+from repro.workloads.networks import Network
+
+
+def _network():
+    return Network(name="resnet18_subset", layers=tuple(list(resnet18())[:8]))
+
+
+def test_fig2a_macro_vs_system_optimum(benchmark):
+    rows = benchmark(lambda: fig02.run_fig2a(array_sizes=(64, 128, 256, 512), network=_network()))
+    best_macro, best_system = fig02.best_macro_and_system(rows)
+    emit(
+        "Fig. 2a: normalized full-DNN energy vs array size",
+        [
+            f"array {row.array_size:4d}: macro={row.macro_energy:.3e} J, system={row.system_energy:.3e} J"
+            for row in rows
+        ]
+        + [f"best macro-energy array: {best_macro}", f"best system-energy array: {best_system}"],
+    )
+    assert best_system >= best_macro
+
+
+def test_fig2b_co_optimization(benchmark):
+    rows = benchmark(lambda: fig02.run_fig2b(network=_network()))
+    by_label = {row.label: row for row in rows}
+    emit(
+        "Fig. 2b: co-optimizing circuits and architecture",
+        [
+            f"{row.label:22s} array={row.array_size:4d} dac={row.dac_resolution}b "
+            f"system energy={row.system_energy:.3e} J"
+            for row in rows
+        ],
+    )
+    assert by_label["co_optimize"].system_energy < by_label["optimize_circuits"].system_energy

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 4: data-value-dependence of DAC energy."""
+
+from conftest import emit
+
+from repro.experiments import fig04
+
+
+def test_fig4_dac_data_value_dependence(benchmark):
+    rows = benchmark(fig04.run_fig4)
+    normalized = fig04.normalized(rows)
+    emit(
+        "Fig. 4: DAC energy per convert (normalized to the cheapest bar)",
+        [f"{w:26s} {e:13s} {d:18s} {value:5.2f}x" for w, e, d, value in normalized]
+        + [
+            f"dynamic range: {fig04.dynamic_range(rows):.2f}x (paper: > 2.5x)",
+            f"best encoding per (workload, DAC): {fig04.best_encoding_per_workload(rows)}",
+        ],
+    )
+    assert fig04.dynamic_range(rows) > 2.0
+    assert len(set(fig04.best_encoding_per_workload(rows).values())) >= 2

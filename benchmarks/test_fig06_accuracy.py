@@ -1,0 +1,26 @@
+"""Benchmark regenerating Fig. 6: statistical-model accuracy vs ground truth."""
+
+from conftest import emit
+
+from repro.experiments import fig06
+from repro.workloads import resnet18
+from repro.workloads.networks import Network
+
+
+def test_fig6_accuracy_vs_value_level_ground_truth(benchmark):
+    network = Network(name="resnet18_subset", layers=tuple(list(resnet18())[:10]))
+    result = benchmark(lambda: fig06.run_fig6(network=network, max_vectors=12))
+    emit(
+        "Fig. 6: full-macro energy error per ResNet18 layer (vs value-level ground truth)",
+        [
+            f"{row.layer_name:12s} CiMLoop {row.cimloop_error_pct:5.1f}%   "
+            f"fixed-energy {row.fixed_energy_error_pct:5.1f}%"
+            for row in result.rows
+        ]
+        + [
+            f"CiMLoop      avg/max error: {result.cimloop_avg_error:.1f}% / {result.cimloop_max_error:.1f}%  (paper: 3% / 7%)",
+            f"fixed-energy avg/max error: {result.fixed_energy_avg_error:.1f}% / {result.fixed_energy_max_error:.1f}%  (paper: 28% / 70%)",
+        ],
+    )
+    assert result.cimloop_avg_error < result.fixed_energy_avg_error
+    assert result.cimloop_avg_error < 10.0

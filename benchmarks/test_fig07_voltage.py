@@ -1,0 +1,24 @@
+"""Benchmark regenerating Fig. 7: energy/throughput across supply voltages."""
+
+from conftest import emit
+
+from repro.experiments import fig07
+
+
+def test_fig7_voltage_sweep_validation(benchmark):
+    rows = benchmark(fig07.run_fig7)
+    emit(
+        "Fig. 7: energy efficiency and throughput vs supply voltage",
+        [
+            f"{row.macro:8s} {row.vdd:.2f}V {row.data_values:7s} "
+            f"model {row.tops_per_watt:8.1f} TOPS/W {row.gops:9.1f} GOPS"
+            + (
+                f"   reference ~{row.reference_tops_per_watt:8.1f} TOPS/W"
+                if row.reference_tops_per_watt
+                else ""
+            )
+            for row in rows
+        ],
+    )
+    for macro in ("macro_a", "macro_b", "macro_d"):
+        assert fig07.efficiency_trend_is_monotonic(rows, macro)

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Fig. 8: energy/throughput across input bit widths."""
+
+from conftest import emit
+
+from repro.experiments import fig08
+
+
+def test_fig8_input_bit_sweep_validation(benchmark):
+    rows = benchmark(fig08.run_fig8)
+    emit(
+        "Fig. 8: energy efficiency and throughput vs number of input bits",
+        [
+            f"{row.macro:8s} {row.input_bits}b inputs: model {row.tops_per_watt:8.1f} TOPS/W "
+            f"{row.gops:8.1f} GOPS"
+            + (
+                f"   reference ~{row.reference_tops_per_watt:8.1f} TOPS/W"
+                if row.reference_tops_per_watt
+                else ""
+            )
+            for row in rows
+        ],
+    )
+    assert fig08.efficiency_decreases_with_bits(rows, "macro_b")
+    assert fig08.efficiency_decreases_with_bits(rows, "macro_c")

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 9: per-component energy breakdowns."""
+
+from conftest import emit
+
+from repro.experiments import fig09
+
+
+def test_fig9_energy_breakdowns(benchmark):
+    rows = benchmark(fig09.run_fig9)
+    lines = []
+    for row in rows:
+        fractions = ", ".join(f"{k}={v:.0%}" for k, v in sorted(row.fractions.items()))
+        lines.append(f"{row.label:22s} modeled: {fractions}")
+        if row.reference:
+            reference = ", ".join(f"{k}={v:.0%}" for k, v in sorted(row.reference.items()))
+            lines.append(f"{'':22s} reference: {reference}")
+    emit("Fig. 9: energy breakdown (fraction of macro energy)", lines)
+    for row in rows:
+        assert abs(sum(row.fractions.values()) - 1.0) < 1e-6
+    assert fig09.adc_share_grows_with_input_bits(rows)

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Fig. 10: per-component area breakdowns."""
+
+from conftest import emit
+
+from repro.experiments import fig10
+
+
+def test_fig10_area_breakdowns(benchmark):
+    rows = benchmark(fig10.run_fig10)
+    lines = []
+    for row in rows:
+        fractions = ", ".join(f"{k}={v:.0%}" for k, v in sorted(row.fractions.items()))
+        lines.append(f"{row.macro:8s} ({row.total_area_mm2:6.2f} mm^2) modeled: {fractions}")
+        if row.reference:
+            reference = ", ".join(f"{k}={v:.0%}" for k, v in sorted(row.reference.items()))
+            lines.append(f"{'':8s} reference: {reference}")
+    emit("Fig. 10: area breakdown (fraction of macro area)", lines)
+    assert {row.macro for row in rows} == {"macro_a", "macro_b", "macro_c", "macro_d"}
+    for row in rows:
+        assert abs(sum(row.fractions.values()) - 1.0) < 1e-6
+        assert row.total_area_mm2 > 0

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 11: Macro B energy vs average MAC value."""
+
+from conftest import emit
+
+from repro.experiments import fig11
+
+
+def test_fig11_data_value_dependent_energy(benchmark):
+    rows = benchmark(lambda: fig11.run_fig11(points=8))
+    emit(
+        "Fig. 11: Macro B energy/MAC vs average MAC value",
+        [
+            f"avg MAC value {row.average_mac_value:5.2f}: {row.energy_per_mac * 1e15:6.2f} fJ/MAC"
+            for row in rows
+        ]
+        + [f"max/min energy swing: {fig11.energy_swing(rows):.2f}x (paper: 2.3x)"],
+    )
+    energies = [row.energy_per_mac for row in rows]
+    assert energies[-1] > energies[0]
+    assert fig11.energy_swing(rows) > 1.3

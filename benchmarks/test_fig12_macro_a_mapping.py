@@ -1,0 +1,28 @@
+"""Benchmark regenerating Fig. 12: Macro A output reuse between columns."""
+
+from conftest import emit
+
+from repro.experiments import fig12
+
+
+def test_fig12_column_output_reuse(benchmark):
+    rows = benchmark(
+        lambda: fig12.run_fig12(reuse_settings=(1, 2, 3, 4, 5, 6, 7, 8), resnet_layers=10)
+    )
+    lines = []
+    for workload in ("max_utilization", "resnet18"):
+        for row in (r for r in rows if r.workload == workload):
+            total = row.total_energy
+            lines.append(
+                f"{workload:16s} reuse={row.reuse_columns}: total {total * 1e15:7.2f} fJ/MAC  "
+                f"(ADC {row.adc_energy / total:4.0%}, DAC {row.dac_energy / total:4.0%}, "
+                f"util {row.utilization:.2f})"
+            )
+    lines.append(f"best reuse (max-util): {fig12.best_reuse(rows, 'max_utilization')}")
+    lines.append(
+        f"best reuse (ResNet18): {fig12.best_reuse(rows, 'resnet18')}  "
+        "(paper: 3-column reuse wins for ResNet18)"
+    )
+    emit("Fig. 12: Macro A output-reuse sweep (energy per MAC)", lines)
+    assert fig12.adc_dac_tradeoff_holds(rows)
+    assert fig12.best_reuse(rows, "resnet18") in (1, 2, 3, 4)

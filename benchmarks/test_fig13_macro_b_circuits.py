@@ -1,0 +1,19 @@
+"""Benchmark regenerating Fig. 13: Macro B analog adder width vs weight bits."""
+
+from conftest import emit
+
+from repro.experiments import fig13
+
+
+def test_fig13_analog_adder_width(benchmark):
+    rows = benchmark(fig13.run_fig13)
+    best = fig13.best_adder_per_weight_bits(rows)
+    lines = []
+    for operands in (1, 2, 4, 8):
+        series = [r for r in rows if r.adder_operands == operands]
+        values = " ".join(f"{r.tops_per_mm2:7.1f}" for r in sorted(series, key=lambda r: r.weight_bits))
+        lines.append(f"{operands}-operand adder TOPS/mm^2 by weight bits 1..8: {values}")
+    lines.append(f"best adder width per weight precision: {best}")
+    emit("Fig. 13: throughput-per-area vs analog adder width and weight bits", lines)
+    assert best[1] <= best[8]
+    assert fig13.widest_adder_never_best(rows)

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Fig. 14: Macro C array size across workloads."""
+
+from conftest import emit
+
+from repro.experiments import fig14
+
+
+def test_fig14_array_size_sweep(benchmark):
+    rows = benchmark(
+        lambda: fig14.run_fig14(array_sizes=(64, 128, 256, 512, 1024), max_layers=6)
+    )
+    lines = []
+    workloads = sorted({row.workload for row in rows})
+    for workload in workloads:
+        series = sorted((r for r in rows if r.workload == workload), key=lambda r: r.array_size)
+        values = "  ".join(
+            f"{r.array_size}:{r.energy_per_mac * 1e12:6.2f}pJ(u={r.utilization:.2f})" for r in series
+        )
+        lines.append(f"{workload:26s} {values}")
+        lines.append(f"{'':26s} best array: {fig14.best_array_size(rows, workload)}")
+    emit("Fig. 14: Macro C energy/MAC vs array size", lines)
+    assert fig14.energy_falls_with_size(rows, "max_utilization")
+    assert fig14.best_array_size(rows, "small_tensor_mobilenet") <= fig14.best_array_size(
+        rows, "max_utilization"
+    )

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Fig. 15: Macro D in a full system, data placement study."""
+
+from conftest import emit
+
+from repro.experiments import fig15
+
+
+def test_fig15_full_system_data_placement(benchmark):
+    rows = benchmark(lambda: fig15.run_fig15(max_layers=6))
+    lines = []
+    for row in rows:
+        breakdown = ", ".join(
+            f"{k}={v * 1e12:6.3f}pJ" for k, v in sorted(row.breakdown_per_mac.items())
+        )
+        lines.append(
+            f"{row.workload:24s} {row.placement:18s} {row.energy_per_mac * 1e12:7.3f} pJ/MAC ({breakdown})"
+        )
+    emit("Fig. 15: system energy per MAC across data placement scenarios", lines)
+    for workload in ("large_tensor_gpt2", "mixed_tensor_resnet18"):
+        assert fig15.weight_stationary_saves_energy(rows, workload)
+        assert fig15.on_chip_io_saves_energy(rows, workload)
+    assert fig15.dram_share(rows, "large_tensor_gpt2", "all_dram") > 0.4

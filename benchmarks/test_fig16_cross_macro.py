@@ -1,0 +1,28 @@
+"""Benchmark regenerating Fig. 16: cross-macro comparison at 7 nm."""
+
+from conftest import emit
+
+from repro.experiments import fig16
+
+
+def test_fig16_cross_macro_comparison(benchmark):
+    rows = benchmark(
+        lambda: fig16.run_fig16(weight_bit_settings=(1, 2, 4, 8), input_bit_settings=(1, 2, 4, 8))
+    )
+    winners = fig16.best_macro_per_precision(rows)
+    lines = []
+    for weight_bits in (1, 2, 4, 8):
+        series = [
+            f"in{input_bits}b:"
+            + "/".join(
+                f"{r.tops_per_watt:7.1f}"
+                for r in rows
+                if r.weight_bits == weight_bits and r.input_bits == input_bits
+            )
+            for input_bits in (1, 2, 4, 8)
+        ]
+        lines.append(f"weights {weight_bits}b (A/B/D TOPS/W): " + "  ".join(series))
+    lines.append(f"winner per (weight, input) bits: {winners}")
+    emit("Fig. 16: cross-macro energy efficiency at 7 nm", lines)
+    assert fig16.macro_a_wins_at_one_bit(rows)
+    assert fig16.winner_depends_on_precision(rows)

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Table II: modeling speed vs the value-level baseline."""
+
+from conftest import emit
+
+from repro.experiments import table2
+
+
+def test_table2_modeling_speed(benchmark):
+    rows = benchmark(lambda: table2.run_table2(max_layers=3, many_mappings=2000))
+    emit(
+        "Table II: (mappings x layers) / second",
+        [
+            f"{row.model:10s} workers={row.workers} mappings={row.mappings:5d} "
+            f"-> {row.mappings_layers_per_second:12.2f} (map x layer)/s"
+            for row in rows
+        ]
+        + ["paper: NeuroSim 0.07, CiMLoop x1 0.28, CiMLoop x5000 83 (1 core)"],
+    )
+    by_key = {(r.model, r.mappings): r for r in rows}
+    value_sim = by_key[("value_sim", 1)]
+    cimloop_one = by_key[("cimloop", 1)]
+    cimloop_many = by_key[("cimloop", 2000)]
+    # CiMLoop is orders of magnitude faster, and amortisation makes the
+    # many-mapping case far faster per mapping than the single-mapping case.
+    assert cimloop_one.mappings_layers_per_second > value_sim.mappings_layers_per_second * 10
+    assert cimloop_many.mappings_layers_per_second > cimloop_one.mappings_layers_per_second * 50

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Table III: parameterised attributes of Macros A-D."""
+
+from conftest import emit
+
+from repro.experiments import table3
+
+
+def test_table3_macro_attributes(benchmark):
+    rows = benchmark(table3.run_table3)
+    emit("Table III: macro attributes", table3.format_table(rows).splitlines())
+    by_name = {row.macro: row for row in rows}
+    assert by_name["macro_a"].rows == 768 and by_name["macro_a"].cols == 768
+    assert by_name["macro_b"].node_nm == 7 and by_name["macro_b"].adc_bits == 4
+    assert by_name["macro_c"].device == "reram"
+    assert by_name["macro_d"].active_rows == 64

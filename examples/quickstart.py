@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate a published CiM macro on ResNet18.
+
+This is the 60-second tour of the public API:
+
+1. pick a macro configuration (here Macro B, the 7 nm SRAM macro),
+2. wrap it in a :class:`~repro.CiMLoopModel`,
+3. evaluate a workload and inspect energy, throughput, and breakdowns.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import CiMLoopModel
+from repro.macros import macro_b
+from repro.workloads import resnet18
+
+
+def main() -> None:
+    # 1. Hardware: Macro B (Sinangil et al., JSSC 2021) with its published
+    #    parameters.  Any field of the config can be overridden.
+    config = macro_b()
+    print(f"Evaluating {config.name}: {config.rows}x{config.cols} {config.device} array "
+          f"at {config.technology.node_nm:g} nm")
+
+    # 2. Model: the data-value-dependent statistical pipeline is on by
+    #    default; operand distributions are synthesised per layer.
+    model = CiMLoopModel(config)
+
+    # 3. Workload: the ResNet18 layer shapes used throughout the paper.
+    network = resnet18()
+    result = model.evaluate(network)
+
+    print(f"\nWorkload: {network.name} ({network.total_macs / 1e9:.2f} GMACs)")
+    print(f"  energy per MAC     : {result.energy_per_mac * 1e15:8.1f} fJ")
+    print(f"  energy efficiency  : {result.tops_per_watt:8.1f} TOPS/W")
+    print(f"  throughput         : {result.gops:8.1f} GOPS")
+    print(f"  macro area         : {result.total_area_mm2:8.3f} mm^2")
+
+    print("\nEnergy breakdown (top components):")
+    breakdown = sorted(result.energy_breakdown_fraction().items(), key=lambda kv: -kv[1])
+    for component, fraction in breakdown[:6]:
+        print(f"  {component:20s} {fraction:6.1%}")
+
+    print("\nPer-layer energy (first five layers):")
+    for layer in result.layers[:5]:
+        print(f"  {layer.layer_name:12s} {layer.total_energy * 1e6:8.2f} uJ  "
+              f"(utilisation {layer.utilization:.2f})")
+
+
+if __name__ == "__main__":
+    main()

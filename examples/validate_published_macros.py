@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Validate the pre-built macro models against published headline numbers.
+
+Evaluates Macros A-D on their headline operating points and compares the
+modelled energy efficiency to the published values recorded in
+``repro.macros.reference_data`` — the reproduction's version of the paper's
+Sec. V-A validation.
+
+Run with::
+
+    python examples/validate_published_macros.py
+"""
+
+from repro.architecture import CiMMacro, OutputReuseStyle
+from repro.macros import get_reference, macro_a, macro_b, macro_c, macro_d
+from repro.workloads import matrix_vector_workload
+
+
+def headline(config, input_bits, weight_bits):
+    macro = CiMMacro(config)
+    fold = config.output_reuse_columns if config.output_reuse_style is OutputReuseStyle.WIRE else 1
+    layer = matrix_vector_workload(config.active_rows * fold, config.cols, repeats=64).layers[0]
+    return macro.evaluate_layer(layer.with_bits(input_bits=input_bits, weight_bits=weight_bits))
+
+
+def main() -> None:
+    cases = [
+        ("macro_a", macro_a(input_bits=1, weight_bits=1), (1, 1)),
+        ("macro_b", macro_b(), (4, 4)),
+        ("macro_c", macro_c(input_bits=1), (1, 8)),
+        ("macro_d", macro_d(), (8, 8)),
+    ]
+    print(f"{'macro':>8s} {'bits':>6s} {'modeled TOPS/W':>15s} {'published':>10s} {'error':>7s}   publication")
+    for name, config, bits in cases:
+        reference = get_reference(name)
+        result = headline(config, *bits)
+        error = abs(result.tops_per_watt - reference.headline_tops_per_watt) / \
+            reference.headline_tops_per_watt
+        print(
+            f"{name:>8s} {bits[1]}w/{bits[0]}i {result.tops_per_watt:15.1f} "
+            f"{reference.headline_tops_per_watt:10.1f} {error:7.1%}   {reference.publication}"
+        )
+
+    print("\nVoltage scaling check (Macro D):")
+    for vdd in (0.7, 0.9, 1.1):
+        result = headline(macro_d(vdd=vdd), 8, 8)
+        print(f"  {vdd:.1f} V: {result.tops_per_watt:6.1f} TOPS/W, {result.gops:7.1f} GOPS")
+
+
+if __name__ == "__main__":
+    main()

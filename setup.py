@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline build environment has no `wheel` package, so PEP 517 editable
+installs (which must build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` and
+``python setup.py develop`` work; all project metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

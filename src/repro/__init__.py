@@ -1,0 +1,55 @@
+"""repro — a from-scratch reproduction of CiMLoop (ISPASS 2024).
+
+CiMLoop is a flexible, accurate, and fast full-stack model of
+Compute-In-Memory (CiM) DNN accelerators.  This package reimplements the
+system and every substrate it depends on in pure Python:
+
+* a flexible container-hierarchy specification of circuits + architecture
+  (:mod:`repro.spec`),
+* an accurate data-value-dependent energy model built from operand
+  distributions, hardware data representations, and per-component circuit
+  models (:mod:`repro.representation`, :mod:`repro.circuits`,
+  :mod:`repro.devices`),
+* a fast statistical pipeline that amortises per-action energies over
+  thousands of mappings (:mod:`repro.core`),
+* the Timeloop-like mapping substrate (:mod:`repro.mapping`), macro and
+  full-system architecture models (:mod:`repro.architecture`),
+* value-level / fixed-energy / fixed-power baselines
+  (:mod:`repro.baselines`), models of four published macros
+  (:mod:`repro.macros`), and drivers regenerating every table and figure
+  of the paper's evaluation (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import CiMLoopModel
+    from repro.macros import macro_b
+    from repro.workloads import resnet18
+
+    model = CiMLoopModel(macro_b())
+    result = model.evaluate(resnet18())
+    print(result.summary())
+"""
+
+from repro.architecture.macro import CiMMacro, CiMMacroConfig, OutputReuseStyle
+from repro.architecture.system import DataPlacement, System, SystemConfig
+from repro.core.evaluation import EvaluationResult, LayerEvaluation
+from repro.core.model import CiMLoopModel
+from repro.devices.technology import TechnologyNode
+from repro.utils.errors import CiMLoopError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CiMLoopModel",
+    "CiMMacro",
+    "CiMMacroConfig",
+    "OutputReuseStyle",
+    "System",
+    "SystemConfig",
+    "DataPlacement",
+    "EvaluationResult",
+    "LayerEvaluation",
+    "TechnologyNode",
+    "CiMLoopError",
+    "__version__",
+]

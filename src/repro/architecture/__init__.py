@@ -1,0 +1,37 @@
+"""Architecture: CiM macros and full systems.
+
+* :mod:`repro.architecture.macro` — the parameterised analytical CiM macro
+  model: array organisation, peripheral circuits, per-layer action counts,
+  utilisation, area/energy breakdowns, and throughput.
+* :mod:`repro.architecture.system` — full systems built around one or more
+  macros: global buffer, NoC, and off-chip DRAM, with the three data
+  placement scenarios of the paper's full-system study (Fig. 15).
+"""
+
+from repro.architecture.macro import (
+    CiMMacro,
+    CiMMacroConfig,
+    MacroLayerCounts,
+    MacroLayerResult,
+    OutputReuseStyle,
+)
+from repro.architecture.system import (
+    DataPlacement,
+    System,
+    SystemConfig,
+    SystemLayerResult,
+    SystemResult,
+)
+
+__all__ = [
+    "OutputReuseStyle",
+    "CiMMacroConfig",
+    "CiMMacro",
+    "MacroLayerCounts",
+    "MacroLayerResult",
+    "DataPlacement",
+    "SystemConfig",
+    "System",
+    "SystemLayerResult",
+    "SystemResult",
+]

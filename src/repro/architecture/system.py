@@ -1,0 +1,285 @@
+"""Full CiM systems: macros + global buffer + NoC + off-chip DRAM.
+
+The paper's full-system study (Fig. 15) places Macro D in a system with a
+DRAM backing store, a global buffer, routers, and parallel macros, and
+compares three data placement scenarios.  :class:`System` generalises
+that: any macro can be instantiated ``num_macros`` times behind a shared
+global buffer and NoC, and a :class:`DataPlacement` selects which tensors
+travel to/from DRAM for each layer.
+
+System-level traffic is derived from the macro-level tiling: weights move
+once per layer (they are stationary in the arrays), inputs are re-fetched
+once per column tile unless a buffer level retains them, and outputs are
+written once per layer (partial sums are accumulated inside the macros).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.architecture.macro import CiMMacro, CiMMacroConfig, MacroLayerResult
+from repro.circuits.buffers import SRAMBuffer
+from repro.circuits.interface import Action, OperandContext
+from repro.circuits.memory import DRAMModel
+from repro.circuits.router import NoCLink, NoCRouter
+from repro.utils.errors import ValidationError
+from repro.workloads.distributions import LayerDistributions, profile_layer
+from repro.workloads.einsum import TensorRole
+from repro.workloads.layer import Layer
+from repro.workloads.networks import Network
+
+
+class DataPlacement(str, Enum):
+    """Where tensors live between layers (paper Fig. 15 scenarios)."""
+
+    #: All tensors fetched from DRAM for every layer; inputs re-fetched per
+    #: column tile because nothing on chip retains them.
+    ALL_DRAM = "all_dram"
+    #: Weights stationary (pre-loaded once per layer); inputs/outputs still
+    #: move to/from DRAM once per layer.
+    WEIGHT_STATIONARY = "weight_stationary"
+    #: Weights stationary and inputs/outputs kept on chip in the global
+    #: buffer between layers (layer-fusion style).
+    ON_CHIP_IO = "on_chip_io"
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A full system around one macro design."""
+
+    macro: CiMMacroConfig
+    num_macros: int = 4
+    global_buffer_kib: int = 2048
+    dram_energy_per_bit_pj: float = 4.0
+    dram_bandwidth_gbps: float = 128.0
+    noc_flit_bits: int = 64
+    noc_hops_per_transfer: int = 2
+    placement: DataPlacement = DataPlacement.WEIGHT_STATIONARY
+
+    def __post_init__(self) -> None:
+        if self.num_macros < 1:
+            raise ValidationError("system needs at least one macro")
+        if self.global_buffer_kib < 1:
+            raise ValidationError("global buffer must have positive capacity")
+        if self.noc_hops_per_transfer < 0:
+            raise ValidationError("hop count cannot be negative")
+
+
+@dataclass(frozen=True)
+class SystemLayerResult:
+    """Per-layer system result: macro energy plus data movement energy."""
+
+    layer_name: str
+    macro_result: MacroLayerResult
+    energy_breakdown: Dict[str, float]
+    dram_bits_moved: int
+    latency_s: float
+
+    @property
+    def total_energy(self) -> float:
+        """Total system energy for the layer (J)."""
+        return sum(self.energy_breakdown.values())
+
+    @property
+    def total_macs(self) -> int:
+        """MACs in the layer."""
+        return self.macro_result.counts.total_macs
+
+    @property
+    def energy_per_mac(self) -> float:
+        """System energy per MAC (J)."""
+        return self.total_energy / max(self.total_macs, 1)
+
+
+@dataclass(frozen=True)
+class SystemResult:
+    """Whole-network system result."""
+
+    network_name: str
+    layers: List[SystemLayerResult]
+
+    @property
+    def total_energy(self) -> float:
+        """Total energy over all layers (J)."""
+        return sum(layer.total_energy for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Total MACs over all layers."""
+        return sum(layer.total_macs for layer in self.layers)
+
+    @property
+    def energy_per_mac(self) -> float:
+        """Average system energy per MAC (J)."""
+        return self.total_energy / max(self.total_macs, 1)
+
+    @property
+    def total_latency_s(self) -> float:
+        """Total latency over all layers (s), layers executed sequentially."""
+        return sum(layer.latency_s for layer in self.layers)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Aggregate energy breakdown over all layers."""
+        total: Dict[str, float] = {}
+        for layer in self.layers:
+            for key, value in layer.energy_breakdown.items():
+                total[key] = total.get(key, 0.0) + value
+        return total
+
+
+class System:
+    """An instantiated full system."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.macro = CiMMacro(config.macro)
+        tech = config.macro.technology
+        self.global_buffer = SRAMBuffer(
+            capacity_bytes=config.global_buffer_kib * 1024,
+            access_width_bits=max(config.macro.input_bits, config.macro.output_bits),
+            technology=tech,
+        )
+        self.dram = DRAMModel(
+            energy_per_bit_pj=config.dram_energy_per_bit_pj,
+            bandwidth_gbps=config.dram_bandwidth_gbps,
+            access_width_bits=64,
+        )
+        self.router = NoCRouter(flit_bits=config.noc_flit_bits, technology=tech)
+        self.link = NoCLink(flit_bits=config.noc_flit_bits, technology=tech)
+
+    # ------------------------------------------------------------------
+    def evaluate_layer(
+        self,
+        layer: Layer,
+        distributions: Optional[LayerDistributions] = None,
+        first_layer: bool = False,
+        last_layer: bool = False,
+    ) -> SystemLayerResult:
+        """Evaluate one layer on the full system."""
+        cfg = self.config
+        if distributions is None:
+            distributions = profile_layer(layer)
+        macro_result = self.macro.evaluate_layer(
+            layer, distributions, include_programming=True
+        )
+        counts = macro_result.counts
+        context = self.macro.operand_context(distributions)
+
+        input_bits = layer.input_bits
+        weight_bits = layer.weight_bits
+        output_bits = layer.output_bits
+        input_elements = layer.tensor_size(TensorRole.INPUTS)
+        weight_elements = layer.tensor_size(TensorRole.WEIGHTS)
+        output_elements = layer.tensor_size(TensorRole.OUTPUTS)
+
+        placement = cfg.placement
+        # --- DRAM traffic (bits) -------------------------------------------------
+        if placement is DataPlacement.ALL_DRAM:
+            # Nothing retains inputs on chip: they are re-fetched from DRAM
+            # for every column tile.  Weights are fetched once (they are
+            # programmed into the arrays as they arrive).
+            dram_input_bits = input_elements * input_bits * counts.col_tiles
+            dram_weight_bits = weight_elements * weight_bits
+            dram_output_bits = output_elements * output_bits
+        elif placement is DataPlacement.WEIGHT_STATIONARY:
+            dram_input_bits = input_elements * input_bits
+            dram_weight_bits = weight_elements * weight_bits
+            dram_output_bits = output_elements * output_bits
+        else:  # ON_CHIP_IO
+            dram_input_bits = input_elements * input_bits if first_layer else 0
+            dram_weight_bits = weight_elements * weight_bits
+            dram_output_bits = output_elements * output_bits if last_layer else 0
+        dram_bits = dram_input_bits + dram_weight_bits + dram_output_bits
+        dram_accesses_read = math.ceil((dram_input_bits + dram_weight_bits) / self.dram.access_width_bits)
+        dram_accesses_write = math.ceil(dram_output_bits / self.dram.access_width_bits)
+        dram_energy = (
+            dram_accesses_read * self.dram.energy(Action.READ, context)
+            + dram_accesses_write * self.dram.energy(Action.WRITE, context)
+        )
+
+        # --- Global buffer traffic ----------------------------------------------
+        gb_width = self.global_buffer.access_width_bits
+        gb_input_accesses = math.ceil(input_elements * input_bits / gb_width) * (
+            1 + counts.col_tiles  # one fill + one read per column tile
+        )
+        gb_output_accesses = math.ceil(output_elements * output_bits / gb_width) * 2
+        gb_weight_accesses = (
+            math.ceil(weight_elements * weight_bits / gb_width)
+            if placement is not DataPlacement.ALL_DRAM
+            else 0
+        )
+        gb_energy = (
+            gb_input_accesses * self.global_buffer.energy(Action.READ, context)
+            + gb_output_accesses * self.global_buffer.energy(Action.WRITE, context)
+            + gb_weight_accesses * self.global_buffer.energy(Action.READ, context)
+        )
+
+        # --- NoC traffic -----------------------------------------------------------
+        flit_bits = self.config.noc_flit_bits
+        noc_flits = math.ceil(
+            (input_elements * input_bits * counts.col_tiles
+             + output_elements * output_bits
+             + weight_elements * weight_bits) / flit_bits
+        )
+        hops = self.config.noc_hops_per_transfer
+        noc_energy = noc_flits * hops * (
+            self.router.energy(Action.TRANSFER, context)
+            + self.link.energy(Action.TRANSFER, context)
+        )
+
+        breakdown = {
+            "macro": macro_result.total_energy,
+            "on_chip_network": noc_energy,
+            "global_buffer": gb_energy,
+            "dram": dram_energy,
+        }
+
+        # --- Latency ---------------------------------------------------------------
+        macro_latency = macro_result.latency_s / cfg.num_macros
+        dram_latency = dram_bits / (self.dram.bandwidth_gbps * 1e9)
+        latency = max(macro_latency, dram_latency)
+
+        return SystemLayerResult(
+            layer_name=layer.name,
+            macro_result=macro_result,
+            energy_breakdown=breakdown,
+            dram_bits_moved=dram_bits,
+            latency_s=latency,
+        )
+
+    def evaluate_network(
+        self,
+        network: Network,
+        distributions: Optional[Dict[str, LayerDistributions]] = None,
+    ) -> SystemResult:
+        """Evaluate every layer of a network on the system."""
+        results = []
+        num_layers = len(network)
+        for index, layer in enumerate(network):
+            dists = distributions.get(layer.name) if distributions else None
+            results.append(
+                self.evaluate_layer(
+                    layer,
+                    distributions=dists,
+                    first_layer=(index == 0),
+                    last_layer=(index == num_layers - 1),
+                )
+            )
+        return SystemResult(network_name=network.name, layers=results)
+
+    # ------------------------------------------------------------------
+    def area_breakdown_um2(self) -> Dict[str, float]:
+        """On-chip area: macros + global buffer + routers."""
+        macro_area = sum(self.macro.area_breakdown_um2().values())
+        return {
+            "macros": macro_area * self.config.num_macros,
+            "global_buffer": self.global_buffer.area_um2(),
+            "noc": self.router.area_um2() * self.config.num_macros,
+        }
+
+    def total_area_mm2(self) -> float:
+        """Total on-chip area in mm^2."""
+        return sum(self.area_breakdown_um2().values()) / 1e6

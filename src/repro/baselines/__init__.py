@@ -1,0 +1,23 @@
+"""Baseline models the paper compares against.
+
+* :mod:`repro.baselines.value_sim` — a value-level simulator in the style
+  of NeuroSim: it materialises concrete tensors and computes the energy of
+  every propagated data value.  Used as the accuracy ground truth (Fig. 6)
+  and the speed baseline (Table II).
+* :mod:`repro.baselines.fixed_energy` — a non-data-value-dependent model in
+  the style of Timeloop+Accelergy: per-action energies computed once from
+  workload-average statistics and applied to every layer.
+* :mod:`repro.baselines.fixed_power` — a behaviour-level fixed-power model
+  in the style of MNSIM: component power x busy time.
+"""
+
+from repro.baselines.fixed_energy import FixedEnergyModel
+from repro.baselines.fixed_power import FixedPowerModel
+from repro.baselines.value_sim import ValueLevelSimulator, ValueSimResult
+
+__all__ = [
+    "ValueLevelSimulator",
+    "ValueSimResult",
+    "FixedEnergyModel",
+    "FixedPowerModel",
+]

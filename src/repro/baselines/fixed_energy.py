@@ -1,0 +1,95 @@
+"""Fixed-energy (non-data-value-dependent) baseline.
+
+This is the Timeloop/Accelergy-style model the paper compares against in
+Fig. 6: each component has a single per-action energy that does not change
+with the data values being propagated.  Following the paper's optimistic
+setup, the fixed energies are computed from operand statistics *averaged
+over all layers* of the workload — a real fixed-energy model would not
+even have that much information — and then applied uniformly to every
+layer.  Layers whose operand distributions differ from the workload
+average are therefore mispredicted, which is the source of the large
+per-layer error the paper reports (28% average / 70% max).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.architecture.macro import CiMMacro, MacroLayerResult
+from repro.circuits.interface import OperandContext, OperandStats
+from repro.utils.errors import EvaluationError
+from repro.workloads.distributions import LayerDistributions, profile_network
+from repro.workloads.einsum import ALL_TENSORS, TensorRole
+from repro.workloads.layer import Layer
+from repro.workloads.networks import Network
+
+
+class FixedEnergyModel:
+    """Evaluate layers with layer-independent (workload-averaged) energies."""
+
+    def __init__(
+        self,
+        macro: CiMMacro,
+        network: Optional[Network] = None,
+        distributions: Optional[Mapping[str, LayerDistributions]] = None,
+    ):
+        self.macro = macro
+        if distributions is None and network is not None:
+            distributions = profile_network(network)
+        self._fixed_context = self._average_context(distributions)
+        self._per_action = macro.per_action_energies(self._fixed_context)
+
+    # ------------------------------------------------------------------
+    def _average_context(
+        self, distributions: Optional[Mapping[str, LayerDistributions]]
+    ) -> OperandContext:
+        """Average per-tensor statistics across all layers (equal weight)."""
+        if not distributions:
+            return OperandContext.nominal()
+        averaged: Dict[TensorRole, OperandStats] = {}
+        for role in ALL_TENSORS:
+            means, mean_sqs, densities, toggles = [], [], [], []
+            for layer_dists in distributions.values():
+                context = self.macro.operand_context(layer_dists)
+                stats = context.for_tensor(role)
+                means.append(stats.mean)
+                mean_sqs.append(stats.mean_square)
+                densities.append(stats.density)
+                toggles.append(stats.toggle_rate)
+            count = len(means)
+            averaged[role] = OperandStats(
+                mean=sum(means) / count,
+                mean_square=sum(mean_sqs) / count,
+                density=sum(densities) / count,
+                toggle_rate=sum(toggles) / count,
+            )
+        return OperandContext(stats=averaged)
+
+    @property
+    def fixed_context(self) -> OperandContext:
+        """The single operand context used for every layer."""
+        return self._fixed_context
+
+    @property
+    def per_action_energies(self) -> Dict[str, float]:
+        """The layer-independent per-action energies."""
+        return dict(self._per_action)
+
+    # ------------------------------------------------------------------
+    def evaluate_layer(self, layer: Layer) -> MacroLayerResult:
+        """Evaluate one layer using the fixed per-action energies."""
+        counts = self.macro.map_layer(layer)
+        breakdown = self.macro.energy_breakdown(counts, self._per_action)
+        return MacroLayerResult(
+            layer_name=layer.name,
+            counts=counts,
+            energy_breakdown=breakdown,
+            latency_s=self.macro.latency_seconds(counts),
+        )
+
+    def evaluate_network(self, network: Network) -> Dict[str, MacroLayerResult]:
+        """Evaluate every layer of a network with the fixed energies."""
+        if len(network) == 0:
+            raise EvaluationError("network has no layers")
+        return {layer.name: self.evaluate_layer(layer) for layer in network}

@@ -1,0 +1,78 @@
+"""Fixed-power (behaviour-level) baseline.
+
+MNSIM-style models estimate energy as component power multiplied by busy
+time, with per-component power taken at a fixed nominal activity.  This is
+even coarser than the fixed-energy model: it does not track per-action
+counts, only how long each component is busy, so it misses both
+data-value-dependence and utilisation effects inside a layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.architecture.macro import CiMMacro
+from repro.circuits.interface import OperandContext
+from repro.utils.errors import EvaluationError
+from repro.workloads.layer import Layer
+from repro.workloads.networks import Network
+
+
+@dataclass(frozen=True)
+class FixedPowerLayerResult:
+    """Energy estimate of one layer from the fixed-power model."""
+
+    layer_name: str
+    busy_time_s: float
+    power_w: float
+
+    @property
+    def total_energy(self) -> float:
+        """Energy = power x busy time (J)."""
+        return self.power_w * self.busy_time_s
+
+
+class FixedPowerModel:
+    """Estimate layer energy as (nominal macro power) x (busy time)."""
+
+    def __init__(self, macro: CiMMacro, activity_factor: float = 0.5):
+        if not 0.0 < activity_factor <= 1.0:
+            raise EvaluationError("activity factor must be in (0, 1]")
+        self.macro = macro
+        self.activity_factor = activity_factor
+        self._power_w = self._nominal_power()
+
+    def _nominal_power(self) -> float:
+        """Peak-activity macro power at nominal operand statistics."""
+        cfg = self.macro.config
+        context = OperandContext.nominal()
+        per_action = self.macro.per_action_energies(context)
+        cycle_s = cfg.cycle_time_ns * 1e-9
+        # Per cycle: all rows convert + drive, all columns' cells fire, and
+        # one ADC conversion per ADC instance.
+        energy_per_cycle = (
+            cfg.rows * (per_action["dac_convert"] + per_action["row_drive"])
+            + cfg.rows * cfg.cols * per_action["cell_compute"]
+            + max(cfg.cols // cfg.columns_per_adc, 1) * per_action["adc_convert"]
+        )
+        return energy_per_cycle * self.activity_factor / cycle_s
+
+    @property
+    def power_w(self) -> float:
+        """The single power number used for every layer."""
+        return self._power_w
+
+    def evaluate_layer(self, layer: Layer) -> FixedPowerLayerResult:
+        """Energy of one layer = power x (activations x cycle time)."""
+        counts = self.macro.map_layer(layer)
+        busy_time = self.macro.latency_seconds(counts)
+        return FixedPowerLayerResult(
+            layer_name=layer.name,
+            busy_time_s=busy_time,
+            power_w=self._power_w,
+        )
+
+    def evaluate_network(self, network: Network) -> Dict[str, FixedPowerLayerResult]:
+        """Evaluate every layer of a network."""
+        return {layer.name: self.evaluate_layer(layer) for layer in network}

@@ -1,0 +1,69 @@
+"""Circuit component models.
+
+Each module provides energy/area models for one family of CiM circuit
+components.  All models implement the
+:class:`~repro.circuits.interface.ComponentEnergyModel` interface: they
+expose named *actions* (e.g. ``convert``, ``read``, ``add``) whose
+per-action energy may depend on the distribution of data values the
+component propagates, delivered through an
+:class:`~repro.circuits.interface.OperandContext`.
+
+Provided component families:
+
+* :mod:`repro.circuits.adc` — regression-based ADC energy/area (paper's ADC plug-in).
+* :mod:`repro.circuits.dac` — capacitive and current-steering DACs.
+* :mod:`repro.circuits.analog` — analog adders, accumulators, and C-2C MAC units.
+* :mod:`repro.circuits.digital` — digital adders, shift-accumulators, muxes, registers.
+* :mod:`repro.circuits.drivers` — wordline/bitline drivers and column muxes.
+* :mod:`repro.circuits.buffers` — SRAM buffers and register files (CACTI-style).
+* :mod:`repro.circuits.memory` — off-chip DRAM.
+* :mod:`repro.circuits.router` — network-on-chip routers and links.
+"""
+
+from repro.circuits.adc import ADCModel
+from repro.circuits.analog import AnalogAccumulator, AnalogAdder, AnalogMACUnit
+from repro.circuits.buffers import RegisterFile, SRAMBuffer
+from repro.circuits.dac import DACModel, DACType
+from repro.circuits.digital import (
+    DigitalAccumulator,
+    DigitalAdder,
+    DigitalMACUnit,
+    Multiplexer,
+    Register,
+    ShiftAdd,
+)
+from repro.circuits.drivers import ColumnMux, RowDriver
+from repro.circuits.interface import (
+    Action,
+    ComponentEnergyModel,
+    OperandContext,
+    OperandStats,
+)
+from repro.circuits.memory import DRAMModel
+from repro.circuits.router import NoCLink, NoCRouter
+
+__all__ = [
+    "Action",
+    "ComponentEnergyModel",
+    "OperandContext",
+    "OperandStats",
+    "ADCModel",
+    "DACModel",
+    "DACType",
+    "AnalogAdder",
+    "AnalogAccumulator",
+    "AnalogMACUnit",
+    "DigitalAdder",
+    "DigitalAccumulator",
+    "DigitalMACUnit",
+    "ShiftAdd",
+    "Multiplexer",
+    "Register",
+    "RowDriver",
+    "ColumnMux",
+    "SRAMBuffer",
+    "RegisterFile",
+    "DRAMModel",
+    "NoCRouter",
+    "NoCLink",
+]

@@ -1,0 +1,170 @@
+"""Analog compute circuits: adders, accumulators, and in-macro MAC units.
+
+These are the ADC-energy-reducing circuits the paper's Fig. 3 catalogues:
+
+* Macro B sums analog outputs of adjacent columns with an **analog adder**
+  before a single ADC read.
+* Macro C accumulates analog outputs across cycles with an **analog
+  accumulator** (switched-capacitor integrator).
+* Macro D computes full 8-bit MACs inside an **analog MAC unit** built from
+  a C-2C capacitor ladder, reusing outputs across weight bits internally.
+
+All three are switched-capacitor circuits whose dynamic energy follows
+``C * V_signal^2``: the energy depends on the magnitude of the analog value
+being moved, which is how these components become data-value-dependent
+(paper Fig. 11 measures a 2.3x swing for Macro B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.interface import Action, ComponentEnergyModel, OperandContext
+from repro.devices.technology import REFERENCE_NODE, TechnologyNode, scale_area, scale_energy
+from repro.utils.errors import ValidationError
+from repro.workloads.einsum import TensorRole
+
+
+def _signal_energy_factor(context: OperandContext) -> float:
+    """Data-value factor for switched-capacitor energy: E ~ C * V^2.
+
+    The output operand statistics carry the normalised mean-square of the
+    analog value being moved; a floor covers op-amp bias and clocking that
+    burn energy regardless of the signal value.
+    """
+    stats = context.for_tensor(TensorRole.OUTPUTS)
+    floor = 0.15
+    return floor + (1.0 - floor) * stats.mean_square
+
+
+@dataclass(frozen=True)
+class AnalogAdder(ComponentEnergyModel):
+    """A switched-capacitor adder summing ``operands`` analog column outputs.
+
+    Used by Macro B: adjacent columns storing different bits of the same
+    weight are summed in the analog domain so the ADC converts one value
+    instead of ``operands`` values.  Area and full-swing energy grow with
+    the number of summed operands (more sampling capacitors), which is the
+    flexibility/density trade-off explored in Fig. 13.
+    """
+
+    operands: int = 2
+    count: int = 1
+    technology: TechnologyNode = field(default_factory=lambda: REFERENCE_NODE)
+    energy_scale: float = 1.0
+    area_scale: float = 1.0
+
+    component_class = "analog_adder"
+
+    _ENERGY_PER_OPERAND_FJ = 2.5
+    _AREA_PER_OPERAND_UM2 = 35.0
+    _AREA_BASE_UM2 = 20.0
+
+    def __post_init__(self) -> None:
+        if self.operands < 1:
+            raise ValidationError("analog adder needs at least 1 operand")
+        if self.count < 1:
+            raise ValidationError("count must be at least 1")
+
+    def actions(self) -> tuple[str, ...]:
+        return (Action.ADD,)
+
+    def energy(self, action: str, context: OperandContext) -> float:
+        self._require_action(action)
+        base_fj = self._ENERGY_PER_OPERAND_FJ * self.operands * self.energy_scale
+        base_j = base_fj * 1e-15 * _signal_energy_factor(context)
+        return scale_energy(base_j, REFERENCE_NODE, self.technology)
+
+    def area_um2(self) -> float:
+        per_adder = (
+            self._AREA_BASE_UM2 + self._AREA_PER_OPERAND_UM2 * self.operands
+        ) * self.area_scale
+        return scale_area(per_adder, REFERENCE_NODE, self.technology) * self.count
+
+
+@dataclass(frozen=True)
+class AnalogAccumulator(ComponentEnergyModel):
+    """A switched-capacitor integrator accumulating analog outputs across cycles.
+
+    Used by Macro C: partial sums for successive input bit-slices are
+    accumulated in the analog domain, so the ADC converts once per several
+    cycles instead of every cycle.
+    """
+
+    count: int = 1
+    technology: TechnologyNode = field(default_factory=lambda: REFERENCE_NODE)
+    energy_scale: float = 1.0
+    area_scale: float = 1.0
+
+    component_class = "analog_accumulator"
+
+    _ENERGY_PER_ACCUMULATE_FJ = 4.0
+    _AREA_UM2 = 90.0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValidationError("count must be at least 1")
+
+    def actions(self) -> tuple[str, ...]:
+        return (Action.ACCUMULATE,)
+
+    def energy(self, action: str, context: OperandContext) -> float:
+        self._require_action(action)
+        base_j = self._ENERGY_PER_ACCUMULATE_FJ * 1e-15 * self.energy_scale
+        return scale_energy(base_j * _signal_energy_factor(context),
+                            REFERENCE_NODE, self.technology)
+
+    def area_um2(self) -> float:
+        per_unit = self._AREA_UM2 * self.area_scale
+        return scale_area(per_unit, REFERENCE_NODE, self.technology) * self.count
+
+
+@dataclass(frozen=True)
+class AnalogMACUnit(ComponentEnergyModel):
+    """A C-2C ladder analog MAC unit computing a full multi-bit MAC (Macro D).
+
+    The ladder combines ``weight_bits`` binary-weighted charge contributions
+    into one analog output, internally reusing the output across weight
+    bits so only one ADC conversion is needed per MAC group.  Energy
+    follows the total capacitance switched, which scales with the number of
+    weight bits and with the data values applied.
+    """
+
+    weight_bits: int = 8
+    count: int = 1
+    technology: TechnologyNode = field(default_factory=lambda: REFERENCE_NODE)
+    energy_scale: float = 1.0
+    area_scale: float = 1.0
+
+    component_class = "analog_mac"
+
+    _ENERGY_PER_BIT_FJ = 1.2
+    _AREA_PER_BIT_UM2 = 28.0
+    _AREA_BASE_UM2 = 30.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.weight_bits <= 16:
+            raise ValidationError("analog MAC weight bits must be in [1, 16]")
+        if self.count < 1:
+            raise ValidationError("count must be at least 1")
+
+    def actions(self) -> tuple[str, ...]:
+        return (Action.COMPUTE,)
+
+    def energy(self, action: str, context: OperandContext) -> float:
+        self._require_action(action)
+        input_stats = context.for_tensor(TensorRole.INPUTS)
+        weight_stats = context.for_tensor(TensorRole.WEIGHTS)
+        # Charge moved tracks the product of input drive and stored weight
+        # magnitude; a floor covers ladder settling and clocking.
+        floor = 0.2
+        data_factor = floor + (1.0 - floor) * input_stats.mean * weight_stats.mean
+        base_fj = self._ENERGY_PER_BIT_FJ * self.weight_bits * self.energy_scale
+        base_j = base_fj * 1e-15 * data_factor
+        return scale_energy(base_j, REFERENCE_NODE, self.technology)
+
+    def area_um2(self) -> float:
+        per_unit = (
+            self._AREA_BASE_UM2 + self._AREA_PER_BIT_UM2 * self.weight_bits
+        ) * self.area_scale
+        return scale_area(per_unit, REFERENCE_NODE, self.technology) * self.count

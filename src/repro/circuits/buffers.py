@@ -1,0 +1,128 @@
+"""On-chip storage: SRAM buffers and register files (CACTI-style model).
+
+Buffers form the memory hierarchy around CiM macros: per-macro input/output
+buffers and the chip-level global buffer.  The model follows the structure
+of CACTI estimates: access energy grows with the square root of capacity
+(wordline/bitline length) and linearly with access width; area grows
+linearly with capacity plus peripheral overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.circuits.interface import Action, ComponentEnergyModel, OperandContext
+from repro.devices.technology import REFERENCE_NODE, TechnologyNode, scale_area, scale_energy
+from repro.utils.errors import ValidationError
+from repro.workloads.einsum import TensorRole
+
+
+@dataclass(frozen=True)
+class SRAMBuffer(ComponentEnergyModel):
+    """An SRAM scratchpad buffer.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total storage capacity.
+    access_width_bits:
+        Bits transferred per read/write access.
+    banks:
+        Number of independent banks (wider aggregate bandwidth, slightly
+        higher area overhead).
+    """
+
+    capacity_bytes: int = 64 * 1024
+    access_width_bits: int = 64
+    banks: int = 1
+    technology: TechnologyNode = field(default_factory=lambda: REFERENCE_NODE)
+    energy_scale: float = 1.0
+    area_scale: float = 1.0
+
+    component_class = "sram_buffer"
+
+    # Reference constants at 65 nm: a 64 KiB, 64-bit-wide SRAM costs about
+    # 20 pJ per access; area is ~0.5 um^2 per bit plus 20% periphery.
+    _REF_CAPACITY_BYTES = 64 * 1024
+    _REF_WIDTH_BITS = 64
+    _REF_ACCESS_PJ = 20.0
+    _AREA_PER_BIT_UM2 = 0.5
+    _PERIPHERY_FACTOR = 1.2
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 1:
+            raise ValidationError("buffer capacity must be positive")
+        if self.access_width_bits < 1:
+            raise ValidationError("access width must be positive")
+        if self.banks < 1:
+            raise ValidationError("bank count must be at least 1")
+
+    def actions(self) -> tuple[str, ...]:
+        return (Action.READ, Action.WRITE, Action.UPDATE)
+
+    def access_energy(self) -> float:
+        """Energy (J) of one access at the buffer's operating point."""
+        capacity_factor = math.sqrt(self.capacity_bytes / self._REF_CAPACITY_BYTES)
+        width_factor = self.access_width_bits / self._REF_WIDTH_BITS
+        base_pj = self._REF_ACCESS_PJ * capacity_factor * width_factor
+        base_j = base_pj * 1e-12 * self.energy_scale
+        return scale_energy(base_j, REFERENCE_NODE, self.technology)
+
+    def energy(self, action: str, context: OperandContext) -> float:
+        self._require_action(action)
+        energy = self.access_energy()
+        if action == Action.WRITE:
+            energy *= 1.1  # write drivers cost slightly more than sensing
+        elif action == Action.UPDATE:
+            energy *= 2.0  # read-modify-write of a partial sum
+        return energy
+
+    def area_um2(self) -> float:
+        bits = self.capacity_bytes * 8
+        base = bits * self._AREA_PER_BIT_UM2 * self._PERIPHERY_FACTOR
+        base *= 1.0 + 0.05 * (self.banks - 1)
+        return scale_area(base * self.area_scale, REFERENCE_NODE, self.technology)
+
+    def leakage_power_w(self) -> float:
+        # ~10 nW per KiB at 65 nm.
+        return 10e-9 * (self.capacity_bytes / 1024.0)
+
+
+@dataclass(frozen=True)
+class RegisterFile(ComponentEnergyModel):
+    """A small multi-ported register file (per-PE or per-column storage)."""
+
+    entries: int = 16
+    width_bits: int = 16
+    technology: TechnologyNode = field(default_factory=lambda: REFERENCE_NODE)
+    energy_scale: float = 1.0
+    area_scale: float = 1.0
+
+    component_class = "register_file"
+
+    _ENERGY_PER_BIT_FJ = 0.8
+    _AREA_PER_BIT_UM2 = 2.5
+
+    def __post_init__(self) -> None:
+        if self.entries < 1:
+            raise ValidationError("register file needs at least 1 entry")
+        if self.width_bits < 1:
+            raise ValidationError("register width must be positive")
+
+    def actions(self) -> tuple[str, ...]:
+        return (Action.READ, Action.WRITE, Action.UPDATE)
+
+    def energy(self, action: str, context: OperandContext) -> float:
+        self._require_action(action)
+        # Decoder depth grows logarithmically with entry count.
+        decode_factor = 1.0 + 0.1 * math.log2(max(self.entries, 2))
+        base_fj = self._ENERGY_PER_BIT_FJ * self.width_bits * decode_factor
+        if action == Action.UPDATE:
+            base_fj *= 2.0
+        base_j = base_fj * 1e-15 * self.energy_scale
+        return scale_energy(base_j, REFERENCE_NODE, self.technology)
+
+    def area_um2(self) -> float:
+        base = self.entries * self.width_bits * self._AREA_PER_BIT_UM2
+        return scale_area(base * self.area_scale, REFERENCE_NODE, self.technology)

@@ -1,0 +1,132 @@
+"""DAC models.
+
+DACs convert digital input slices into analog row voltages or pulse
+trains.  Their energy is strongly data-value-dependent (paper Fig. 4, up to
+2.5x): a capacitive (binary-weighted) DAC spends energy proportional to the
+number of capacitors switched, while a thermometer-coded / pulse-count DAC
+spends energy proportional to the converted value itself.  The best
+encoding therefore differs per DAC type and per workload, which is exactly
+the interaction the paper's Fig. 4 explores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.circuits.interface import Action, ComponentEnergyModel, OperandContext
+from repro.devices.technology import REFERENCE_NODE, TechnologyNode, scale_area, scale_energy
+from repro.utils.errors import ValidationError
+from repro.workloads.einsum import TensorRole
+
+
+class DACType(str, Enum):
+    """The two DAC families whose data-value-dependence differs qualitatively."""
+
+    #: Binary-weighted capacitive DAC: energy tracks bit switching activity.
+    CAPACITIVE = "capacitive"
+    #: Thermometer / pulse-count DAC: energy tracks the converted magnitude.
+    PULSE = "pulse"
+
+
+@dataclass(frozen=True)
+class DACModel(ComponentEnergyModel):
+    """A DAC (or bank of DACs) driving CiM array rows.
+
+    Parameters
+    ----------
+    resolution_bits:
+        Bits converted per DAC step.  A 1-bit "DAC" is a simple driver.
+    count:
+        Number of DACs in the bank.
+    dac_type:
+        Energy model family (see :class:`DACType`).
+    technology:
+        Technology node and supply voltage.
+    energy_scale / area_scale:
+        Calibration multipliers for matching published macros.
+    """
+
+    resolution_bits: int = 1
+    count: int = 1
+    dac_type: DACType = DACType.CAPACITIVE
+    technology: TechnologyNode = field(default_factory=lambda: REFERENCE_NODE)
+    energy_scale: float = 1.0
+    area_scale: float = 1.0
+
+    component_class = "dac"
+
+    _ENERGY_PER_LEVEL_FJ = 0.10       # fJ per DAC level (2^bits) at full switching
+    _ENERGY_PER_LEVEL_SQ_FJ = 0.012   # fJ per squared level: settling accuracy and
+    #                                   cap-array growth make high-resolution DACs
+    #                                   disproportionately expensive per conversion
+    _ENERGY_STATIC_FJ = 0.8           # fJ fixed cost per conversion (clocking, logic)
+    _AREA_PER_LEVEL_UM2 = 0.35
+    _AREA_BASE_UM2 = 12.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.resolution_bits <= 12:
+            raise ValidationError(
+                f"DAC resolution must be in [1, 12] bits, got {self.resolution_bits}"
+            )
+        if self.count < 1:
+            raise ValidationError("DAC count must be at least 1")
+        if self.energy_scale <= 0 or self.area_scale <= 0:
+            raise ValidationError("calibration scales must be positive")
+
+    # ------------------------------------------------------------------
+    def actions(self) -> tuple[str, ...]:
+        return (Action.CONVERT,)
+
+    def _dynamic_full_scale_fj(self, levels: int) -> float:
+        """Full-switching dynamic energy (fJ) at a given level count.
+
+        Pulse-count DACs pay a super-linear penalty at high resolution
+        (longer pulse trains with tighter settling per pulse), while
+        charge-domain capacitive sampling grows linearly with the level
+        count.
+        """
+        linear = self._ENERGY_PER_LEVEL_FJ * levels
+        if self.dac_type is DACType.PULSE:
+            return linear + self._ENERGY_PER_LEVEL_SQ_FJ * levels * levels
+        return linear
+
+    def full_scale_energy(self) -> float:
+        """Energy (J) of a conversion with maximal switching / maximal value."""
+        levels = 1 << self.resolution_bits
+        base_fj = self._ENERGY_STATIC_FJ + self._dynamic_full_scale_fj(levels)
+        base_j = base_fj * 1e-15 * self.energy_scale
+        return scale_energy(base_j, REFERENCE_NODE, self.technology)
+
+    def energy(self, action: str, context: OperandContext) -> float:
+        self._require_action(action)
+        stats = context.for_tensor(TensorRole.INPUTS)
+        levels = 1 << self.resolution_bits
+        static_fj = self._ENERGY_STATIC_FJ
+        dynamic_full_fj = self._dynamic_full_scale_fj(levels)
+
+        if self.dac_type is DACType.PULSE:
+            # Pulse-count DACs emit one unit pulse per value level: the
+            # dynamic energy is linear in the converted value, and a zero
+            # value emits no pulse at all, so even the static (clocking)
+            # energy is gated by the fraction of non-zero conversions.
+            value_factor = stats.mean
+            static_fj = static_fj * stats.density
+        else:
+            # Capacitive DACs switch capacitors according to the code's bit
+            # pattern: the dynamic energy tracks switching activity, which
+            # follows the toggle rate (and is non-zero even for small dense
+            # values because high-order capacitors still settle).
+            value_factor = 0.25 + 0.75 * stats.toggle_rate
+
+        base_fj = static_fj + dynamic_full_fj * value_factor
+        base_j = base_fj * 1e-15 * self.energy_scale
+        return scale_energy(base_j, REFERENCE_NODE, self.technology)
+
+    def area_um2(self) -> float:
+        levels = 1 << self.resolution_bits
+        per_dac = (self._AREA_BASE_UM2 + self._AREA_PER_LEVEL_UM2 * levels) * self.area_scale
+        return scale_area(per_dac, REFERENCE_NODE, self.technology) * self.count
+
+    def leakage_power_w(self) -> float:
+        return 1e-9 * self.area_um2() / 1000.0

@@ -1,0 +1,165 @@
+"""Digital logic component models (Aladdin-style).
+
+Digital components surround every CiM macro: shift-and-add units combine
+bit-slice partial sums, digital accumulators merge column outputs across
+array activations, adder trees implement fully-digital CiM (the paper's
+"Digital CiM" macro), multiplexers share ADCs across columns, and
+registers pipeline data between stages.
+
+Energies follow simple per-bit switching models scaled by the technology
+node, in the spirit of the Aladdin pre-RTL power models the paper uses as
+its digital plug-in.  Data-value-dependence enters through the toggle rate
+of the operand statistics (static CMOS burns energy only on transitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.interface import Action, ComponentEnergyModel, OperandContext
+from repro.devices.technology import REFERENCE_NODE, TechnologyNode, scale_area, scale_energy
+from repro.utils.errors import ValidationError
+from repro.workloads.einsum import TensorRole
+
+
+def _toggle_factor(context: OperandContext, role: TensorRole = TensorRole.OUTPUTS) -> float:
+    """Switching-activity factor: floor + toggle rate of the operand."""
+    stats = context.for_tensor(role)
+    floor = 0.2
+    return floor + (1.0 - floor) * stats.toggle_rate
+
+
+@dataclass(frozen=True)
+class _DigitalComponent(ComponentEnergyModel):
+    """Shared attributes of the digital component models."""
+
+    bits: int = 8
+    count: int = 1
+    technology: TechnologyNode = field(default_factory=lambda: REFERENCE_NODE)
+    energy_scale: float = 1.0
+    area_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 64:
+            raise ValidationError(f"bit width must be in [1, 64], got {self.bits}")
+        if self.count < 1:
+            raise ValidationError("count must be at least 1")
+        if self.energy_scale <= 0 or self.area_scale <= 0:
+            raise ValidationError("calibration scales must be positive")
+
+    # Per-bit constants at 65 nm; subclasses override.
+    _ENERGY_PER_BIT_FJ = 1.0
+    _AREA_PER_BIT_UM2 = 5.0
+    _ACTION = Action.COMPUTE
+
+    def actions(self) -> tuple[str, ...]:
+        return (self._ACTION,)
+
+    def energy(self, action: str, context: OperandContext) -> float:
+        self._require_action(action)
+        base_fj = self._ENERGY_PER_BIT_FJ * self.bits * self.energy_scale
+        base_j = base_fj * 1e-15 * _toggle_factor(context)
+        return scale_energy(base_j, REFERENCE_NODE, self.technology)
+
+    def area_um2(self) -> float:
+        per_unit = self._AREA_PER_BIT_UM2 * self.bits * self.area_scale
+        return scale_area(per_unit, REFERENCE_NODE, self.technology) * self.count
+
+    def leakage_power_w(self) -> float:
+        return 2e-9 * self.area_um2() / 1000.0
+
+
+@dataclass(frozen=True)
+class DigitalAdder(_DigitalComponent):
+    """A ripple/CLA adder summing two ``bits``-wide operands."""
+
+    component_class = "digital_adder"
+    _ENERGY_PER_BIT_FJ = 1.2
+    _AREA_PER_BIT_UM2 = 6.0
+    _ACTION = Action.ADD
+
+
+@dataclass(frozen=True)
+class DigitalAccumulator(_DigitalComponent):
+    """An adder + register accumulating partial sums across activations."""
+
+    component_class = "digital_accumulator"
+    _ENERGY_PER_BIT_FJ = 2.0
+    _AREA_PER_BIT_UM2 = 10.0
+    _ACTION = Action.ACCUMULATE
+
+
+@dataclass(frozen=True)
+class ShiftAdd(_DigitalComponent):
+    """A shift-and-add unit combining bit-slice partial sums.
+
+    Bit-serial input processing (one input bit-slice per array activation)
+    requires shifting each new ADC result by the slice weight and adding it
+    to the running output.
+    """
+
+    component_class = "shift_add"
+    _ENERGY_PER_BIT_FJ = 1.6
+    _AREA_PER_BIT_UM2 = 8.0
+    _ACTION = Action.ACCUMULATE
+
+
+@dataclass(frozen=True)
+class DigitalMACUnit(_DigitalComponent):
+    """A full digital multiply-accumulate unit (Digital CiM macro, Fig. 3)."""
+
+    component_class = "digital_mac"
+    _ENERGY_PER_BIT_FJ = 6.0
+    _AREA_PER_BIT_UM2 = 30.0
+    _ACTION = Action.COMPUTE
+
+    def energy(self, action: str, context: OperandContext) -> float:
+        self._require_action(action)
+        # Multiplier switching tracks both operands' activity.
+        input_factor = _toggle_factor(context, TensorRole.INPUTS)
+        weight_factor = _toggle_factor(context, TensorRole.WEIGHTS)
+        base_fj = self._ENERGY_PER_BIT_FJ * self.bits * self.energy_scale
+        base_j = base_fj * 1e-15 * 0.5 * (input_factor + weight_factor)
+        return scale_energy(base_j, REFERENCE_NODE, self.technology)
+
+
+@dataclass(frozen=True)
+class Multiplexer(_DigitalComponent):
+    """A ``ways``-to-1 multiplexer sharing an ADC or bus across columns."""
+
+    ways: int = 8
+
+    component_class = "multiplexer"
+    _ENERGY_PER_BIT_FJ = 0.2
+    _AREA_PER_BIT_UM2 = 1.5
+    _ACTION = Action.TRANSFER
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.ways < 2:
+            raise ValidationError("multiplexer needs at least 2 ways")
+
+    def area_um2(self) -> float:
+        per_unit = self._AREA_PER_BIT_UM2 * self.bits * self.ways * self.area_scale
+        return scale_area(per_unit, REFERENCE_NODE, self.technology) * self.count
+
+
+@dataclass(frozen=True)
+class Register(_DigitalComponent):
+    """A pipeline register / latch bank."""
+
+    component_class = "register"
+    _ENERGY_PER_BIT_FJ = 0.6
+    _AREA_PER_BIT_UM2 = 4.0
+    _ACTION = Action.WRITE
+
+    def actions(self) -> tuple[str, ...]:
+        return (Action.WRITE, Action.READ)
+
+    def energy(self, action: str, context: OperandContext) -> float:
+        self._require_action(action)
+        base_fj = self._ENERGY_PER_BIT_FJ * self.bits * self.energy_scale
+        if action == Action.READ:
+            base_fj *= 0.5
+        base_j = base_fj * 1e-15 * _toggle_factor(context)
+        return scale_energy(base_j, REFERENCE_NODE, self.technology)

@@ -1,0 +1,107 @@
+"""Array peripheral circuits: row drivers and column multiplexers/switches.
+
+Row (wordline) drivers charge the row wires of the CiM array to apply
+inputs to the memory cells; their energy is proportional to the wire and
+gate capacitance they drive, which grows with the number of columns on the
+row.  Column muxes/switch matrices connect selected columns to shared ADCs.
+These correspond to the NeuroSim "array row/column driver" components that
+the paper's NeuroSim plug-in exposes as separable components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.interface import Action, ComponentEnergyModel, OperandContext
+from repro.devices.technology import REFERENCE_NODE, TechnologyNode, scale_area, scale_energy
+from repro.utils.errors import ValidationError
+from repro.workloads.einsum import TensorRole
+
+
+@dataclass(frozen=True)
+class RowDriver(ComponentEnergyModel):
+    """A wordline/row driver charging one array row spanning ``columns`` cells.
+
+    Energy per drive follows C_row * V^2 where the row capacitance scales
+    with the number of cells on the row.  Driving is data-value-dependent:
+    a row carrying a zero input slice is not pulsed at all (density factor),
+    and pulse-modulated rows switch proportionally to the input value.
+    """
+
+    columns: int = 256
+    count: int = 1
+    technology: TechnologyNode = field(default_factory=lambda: REFERENCE_NODE)
+    energy_scale: float = 1.0
+    area_scale: float = 1.0
+
+    component_class = "row_driver"
+
+    _CAP_PER_CELL_FF = 0.12      # wire + gate capacitance per cell on the row
+    _DRIVER_AREA_UM2 = 3.0       # per driven row
+    _AREA_PER_CELL_UM2 = 0.002   # wire pitch contribution
+
+    def __post_init__(self) -> None:
+        if self.columns < 1:
+            raise ValidationError("row driver must span at least 1 column")
+        if self.count < 1:
+            raise ValidationError("count must be at least 1")
+
+    def actions(self) -> tuple[str, ...]:
+        return (Action.DRIVE,)
+
+    def energy(self, action: str, context: OperandContext) -> float:
+        self._require_action(action)
+        stats = context.for_tensor(TensorRole.INPUTS)
+        vdd = self.technology.vdd
+        row_cap = self._CAP_PER_CELL_FF * 1e-15 * self.columns
+        # Zero input slices skip the pulse entirely; non-zero slices switch
+        # the row proportionally to the value's mean square (V^2 scaling of
+        # a pulse-width or amplitude modulated row).
+        data_factor = stats.density * (0.3 + 0.7 * stats.mean_square)
+        return row_cap * vdd * vdd * data_factor * self.energy_scale
+
+    def area_um2(self) -> float:
+        per_row = (
+            self._DRIVER_AREA_UM2 + self._AREA_PER_CELL_UM2 * self.columns
+        ) * self.area_scale
+        return scale_area(per_row, REFERENCE_NODE, self.technology) * self.count
+
+
+@dataclass(frozen=True)
+class ColumnMux(ComponentEnergyModel):
+    """A column switch matrix connecting ``ways`` columns to one shared ADC."""
+
+    ways: int = 8
+    rows: int = 256
+    count: int = 1
+    technology: TechnologyNode = field(default_factory=lambda: REFERENCE_NODE)
+    energy_scale: float = 1.0
+    area_scale: float = 1.0
+
+    component_class = "column_mux"
+
+    _CAP_PER_ROW_FF = 0.10
+    _AREA_PER_WAY_UM2 = 2.0
+
+    def __post_init__(self) -> None:
+        if self.ways < 1:
+            raise ValidationError("column mux needs at least 1 way")
+        if self.rows < 1:
+            raise ValidationError("column mux must span at least 1 row")
+        if self.count < 1:
+            raise ValidationError("count must be at least 1")
+
+    def actions(self) -> tuple[str, ...]:
+        return (Action.TRANSFER,)
+
+    def energy(self, action: str, context: OperandContext) -> float:
+        self._require_action(action)
+        stats = context.for_tensor(TensorRole.OUTPUTS)
+        vdd = self.technology.vdd
+        column_cap = self._CAP_PER_ROW_FF * 1e-15 * self.rows
+        data_factor = 0.3 + 0.7 * stats.mean_square
+        return column_cap * vdd * vdd * data_factor * self.energy_scale
+
+    def area_um2(self) -> float:
+        per_mux = self._AREA_PER_WAY_UM2 * self.ways * self.area_scale
+        return scale_area(per_mux, REFERENCE_NODE, self.technology) * self.count

@@ -1,0 +1,161 @@
+"""Component modeling interface.
+
+The paper's component modeling interface (Sec. III-C) hands each component
+the distribution of encoded and sliced data values it propagates, and the
+component returns the average energy of each of its actions.  This module
+defines that interface:
+
+* :class:`OperandStats` — summary statistics of one tensor's sliced values
+  at a component (mean, mean-square, sparsity, each normalised to the slice
+  full scale).
+* :class:`OperandContext` — the per-tensor statistics available to a
+  component when estimating one action, plus free-form attributes.
+* :class:`ComponentEnergyModel` — the abstract base class every circuit
+  model implements: named actions with per-action energy, area, and leakage.
+
+Energy models are *statistical*: they consume distributions, not tensors,
+so their cost is independent of workload size (paper Sec. III-D).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.representation.slicing import SlicedDistribution
+from repro.utils.errors import PluginError, ValidationError
+from repro.workloads.einsum import TensorRole
+
+
+@dataclass(frozen=True)
+class OperandStats:
+    """Normalised value statistics of one tensor at one component.
+
+    All fields are normalised to the component's full scale so they lie in
+    ``[0, 1]``:
+
+    * ``mean`` — average propagated value / full scale.
+    * ``mean_square`` — average squared value / squared full scale (drives
+      CV^2-style switching energy).
+    * ``density`` — fraction of non-zero values (1 - sparsity).
+    * ``toggle_rate`` — expected fraction of bits that switch per new value;
+      approximated from the value statistics when not measured directly.
+    """
+
+    mean: float = 0.5
+    mean_square: float = 0.34
+    density: float = 1.0
+    toggle_rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        for label in ("mean", "mean_square", "density", "toggle_rate"):
+            value = getattr(self, label)
+            if not 0.0 <= value <= 1.0 + 1e-9:
+                raise ValidationError(f"{label} must be within [0, 1], got {value}")
+
+    @staticmethod
+    def from_sliced(sliced: SlicedDistribution) -> "OperandStats":
+        """Compute statistics from an encoded + sliced distribution."""
+        average = sliced.average_pmf()
+        full_scale = (1 << sliced.slicing.bits_per_slice) - 1
+        if full_scale <= 0:
+            full_scale = 1
+        mean = min(average.mean / full_scale, 1.0)
+        mean_square = min(average.mean_square / (full_scale * full_scale), 1.0)
+        density = average.density_fraction
+        # A value changing uniformly at random toggles half of its active
+        # bits; scale by density so all-zero streams toggle nothing.
+        toggle = min(0.5 * (density + mean), 1.0)
+        return OperandStats(
+            mean=mean, mean_square=mean_square, density=density, toggle_rate=toggle
+        )
+
+    @staticmethod
+    def nominal() -> "OperandStats":
+        """Statistics assumed when no distribution is supplied (fixed-energy mode)."""
+        return OperandStats()
+
+
+@dataclass(frozen=True)
+class OperandContext:
+    """Per-tensor operand statistics plus free-form attributes for one estimate."""
+
+    stats: Mapping[TensorRole, OperandStats] = field(default_factory=dict)
+    attributes: Mapping[str, float] = field(default_factory=dict)
+
+    def for_tensor(self, role: TensorRole) -> OperandStats:
+        """Statistics for one tensor, or nominal statistics if unknown."""
+        return self.stats.get(role, OperandStats.nominal())
+
+    def attribute(self, name: str, default: float = 0.0) -> float:
+        """Free-form numeric attribute (e.g. an override voltage)."""
+        return float(self.attributes.get(name, default))
+
+    @staticmethod
+    def nominal() -> "OperandContext":
+        """A context with nominal statistics for every tensor."""
+        return OperandContext(stats={})
+
+    @staticmethod
+    def from_sliced(
+        sliced: Mapping[TensorRole, SlicedDistribution],
+        attributes: Optional[Mapping[str, float]] = None,
+    ) -> "OperandContext":
+        """Build a context from encoded + sliced distributions per tensor."""
+        stats = {role: OperandStats.from_sliced(dist) for role, dist in sliced.items()}
+        return OperandContext(stats=stats, attributes=dict(attributes or {}))
+
+
+class Action:
+    """Canonical action names shared by the provided component models."""
+
+    READ = "read"
+    WRITE = "write"
+    UPDATE = "update"
+    CONVERT = "convert"
+    COMPUTE = "compute"
+    ADD = "add"
+    ACCUMULATE = "accumulate"
+    TRANSFER = "transfer"
+    DRIVE = "drive"
+    LEAK = "leak"
+
+
+class ComponentEnergyModel(ABC):
+    """Abstract base class of every circuit component model.
+
+    A component model is a pure function of its construction attributes and
+    the operand context: it holds no mutable state, so one instance can be
+    shared across mappings and layers (the fast pipeline relies on this).
+    """
+
+    #: Human-readable component class name, set by subclasses.
+    component_class: str = "component"
+
+    @abstractmethod
+    def actions(self) -> Tuple[str, ...]:
+        """Names of the actions this component supports."""
+
+    @abstractmethod
+    def energy(self, action: str, context: OperandContext) -> float:
+        """Average energy (J) of one occurrence of ``action``."""
+
+    @abstractmethod
+    def area_um2(self) -> float:
+        """Component area in square micrometres."""
+
+    def leakage_power_w(self) -> float:
+        """Static leakage power in watts (default: negligible)."""
+        return 0.0
+
+    def _require_action(self, action: str) -> None:
+        if action not in self.actions():
+            raise PluginError(
+                f"{type(self).__name__} does not support action {action!r}; "
+                f"supported: {', '.join(self.actions())}"
+            )
+
+    def energy_table(self, context: OperandContext) -> Dict[str, float]:
+        """Energy of every supported action under one operand context."""
+        return {action: self.energy(action, context) for action in self.actions()}

@@ -1,0 +1,59 @@
+"""Off-chip DRAM model.
+
+Off-chip data movement dominates the energy of systems that fetch tensors
+from DRAM every layer (paper Fig. 15).  Following CACTI-IO-style modeling,
+DRAM access energy is expressed per bit transferred (device access + I/O),
+which at commodity LPDDR-class interfaces is on the order of a few pJ/bit —
+two to three orders of magnitude above on-chip SRAM access energy, which is
+the gap the weight-stationary CiM dataflow exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.interface import Action, ComponentEnergyModel, OperandContext
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class DRAMModel(ComponentEnergyModel):
+    """Off-chip DRAM characterised by energy per bit and peak bandwidth."""
+
+    energy_per_bit_pj: float = 4.0
+    bandwidth_gbps: float = 128.0
+    access_width_bits: int = 64
+    energy_scale: float = 1.0
+
+    component_class = "dram"
+
+    def __post_init__(self) -> None:
+        if self.energy_per_bit_pj <= 0:
+            raise ValidationError("DRAM energy per bit must be positive")
+        if self.bandwidth_gbps <= 0:
+            raise ValidationError("DRAM bandwidth must be positive")
+        if self.access_width_bits < 1:
+            raise ValidationError("access width must be positive")
+
+    def actions(self) -> tuple[str, ...]:
+        return (Action.READ, Action.WRITE, Action.UPDATE)
+
+    def energy(self, action: str, context: OperandContext) -> float:
+        self._require_action(action)
+        energy_per_access = (
+            self.energy_per_bit_pj * 1e-12 * self.access_width_bits * self.energy_scale
+        )
+        if action == Action.WRITE:
+            energy_per_access *= 1.05
+        elif action == Action.UPDATE:
+            energy_per_access *= 2.0
+        return energy_per_access
+
+    def area_um2(self) -> float:
+        # Off-chip: contributes no on-chip area.
+        return 0.0
+
+    def seconds_per_access(self) -> float:
+        """Time to transfer one access at peak bandwidth."""
+        bits_per_second = self.bandwidth_gbps * 1e9
+        return self.access_width_bits / bits_per_second

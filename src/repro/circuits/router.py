@@ -1,0 +1,89 @@
+"""Network-on-chip routers and links.
+
+Multi-macro systems (paper Fig. 15, ISAAC-style tiled chips) connect macros
+and the global buffer through an on-chip network.  Router and link energy
+is charged per flit (fixed width) with a small data-value-dependent factor
+from switching activity, following standard NoC energy models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.interface import Action, ComponentEnergyModel, OperandContext
+from repro.devices.technology import REFERENCE_NODE, TechnologyNode, scale_area, scale_energy
+from repro.utils.errors import ValidationError
+from repro.workloads.einsum import TensorRole
+
+
+@dataclass(frozen=True)
+class NoCRouter(ComponentEnergyModel):
+    """A 5-port wormhole router moving ``flit_bits``-wide flits."""
+
+    flit_bits: int = 64
+    ports: int = 5
+    technology: TechnologyNode = field(default_factory=lambda: REFERENCE_NODE)
+    energy_scale: float = 1.0
+    area_scale: float = 1.0
+
+    component_class = "noc_router"
+
+    _ENERGY_PER_BIT_FJ = 0.8
+    _AREA_PER_BIT_UM2 = 12.0
+
+    def __post_init__(self) -> None:
+        if self.flit_bits < 1:
+            raise ValidationError("flit width must be positive")
+        if self.ports < 2:
+            raise ValidationError("router needs at least 2 ports")
+
+    def actions(self) -> tuple[str, ...]:
+        return (Action.TRANSFER,)
+
+    def energy(self, action: str, context: OperandContext) -> float:
+        self._require_action(action)
+        stats = context.for_tensor(TensorRole.OUTPUTS)
+        toggle = 0.3 + 0.7 * stats.toggle_rate
+        base_fj = self._ENERGY_PER_BIT_FJ * self.flit_bits * toggle * self.energy_scale
+        return scale_energy(base_fj * 1e-15, REFERENCE_NODE, self.technology)
+
+    def area_um2(self) -> float:
+        base = self._AREA_PER_BIT_UM2 * self.flit_bits * (self.ports / 5.0)
+        return scale_area(base * self.area_scale, REFERENCE_NODE, self.technology)
+
+
+@dataclass(frozen=True)
+class NoCLink(ComponentEnergyModel):
+    """A point-to-point on-chip link of a given length in millimetres."""
+
+    flit_bits: int = 64
+    length_mm: float = 1.0
+    technology: TechnologyNode = field(default_factory=lambda: REFERENCE_NODE)
+    energy_scale: float = 1.0
+
+    component_class = "noc_link"
+
+    # ~0.15 pJ per bit per millimetre of on-chip wire at 65 nm.
+    _ENERGY_PER_BIT_MM_PJ = 0.15
+
+    def __post_init__(self) -> None:
+        if self.flit_bits < 1:
+            raise ValidationError("flit width must be positive")
+        if self.length_mm <= 0:
+            raise ValidationError("link length must be positive")
+
+    def actions(self) -> tuple[str, ...]:
+        return (Action.TRANSFER,)
+
+    def energy(self, action: str, context: OperandContext) -> float:
+        self._require_action(action)
+        stats = context.for_tensor(TensorRole.OUTPUTS)
+        toggle = 0.3 + 0.7 * stats.toggle_rate
+        base_pj = (
+            self._ENERGY_PER_BIT_MM_PJ * self.flit_bits * self.length_mm * toggle
+        ) * self.energy_scale
+        return scale_energy(base_pj * 1e-12, REFERENCE_NODE, self.technology)
+
+    def area_um2(self) -> float:
+        # Wires route over logic; charge no dedicated area.
+        return 0.0

@@ -1,0 +1,28 @@
+"""The CiMLoop evaluation engine.
+
+* :mod:`repro.core.model` — :class:`CiMLoopModel`, the user-facing entry
+  point: evaluate a macro or full system on a workload, sweep design
+  parameters, and run amortised mapping searches.
+* :mod:`repro.core.fast_pipeline` — the fast statistical data-value-
+  dependent pipeline: per-action energies computed once per (layer,
+  architecture) and amortised over arbitrarily many mappings
+  (paper Sec. III-D).
+* :mod:`repro.core.evaluation` — result containers and breakdown helpers.
+* :mod:`repro.core.accuracy` — error metrics used to validate against the
+  value-level ground truth and published silicon (paper Sec. IV/V).
+"""
+
+from repro.core.accuracy import mean_absolute_percent_error, percent_error
+from repro.core.evaluation import EvaluationResult, LayerEvaluation
+from repro.core.fast_pipeline import AmortizedEvaluator, PerActionEnergyCache
+from repro.core.model import CiMLoopModel
+
+__all__ = [
+    "CiMLoopModel",
+    "PerActionEnergyCache",
+    "AmortizedEvaluator",
+    "EvaluationResult",
+    "LayerEvaluation",
+    "percent_error",
+    "mean_absolute_percent_error",
+]

@@ -1,0 +1,89 @@
+"""Error metrics for validation.
+
+The paper reports average/maximum percent error of modelled energy,
+throughput, and breakdowns against a value-level ground truth (Fig. 6) and
+against published silicon (Figs. 7-11).  These helpers compute those
+metrics uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.errors import EvaluationError
+
+
+def percent_error(modeled: float, reference: float) -> float:
+    """Absolute percent error of ``modeled`` against ``reference``."""
+    if reference == 0:
+        raise EvaluationError("reference value is zero; percent error undefined")
+    return abs(modeled - reference) / abs(reference) * 100.0
+
+
+def mean_absolute_percent_error(
+    modeled: Sequence[float], reference: Sequence[float]
+) -> float:
+    """Mean absolute percent error over paired samples."""
+    modeled_arr = np.asarray(list(modeled), dtype=float)
+    reference_arr = np.asarray(list(reference), dtype=float)
+    if modeled_arr.shape != reference_arr.shape:
+        raise EvaluationError("modeled and reference series must have the same length")
+    if modeled_arr.size == 0:
+        raise EvaluationError("cannot compute error over empty series")
+    if np.any(reference_arr == 0):
+        raise EvaluationError("reference series contains zeros; percent error undefined")
+    return float(np.mean(np.abs(modeled_arr - reference_arr) / np.abs(reference_arr)) * 100.0)
+
+
+def max_absolute_percent_error(
+    modeled: Sequence[float], reference: Sequence[float]
+) -> float:
+    """Maximum absolute percent error over paired samples."""
+    modeled_arr = np.asarray(list(modeled), dtype=float)
+    reference_arr = np.asarray(list(reference), dtype=float)
+    if modeled_arr.shape != reference_arr.shape:
+        raise EvaluationError("modeled and reference series must have the same length")
+    if np.any(reference_arr == 0):
+        raise EvaluationError("reference series contains zeros; percent error undefined")
+    return float(np.max(np.abs(modeled_arr - reference_arr) / np.abs(reference_arr)) * 100.0)
+
+
+def breakdown_error(
+    modeled: Mapping[str, float], reference: Mapping[str, float]
+) -> Dict[str, float]:
+    """Per-component percent error between two breakdowns (shared keys only)."""
+    shared = sorted(set(modeled) & set(reference))
+    if not shared:
+        raise EvaluationError("breakdowns share no component names")
+    return {
+        key: percent_error(modeled[key], reference[key])
+        for key in shared
+        if reference[key] != 0
+    }
+
+
+def normalize_breakdown(breakdown: Mapping[str, float]) -> Dict[str, float]:
+    """Normalise a breakdown so its entries sum to one."""
+    total = sum(breakdown.values())
+    if total <= 0:
+        raise EvaluationError("breakdown total must be positive")
+    return {key: value / total for key, value in breakdown.items()}
+
+
+def series_correlation(
+    modeled: Sequence[float], reference: Sequence[float]
+) -> float:
+    """Pearson correlation between modelled and reference series.
+
+    Used to check that trend *shapes* (who wins, where crossovers fall)
+    match even when absolute calibration differs.
+    """
+    modeled_arr = np.asarray(list(modeled), dtype=float)
+    reference_arr = np.asarray(list(reference), dtype=float)
+    if modeled_arr.size != reference_arr.size or modeled_arr.size < 2:
+        raise EvaluationError("correlation needs two equal-length series of >= 2 points")
+    if np.std(modeled_arr) == 0 or np.std(reference_arr) == 0:
+        raise EvaluationError("correlation undefined for constant series")
+    return float(np.corrcoef(modeled_arr, reference_arr)[0, 1])

@@ -1,0 +1,166 @@
+"""Result containers for macro / system evaluations.
+
+These wrap the per-layer results produced by the architecture models into
+network-level summaries with the derived metrics the paper reports:
+energy per MAC, TOPS/W, GOPS, per-component energy and area breakdowns,
+and utilisation statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.architecture.macro import MacroLayerResult
+from repro.utils.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class LayerEvaluation:
+    """One layer's evaluation: energy breakdown, latency, utilisation."""
+
+    layer_name: str
+    total_macs: int
+    energy_breakdown: Dict[str, float]
+    latency_s: float
+    utilization: float
+
+    @property
+    def total_energy(self) -> float:
+        """Total energy of the layer in joules."""
+        return sum(self.energy_breakdown.values())
+
+    @property
+    def energy_per_mac(self) -> float:
+        """Energy per MAC in joules."""
+        return self.total_energy / max(self.total_macs, 1)
+
+    @property
+    def tops_per_watt(self) -> float:
+        """Energy efficiency (2 OPs per MAC)."""
+        return 2.0 / self.energy_per_mac / 1e12
+
+    @property
+    def gops(self) -> float:
+        """Throughput in GOPS."""
+        if self.latency_s <= 0:
+            return 0.0
+        return 2.0 * self.total_macs / self.latency_s / 1e9
+
+    @staticmethod
+    def from_macro_result(result: MacroLayerResult) -> "LayerEvaluation":
+        """Adapt a macro-level layer result."""
+        return LayerEvaluation(
+            layer_name=result.layer_name,
+            total_macs=result.counts.total_macs,
+            energy_breakdown=dict(result.energy_breakdown),
+            latency_s=result.latency_s,
+            utilization=result.counts.utilization,
+        )
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """A whole-workload evaluation result."""
+
+    workload_name: str
+    target_name: str
+    layers: List[LayerEvaluation]
+    area_breakdown_um2: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise EvaluationError("an evaluation result needs at least one layer")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_energy(self) -> float:
+        """Total energy across all layers (J)."""
+        return sum(layer.total_energy for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Total MACs across all layers."""
+        return sum(layer.total_macs for layer in self.layers)
+
+    @property
+    def total_latency_s(self) -> float:
+        """Total latency with layers run back-to-back (s)."""
+        return sum(layer.latency_s for layer in self.layers)
+
+    @property
+    def energy_per_mac(self) -> float:
+        """Average energy per MAC across the workload (J)."""
+        return self.total_energy / max(self.total_macs, 1)
+
+    @property
+    def tops_per_watt(self) -> float:
+        """Workload-average energy efficiency (2 OPs per MAC)."""
+        return 2.0 / self.energy_per_mac / 1e12
+
+    @property
+    def gops(self) -> float:
+        """Workload-average throughput in GOPS."""
+        if self.total_latency_s <= 0:
+            return 0.0
+        return 2.0 * self.total_macs / self.total_latency_s / 1e9
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total area of the evaluated hardware in mm^2."""
+        return sum(self.area_breakdown_um2.values()) / 1e6
+
+    @property
+    def tops_per_mm2(self) -> float:
+        """Compute density in TOPS per mm^2 at the evaluated throughput."""
+        area = self.total_area_mm2
+        if area <= 0 or self.total_latency_s <= 0:
+            return 0.0
+        tops = 2.0 * self.total_macs / self.total_latency_s / 1e12
+        return tops / area
+
+    # ------------------------------------------------------------------
+    def energy_breakdown(self) -> Dict[str, float]:
+        """Per-component energy aggregated over all layers (J)."""
+        total: Dict[str, float] = {}
+        for layer in self.layers:
+            for key, value in layer.energy_breakdown.items():
+                total[key] = total.get(key, 0.0) + value
+        return total
+
+    def energy_breakdown_fraction(self) -> Dict[str, float]:
+        """Per-component energy as a fraction of total."""
+        breakdown = self.energy_breakdown()
+        total = sum(breakdown.values())
+        if total <= 0:
+            return {key: 0.0 for key in breakdown}
+        return {key: value / total for key, value in breakdown.items()}
+
+    def area_breakdown_fraction(self) -> Dict[str, float]:
+        """Per-component area as a fraction of total."""
+        total = sum(self.area_breakdown_um2.values())
+        if total <= 0:
+            return {key: 0.0 for key in self.area_breakdown_um2}
+        return {key: value / total for key, value in self.area_breakdown_um2.items()}
+
+    def layer(self, name: str) -> LayerEvaluation:
+        """Look up a layer evaluation by name."""
+        for layer in self.layers:
+            if layer.layer_name == name:
+                return layer
+        raise EvaluationError(f"no layer named {name!r} in evaluation result")
+
+    def per_layer_energy(self) -> Dict[str, float]:
+        """Layer name -> total energy (J)."""
+        return {layer.layer_name: layer.total_energy for layer in self.layers}
+
+    def summary(self) -> Dict[str, float]:
+        """Compact scalar summary of the evaluation."""
+        return {
+            "total_energy_j": self.total_energy,
+            "energy_per_mac_fj": self.energy_per_mac * 1e15,
+            "tops_per_watt": self.tops_per_watt,
+            "gops": self.gops,
+            "total_area_mm2": self.total_area_mm2,
+            "latency_s": self.total_latency_s,
+        }

@@ -1,0 +1,207 @@
+"""CiMLoopModel: the user-facing evaluation entry point.
+
+A :class:`CiMLoopModel` binds a hardware description (a macro config, or a
+system config for full-system studies) and exposes the operations the
+paper's case studies perform:
+
+* evaluate a single layer or a whole network, with or without operand
+  distributions (data-value-dependent vs fixed-energy mode);
+* sweep one or more config parameters across a workload;
+* run amortised mapping evaluations (the Table II speed experiment);
+* report area and energy breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.architecture.macro import CiMMacro, CiMMacroConfig
+from repro.architecture.system import DataPlacement, System, SystemConfig
+from repro.core.evaluation import EvaluationResult, LayerEvaluation
+from repro.core.fast_pipeline import AmortizedEvaluator, AmortizedSearchResult, PerActionEnergyCache
+from repro.utils.errors import EvaluationError
+from repro.workloads.distributions import LayerDistributions, profile_layer, profile_network
+from repro.workloads.layer import Layer
+from repro.workloads.networks import Network
+
+
+class CiMLoopModel:
+    """Evaluate CiM macros and systems on DNN workloads.
+
+    Parameters
+    ----------
+    config:
+        Either a :class:`CiMMacroConfig` (macro-only studies) or a
+        :class:`SystemConfig` (full-system studies including the memory
+        hierarchy and off-chip DRAM).
+    use_distributions:
+        When True (default) the data-value-dependent statistical pipeline
+        is used; when False the model falls back to nominal (fixed-energy)
+        operand statistics, matching the paper's non-data-value-dependent
+        baseline.
+    """
+
+    def __init__(
+        self,
+        config: Union[CiMMacroConfig, SystemConfig],
+        use_distributions: bool = True,
+    ):
+        if isinstance(config, SystemConfig):
+            self.system_config: Optional[SystemConfig] = config
+            self.macro_config = config.macro
+            self.system: Optional[System] = System(config)
+            self.macro = self.system.macro
+        elif isinstance(config, CiMMacroConfig):
+            self.system_config = None
+            self.macro_config = config
+            self.system = None
+            self.macro = CiMMacro(config)
+        else:
+            raise EvaluationError(
+                "config must be a CiMMacroConfig or SystemConfig, "
+                f"got {type(config).__name__}"
+            )
+        self.use_distributions = use_distributions
+        self.energy_cache = PerActionEnergyCache()
+
+    # ------------------------------------------------------------------
+    @property
+    def is_full_system(self) -> bool:
+        """True when the model includes the memory hierarchy and DRAM."""
+        return self.system is not None
+
+    def _layer_distributions(
+        self, layer: Layer, provided: Optional[LayerDistributions]
+    ) -> Optional[LayerDistributions]:
+        if not self.use_distributions:
+            return None
+        return provided if provided is not None else profile_layer(layer)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate_layer(
+        self,
+        layer: Layer,
+        distributions: Optional[LayerDistributions] = None,
+        first_layer: bool = False,
+        last_layer: bool = False,
+    ) -> LayerEvaluation:
+        """Evaluate one layer; returns its energy breakdown and latency."""
+        dists = self._layer_distributions(layer, distributions)
+        if self.system is not None:
+            result = self.system.evaluate_layer(
+                layer, dists, first_layer=first_layer, last_layer=last_layer
+            )
+            return LayerEvaluation(
+                layer_name=result.layer_name,
+                total_macs=result.total_macs,
+                energy_breakdown=dict(result.energy_breakdown),
+                latency_s=result.latency_s,
+                utilization=result.macro_result.counts.utilization,
+            )
+        result = self.macro.evaluate_layer(layer, dists, auto_profile=self.use_distributions)
+        return LayerEvaluation.from_macro_result(result)
+
+    def evaluate(
+        self,
+        workload: Union[Network, Layer],
+        distributions: Optional[Mapping[str, LayerDistributions]] = None,
+    ) -> EvaluationResult:
+        """Evaluate a whole network (or a single layer) end to end."""
+        if isinstance(workload, Layer):
+            network = Network(name=workload.name, layers=(workload,))
+        elif isinstance(workload, Network):
+            network = workload
+        else:
+            raise EvaluationError(
+                f"workload must be a Network or Layer, got {type(workload).__name__}"
+            )
+
+        layer_results: List[LayerEvaluation] = []
+        num_layers = len(network)
+        for index, layer in enumerate(network):
+            provided = distributions.get(layer.name) if distributions else None
+            layer_results.append(
+                self.evaluate_layer(
+                    layer,
+                    distributions=provided,
+                    first_layer=(index == 0),
+                    last_layer=(index == num_layers - 1),
+                )
+            )
+
+        if self.system is not None:
+            area = self.system.area_breakdown_um2()
+            target = f"system({self.macro_config.name})"
+        else:
+            area = self.macro.area_breakdown_um2()
+            target = self.macro_config.name
+        return EvaluationResult(
+            workload_name=network.name,
+            target_name=target,
+            layers=layer_results,
+            area_breakdown_um2=area,
+        )
+
+    # ------------------------------------------------------------------
+    # Sweeps and mapping search
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        workload: Union[Network, Layer],
+        parameter: str,
+        values: Sequence[object],
+    ) -> Dict[object, EvaluationResult]:
+        """Evaluate the workload for each value of one macro config parameter.
+
+        Returns a mapping from swept value to evaluation result; the macro
+        config is rebuilt per point, so any :class:`CiMMacroConfig` field
+        can be swept (array size, DAC resolution, encodings, ...).
+        """
+        results: Dict[object, EvaluationResult] = {}
+        for value in values:
+            macro_config = self.macro_config.with_updates(**{parameter: value})
+            if self.system_config is not None:
+                config: Union[CiMMacroConfig, SystemConfig] = SystemConfig(
+                    macro=macro_config,
+                    num_macros=self.system_config.num_macros,
+                    global_buffer_kib=self.system_config.global_buffer_kib,
+                    dram_energy_per_bit_pj=self.system_config.dram_energy_per_bit_pj,
+                    dram_bandwidth_gbps=self.system_config.dram_bandwidth_gbps,
+                    noc_flit_bits=self.system_config.noc_flit_bits,
+                    noc_hops_per_transfer=self.system_config.noc_hops_per_transfer,
+                    placement=self.system_config.placement,
+                )
+            else:
+                config = macro_config
+            model = CiMLoopModel(config, use_distributions=self.use_distributions)
+            results[value] = model.evaluate(workload)
+        return results
+
+    def evaluate_mappings(
+        self,
+        layer: Layer,
+        num_mappings: int = 1,
+        distributions: Optional[LayerDistributions] = None,
+    ) -> AmortizedSearchResult:
+        """Amortised evaluation of many candidate mappings of one layer."""
+        evaluator = AmortizedEvaluator(self.macro, cache=self.energy_cache)
+        dists = self._layer_distributions(layer, distributions)
+        return evaluator.evaluate_mappings(layer, num_mappings, distributions=dists)
+
+    # ------------------------------------------------------------------
+    def area_breakdown_um2(self) -> Dict[str, float]:
+        """Area breakdown of the evaluated hardware."""
+        if self.system is not None:
+            return self.system.area_breakdown_um2()
+        return self.macro.area_breakdown_um2()
+
+    def profile_workload(self, network: Network) -> Dict[str, LayerDistributions]:
+        """Profile operand distributions for every layer of a network."""
+        return profile_network(network)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "system" if self.is_full_system else "macro"
+        return f"CiMLoopModel({kind}={self.macro_config.name!r})"

@@ -1,0 +1,35 @@
+"""Device models: technology scaling and memory cells.
+
+Memory cells are the devices that store weights inside a CiM array and
+perform (part of) each analog MAC.  This package provides models of the
+device technologies used by the paper's macros — SRAM, ReRAM, DRAM,
+STT-RAM, and PCM — plus an NVMExplorer-style library so the cell of a
+macro can be swapped without touching the rest of the model, and
+technology-node scaling so macros fabricated at different nodes can be
+compared fairly (paper Sec. V-B5).
+"""
+
+from repro.devices.cells import (
+    DRAMCell,
+    MemoryCell,
+    PCMCell,
+    ReRAMCell,
+    SRAMCell,
+    STTRAMCell,
+)
+from repro.devices.nvmexplorer import CellLibrary, default_cell_library
+from repro.devices.technology import TechnologyNode, scale_area, scale_energy
+
+__all__ = [
+    "TechnologyNode",
+    "scale_energy",
+    "scale_area",
+    "MemoryCell",
+    "SRAMCell",
+    "ReRAMCell",
+    "DRAMCell",
+    "STTRAMCell",
+    "PCMCell",
+    "CellLibrary",
+    "default_cell_library",
+]

@@ -1,0 +1,262 @@
+"""Memory cell device models.
+
+Each cell model reports the energy of the device-level actions a CiM array
+performs on it, and how those energies depend on the values the cell stores
+and the values applied to it.  The paper's example (Algorithm 1) is a
+ReRAM read whose energy is ``G * V^2 * T_read`` — the product of the stored
+conductance, the squared applied voltage, and the read duration — so cell
+energy is data-value-dependent on both the weight and the input.
+
+All energies are returned in joules at the cell's technology node and
+operating voltage.  Normalised operand statistics (mean applied voltage as
+a fraction of full scale, mean stored level as a fraction of the maximum
+level) are passed in by the caller so the same cell model works with any
+encoding/slicing choice.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.devices.technology import REFERENCE_NODE, TechnologyNode, scale_area, scale_energy
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class MemoryCell(ABC):
+    """Base class for memory cell devices.
+
+    Attributes
+    ----------
+    technology:
+        Technology node and supply voltage the cell operates at.
+    bits_per_cell:
+        Number of weight bits a single cell stores (1 for SRAM bitcells,
+        up to several for multi-level ReRAM/PCM).
+    """
+
+    technology: TechnologyNode = field(default_factory=lambda: REFERENCE_NODE)
+    bits_per_cell: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bits_per_cell < 1 or self.bits_per_cell > 8:
+            raise ValidationError("bits_per_cell must be in [1, 8]")
+
+    # -- device characteristics -----------------------------------------
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Device technology name."""
+
+    @property
+    @abstractmethod
+    def is_volatile(self) -> bool:
+        """True if the cell loses its contents without power."""
+
+    @abstractmethod
+    def base_compute_energy(self) -> float:
+        """Energy (J) of one MAC-participating access at full-scale values,
+        at the cell's reference conditions (reference node, nominal VDD)."""
+
+    @abstractmethod
+    def base_write_energy(self) -> float:
+        """Energy (J) of programming the cell once at reference conditions."""
+
+    @abstractmethod
+    def base_area_um2(self) -> float:
+        """Cell footprint (um^2) at the reference node."""
+
+    @property
+    def levels(self) -> int:
+        """Number of distinct storable levels."""
+        return 1 << self.bits_per_cell
+
+    # -- scaled, data-value-dependent energies ---------------------------
+    def compute_energy(
+        self,
+        input_value_fraction: float = 1.0,
+        weight_value_fraction: float = 1.0,
+    ) -> float:
+        """Energy of one in-array MAC contribution by this cell.
+
+        Parameters
+        ----------
+        input_value_fraction:
+            Mean of the *squared* applied input (voltage or pulse count)
+            normalised to full scale, in [0, 1].  Resistive devices burn
+            energy proportional to V^2; charge-domain devices to the amount
+            of switching, both of which callers express through this factor.
+        weight_value_fraction:
+            Mean stored level normalised to the maximum level, in [0, 1].
+            Resistive devices conduct proportionally to the stored
+            conductance.
+        """
+        _check_fraction("input_value_fraction", input_value_fraction)
+        _check_fraction("weight_value_fraction", weight_value_fraction)
+        base = self.base_compute_energy()
+        scaled = scale_energy(base, REFERENCE_NODE, self.technology)
+        data_factor = self._data_dependence(input_value_fraction, weight_value_fraction)
+        return scaled * data_factor
+
+    def write_energy(self) -> float:
+        """Energy of programming (writing) the cell once."""
+        return scale_energy(self.base_write_energy(), REFERENCE_NODE, self.technology)
+
+    def area_um2(self) -> float:
+        """Cell footprint at the cell's technology node."""
+        return scale_area(self.base_area_um2(), REFERENCE_NODE, self.technology)
+
+    def _data_dependence(self, input_fraction: float, weight_fraction: float) -> float:
+        """Default data dependence: proportional to both operand fractions,
+        with a small static floor so all-zero operands still cost something."""
+        floor = 0.05
+        return floor + (1.0 - floor) * input_fraction * weight_fraction
+
+
+def _check_fraction(label: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{label} must be within [0, 1], got {value}")
+
+
+# ----------------------------------------------------------------------
+# Concrete devices.  Base energies are representative published values at
+# 65 nm full-scale operation; macros calibrate multiplicative factors to
+# match their silicon references.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SRAMCell(MemoryCell):
+    """6T/8T SRAM bitcell computing in the charge or current domain."""
+
+    transistors: int = 8
+
+    @property
+    def name(self) -> str:
+        return "sram"
+
+    @property
+    def is_volatile(self) -> bool:
+        return True
+
+    def base_compute_energy(self) -> float:
+        # Roughly 0.3 fJ per bitcell per 1-bit analog MAC contribution at
+        # 65 nm, consistent with published charge-domain SRAM CiM macros
+        # once ADC and peripheral energy are accounted separately.
+        return 0.3e-15 * (self.transistors / 8.0)
+
+    def base_write_energy(self) -> float:
+        return 5.0e-15
+
+    def base_area_um2(self) -> float:
+        # 8T SRAM bitcell is ~0.6 um^2 at 65 nm; 6T is smaller.
+        return 0.6 * (self.transistors / 8.0)
+
+
+@dataclass(frozen=True)
+class ReRAMCell(MemoryCell):
+    """Resistive RAM cell; energy follows G * V^2 * T_read (paper Algorithm 1)."""
+
+    on_off_ratio: float = 100.0
+    read_time_ns: float = 1.0
+    read_voltage: float = 0.5
+    min_conductance_us: float = 0.06  # microsiemens in the high-resistance state
+
+    @property
+    def name(self) -> str:
+        return "reram"
+
+    @property
+    def is_volatile(self) -> bool:
+        return False
+
+    def base_compute_energy(self) -> float:
+        # E = G_max * V_read^2 * T_read at full scale (paper Algorithm 1).
+        g_max = self.min_conductance_us * 1e-6 * self.on_off_ratio
+        return g_max * self.read_voltage**2 * self.read_time_ns * 1e-9
+
+    def base_write_energy(self) -> float:
+        # SET/RESET pulses are orders of magnitude more expensive than reads.
+        return 1.0e-12
+
+    def base_area_um2(self) -> float:
+        # 1T1R cell, dominated by the access transistor.
+        return 0.3
+
+    def _data_dependence(self, input_fraction: float, weight_fraction: float) -> float:
+        # Conductance spans [G_min, G_max]; even the lowest level conducts.
+        # Written with arithmetic only so vectorised (array) evaluation by
+        # the value-level simulator works unchanged.
+        min_fraction = 1.0 / self.on_off_ratio
+        conductance = min_fraction + (1.0 - min_fraction) * weight_fraction
+        return input_fraction * conductance
+
+
+@dataclass(frozen=True)
+class DRAMCell(MemoryCell):
+    """1T1C embedded-DRAM cell used by charge-domain CiM designs."""
+
+    cell_capacitance_ff: float = 20.0
+
+    @property
+    def name(self) -> str:
+        return "dram"
+
+    @property
+    def is_volatile(self) -> bool:
+        return True
+
+    def base_compute_energy(self) -> float:
+        # C * V^2 with the full cell capacitance at 1 V.
+        return self.cell_capacitance_ff * 1e-15 * 1.0**2
+
+    def base_write_energy(self) -> float:
+        return self.cell_capacitance_ff * 1e-15 * 1.5
+
+    def base_area_um2(self) -> float:
+        return 0.2
+
+
+@dataclass(frozen=True)
+class STTRAMCell(MemoryCell):
+    """Spin-transfer-torque MRAM cell."""
+
+    @property
+    def name(self) -> str:
+        return "sttram"
+
+    @property
+    def is_volatile(self) -> bool:
+        return False
+
+    def base_compute_energy(self) -> float:
+        return 2.0e-15
+
+    def base_write_energy(self) -> float:
+        # MTJ switching requires large write currents.
+        return 5.0e-12
+
+    def base_area_um2(self) -> float:
+        return 0.25
+
+
+@dataclass(frozen=True)
+class PCMCell(MemoryCell):
+    """Phase-change memory cell."""
+
+    @property
+    def name(self) -> str:
+        return "pcm"
+
+    @property
+    def is_volatile(self) -> bool:
+        return False
+
+    def base_compute_energy(self) -> float:
+        return 3.0e-15
+
+    def base_write_energy(self) -> float:
+        # Melt-quench RESET is very expensive.
+        return 10.0e-12
+
+    def base_area_um2(self) -> float:
+        return 0.25

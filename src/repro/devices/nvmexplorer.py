@@ -1,0 +1,88 @@
+"""NVMExplorer-style memory cell library.
+
+The paper connects its NeuroSim plug-in to NVMExplorer so users can swap
+memory cell device models without touching the rest of a system
+description.  :class:`CellLibrary` provides the same capability: a named
+registry of cell factories, each accepting a technology node and a
+bits-per-cell setting, so a macro specification can say ``device: reram``
+and later be re-evaluated with ``device: sttram`` unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.devices.cells import (
+    DRAMCell,
+    MemoryCell,
+    PCMCell,
+    ReRAMCell,
+    SRAMCell,
+    STTRAMCell,
+)
+from repro.devices.technology import TechnologyNode
+from repro.utils.errors import ValidationError
+
+CellFactory = Callable[[TechnologyNode, int], MemoryCell]
+
+
+@dataclass
+class CellLibrary:
+    """A registry of memory cell factories keyed by device name."""
+
+    _factories: Dict[str, CellFactory] = field(default_factory=dict)
+
+    def register(self, name: str, factory: CellFactory) -> None:
+        """Register (or replace) a cell factory under ``name``."""
+        if not name:
+            raise ValidationError("cell name must be non-empty")
+        self._factories[name.lower()] = factory
+
+    def create(
+        self,
+        name: str,
+        technology: TechnologyNode,
+        bits_per_cell: int = 1,
+    ) -> MemoryCell:
+        """Instantiate a cell of the named device technology."""
+        try:
+            factory = self._factories[name.lower()]
+        except KeyError as exc:
+            raise ValidationError(
+                f"unknown memory cell {name!r}; available: {', '.join(self.available())}"
+            ) from exc
+        return factory(technology, bits_per_cell)
+
+    def available(self) -> List[str]:
+        """Names of all registered cell technologies."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._factories
+
+
+def default_cell_library() -> CellLibrary:
+    """The built-in library covering the devices used by the paper's macros."""
+    library = CellLibrary()
+    library.register(
+        "sram",
+        lambda tech, bits: SRAMCell(technology=tech, bits_per_cell=bits),
+    )
+    library.register(
+        "reram",
+        lambda tech, bits: ReRAMCell(technology=tech, bits_per_cell=bits),
+    )
+    library.register(
+        "dram",
+        lambda tech, bits: DRAMCell(technology=tech, bits_per_cell=bits),
+    )
+    library.register(
+        "sttram",
+        lambda tech, bits: STTRAMCell(technology=tech, bits_per_cell=bits),
+    )
+    library.register(
+        "pcm",
+        lambda tech, bits: PCMCell(technology=tech, bits_per_cell=bits),
+    )
+    return library

@@ -1,0 +1,153 @@
+"""Technology-node scaling.
+
+The paper's macros are fabricated at 7 nm, 22 nm, 65 nm, and 130 nm, and
+its cross-macro comparison (Fig. 16) projects all of them to 7 nm.  This
+module provides the scaling model used for those projections, following the
+approach of Stillmaker & Baas ("Scaling equations for the accurate
+prediction of CMOS device performance from 180 nm to 7 nm", Integration
+2017): per-node normalised energy and area factors for digital logic, with
+supply-voltage-squared scaling layered on top for dynamic energy.
+
+Factors are expressed relative to a 65 nm, 1.0 V reference, which is the
+node of the paper's base macro.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.utils.errors import ValidationError
+
+# Normalised dynamic energy and area of a digital gate at each node,
+# relative to 65 nm.  Interpolated from the Stillmaker & Baas fits; the
+# exact constants only need to preserve the relative ordering and rough
+# magnitude of inter-node scaling.
+_NODE_TABLE: Dict[int, Dict[str, float]] = {
+    180: {"energy": 7.0, "area": 7.5, "nominal_vdd": 1.8, "delay": 3.5},
+    130: {"energy": 3.8, "area": 4.0, "nominal_vdd": 1.3, "delay": 2.4},
+    90: {"energy": 2.0, "area": 2.1, "nominal_vdd": 1.2, "delay": 1.6},
+    65: {"energy": 1.0, "area": 1.0, "nominal_vdd": 1.0, "delay": 1.0},
+    45: {"energy": 0.62, "area": 0.52, "nominal_vdd": 1.0, "delay": 0.80},
+    32: {"energy": 0.41, "area": 0.28, "nominal_vdd": 0.95, "delay": 0.65},
+    22: {"energy": 0.26, "area": 0.14, "nominal_vdd": 0.90, "delay": 0.52},
+    16: {"energy": 0.19, "area": 0.085, "nominal_vdd": 0.85, "delay": 0.44},
+    14: {"energy": 0.16, "area": 0.070, "nominal_vdd": 0.80, "delay": 0.40},
+    10: {"energy": 0.12, "area": 0.046, "nominal_vdd": 0.75, "delay": 0.34},
+    7: {"energy": 0.085, "area": 0.028, "nominal_vdd": 0.70, "delay": 0.28},
+    5: {"energy": 0.065, "area": 0.019, "nominal_vdd": 0.65, "delay": 0.24},
+}
+
+
+def _interpolate(node_nm: float, key: str) -> float:
+    """Log-log interpolate a table column at an arbitrary node."""
+    import math
+
+    nodes = sorted(_NODE_TABLE)
+    if node_nm <= nodes[0] and node_nm >= nodes[-1]:
+        pass
+    if node_nm in _NODE_TABLE:
+        return _NODE_TABLE[int(node_nm)][key]
+    if node_nm < nodes[0]:
+        nodes_pair = (nodes[0], nodes[1])
+    elif node_nm > nodes[-1]:
+        nodes_pair = (nodes[-2], nodes[-1])
+    else:
+        upper = min(n for n in nodes if n >= node_nm)
+        lower = max(n for n in nodes if n <= node_nm)
+        nodes_pair = (lower, upper)
+    low, high = nodes_pair
+    if low == high:
+        return _NODE_TABLE[low][key]
+    x0, x1 = math.log(low), math.log(high)
+    y0, y1 = math.log(_NODE_TABLE[low][key]), math.log(_NODE_TABLE[high][key])
+    t = (math.log(node_nm) - x0) / (x1 - x0)
+    return math.exp(y0 + t * (y1 - y0))
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A CMOS technology node with an operating supply voltage.
+
+    Attributes
+    ----------
+    node_nm:
+        Feature size in nanometres (e.g. 7, 22, 65, 130).
+    vdd:
+        Operating supply voltage in volts.  Defaults to the node's nominal
+        supply when not given.
+    """
+
+    node_nm: float
+    vdd: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.node_nm <= 0:
+            raise ValidationError("technology node must be positive")
+        if self.vdd < 0:
+            raise ValidationError("supply voltage must be non-negative")
+        if self.vdd == 0.0:
+            object.__setattr__(self, "vdd", self.nominal_vdd)
+
+    @property
+    def nominal_vdd(self) -> float:
+        """Nominal supply voltage of this node."""
+        return _interpolate(self.node_nm, "nominal_vdd")
+
+    @property
+    def energy_factor(self) -> float:
+        """Dynamic energy of a digital gate relative to 65 nm at nominal VDD."""
+        nominal = _interpolate(self.node_nm, "energy")
+        voltage_scale = (self.vdd / self.nominal_vdd) ** 2
+        return nominal * voltage_scale
+
+    @property
+    def area_factor(self) -> float:
+        """Area of a digital gate relative to 65 nm."""
+        return _interpolate(self.node_nm, "area")
+
+    @property
+    def delay_factor(self) -> float:
+        """Gate delay relative to 65 nm, increased at reduced supply voltage.
+
+        A simple alpha-power model (alpha = 1.3) captures the throughput
+        loss the paper's voltage-sweep validation (Fig. 7) relies on.
+        """
+        nominal = _interpolate(self.node_nm, "delay")
+        ratio = self.vdd / self.nominal_vdd if self.nominal_vdd else 1.0
+        if ratio <= 0.3:
+            ratio = 0.3
+        voltage_penalty = (1.0 / ratio) ** 1.3
+        return nominal * voltage_penalty
+
+    def with_vdd(self, vdd: float) -> "TechnologyNode":
+        """Same node at a different supply voltage."""
+        return TechnologyNode(node_nm=self.node_nm, vdd=vdd)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TechnologyNode({self.node_nm:g}nm, {self.vdd:.2f}V)"
+
+
+def scale_energy(energy: float, source: TechnologyNode, target: TechnologyNode) -> float:
+    """Scale a dynamic energy measured at ``source`` to ``target``."""
+    if energy < 0:
+        raise ValidationError("energy must be non-negative")
+    return energy * target.energy_factor / source.energy_factor
+
+
+def scale_area(area: float, source: TechnologyNode, target: TechnologyNode) -> float:
+    """Scale an area measured at ``source`` to ``target``."""
+    if area < 0:
+        raise ValidationError("area must be non-negative")
+    return area * target.area_factor / source.area_factor
+
+
+def scale_delay(delay: float, source: TechnologyNode, target: TechnologyNode) -> float:
+    """Scale a delay measured at ``source`` to ``target``."""
+    if delay < 0:
+        raise ValidationError("delay must be non-negative")
+    return delay * target.delay_factor / source.delay_factor
+
+
+REFERENCE_NODE = TechnologyNode(node_nm=65)
+"""The 65 nm reference node that component base energies are specified at."""

@@ -1,0 +1,45 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Each ``run_*`` function regenerates the rows/series of one paper artefact
+and returns plain dictionaries/dataclasses so benchmarks, tests, and the
+EXPERIMENTS.md generator can consume them uniformly.  Absolute numbers are
+produced by this reproduction's analytical substrate; the *shapes* (who
+wins, by roughly what factor, where crossovers fall) are the quantities
+compared against the paper.
+"""
+
+from repro.experiments import (
+    fig02,
+    fig04,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "fig02",
+    "fig04",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,126 @@
+"""Fig. 2a/2b — why full-stack modeling matters.
+
+Fig. 2a: sweeping CiM array size for a macro running ResNet18, the array
+that minimises *macro* energy is smaller than the array that minimises
+*system* energy, because a larger array keeps more weights resident and
+cuts off-chip movement even though it is often underutilised.
+
+Fig. 2b: starting from the lowest-macro-energy array, co-optimising DAC
+resolution (circuits) and array size (architecture) finds a lower-energy
+system than optimising either alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.architecture.macro import CiMMacroConfig
+from repro.architecture.system import DataPlacement, SystemConfig
+from repro.circuits.dac import DACType
+from repro.core.model import CiMLoopModel
+from repro.macros.definitions import base_macro
+from repro.workloads.networks import Network, resnet18
+
+
+@dataclass(frozen=True)
+class Fig2aRow:
+    """One array-size point of Fig. 2a."""
+
+    array_size: int
+    macro_energy: float
+    system_energy: float
+
+
+@dataclass(frozen=True)
+class Fig2bRow:
+    """One co-design point of Fig. 2b."""
+
+    label: str
+    array_size: int
+    dac_resolution: int
+    system_energy: float
+
+
+def _macro_for(array_size: int, dac_resolution: int = 1) -> CiMMacroConfig:
+    # A higher-resolution DAC enlarges the analog dot-product range, so the
+    # ADC must resolve correspondingly more bits — the circuit-level
+    # coupling that makes "just use a bigger DAC" a trade-off rather than a
+    # free win (paper Sec. II-B).
+    adc_resolution = 5 + (dac_resolution - 1)
+    return base_macro(rows=array_size, cols=array_size).with_updates(
+        name=f"fig2_macro_{array_size}_{dac_resolution}",
+        dac_resolution=dac_resolution,
+        adc_resolution=adc_resolution,
+        dac_type=DACType.PULSE,
+    )
+
+
+def _system_for(macro: CiMMacroConfig) -> SystemConfig:
+    return SystemConfig(
+        macro=macro,
+        num_macros=4,
+        global_buffer_kib=1024,
+        placement=DataPlacement.WEIGHT_STATIONARY,
+    )
+
+
+def run_fig2a(
+    array_sizes: Tuple[int, ...] = (64, 128, 256, 512),
+    network: Network | None = None,
+) -> List[Fig2aRow]:
+    """Macro vs system energy across array sizes (ResNet18, full DNN)."""
+    network = network or resnet18()
+    rows: List[Fig2aRow] = []
+    for size in array_sizes:
+        macro_cfg = _macro_for(size)
+        macro_energy = CiMLoopModel(macro_cfg).evaluate(network).total_energy
+        system_energy = CiMLoopModel(_system_for(macro_cfg)).evaluate(network).total_energy
+        rows.append(Fig2aRow(array_size=size, macro_energy=macro_energy,
+                             system_energy=system_energy))
+    return rows
+
+
+def best_macro_and_system(rows: List[Fig2aRow]) -> Tuple[int, int]:
+    """Array sizes minimising macro energy and system energy respectively."""
+    best_macro = min(rows, key=lambda r: r.macro_energy).array_size
+    best_system = min(rows, key=lambda r: r.system_energy).array_size
+    return best_macro, best_system
+
+
+def run_fig2b(
+    network: Network | None = None,
+    small_array: int = 64,
+    large_array: int = 256,
+    low_dac: int = 1,
+    high_dac: int = 4,
+) -> List[Fig2bRow]:
+    """Co-optimisation of DAC resolution (circuits) and array size (architecture).
+
+    * "optimize_circuits" — high-resolution DAC on the small array.
+    * "optimize_architecture" — high-resolution DAC on the large array.
+    * "co_optimize" — large array with the low-resolution DAC.
+    """
+    network = network or resnet18()
+    points = [
+        ("optimize_circuits", small_array, high_dac),
+        ("optimize_architecture", large_array, high_dac),
+        ("co_optimize", large_array, low_dac),
+    ]
+    rows: List[Fig2bRow] = []
+    for label, size, dac in points:
+        system = _system_for(_macro_for(size, dac))
+        energy = CiMLoopModel(system).evaluate(network).total_energy
+        rows.append(Fig2bRow(label=label, array_size=size, dac_resolution=dac,
+                             system_energy=energy))
+    return rows
+
+
+def normalized(rows: List[Fig2aRow]) -> Dict[int, Tuple[float, float]]:
+    """Normalise Fig. 2a rows to the maximum of each series (paper plot style)."""
+    max_macro = max(r.macro_energy for r in rows)
+    max_system = max(r.system_energy for r in rows)
+    return {
+        r.array_size: (r.macro_energy / max_macro, r.system_energy / max_system)
+        for r in rows
+    }

@@ -1,0 +1,119 @@
+"""Fig. 6 — accuracy of the statistical data-value-dependent model.
+
+The NeuroSim-style macro (128x128 ReRAM, Sec. IV-A) runs each ResNet18
+layer three ways:
+
+* the value-level simulator (ground truth — every data value simulated);
+* CiMLoop's statistical model with per-layer operand distributions;
+* the fixed-energy model using operand statistics averaged over all layers.
+
+The paper reports 3%/7% average/max error for CiMLoop and 28%/70% for the
+fixed-energy model.  The reproduction preserves the ordering and the
+roughly order-of-magnitude gap between the two; exact percentages depend
+on the synthetic operand distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.architecture.macro import CiMMacro
+from repro.baselines.fixed_energy import FixedEnergyModel
+from repro.baselines.value_sim import ValueLevelSimulator
+from repro.core.accuracy import mean_absolute_percent_error, max_absolute_percent_error
+from repro.plugins.neurosim import NeuroSimPlugin
+from repro.workloads.distributions import profile_network
+from repro.workloads.networks import Network, resnet18
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    """Per-layer full-macro energy of ground truth and both models."""
+
+    layer_name: str
+    ground_truth: float
+    cimloop: float
+    fixed_energy: float
+
+    @property
+    def cimloop_error_pct(self) -> float:
+        """CiMLoop percent error vs ground truth."""
+        return abs(self.cimloop - self.ground_truth) / self.ground_truth * 100.0
+
+    @property
+    def fixed_energy_error_pct(self) -> float:
+        """Fixed-energy percent error vs ground truth."""
+        return abs(self.fixed_energy - self.ground_truth) / self.ground_truth * 100.0
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """All per-layer rows plus the summary error statistics."""
+
+    rows: List[Fig6Row]
+
+    @property
+    def cimloop_avg_error(self) -> float:
+        """Average CiMLoop error (paper: 3%)."""
+        return mean_absolute_percent_error(
+            [r.cimloop for r in self.rows], [r.ground_truth for r in self.rows]
+        )
+
+    @property
+    def cimloop_max_error(self) -> float:
+        """Maximum CiMLoop error (paper: 7%)."""
+        return max_absolute_percent_error(
+            [r.cimloop for r in self.rows], [r.ground_truth for r in self.rows]
+        )
+
+    @property
+    def fixed_energy_avg_error(self) -> float:
+        """Average fixed-energy error (paper: 28%)."""
+        return mean_absolute_percent_error(
+            [r.fixed_energy for r in self.rows], [r.ground_truth for r in self.rows]
+        )
+
+    @property
+    def fixed_energy_max_error(self) -> float:
+        """Maximum fixed-energy error (paper: 70%)."""
+        return max_absolute_percent_error(
+            [r.fixed_energy for r in self.rows], [r.ground_truth for r in self.rows]
+        )
+
+
+def neurosim_macro() -> CiMMacro:
+    """The NeuroSim-style macro used for the accuracy/speed evaluation."""
+    return NeuroSimPlugin().build_macro()
+
+
+def run_fig6(
+    network: Optional[Network] = None,
+    max_layers: Optional[int] = None,
+    max_vectors: int = 16,
+    seed: int = 0,
+) -> Fig6Result:
+    """Per-layer accuracy comparison on ResNet18 (optionally truncated)."""
+    network = network or resnet18()
+    layers = list(network)[:max_layers] if max_layers else list(network)
+    distributions = profile_network(network)
+
+    macro = neurosim_macro()
+    ground_truth = ValueLevelSimulator(macro, seed=seed, max_vectors=max_vectors)
+    fixed = FixedEnergyModel(macro, network, distributions)
+
+    rows: List[Fig6Row] = []
+    for layer in layers:
+        dists = distributions[layer.name]
+        gt_energy = ground_truth.simulate_layer(layer, dists).total_energy
+        cimloop_energy = macro.evaluate_layer(layer, dists).total_energy
+        fixed_energy = fixed.evaluate_layer(layer).total_energy
+        rows.append(
+            Fig6Row(
+                layer_name=layer.name,
+                ground_truth=gt_energy,
+                cimloop=cimloop_energy,
+                fixed_energy=fixed_energy,
+            )
+        )
+    return Fig6Result(rows=rows)

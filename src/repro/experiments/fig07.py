@@ -1,0 +1,150 @@
+"""Fig. 7 — validating energy/throughput across supply voltages (Macros A/B/D).
+
+Each macro is evaluated on its headline workload at the supply voltages
+for which the paper shows published reference points.  Energy efficiency
+falls and throughput rises with supply voltage (V^2 energy scaling vs
+alpha-power delay scaling); Macro B additionally shows data-value-
+dependence, so it is evaluated with small and large data values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.architecture.macro import CiMMacro, CiMMacroConfig
+from repro.circuits.interface import OperandContext, OperandStats
+from repro.macros.definitions import macro_a, macro_b, macro_d
+from repro.macros.reference_data import get_reference
+from repro.workloads.distributions import cnn_activation_pmf, profile_layer
+from repro.workloads.einsum import TensorRole
+from repro.workloads.layer import Layer
+from repro.workloads.networks import matrix_vector_workload
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    """One (macro, voltage, data-magnitude) validation point."""
+
+    macro: str
+    vdd: float
+    data_values: str
+    tops_per_watt: float
+    gops: float
+    reference_tops_per_watt: Optional[float] = None
+    reference_gops: Optional[float] = None
+
+
+def _headline_layer(config: CiMMacroConfig, input_bits: int, weight_bits: int) -> Layer:
+    fold = config.output_reuse_columns if config.output_reuse_style.value == "wire" else 1
+    workload = matrix_vector_workload(config.active_rows * fold, config.cols, repeats=64)
+    return workload.layers[0].with_bits(input_bits=input_bits, weight_bits=weight_bits)
+
+
+def _evaluate(config: CiMMacroConfig, input_bits: int, weight_bits: int,
+              data_magnitude: Optional[str] = None):
+    macro = CiMMacro(config)
+    layer = _headline_layer(config, input_bits, weight_bits)
+    distributions = profile_layer(layer)
+    result = macro.evaluate_layer(layer, distributions)
+    if data_magnitude is not None:
+        # Re-evaluate with explicitly small or large input values to expose
+        # Macro B's data-value-dependence.
+        sparsity, decay = (0.8, 20.0) if data_magnitude == "small" else (0.05, 1.0)
+        pmf = cnn_activation_pmf(input_bits, sparsity=sparsity, decay=decay)
+        counts = macro.map_layer(layer)
+        sliced_inputs = {
+            TensorRole.INPUTS: pmf,
+        }
+        from repro.representation.slicing import encode_and_slice
+
+        sliced = encode_and_slice(pmf, macro.input_encoding, config.dac_resolution)
+        stats = {TensorRole.INPUTS: OperandStats.from_sliced(sliced)}
+        base_context = macro.operand_context(distributions)
+        stats[TensorRole.WEIGHTS] = base_context.for_tensor(TensorRole.WEIGHTS)
+        input_stats = stats[TensorRole.INPUTS]
+        weight_stats = stats[TensorRole.WEIGHTS]
+        output_mean = min(input_stats.mean * weight_stats.mean * 4.0, 1.0)
+        stats[TensorRole.OUTPUTS] = OperandStats(
+            mean=output_mean,
+            mean_square=min(output_mean * output_mean * 1.5, 1.0),
+            density=min(input_stats.density + 0.2, 1.0),
+            toggle_rate=min(0.5 * (output_mean + input_stats.density), 1.0),
+        )
+        context = OperandContext(stats=stats)
+        per_action = macro.per_action_energies(context)
+        breakdown = macro.energy_breakdown(counts, per_action)
+        from repro.architecture.macro import MacroLayerResult
+
+        result = MacroLayerResult(
+            layer_name=layer.name,
+            counts=counts,
+            energy_breakdown=breakdown,
+            latency_s=macro.latency_seconds(counts),
+        )
+    return result
+
+
+def run_fig7() -> List[Fig7Row]:
+    """Voltage-sweep validation points for Macros A, B, and D."""
+    rows: List[Fig7Row] = []
+
+    # Macro A: 0.85 V and 1.2 V at 1-bit operands.
+    ref_a = get_reference("macro_a")
+    for vdd, (rel_eff, rel_gops) in sorted(ref_a.voltage_sweep.items()):
+        result = _evaluate(macro_a(input_bits=1, weight_bits=1, vdd=vdd), 1, 1)
+        rows.append(
+            Fig7Row(
+                macro="macro_a",
+                vdd=vdd,
+                data_values="nominal",
+                tops_per_watt=result.tops_per_watt,
+                gops=result.gops,
+                reference_tops_per_watt=ref_a.headline_tops_per_watt * rel_eff,
+                reference_gops=ref_a.headline_gops * rel_gops,
+            )
+        )
+
+    # Macro B: 0.8 V with small/large data values, plus 1.0 V.
+    ref_b = get_reference("macro_b")
+    for vdd, (rel_eff, rel_gops) in sorted(ref_b.voltage_sweep.items()):
+        magnitudes = ("small", "large") if vdd == 0.8 else ("small", "large")
+        for magnitude in magnitudes:
+            result = _evaluate(macro_b(vdd=vdd), 4, 4, data_magnitude=magnitude)
+            rows.append(
+                Fig7Row(
+                    macro="macro_b",
+                    vdd=vdd,
+                    data_values=magnitude,
+                    tops_per_watt=result.tops_per_watt,
+                    gops=result.gops,
+                    reference_tops_per_watt=ref_b.headline_tops_per_watt * rel_eff,
+                    reference_gops=ref_b.headline_gops * rel_gops,
+                )
+            )
+
+    # Macro D: 0.7 / 0.9 / 1.1 V at 8-bit operands.
+    ref_d = get_reference("macro_d")
+    for vdd, (rel_eff, rel_gops) in sorted(ref_d.voltage_sweep.items()):
+        result = _evaluate(macro_d(vdd=vdd), 8, 8)
+        rows.append(
+            Fig7Row(
+                macro="macro_d",
+                vdd=vdd,
+                data_values="nominal",
+                tops_per_watt=result.tops_per_watt,
+                gops=result.gops,
+                reference_tops_per_watt=ref_d.headline_tops_per_watt * rel_eff,
+                reference_gops=ref_d.headline_gops * rel_gops,
+            )
+        )
+    return rows
+
+
+def efficiency_trend_is_monotonic(rows: List[Fig7Row], macro: str) -> bool:
+    """True if modelled TOPS/W decreases as VDD increases for a macro."""
+    points = sorted(
+        {(r.vdd, r.tops_per_watt) for r in rows if r.macro == macro and r.data_values != "large"}
+    )
+    efficiencies = [eff for _, eff in points]
+    return all(earlier >= later for earlier, later in zip(efficiencies, efficiencies[1:]))

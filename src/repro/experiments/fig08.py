@@ -1,0 +1,91 @@
+"""Fig. 8 — validating energy/throughput across input bit widths (Macros B/C).
+
+Streaming fewer input bits means fewer array activations per MAC, so both
+energy efficiency and throughput improve roughly linearly as input
+precision drops; the paper validates this trend against published data for
+Macros B and C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.architecture.macro import CiMMacro, CiMMacroConfig
+from repro.macros.definitions import macro_b, macro_c
+from repro.macros.reference_data import get_reference
+from repro.workloads.layer import Layer
+from repro.workloads.networks import matrix_vector_workload
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    """One (macro, input bits) validation point."""
+
+    macro: str
+    input_bits: int
+    tops_per_watt: float
+    gops: float
+    reference_tops_per_watt: Optional[float] = None
+    reference_gops: Optional[float] = None
+
+
+def _headline_layer(config: CiMMacroConfig, input_bits: int, weight_bits: int) -> Layer:
+    workload = matrix_vector_workload(config.rows, config.cols, repeats=64)
+    return workload.layers[0].with_bits(input_bits=input_bits, weight_bits=weight_bits)
+
+
+def run_fig8(bit_settings: tuple = (1, 2, 4, 8)) -> List[Fig8Row]:
+    """Input-bit sweep for Macros B and C."""
+    rows: List[Fig8Row] = []
+
+    ref_b = get_reference("macro_b")
+    for bits in bit_settings:
+        if bits > 4:
+            # Macro B supports up to 4-bit inputs (Table III).
+            continue
+        config = macro_b(input_bits=bits)
+        result = CiMMacro(config).evaluate_layer(_headline_layer(config, bits, 4))
+        reference = ref_b.input_bit_sweep.get(bits)
+        rows.append(
+            Fig8Row(
+                macro="macro_b",
+                input_bits=bits,
+                tops_per_watt=result.tops_per_watt,
+                gops=result.gops,
+                reference_tops_per_watt=(
+                    ref_b.headline_tops_per_watt * reference[0] if reference else None
+                ),
+                reference_gops=(
+                    ref_b.headline_gops * reference[1] if reference else None
+                ),
+            )
+        )
+
+    ref_c = get_reference("macro_c")
+    for bits in bit_settings:
+        config = macro_c(input_bits=bits)
+        result = CiMMacro(config).evaluate_layer(_headline_layer(config, bits, 8))
+        reference = ref_c.input_bit_sweep.get(bits)
+        rows.append(
+            Fig8Row(
+                macro="macro_c",
+                input_bits=bits,
+                tops_per_watt=result.tops_per_watt,
+                gops=result.gops,
+                reference_tops_per_watt=(
+                    ref_c.headline_tops_per_watt * reference[0] if reference else None
+                ),
+                reference_gops=(
+                    ref_c.headline_gops * reference[1] if reference else None
+                ),
+            )
+        )
+    return rows
+
+
+def efficiency_decreases_with_bits(rows: List[Fig8Row], macro: str) -> bool:
+    """True if modelled TOPS/W decreases as input bits increase."""
+    points = sorted((r.input_bits, r.tops_per_watt) for r in rows if r.macro == macro)
+    efficiencies = [eff for _, eff in points]
+    return all(earlier >= later for earlier, later in zip(efficiencies, efficiencies[1:]))

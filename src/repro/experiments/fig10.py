@@ -1,0 +1,108 @@
+"""Fig. 10 — validating area breakdowns (Macros A/B/C/D).
+
+Each macro's modelled per-component areas are grouped into the categories
+its publication reports and compared (as fractions of total) against the
+digitised reference breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.architecture.macro import CiMMacro
+from repro.macros.definitions import macro_a, macro_b, macro_c, macro_d
+from repro.macros.reference_data import get_reference
+
+_CATEGORY_MAPS: Dict[str, Dict[str, str]] = {
+    "macro_a": {
+        "adc": "adc",
+        "array": "array_drivers",
+        "row_drivers": "array_drivers",
+        "column_mux": "array_drivers",
+        "dac": "array_drivers",
+        "digital_postprocessing": "digital_postprocessing",
+        "input_buffer": "misc",
+        "output_buffer": "misc",
+        "misc": "misc",
+    },
+    "macro_b": {
+        "array": "cim_circuitry",
+        "row_drivers": "cim_circuitry",
+        "dac": "cim_circuitry",
+        "column_mux": "cim_circuitry",
+        "analog_adder": "analog_adder",
+        "adc": "adc",
+        "digital_postprocessing": "misc",
+        "input_buffer": "misc",
+        "output_buffer": "misc",
+        "misc": "misc",
+    },
+    "macro_c": {
+        "adc": "adc_accumulate",
+        "analog_accumulator": "adc_accumulate",
+        "dac": "dac_integrator",
+        "row_drivers": "dac_integrator",
+        "array": "array_mac",
+        "column_mux": "array_mac",
+        "digital_postprocessing": "misc",
+        "input_buffer": "misc",
+        "output_buffer": "misc",
+        "misc": "misc",
+    },
+    "macro_d": {
+        "analog_mac": "mac",
+        "dac": "dac",
+        "adc": "adc",
+        "array": "array_mac",
+        "row_drivers": "array_mac",
+        "column_mux": "adc",
+        "digital_postprocessing": "misc",
+        "input_buffer": "misc",
+        "output_buffer": "misc",
+        "misc": "misc",
+    },
+}
+
+_FACTORIES = {
+    "macro_a": macro_a,
+    "macro_b": macro_b,
+    "macro_c": macro_c,
+    "macro_d": macro_d,
+}
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    """One macro's area breakdown as fractions of total area."""
+
+    macro: str
+    fractions: Dict[str, float]
+    reference: Optional[Dict[str, float]]
+    total_area_mm2: float
+
+
+def run_fig10() -> List[Fig10Row]:
+    """Area-breakdown validation rows for Macros A-D."""
+    rows: List[Fig10Row] = []
+    for name, factory in _FACTORIES.items():
+        config = factory()
+        macro = CiMMacro(config)
+        breakdown = macro.area_breakdown_um2()
+        categories = _CATEGORY_MAPS[name]
+        grouped: Dict[str, float] = {}
+        for component, area in breakdown.items():
+            category = categories.get(component, "misc")
+            grouped[category] = grouped.get(category, 0.0) + area
+        total = sum(grouped.values())
+        fractions = {category: area / total for category, area in grouped.items()}
+        reference = dict(get_reference(name).area_breakdown) or None
+        rows.append(
+            Fig10Row(
+                macro=name,
+                fractions=fractions,
+                reference=reference,
+                total_area_mm2=total / 1e6,
+            )
+        )
+    return rows

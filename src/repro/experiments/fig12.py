@@ -1,0 +1,124 @@
+"""Fig. 12 — Macro A + mapping: output reuse between columns.
+
+Reusing outputs (summing on wires) between every G adjacent columns
+increases output reuse Gx (fewer ADC conversions) but decreases input
+reuse Gx (more DAC conversions), and constrains which mappings keep the
+array utilised.  The paper sweeps G = 1..8 for a maximum-utilisation
+matrix-vector workload and for ResNet18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.architecture.macro import CiMMacro
+from repro.macros.definitions import macro_a
+from repro.workloads.networks import Network, matrix_vector_workload, resnet18
+
+
+@dataclass(frozen=True)
+class Fig12Row:
+    """One (workload, column-reuse) point with its energy decomposition."""
+
+    workload: str
+    reuse_columns: int
+    adc_energy: float
+    dac_energy: float
+    other_energy: float
+    utilization: float
+
+    @property
+    def total_energy(self) -> float:
+        """Total macro energy."""
+        return self.adc_energy + self.dac_energy + self.other_energy
+
+
+def _decompose(breakdown: Dict[str, float]) -> Tuple[float, float, float]:
+    adc = breakdown.get("adc", 0.0) + breakdown.get("digital_accumulate", 0.0) + \
+        breakdown.get("shift_add", 0.0)
+    dac = breakdown.get("dac", 0.0) + breakdown.get("row_drivers", 0.0)
+    other = sum(breakdown.values()) - adc - dac
+    return adc, dac, other
+
+
+def run_fig12(
+    reuse_settings: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8),
+    input_bits: int = 8,
+    weight_bits: int = 8,
+    resnet_layers: int | None = None,
+) -> List[Fig12Row]:
+    """Column-reuse sweep for the max-utilisation and ResNet18 workloads."""
+    rows: List[Fig12Row] = []
+    for reuse in reuse_settings:
+        config = macro_a(
+            input_bits=input_bits, weight_bits=weight_bits, output_reuse_columns=reuse
+        )
+        macro = CiMMacro(config)
+
+        # Maximum-utilisation workload: matrix dimensions match the array's
+        # effective geometry at this reuse setting.
+        max_util = matrix_vector_workload(config.rows * reuse, config.cols, repeats=16)
+        layer = max_util.layers[0].with_bits(input_bits=input_bits, weight_bits=weight_bits)
+        result = macro.evaluate_layer(layer)
+        adc, dac, other = _decompose(result.energy_breakdown)
+        # The matched workload grows with the reuse setting, so energies are
+        # reported per MAC to stay comparable across settings.
+        macs = result.counts.total_macs
+        rows.append(
+            Fig12Row(
+                workload="max_utilization",
+                reuse_columns=reuse,
+                adc_energy=adc / macs,
+                dac_energy=dac / macs,
+                other_energy=other / macs,
+                utilization=result.counts.utilization,
+            )
+        )
+
+        # Variable-utilisation workload: ResNet18 (optionally truncated).
+        network = resnet18()
+        layers = list(network)[:resnet_layers] if resnet_layers else list(network)
+        adc = dac = other = 0.0
+        total_macs = 0
+        weighted_utilization = 0.0
+        for net_layer in layers:
+            net_layer = net_layer.with_bits(input_bits=input_bits, weight_bits=weight_bits)
+            layer_result = macro.evaluate_layer(net_layer)
+            layer_adc, layer_dac, layer_other = _decompose(layer_result.energy_breakdown)
+            adc += layer_adc
+            dac += layer_dac
+            other += layer_other
+            total_macs += net_layer.total_macs
+            weighted_utilization += layer_result.counts.utilization * net_layer.total_macs
+        rows.append(
+            Fig12Row(
+                workload="resnet18",
+                reuse_columns=reuse,
+                adc_energy=adc / total_macs,
+                dac_energy=dac / total_macs,
+                other_energy=other / total_macs,
+                utilization=weighted_utilization / total_macs,
+            )
+        )
+    return rows
+
+
+def adc_dac_tradeoff_holds(rows: List[Fig12Row], workload: str = "max_utilization") -> bool:
+    """ADC energy falls and DAC energy rises as column reuse grows."""
+    points = sorted(
+        (r.reuse_columns, r.adc_energy / r.total_energy, r.dac_energy / r.total_energy)
+        for r in rows
+        if r.workload == workload
+    )
+    adc_shares = [adc for _, adc, _ in points]
+    dac_shares = [dac for _, _, dac in points]
+    adc_falls = adc_shares[0] > adc_shares[-1]
+    dac_rises = dac_shares[0] < dac_shares[-1]
+    return adc_falls and dac_rises
+
+
+def best_reuse(rows: List[Fig12Row], workload: str) -> int:
+    """The column-reuse setting with the lowest total energy for a workload."""
+    candidates = [r for r in rows if r.workload == workload]
+    return min(candidates, key=lambda r: r.total_energy).reuse_columns

@@ -1,0 +1,74 @@
+"""Fig. 13 — Macro B + circuits: analog adder width vs weight precision.
+
+An analog adder summing more operands (weight-bit columns) reduces the
+number of ADCs needed and so raises compute density (TOPS/mm^2), but a
+wide adder is underutilised when weights have fewer bits than its operand
+count, and it costs area of its own — so the widest adder is never best
+everywhere, and the best width tracks the weight precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.architecture.macro import CiMMacro
+from repro.macros.definitions import macro_b
+from repro.workloads.networks import matrix_vector_workload
+
+
+@dataclass(frozen=True)
+class Fig13Row:
+    """One (adder width, weight bits) point of Fig. 13."""
+
+    adder_operands: int
+    weight_bits: int
+    tops_per_mm2: float
+    tops_per_watt: float
+
+
+def run_fig13(
+    adder_widths: Tuple[int, ...] = (1, 2, 4, 8),
+    weight_bit_settings: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8),
+) -> List[Fig13Row]:
+    """Throughput-per-area across adder widths and weight precisions."""
+    rows: List[Fig13Row] = []
+    for operands in adder_widths:
+        for weight_bits in weight_bit_settings:
+            config = macro_b(
+                input_bits=4,
+                weight_bits=weight_bits,
+                analog_adder_operands=operands,
+            )
+            macro = CiMMacro(config)
+            layer = matrix_vector_workload(config.rows, config.cols, repeats=64).layers[0]
+            layer = layer.with_bits(input_bits=4, weight_bits=weight_bits)
+            result = macro.evaluate_layer(layer)
+            area_mm2 = macro.total_area_mm2()
+            tops = 2.0 * result.counts.total_macs / result.latency_s / 1e12
+            rows.append(
+                Fig13Row(
+                    adder_operands=operands,
+                    weight_bits=weight_bits,
+                    tops_per_mm2=tops / area_mm2,
+                    tops_per_watt=result.tops_per_watt,
+                )
+            )
+    return rows
+
+
+def best_adder_per_weight_bits(rows: List[Fig13Row]) -> Dict[int, int]:
+    """For each weight precision, the adder width with the best density."""
+    best: Dict[int, Fig13Row] = {}
+    for row in rows:
+        current = best.get(row.weight_bits)
+        if current is None or row.tops_per_mm2 > current.tops_per_mm2:
+            best[row.weight_bits] = row
+    return {bits: row.adder_operands for bits, row in best.items()}
+
+
+def widest_adder_never_best(rows: List[Fig13Row]) -> bool:
+    """The 8-operand adder should not win at low weight precision (paper trend)."""
+    best = best_adder_per_weight_bits(rows)
+    low_precision = [bits for bits in best if bits <= 2]
+    return all(best[bits] < 8 for bits in low_precision)

@@ -1,0 +1,96 @@
+"""Fig. 14 — Macro C + architecture: array size across workload tensor sizes.
+
+Larger arrays amortise ADC and digital-output-sum energy over more MACs per
+activation, so energy per MAC falls with array size — but only while the
+workload's tensors are large enough to keep the array utilised.  The paper
+sweeps 64..1024 rows/columns over four workloads: a maximum-utilisation
+MVM, ViT (large tensors), ResNet18 (medium), and MobileNetV3 (small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.architecture.macro import CiMMacro
+from repro.macros.definitions import macro_c
+from repro.workloads.networks import (
+    Network,
+    matrix_vector_workload,
+    mobilenet_v3_small,
+    resnet18,
+    vit_base,
+)
+
+
+@dataclass(frozen=True)
+class Fig14Row:
+    """One (workload, array size) point of Fig. 14."""
+
+    workload: str
+    array_size: int
+    energy_per_mac: float
+    utilization: float
+    breakdown: Dict[str, float]
+
+
+def _workloads(max_layers: Optional[int]) -> Dict[str, Network]:
+    def truncate(network: Network) -> Network:
+        if max_layers is None or len(network) <= max_layers:
+            return network
+        return Network(name=network.name, layers=tuple(list(network)[:max_layers]))
+
+    return {
+        "max_utilization": matrix_vector_workload(1024, 1024, repeats=16),
+        "large_tensor_vit": truncate(vit_base(blocks=2)),
+        "medium_tensor_resnet18": truncate(resnet18()),
+        "small_tensor_mobilenet": truncate(mobilenet_v3_small()),
+    }
+
+
+def run_fig14(
+    array_sizes: Tuple[int, ...] = (64, 128, 256, 512, 1024),
+    input_bits: int = 4,
+    max_layers: Optional[int] = 8,
+) -> List[Fig14Row]:
+    """Energy/MAC of Macro C across array sizes for the four workloads."""
+    rows: List[Fig14Row] = []
+    workloads = _workloads(max_layers)
+    for size in array_sizes:
+        config = macro_c(input_bits=input_bits, rows=size, cols=size)
+        macro = CiMMacro(config)
+        for workload_name, network in workloads.items():
+            total_energy = 0.0
+            total_macs = 0
+            weighted_utilization = 0.0
+            breakdown: Dict[str, float] = {}
+            for layer in network:
+                layer = layer.with_bits(input_bits=input_bits, weight_bits=8)
+                result = macro.evaluate_layer(layer)
+                total_energy += result.total_energy
+                total_macs += result.counts.total_macs
+                weighted_utilization += result.counts.utilization * result.counts.total_macs
+                for component, energy in result.energy_breakdown.items():
+                    breakdown[component] = breakdown.get(component, 0.0) + energy
+            rows.append(
+                Fig14Row(
+                    workload=workload_name,
+                    array_size=size,
+                    energy_per_mac=total_energy / total_macs,
+                    utilization=weighted_utilization / total_macs,
+                    breakdown=breakdown,
+                )
+            )
+    return rows
+
+
+def energy_falls_with_size(rows: List[Fig14Row], workload: str) -> bool:
+    """Energy/MAC is lower at the largest array than the smallest for a workload."""
+    points = sorted((r.array_size, r.energy_per_mac) for r in rows if r.workload == workload)
+    return points[-1][1] < points[0][1]
+
+
+def best_array_size(rows: List[Fig14Row], workload: str) -> int:
+    """Array size with the lowest energy/MAC for a workload."""
+    candidates = [r for r in rows if r.workload == workload]
+    return min(candidates, key=lambda r: r.energy_per_mac).array_size

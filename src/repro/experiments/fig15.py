@@ -1,0 +1,104 @@
+"""Fig. 15 — Macro D + full system: data placement scenarios.
+
+Macro D is placed in a full system (DRAM + global buffer + routers +
+parallel macros) running a large-tensor workload (GPT-2) and a
+mixed-tensor workload (ResNet18) under three data placements:
+
+1. all tensors fetched from DRAM every layer;
+2. weight-stationary, inputs/outputs still moved to/from DRAM per layer;
+3. weight-stationary with inputs/outputs kept on chip between layers.
+
+The paper's takeaways, which this driver reproduces as shapes: going
+weight-stationary removes most DRAM energy; remaining benefits are limited
+by input/output movement, so keeping I/O on chip helps but the macro +
+on-chip energy floor remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.architecture.system import DataPlacement, SystemConfig
+from repro.core.model import CiMLoopModel
+from repro.macros.definitions import macro_d
+from repro.workloads.networks import Network, gpt2_small, resnet18
+
+
+@dataclass(frozen=True)
+class Fig15Row:
+    """One (workload, placement) bar of Fig. 15."""
+
+    workload: str
+    placement: str
+    energy_per_mac: float
+    breakdown_per_mac: Dict[str, float]
+
+
+def _truncated(network: Network, max_layers: Optional[int]) -> Network:
+    if max_layers is None or len(network) <= max_layers:
+        return network
+    return Network(name=network.name, layers=tuple(list(network)[:max_layers]))
+
+
+def run_fig15(max_layers: Optional[int] = 8) -> List[Fig15Row]:
+    """System energy/MAC for each workload and data placement scenario."""
+    workloads = {
+        "large_tensor_gpt2": _truncated(gpt2_small(sequence_length=256, blocks=2), max_layers),
+        "mixed_tensor_resnet18": _truncated(resnet18(), max_layers),
+    }
+    placements = (
+        DataPlacement.ALL_DRAM,
+        DataPlacement.WEIGHT_STATIONARY,
+        DataPlacement.ON_CHIP_IO,
+    )
+    rows: List[Fig15Row] = []
+    for workload_name, network in workloads.items():
+        for placement in placements:
+            config = SystemConfig(
+                macro=macro_d(),
+                num_macros=8,
+                global_buffer_kib=4096,
+                placement=placement,
+            )
+            result = CiMLoopModel(config).evaluate(network)
+            breakdown = result.energy_breakdown()
+            total_macs = result.total_macs
+            rows.append(
+                Fig15Row(
+                    workload=workload_name,
+                    placement=placement.value,
+                    energy_per_mac=result.energy_per_mac,
+                    breakdown_per_mac={
+                        key: value / total_macs for key, value in breakdown.items()
+                    },
+                )
+            )
+    return rows
+
+
+def weight_stationary_saves_energy(rows: List[Fig15Row], workload: str) -> bool:
+    """Scenario 2 uses less energy than scenario 1 for a workload."""
+    by_placement = {r.placement: r for r in rows if r.workload == workload}
+    return (
+        by_placement[DataPlacement.WEIGHT_STATIONARY.value].energy_per_mac
+        < by_placement[DataPlacement.ALL_DRAM.value].energy_per_mac
+    )
+
+
+def on_chip_io_saves_energy(rows: List[Fig15Row], workload: str) -> bool:
+    """Scenario 3 uses less energy than scenario 2 for a workload."""
+    by_placement = {r.placement: r for r in rows if r.workload == workload}
+    return (
+        by_placement[DataPlacement.ON_CHIP_IO.value].energy_per_mac
+        <= by_placement[DataPlacement.WEIGHT_STATIONARY.value].energy_per_mac
+    )
+
+
+def dram_share(rows: List[Fig15Row], workload: str, placement: str) -> float:
+    """Fraction of system energy spent in DRAM for one scenario."""
+    for row in rows:
+        if row.workload == workload and row.placement == placement:
+            total = sum(row.breakdown_per_mac.values())
+            return row.breakdown_per_mac.get("dram", 0.0) / total
+    raise KeyError(f"no row for {workload}/{placement}")

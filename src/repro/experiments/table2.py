@@ -1,0 +1,128 @@
+"""Table II — modeling speed.
+
+The paper measures (mappings x layers) / second for NeuroSim (value-level,
+one mapping only) and CiMLoop with 1 and 5000 mappings, on 1 and 16 cores.
+CiMLoop's per-mapping time collapses once per-action energies are
+amortised over the mapping search; the value-level simulator cannot
+amortise because it re-simulates every data value.
+
+This reproduction measures the same three configurations with its own
+value-level baseline; worker-parallel evaluation uses a process pool over
+layers.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.architecture.macro import CiMMacro
+from repro.baselines.value_sim import ValueLevelSimulator
+from repro.core.fast_pipeline import AmortizedEvaluator, PerActionEnergyCache
+from repro.plugins.neurosim import NeuroSimPlugin
+from repro.workloads.distributions import profile_network
+from repro.workloads.networks import Network, resnet18
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table II: a model at a mapping count and core count."""
+
+    model: str
+    workers: int
+    mappings: int
+    layers: int
+    elapsed_s: float
+
+    @property
+    def mappings_layers_per_second(self) -> float:
+        """The paper's throughput metric: (mappings x layers) / second."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.mappings * self.layers / self.elapsed_s
+
+
+def _evaluate_layer_mappings(args) -> float:
+    """Worker entry point: evaluate `num_mappings` mappings of one layer."""
+    layer, num_mappings = args
+    macro = NeuroSimPlugin().build_macro()
+    evaluator = AmortizedEvaluator(macro, PerActionEnergyCache())
+    result = evaluator.evaluate_mappings(layer, num_mappings)
+    return result.best.total_energy
+
+
+def run_cimloop_speed(
+    num_mappings: int,
+    workers: int = 1,
+    network: Optional[Network] = None,
+    max_layers: Optional[int] = None,
+) -> Table2Row:
+    """Measure CiMLoop evaluation throughput for a mapping count."""
+    network = network or resnet18()
+    layers = list(network)[:max_layers] if max_layers else list(network)
+    start = time.perf_counter()
+    if workers <= 1:
+        macro = NeuroSimPlugin().build_macro()
+        evaluator = AmortizedEvaluator(macro, PerActionEnergyCache())
+        for layer in layers:
+            evaluator.evaluate_mappings(layer, num_mappings)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(_evaluate_layer_mappings, [(l, num_mappings) for l in layers]))
+    elapsed = time.perf_counter() - start
+    return Table2Row(
+        model="cimloop",
+        workers=workers,
+        mappings=num_mappings,
+        layers=len(layers),
+        elapsed_s=elapsed,
+    )
+
+
+def run_value_sim_speed(
+    network: Optional[Network] = None,
+    max_layers: Optional[int] = None,
+    max_vectors: int = 8,
+) -> Table2Row:
+    """Measure the value-level baseline's throughput (one mapping per layer).
+
+    ``max_vectors`` bounds how many input vectors the baseline simulates
+    per layer; the reported throughput is scaled to the full layer so the
+    comparison reflects what a complete value-level run would cost.
+    """
+    network = network or resnet18()
+    layers = list(network)[:max_layers] if max_layers else list(network)
+    macro = NeuroSimPlugin().build_macro()
+    simulator = ValueLevelSimulator(macro, max_vectors=max_vectors)
+    distributions = profile_network(network)
+    start = time.perf_counter()
+    scale_factors = []
+    for layer in layers:
+        result = simulator.simulate_layer(layer, distributions[layer.name])
+        scale_factors.append(result.total_vectors / result.simulated_vectors)
+    elapsed = time.perf_counter() - start
+    # Scale measured time to a full (non-sampled) simulation.
+    full_elapsed = elapsed * (sum(scale_factors) / len(scale_factors))
+    return Table2Row(
+        model="value_sim",
+        workers=1,
+        mappings=1,
+        layers=len(layers),
+        elapsed_s=full_elapsed,
+    )
+
+
+def run_table2(
+    max_layers: int = 4,
+    many_mappings: int = 5000,
+    workers: int = 1,
+) -> List[Table2Row]:
+    """The three rows of Table II (value-level, CiMLoop x1, CiMLoop x5000)."""
+    rows = [
+        run_value_sim_speed(max_layers=max_layers),
+        run_cimloop_speed(1, workers=workers, max_layers=max_layers),
+        run_cimloop_speed(many_mappings, workers=workers, max_layers=max_layers),
+    ]
+    return rows

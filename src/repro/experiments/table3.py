@@ -1,0 +1,69 @@
+"""Table III — parameterised attributes of Macros A-D.
+
+This driver reads the attributes straight from the macro configurations so
+the table in EXPERIMENTS.md always reflects the models actually evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.macros.definitions import macro_a, macro_b, macro_c, macro_d
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One macro's row of Table III."""
+
+    macro: str
+    node_nm: float
+    device: str
+    input_bits: int
+    weight_bits: int
+    rows: int
+    cols: int
+    adc_bits: int
+    active_rows: int
+
+
+def run_table3() -> List[Table3Row]:
+    """Rows of Table III generated from the macro configurations."""
+    rows = []
+    for name, config in (
+        ("macro_a", macro_a()),
+        ("macro_b", macro_b()),
+        ("macro_c", macro_c()),
+        ("macro_d", macro_d()),
+    ):
+        rows.append(
+            Table3Row(
+                macro=name,
+                node_nm=config.technology.node_nm,
+                device=config.device,
+                input_bits=config.input_bits,
+                weight_bits=config.weight_bits,
+                rows=config.rows,
+                cols=config.cols,
+                adc_bits=config.adc_resolution,
+                active_rows=config.active_rows,
+            )
+        )
+    return rows
+
+
+def format_table(rows: List[Table3Row]) -> str:
+    """Markdown rendering of Table III."""
+    lines = [
+        "| Macro | Node (nm) | Device | Input bits | Weight bits | Array | ADC bits |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        array = f"{row.rows}x{row.cols}"
+        if row.active_rows != row.rows:
+            array += f" ({row.active_rows} active)"
+        lines.append(
+            f"| {row.macro} | {row.node_nm:g} | {row.device} | {row.input_bits} "
+            f"| {row.weight_bits} | {array} | {row.adc_bits} |"
+        )
+    return "\n".join(lines)

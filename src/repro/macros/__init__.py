@@ -1,0 +1,45 @@
+"""Pre-built models of published CiM macros (paper Sec. V, Table III).
+
+* Base macro — the NeuroSim-style macro of Lu et al. (AICAS 2021): a plain
+  array where every column output is converted individually.
+* Macro A — Jia et al. (JSSC 2020): 65 nm SRAM, bit-scalable 1-8 b
+  operands, 768x768 array, outputs reused across column groups on wires.
+* Macro B — Sinangil et al. (JSSC 2021): 7 nm SRAM, 4 b operands, 64x64
+  array, analog adder summing weight-bit columns before a 4-bit ADC.
+* Macro C — Wan et al. (ISSCC 2020 / Nature 2022): 130 nm ReRAM, analog
+  multi-level weights, 256x256 array, analog accumulation across input
+  bit cycles.
+* Macro D — Wang et al. (JSSC 2023): 22 nm SRAM, 8 b operands, 512x128
+  array with a 64x128 active subset, C-2C ladder analog MAC units.
+* Digital CiM — Kim et al. (JSSC 2021, "Colonnade"): bit-serial digital
+  compute-in-memory with no ADC.
+
+Each factory returns a :class:`~repro.architecture.macro.CiMMacroConfig`
+whose calibration scales were tuned so the headline published efficiency
+and throughput are matched to within a few tens of percent; reference
+values live in :mod:`repro.macros.reference_data`.
+"""
+
+from repro.macros.definitions import (
+    base_macro,
+    digital_cim_macro,
+    macro_a,
+    macro_b,
+    macro_c,
+    macro_d,
+    macro_yaml_spec,
+)
+from repro.macros.reference_data import REFERENCE, MacroReference, get_reference
+
+__all__ = [
+    "base_macro",
+    "macro_a",
+    "macro_b",
+    "macro_c",
+    "macro_d",
+    "digital_cim_macro",
+    "macro_yaml_spec",
+    "MacroReference",
+    "REFERENCE",
+    "get_reference",
+]

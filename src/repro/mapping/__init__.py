@@ -1,0 +1,28 @@
+"""Mapping: spatial/temporal scheduling of workloads onto hardware.
+
+This package is the Timeloop-like substrate of the reproduction: loop-nest
+mappings over the einsum iteration space, tiling factorisation, reuse /
+access-count analysis across a storage hierarchy, and a mapping search.
+CiM-macro-internal scheduling (which rows/columns/bit-slices are active) is
+handled by :mod:`repro.architecture.macro` on top of these primitives.
+"""
+
+from repro.mapping.analysis import AccessCounts, TensorAccesses, analyze_mapping
+from repro.mapping.loopnest import LoopNestMapping, MappingLevel
+from repro.mapping.mapper import MappingSearchResult, MapSpace, search_mappings
+from repro.mapping.tiling import balanced_split, divisors, enumerate_tilings, random_tiling
+
+__all__ = [
+    "MappingLevel",
+    "LoopNestMapping",
+    "AccessCounts",
+    "TensorAccesses",
+    "analyze_mapping",
+    "divisors",
+    "balanced_split",
+    "enumerate_tilings",
+    "random_tiling",
+    "MapSpace",
+    "search_mappings",
+    "MappingSearchResult",
+]

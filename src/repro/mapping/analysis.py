@@ -1,0 +1,211 @@
+"""Reuse / access-count analysis of a loop-nest mapping.
+
+Given a mapping over a hierarchy of storage levels, this module computes,
+for every level and tensor, the number of accesses the level serves and the
+traffic it exchanges with its parent.  This is the analytical engine that
+lets the model count buffer and DRAM accesses without simulating data.
+
+Modeling assumptions (stated in the paper and standard for loop-nest
+accelerator models):
+
+* **Best-case loop ordering** — the mapper orders loops so that dimensions
+  irrelevant to a tensor sit innermost relative to that tensor's storage
+  level, so a live tile is never evicted and refetched because of an
+  irrelevant loop.  The number of parent fetches of a tensor at a level is
+  therefore the number of *distinct* tiles: the product of relevant loop
+  factors above the level.
+* **Mapping-invariant per-access energy** — the analysis produces counts
+  only; energies are attached later and do not change across mappings
+  (paper Sec. III-D3).
+* **Dense operation** — no zero-skipping; counts depend only on the loop
+  structure, not on data values (paper models dense CiM systems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.mapping.loopnest import LoopNestMapping
+from repro.utils.errors import MappingError
+from repro.workloads.einsum import ALL_TENSORS, TensorRole
+
+
+@dataclass(frozen=True)
+class TensorAccesses:
+    """Access counts of one tensor at one storage level.
+
+    Attributes
+    ----------
+    reads:
+        Values read out of this level (serving the level below).
+    writes:
+        Values written into this level (fills from the parent, or partial
+        sums arriving from below for outputs).
+    updates:
+        Read-modify-write accumulations of partial sums (outputs only).
+    parent_reads / parent_writes:
+        Traffic this level causes at its parent level.
+    tile_elements:
+        Elements of the tensor resident in one tile at this level.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    updates: int = 0
+    parent_reads: int = 0
+    parent_writes: int = 0
+    tile_elements: int = 0
+
+    @property
+    def total_accesses(self) -> int:
+        """All local accesses (reads + writes + updates)."""
+        return self.reads + self.writes + self.updates
+
+
+@dataclass(frozen=True)
+class AccessCounts:
+    """Access counts for every (level, tensor) pair of a mapping."""
+
+    mapping: LoopNestMapping
+    level_names: Tuple[str, ...]
+    per_level: Tuple[Mapping[TensorRole, TensorAccesses], ...]
+
+    def at(self, level_index: int, role: TensorRole) -> TensorAccesses:
+        """Counts of one tensor at one level (0 = innermost)."""
+        if not 0 <= level_index < len(self.per_level):
+            raise MappingError(f"level index {level_index} out of range")
+        return self.per_level[level_index][role]
+
+    def level_total(self, level_index: int) -> int:
+        """Total accesses of all tensors at one level."""
+        return sum(acc.total_accesses for acc in self.per_level[level_index].values())
+
+    @property
+    def total_macs(self) -> int:
+        """MACs implied by the mapping (= einsum total)."""
+        return self.mapping.einsum.total_macs
+
+
+def analyze_mapping(
+    mapping: LoopNestMapping,
+    stores: Mapping[int, Tuple[TensorRole, ...]] | None = None,
+    spatial_reuse: Mapping[int, Tuple[TensorRole, ...]] | None = None,
+) -> AccessCounts:
+    """Compute access counts for a mapping.
+
+    Parameters
+    ----------
+    mapping:
+        The loop-nest mapping (level 0 innermost).
+    stores:
+        For each level index, which tensors that level stores (temporal
+        reuse).  Defaults to every level storing every tensor, which is the
+        classic inclusive buffer hierarchy.  Level 0 is the compute level
+        and never stores.
+    spatial_reuse:
+        For each level index, the tensors that are multicast (inputs,
+        weights) or spatially reduced (outputs) across the spatial
+        instances created at that level.  Tensors not listed are unicast:
+        each spatial instance fetches its own copy from the parent.
+    """
+    einsum = mapping.einsum
+    num_levels = mapping.num_levels
+    if stores is None:
+        stores = {index: tuple(ALL_TENSORS) for index in range(1, num_levels)}
+    if spatial_reuse is None:
+        spatial_reuse = {index: tuple(ALL_TENSORS) for index in range(num_levels)}
+
+    per_level: List[Dict[TensorRole, TensorAccesses]] = [dict() for _ in range(num_levels)]
+
+    for role in ALL_TENSORS:
+        # Storage levels for this tensor, innermost first.  The outermost
+        # level is always an implicit backing store even if not listed.
+        storage_levels = [
+            index for index in range(1, num_levels) if role in stores.get(index, ())
+        ]
+        if (num_levels - 1) not in storage_levels:
+            storage_levels.append(num_levels - 1)
+        storage_levels.sort()
+
+        # Compute-level demand: every MAC touches one element of each tensor.
+        # Spatial reuse at inner levels lets one delivered value feed many
+        # parallel compute instances (multicast for inputs/weights, spatial
+        # reduction for outputs).
+        total_macs = einsum.total_macs
+        demand = total_macs
+
+        previous_level = 0
+        remaining_demand = demand
+        for storage_index in storage_levels:
+            # Spatial reuse between this storage level and the level below:
+            # one access at this level serves `fanout` compute-side uses if
+            # the tensor is spatially reused across the instances spawned by
+            # the levels in between.
+            fanout = 1
+            for level_index in range(previous_level, storage_index):
+                level_fanout = mapping.level(level_index).spatial_fanout
+                if role in spatial_reuse.get(level_index, ()):
+                    fanout *= level_fanout
+            reads = remaining_demand // max(fanout, 1)
+
+            tile = mapping.tile_size(role, storage_index)
+            distinct_tiles = mapping.iterations_above(role, storage_index, relevant_only=True)
+            fills = tile * distinct_tiles
+
+            is_output = role is TensorRole.OUTPUTS
+            if is_output:
+                # Outputs flow upward: the level absorbs partial sums from
+                # below (updates) and drains finished tiles to the parent.
+                irrelevant_above = mapping.iterations_above(
+                    role, storage_index, relevant_only=False
+                ) // max(distinct_tiles, 1)
+                updates = reads  # each arriving partial sum is a read-modify-write
+                writes = 0
+                parent_writes = fills * max(irrelevant_above, 1) if storage_index < num_levels - 1 else fills
+                parent_reads = fills * (max(irrelevant_above, 1) - 1) if storage_index < num_levels - 1 else 0
+                accesses = TensorAccesses(
+                    reads=0,
+                    writes=writes,
+                    updates=updates,
+                    parent_reads=parent_reads,
+                    parent_writes=parent_writes,
+                    tile_elements=tile,
+                )
+                remaining_demand = parent_writes + parent_reads
+            else:
+                writes = fills
+                parent_reads = fills
+                accesses = TensorAccesses(
+                    reads=reads,
+                    writes=writes,
+                    updates=0,
+                    parent_reads=parent_reads,
+                    parent_writes=0,
+                    tile_elements=tile,
+                )
+                remaining_demand = fills
+
+            per_level[storage_index][role] = accesses
+            previous_level = storage_index
+
+        # Compute level: record raw per-MAC demand for completeness.
+        per_level[0][role] = TensorAccesses(
+            reads=demand if role is not TensorRole.OUTPUTS else 0,
+            writes=0,
+            updates=demand if role is TensorRole.OUTPUTS else 0,
+            parent_reads=0,
+            parent_writes=0,
+            tile_elements=mapping.tile_size(role, 0),
+        )
+
+        # Levels that do not store this tensor get explicit zero records so
+        # downstream breakdowns can iterate uniformly.
+        for index in range(num_levels):
+            per_level[index].setdefault(role, TensorAccesses(tile_elements=0))
+
+    return AccessCounts(
+        mapping=mapping,
+        level_names=tuple(level.name for level in mapping.levels),
+        per_level=tuple(per_level),
+    )

@@ -1,0 +1,199 @@
+"""Loop-nest mapping representation.
+
+A mapping schedules an einsum onto a hierarchy of storage levels.  Each
+level carries *temporal* loop factors (iterations executed sequentially at
+that level) and *spatial* loop factors (iterations spread across parallel
+instances below that level) for each workload dimension.  The product of a
+dimension's factors across every level must equal the dimension's extent.
+
+Levels are ordered **innermost first** (index 0 closest to the compute
+units, the last index is the outermost storage, e.g. DRAM), matching the
+direction in which tiles grow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.utils.errors import MappingError
+from repro.workloads.einsum import EinsumOp, TensorRole
+
+
+@dataclass(frozen=True)
+class MappingLevel:
+    """Loop factors of one hierarchy level.
+
+    Attributes
+    ----------
+    name:
+        Name of the storage level this set of loops tiles for (purely
+        informational; analysis aligns levels by position).
+    temporal:
+        Dimension -> sequential iteration count at this level.
+    spatial:
+        Dimension -> parallel instance count below this level.
+    """
+
+    name: str
+    temporal: Mapping[str, int] = field(default_factory=dict)
+    spatial: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for label, factors in (("temporal", self.temporal), ("spatial", self.spatial)):
+            for dim, factor in factors.items():
+                if int(factor) < 1:
+                    raise MappingError(
+                        f"level {self.name!r}: {label} factor of {dim} must be >= 1"
+                    )
+        object.__setattr__(self, "temporal", {d: int(f) for d, f in self.temporal.items()})
+        object.__setattr__(self, "spatial", {d: int(f) for d, f in self.spatial.items()})
+
+    def factor(self, dim: str) -> int:
+        """Combined temporal x spatial factor of one dimension at this level."""
+        return self.temporal.get(dim, 1) * self.spatial.get(dim, 1)
+
+    def temporal_factor(self, dim: str) -> int:
+        """Temporal factor of one dimension (1 when unmapped)."""
+        return self.temporal.get(dim, 1)
+
+    def spatial_factor(self, dim: str) -> int:
+        """Spatial factor of one dimension (1 when unmapped)."""
+        return self.spatial.get(dim, 1)
+
+    @property
+    def spatial_fanout(self) -> int:
+        """Total parallel instances created below this level."""
+        return math.prod(self.spatial.values()) if self.spatial else 1
+
+    @property
+    def temporal_iterations(self) -> int:
+        """Total sequential iterations at this level."""
+        return math.prod(self.temporal.values()) if self.temporal else 1
+
+
+@dataclass(frozen=True)
+class LoopNestMapping:
+    """A complete mapping: one :class:`MappingLevel` per storage level,
+    innermost first, bound to a specific einsum."""
+
+    einsum: EinsumOp
+    levels: Tuple[MappingLevel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise MappingError("a mapping needs at least one level")
+        object.__setattr__(self, "levels", tuple(self.levels))
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check that every dimension's factors multiply to its extent."""
+        for dim, extent in self.einsum.dimensions.items():
+            product = 1
+            for level in self.levels:
+                product *= level.factor(dim)
+            if product != extent:
+                raise MappingError(
+                    f"mapping of {self.einsum.name!r}: factors of dimension {dim} "
+                    f"multiply to {product}, expected extent {extent}"
+                )
+        unknown = {
+            dim
+            for level in self.levels
+            for dim in list(level.temporal) + list(level.spatial)
+            if dim not in self.einsum.dimensions
+        }
+        if unknown:
+            raise MappingError(
+                f"mapping references unknown dimensions: {', '.join(sorted(unknown))}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        """Number of hierarchy levels."""
+        return len(self.levels)
+
+    def level(self, index: int) -> MappingLevel:
+        """Level by index (0 = innermost)."""
+        return self.levels[index]
+
+    def cumulative_factor(self, dim: str, up_to_level: int) -> int:
+        """Product of a dimension's factors at levels 0..up_to_level inclusive."""
+        product = 1
+        for level in self.levels[: up_to_level + 1]:
+            product *= level.factor(dim)
+        return product
+
+    def tile_size(self, role: TensorRole, level_index: int) -> int:
+        """Elements of ``role`` covered by one tile held at ``level_index``.
+
+        The tile at level *l* covers the iteration sub-space spanned by all
+        loop factors at levels 0..l; its footprint in a tensor is the
+        product of the relevant dimensions' cumulative factors.
+        """
+        if not 0 <= level_index < self.num_levels:
+            raise MappingError(f"level index {level_index} out of range")
+        size = 1
+        for dim in self.einsum.tensor_dims(role):
+            size *= self.cumulative_factor(dim, level_index)
+        return size
+
+    def iterations_above(self, role: TensorRole, level_index: int,
+                         relevant_only: bool = True) -> int:
+        """Product of loop factors at levels strictly above ``level_index``.
+
+        With ``relevant_only`` the product is restricted to dimensions that
+        index ``role``: this is the number of *distinct* tiles of the tensor
+        the level must hold over the execution (assuming, as the evaluation
+        engine does, that the mapper orders irrelevant loops innermost so
+        they do not evict live tiles — the best-case loop ordering).
+        """
+        product = 1
+        for level in self.levels[level_index + 1:]:
+            for dim in self.einsum.dimension_names:
+                if relevant_only and not self.einsum.is_relevant(dim, role):
+                    continue
+                product *= level.factor(dim)
+        return product
+
+    def spatial_instances(self, level_index: int) -> int:
+        """Parallel hardware instances fed by the given level."""
+        product = 1
+        for level in self.levels[:level_index + 1]:
+            product *= level.spatial_fanout
+        return product
+
+    def total_iterations(self) -> int:
+        """Total number of innermost compute steps (MACs per spatial instance)."""
+        product = 1
+        for level in self.levels:
+            product *= level.temporal_iterations
+        return product
+
+    def describe(self) -> str:
+        """Readable multi-line description of the loop nest."""
+        lines: List[str] = []
+        for index in reversed(range(self.num_levels)):
+            level = self.levels[index]
+            temporal = " ".join(f"{d}:{f}" for d, f in level.temporal.items() if f > 1)
+            spatial = " ".join(f"{d}:{f}" for d, f in level.spatial.items() if f > 1)
+            parts = [f"L{index} [{level.name}]"]
+            if temporal:
+                parts.append(f"temporal({temporal})")
+            if spatial:
+                parts.append(f"spatial({spatial})")
+            lines.append(" ".join(parts))
+        return "\n".join(lines)
+
+
+def single_level_mapping(einsum: EinsumOp, level_name: str = "memory") -> LoopNestMapping:
+    """The trivial mapping: all loops temporal at one outer level.
+
+    Useful as a baseline and as the starting point for mapping search.
+    """
+    inner = MappingLevel(name="compute")
+    outer = MappingLevel(name=level_name, temporal=dict(einsum.dimensions))
+    return LoopNestMapping(einsum=einsum, levels=(inner, outer))

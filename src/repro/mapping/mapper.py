@@ -1,0 +1,227 @@
+"""Mapping search.
+
+The mapper explores spatial/temporal tilings of an einsum onto a storage
+hierarchy and returns the best mapping under a user-supplied cost function
+(typically energy from the evaluation engine, or a simple access-count
+proxy).  The paper evaluates thousands of mappings per (architecture,
+layer) pair; the statistical energy model's per-action energies are
+computed once and amortised across all of them, which is what makes
+CiMLoop fast (Table II).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mapping.analysis import AccessCounts, analyze_mapping
+from repro.mapping.loopnest import LoopNestMapping, MappingLevel
+from repro.mapping.tiling import random_tiling
+from repro.utils.errors import MappingError
+from repro.workloads.einsum import EinsumOp, TensorRole
+
+#: A cost function maps access counts to a scalar (lower is better).
+CostFunction = Callable[[AccessCounts], float]
+
+
+@dataclass(frozen=True)
+class MapSpace:
+    """The space of mappings to search.
+
+    Attributes
+    ----------
+    einsum:
+        The workload operation being mapped.
+    level_names:
+        Names of the storage levels, innermost first (level 0 is compute).
+    capacities:
+        Optional per-level capacity limits in tensor elements; tilings
+        whose combined tile footprint exceeds a level's capacity are
+        rejected.  Keyed by level index.
+    spatial_limits:
+        Optional per-level limits on spatial fanout (hardware instance
+        counts); keyed by level index.
+    fixed_factors:
+        Optional constraints pinning a dimension's factor at a level,
+        keyed by (level index, dimension name).
+    """
+
+    einsum: EinsumOp
+    level_names: Tuple[str, ...]
+    capacities: Dict[int, int] = field(default_factory=dict)
+    spatial_limits: Dict[int, int] = field(default_factory=dict)
+    fixed_factors: Dict[Tuple[int, str], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.level_names) < 2:
+            raise MappingError("a map space needs at least compute + one storage level")
+
+    @property
+    def num_levels(self) -> int:
+        """Number of hierarchy levels including the compute level."""
+        return len(self.level_names)
+
+
+@dataclass(frozen=True)
+class MappingSearchResult:
+    """Outcome of a mapping search."""
+
+    best_mapping: LoopNestMapping
+    best_cost: float
+    best_counts: AccessCounts
+    mappings_evaluated: int
+    valid_mappings: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MappingSearchResult(cost={self.best_cost:.4g}, "
+            f"evaluated={self.mappings_evaluated}, valid={self.valid_mappings})"
+        )
+
+
+def default_cost(counts: AccessCounts) -> float:
+    """Access-count proxy cost: outer levels weighted more heavily.
+
+    Each level's accesses are weighted by 10**level so that DRAM traffic
+    dominates buffer traffic, which mirrors the relative energy per access
+    of real hierarchies and gives the search a sensible default objective
+    when no energy model is attached.
+    """
+    cost = 0.0
+    for level_index in range(1, counts.mapping.num_levels):
+        cost += counts.level_total(level_index) * (10.0 ** level_index)
+    return cost
+
+
+def _tiling_to_mapping(
+    space: MapSpace, tiling: Dict[str, Tuple[int, ...]], spatial_levels: Dict[int, Dict[str, int]]
+) -> LoopNestMapping:
+    levels = []
+    for index, name in enumerate(space.level_names):
+        temporal = {dim: factors[index] for dim, factors in tiling.items() if factors[index] > 1}
+        spatial = {
+            dim: factor
+            for dim, factor in spatial_levels.get(index, {}).items()
+            if factor > 1
+        }
+        # Spatial factors are carved out of the temporal factor at the same level.
+        for dim, factor in spatial.items():
+            current = temporal.get(dim, 1)
+            if current % factor == 0:
+                reduced = current // factor
+                if reduced > 1:
+                    temporal[dim] = reduced
+                else:
+                    temporal.pop(dim, None)
+        levels.append(MappingLevel(name=name, temporal=temporal, spatial=spatial))
+    return LoopNestMapping(einsum=space.einsum, levels=tuple(levels))
+
+
+def _respects_constraints(space: MapSpace, mapping: LoopNestMapping) -> bool:
+    for (level_index, dim), factor in space.fixed_factors.items():
+        if mapping.level(level_index).factor(dim) != factor:
+            return False
+    for level_index, capacity in space.capacities.items():
+        footprint = sum(
+            mapping.tile_size(role, level_index) for role in TensorRole
+        )
+        if footprint > capacity:
+            return False
+    for level_index, limit in space.spatial_limits.items():
+        if mapping.level(level_index).spatial_fanout > limit:
+            return False
+    return True
+
+
+def random_mappings(
+    space: MapSpace,
+    count: int,
+    seed: int = 0,
+) -> Iterable[LoopNestMapping]:
+    """Generate up to ``count`` random valid mappings from the map space."""
+    rng = np.random.default_rng(seed)
+    produced = 0
+    attempts = 0
+    max_attempts = count * 20 + 100
+    while produced < count and attempts < max_attempts:
+        attempts += 1
+        tiling = random_tiling(dict(space.einsum.dimensions), space.num_levels, rng=rng)
+        # Apply pinned factors by overriding the sampled split.
+        for (level_index, dim), factor in space.fixed_factors.items():
+            extent = space.einsum.extent(dim)
+            if extent % factor != 0:
+                raise MappingError(
+                    f"fixed factor {factor} does not divide extent {extent} of {dim}"
+                )
+            remainder = extent // factor
+            factors = [1] * space.num_levels
+            factors[level_index] = factor
+            # Put the remainder at the outermost level.
+            factors[-1] = factors[-1] * remainder if level_index != space.num_levels - 1 else factors[-1]
+            if level_index == space.num_levels - 1:
+                factors[0] = remainder
+            tiling[dim] = tuple(factors)
+        try:
+            mapping = _tiling_to_mapping(space, tiling, spatial_levels={})
+        except MappingError:
+            continue
+        if not _respects_constraints(space, mapping):
+            continue
+        produced += 1
+        yield mapping
+
+
+def search_mappings(
+    space: MapSpace,
+    cost_function: Optional[CostFunction] = None,
+    num_mappings: int = 100,
+    seed: int = 0,
+    stores: Optional[Dict[int, Tuple[TensorRole, ...]]] = None,
+) -> MappingSearchResult:
+    """Random-search the map space and return the lowest-cost mapping.
+
+    Parameters
+    ----------
+    space:
+        The map space to search.
+    cost_function:
+        Maps access counts to a scalar cost (lower is better).  Defaults to
+        the weighted access-count proxy.
+    num_mappings:
+        Number of random mappings to evaluate.
+    seed:
+        RNG seed for reproducibility.
+    stores:
+        Optional per-level stored-tensor sets forwarded to the analysis.
+    """
+    cost_function = cost_function or default_cost
+    best_mapping: Optional[LoopNestMapping] = None
+    best_counts: Optional[AccessCounts] = None
+    best_cost = math.inf
+    evaluated = 0
+    valid = 0
+
+    for mapping in random_mappings(space, num_mappings, seed=seed):
+        evaluated += 1
+        counts = analyze_mapping(mapping, stores=stores)
+        valid += 1
+        cost = cost_function(counts)
+        if cost < best_cost:
+            best_cost = cost
+            best_mapping = mapping
+            best_counts = counts
+
+    if best_mapping is None or best_counts is None:
+        raise MappingError(
+            "mapping search found no valid mapping; relax capacity or factor constraints"
+        )
+    return MappingSearchResult(
+        best_mapping=best_mapping,
+        best_cost=best_cost,
+        best_counts=best_counts,
+        mappings_evaluated=evaluated,
+        valid_mappings=valid,
+    )

@@ -1,0 +1,126 @@
+"""Tiling factorisation utilities.
+
+Mapping search requires splitting each workload dimension's extent into
+per-level factors whose product equals the extent.  These helpers
+enumerate or sample such splits.  Extents are allowed to be split with a
+remainder handled by "imperfect" factors (a final partial tile), in which
+case utilisation < 1; enumeration here sticks to perfect factorisations
+and lets callers model imperfect tiles through ceil-division utilisation,
+which is how the macro-level model accounts for underutilised arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.errors import MappingError
+
+
+@lru_cache(maxsize=4096)
+def divisors(value: int) -> Tuple[int, ...]:
+    """All positive divisors of ``value``, ascending."""
+    if value < 1:
+        raise MappingError(f"divisors of non-positive value {value}")
+    small, large = [], []
+    for candidate in range(1, int(math.isqrt(value)) + 1):
+        if value % candidate == 0:
+            small.append(candidate)
+            if candidate != value // candidate:
+                large.append(value // candidate)
+    return tuple(small + large[::-1])
+
+
+def factor_splits(extent: int, parts: int) -> Iterator[Tuple[int, ...]]:
+    """Yield every ordered tuple of ``parts`` factors whose product is ``extent``."""
+    if parts < 1:
+        raise MappingError("parts must be at least 1")
+    if parts == 1:
+        yield (extent,)
+        return
+    for first in divisors(extent):
+        for rest in factor_splits(extent // first, parts - 1):
+            yield (first,) + rest
+
+
+def count_factor_splits(extent: int, parts: int) -> int:
+    """Number of ordered factorisations of ``extent`` into ``parts`` factors."""
+    return sum(1 for _ in factor_splits(extent, parts))
+
+
+def balanced_split(extent: int, parts: int) -> Tuple[int, ...]:
+    """A factorisation that spreads the extent as evenly as possible.
+
+    The split is greedy: each position takes the divisor of the remaining
+    extent closest to the ideal ``remaining ** (1/positions_left)``.
+    """
+    if parts < 1:
+        raise MappingError("parts must be at least 1")
+    remaining = extent
+    factors: List[int] = []
+    for position in range(parts, 0, -1):
+        if position == 1:
+            factors.append(remaining)
+            break
+        ideal = remaining ** (1.0 / position)
+        candidates = divisors(remaining)
+        best = min(candidates, key=lambda d: abs(d - ideal))
+        factors.append(best)
+        remaining //= best
+    return tuple(factors)
+
+
+def enumerate_tilings(
+    dimensions: Dict[str, int],
+    parts: int,
+    limit: int | None = None,
+) -> Iterator[Dict[str, Tuple[int, ...]]]:
+    """Enumerate joint factorisations of several dimensions into ``parts`` levels.
+
+    The full cross product can be enormous; ``limit`` truncates the
+    enumeration after that many tilings.
+    """
+    names = list(dimensions)
+
+    def recurse(index: int, partial: Dict[str, Tuple[int, ...]]) -> Iterator[Dict[str, Tuple[int, ...]]]:
+        if index == len(names):
+            yield dict(partial)
+            return
+        name = names[index]
+        for split in factor_splits(dimensions[name], parts):
+            partial[name] = split
+            yield from recurse(index + 1, partial)
+        partial.pop(name, None)
+
+    produced = 0
+    for tiling in recurse(0, {}):
+        yield tiling
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+
+
+def random_tiling(
+    dimensions: Dict[str, int],
+    parts: int,
+    rng: np.random.Generator | None = None,
+) -> Dict[str, Tuple[int, ...]]:
+    """Sample one random joint factorisation of all dimensions into ``parts`` levels."""
+    rng = rng if rng is not None else np.random.default_rng()
+    tiling: Dict[str, Tuple[int, ...]] = {}
+    for name, extent in dimensions.items():
+        factors: List[int] = []
+        remaining = extent
+        for position in range(parts - 1):
+            options = divisors(remaining)
+            choice = int(options[rng.integers(len(options))])
+            factors.append(choice)
+            remaining //= choice
+        factors.append(remaining)
+        # Shuffle so large factors are not biased toward early levels.
+        order = rng.permutation(parts)
+        tiling[name] = tuple(factors[i] for i in order)
+    return tiling

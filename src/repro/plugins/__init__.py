@@ -1,0 +1,22 @@
+"""Component estimation plug-ins.
+
+The paper's Accelergy-style plug-in architecture lets a system description
+name a component class (``adc``, ``sram_buffer``, ``memory_cell``, ...) and
+have a plug-in supply its energy/area model.  This package provides:
+
+* :mod:`repro.plugins.registry` — the plug-in registry mapping component
+  class names to estimator factories, used when building hardware from a
+  :class:`~repro.spec.hierarchy.ContainerHierarchy`.
+* :mod:`repro.plugins.neurosim` — the NeuroSim-style plug-in bundling
+  array, driver, and ADC models (used by the accuracy/speed experiments).
+* :mod:`repro.plugins.adc_plugin` — the regression-based ADC plug-in.
+* :mod:`repro.plugins.cacti_like` — CACTI-style buffer estimators.
+* :mod:`repro.plugins.aladdin_like` — Aladdin-style digital estimators.
+* :mod:`repro.plugins.library` — the component library plug-in with
+  off-the-shelf models from published CiM works.
+"""
+
+from repro.plugins.registry import PluginRegistry, default_registry
+from repro.plugins.neurosim import NeuroSimPlugin
+
+__all__ = ["PluginRegistry", "default_registry", "NeuroSimPlugin"]

@@ -1,0 +1,54 @@
+"""Aladdin-style digital component estimators.
+
+The paper's digital components (adders, shift-adds, multiplexers,
+registers, full MACs) are estimated by the Aladdin pre-RTL plug-in.  This
+module provides the same named-operation interface over the provided
+digital circuit models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.circuits.digital import (
+    DigitalAccumulator,
+    DigitalAdder,
+    DigitalMACUnit,
+    Multiplexer,
+    Register,
+    ShiftAdd,
+)
+from repro.circuits.interface import ComponentEnergyModel
+from repro.devices.technology import TechnologyNode
+from repro.utils.errors import PluginError
+
+_OPERATIONS = {
+    "adder": DigitalAdder,
+    "accumulator": DigitalAccumulator,
+    "shift_add": ShiftAdd,
+    "mac": DigitalMACUnit,
+    "multiplexer": Multiplexer,
+    "register": Register,
+}
+
+
+def estimate_digital(
+    operation: str,
+    bits: int = 8,
+    count: int = 1,
+    technology: TechnologyNode | None = None,
+) -> ComponentEnergyModel:
+    """Estimator for a named digital operation ('adder', 'mac', ...)."""
+    try:
+        cls = _OPERATIONS[operation.lower()]
+    except KeyError as exc:
+        raise PluginError(
+            f"unknown digital operation {operation!r}; "
+            f"available: {', '.join(sorted(_OPERATIONS))}"
+        ) from exc
+    return cls(bits=bits, count=count, technology=technology or TechnologyNode(65))
+
+
+def digital_operations() -> Dict[str, type]:
+    """The operations this plug-in can estimate."""
+    return dict(_OPERATIONS)

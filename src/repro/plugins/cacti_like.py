@@ -1,0 +1,49 @@
+"""CACTI-style buffer and DRAM estimators.
+
+The paper uses the CACTI plug-in for on-chip buffers and CACTI-IO for
+off-chip memory.  These helpers expose the same "give me a buffer of this
+capacity and width" interface on top of the provided SRAM/DRAM models.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.buffers import SRAMBuffer
+from repro.circuits.memory import DRAMModel
+from repro.devices.technology import TechnologyNode
+from repro.utils.errors import PluginError
+
+
+def estimate_sram(
+    capacity_bytes: int,
+    access_width_bits: int = 64,
+    banks: int = 1,
+    technology: TechnologyNode | None = None,
+) -> SRAMBuffer:
+    """An SRAM buffer estimator (CACTI-style capacity/width scaling)."""
+    if capacity_bytes < 1:
+        raise PluginError("SRAM capacity must be positive")
+    return SRAMBuffer(
+        capacity_bytes=capacity_bytes,
+        access_width_bits=access_width_bits,
+        banks=banks,
+        technology=technology or TechnologyNode(65),
+    )
+
+
+def estimate_dram(
+    energy_per_bit_pj: float = 4.0,
+    bandwidth_gbps: float = 128.0,
+    access_width_bits: int = 64,
+) -> DRAMModel:
+    """An off-chip DRAM estimator (CACTI-IO-style pJ/bit interface model)."""
+    return DRAMModel(
+        energy_per_bit_pj=energy_per_bit_pj,
+        bandwidth_gbps=bandwidth_gbps,
+        access_width_bits=access_width_bits,
+    )
+
+
+def sram_energy_per_bit_pj(capacity_bytes: int, technology: TechnologyNode | None = None) -> float:
+    """Energy per bit of an SRAM access, for quick hierarchy sanity checks."""
+    buffer = estimate_sram(capacity_bytes, technology=technology)
+    return buffer.access_energy() / buffer.access_width_bits / 1e-12

@@ -1,0 +1,125 @@
+"""Component library plug-in.
+
+The paper's Library plug-in collects off-the-shelf component models used
+across published CiM works (ISAAC, RAELLA, FORMS, TIMELY, AtomLayer, ...)
+so users can quickly assemble new systems or compare architectures on a
+common component set.  This module provides named presets built on the
+provided circuit models; each preset records which published work it is
+styled after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.circuits.adc import ADCModel
+from repro.circuits.analog import AnalogAccumulator, AnalogAdder, AnalogMACUnit
+from repro.circuits.buffers import SRAMBuffer
+from repro.circuits.dac import DACModel, DACType
+from repro.circuits.digital import DigitalAccumulator, ShiftAdd
+from repro.circuits.interface import ComponentEnergyModel
+from repro.devices.technology import TechnologyNode
+from repro.utils.errors import PluginError
+
+
+@dataclass(frozen=True)
+class LibraryEntry:
+    """One off-the-shelf component preset."""
+
+    name: str
+    styled_after: str
+    factory: Callable[[TechnologyNode], ComponentEnergyModel]
+
+    def build(self, technology: TechnologyNode | None = None) -> ComponentEnergyModel:
+        """Instantiate the preset at a technology node."""
+        return self.factory(technology or TechnologyNode(65))
+
+
+def _entries() -> List[LibraryEntry]:
+    return [
+        LibraryEntry(
+            name="isaac_adc",
+            styled_after="ISAAC (Shafiee et al., ISCA 2016) 8-bit pipelined ADC",
+            factory=lambda tech: ADCModel(resolution_bits=8, throughput_msps=1280, technology=tech),
+        ),
+        LibraryEntry(
+            name="isaac_dac",
+            styled_after="ISAAC 1-bit input driver DAC",
+            factory=lambda tech: DACModel(resolution_bits=1, technology=tech),
+        ),
+        LibraryEntry(
+            name="raella_adc",
+            styled_after="RAELLA (Andrulis et al., ISCA 2023) low-resolution value-aware ADC",
+            factory=lambda tech: ADCModel(resolution_bits=7, value_aware=True, technology=tech),
+        ),
+        LibraryEntry(
+            name="forms_dac",
+            styled_after="FORMS (Yuan et al., ISCA 2021) magnitude-only pulse DAC",
+            factory=lambda tech: DACModel(
+                resolution_bits=4, dac_type=DACType.PULSE, technology=tech
+            ),
+        ),
+        LibraryEntry(
+            name="timely_analog_accumulator",
+            styled_after="TIMELY (Li et al., ISCA 2020) in-time analog accumulation",
+            factory=lambda tech: AnalogAccumulator(technology=tech),
+        ),
+        LibraryEntry(
+            name="sinangil_analog_adder",
+            styled_after="Macro B (Sinangil et al., JSSC 2021) 4-operand analog adder",
+            factory=lambda tech: AnalogAdder(operands=4, technology=tech),
+        ),
+        LibraryEntry(
+            name="wang_c2c_mac",
+            styled_after="Macro D (Wang et al., JSSC 2023) 8-bit C-2C ladder MAC",
+            factory=lambda tech: AnalogMACUnit(weight_bits=8, technology=tech),
+        ),
+        LibraryEntry(
+            name="eyeriss_global_buffer",
+            styled_after="Eyeriss (Chen et al., JSSC 2017) 108 KiB global buffer",
+            factory=lambda tech: SRAMBuffer(
+                capacity_bytes=108 * 1024, access_width_bits=64, technology=tech
+            ),
+        ),
+        LibraryEntry(
+            name="bit_serial_shift_add",
+            styled_after="Bit-serial input shift-and-add post-processing",
+            factory=lambda tech: ShiftAdd(bits=16, technology=tech),
+        ),
+        LibraryEntry(
+            name="partial_sum_accumulator",
+            styled_after="Digital partial-sum accumulator register",
+            factory=lambda tech: DigitalAccumulator(bits=24, technology=tech),
+        ),
+    ]
+
+
+class LibraryPlugin:
+    """Named off-the-shelf component presets from published CiM works."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, LibraryEntry] = {entry.name: entry for entry in _entries()}
+
+    def available(self) -> List[str]:
+        """Names of every preset."""
+        return sorted(self._entries)
+
+    def entry(self, name: str) -> LibraryEntry:
+        """Look up a preset by name."""
+        try:
+            return self._entries[name]
+        except KeyError as exc:
+            raise PluginError(
+                f"no library component named {name!r}; available: {', '.join(self.available())}"
+            ) from exc
+
+    def build(self, name: str, technology: TechnologyNode | None = None) -> ComponentEnergyModel:
+        """Instantiate a preset by name."""
+        return self.entry(name).build(technology)
+
+    def register(self, entry: LibraryEntry) -> None:
+        """Add a user-defined preset to the library."""
+        if not entry.name:
+            raise PluginError("library entries need a non-empty name")
+        self._entries[entry.name] = entry

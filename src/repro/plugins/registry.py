@@ -1,0 +1,221 @@
+"""Plug-in registry: component class name -> energy/area estimator factory.
+
+A factory receives the component's attributes (from its spec node) plus the
+technology node and returns a
+:class:`~repro.circuits.interface.ComponentEnergyModel`.  The default
+registry wires up every component class the provided circuit library
+models; users register additional classes for custom components, which is
+the extension point the paper's plug-in interface provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.circuits.adc import ADCModel
+from repro.circuits.analog import AnalogAccumulator, AnalogAdder, AnalogMACUnit
+from repro.circuits.buffers import RegisterFile, SRAMBuffer
+from repro.circuits.dac import DACModel, DACType
+from repro.circuits.digital import (
+    DigitalAccumulator,
+    DigitalAdder,
+    DigitalMACUnit,
+    Multiplexer,
+    Register,
+    ShiftAdd,
+)
+from repro.circuits.drivers import ColumnMux, RowDriver
+from repro.circuits.interface import ComponentEnergyModel
+from repro.circuits.memory import DRAMModel
+from repro.circuits.router import NoCLink, NoCRouter
+from repro.devices.technology import TechnologyNode
+from repro.utils.errors import PluginError
+
+EstimatorFactory = Callable[[Mapping[str, object], TechnologyNode], ComponentEnergyModel]
+
+
+def _get_int(attributes: Mapping[str, object], key: str, default: int) -> int:
+    value = attributes.get(key, default)
+    return int(value)  # type: ignore[arg-type]
+
+
+def _get_float(attributes: Mapping[str, object], key: str, default: float) -> float:
+    value = attributes.get(key, default)
+    return float(value)  # type: ignore[arg-type]
+
+
+@dataclass
+class PluginRegistry:
+    """Registry of estimator factories keyed by component class name."""
+
+    _factories: Dict[str, EstimatorFactory] = field(default_factory=dict)
+
+    def register(self, component_class: str, factory: EstimatorFactory) -> None:
+        """Register (or replace) a factory for a component class."""
+        if not component_class:
+            raise PluginError("component class name must be non-empty")
+        self._factories[component_class.lower()] = factory
+
+    def create(
+        self,
+        component_class: str,
+        attributes: Optional[Mapping[str, object]] = None,
+        technology: Optional[TechnologyNode] = None,
+    ) -> ComponentEnergyModel:
+        """Instantiate an estimator for a component class."""
+        try:
+            factory = self._factories[component_class.lower()]
+        except KeyError as exc:
+            raise PluginError(
+                f"no plug-in registered for component class {component_class!r}; "
+                f"available: {', '.join(self.available())}"
+            ) from exc
+        return factory(attributes or {}, technology or TechnologyNode(65))
+
+    def available(self) -> List[str]:
+        """All registered component class names."""
+        return sorted(self._factories)
+
+    def __contains__(self, component_class: str) -> bool:
+        return component_class.lower() in self._factories
+
+
+def default_registry() -> PluginRegistry:
+    """The built-in registry covering the provided circuit models."""
+    registry = PluginRegistry()
+
+    registry.register(
+        "adc",
+        lambda attrs, tech: ADCModel(
+            resolution_bits=_get_int(attrs, "resolution", 8),
+            throughput_msps=_get_float(attrs, "throughput_msps", 100.0),
+            count=_get_int(attrs, "count", 1),
+            technology=tech,
+            value_aware=bool(attrs.get("value_aware", False)),
+        ),
+    )
+    registry.register(
+        "dac",
+        lambda attrs, tech: DACModel(
+            resolution_bits=_get_int(attrs, "resolution", 1),
+            count=_get_int(attrs, "count", 1),
+            dac_type=DACType(str(attrs.get("dac_type", "capacitive"))),
+            technology=tech,
+        ),
+    )
+    registry.register(
+        "sram_buffer",
+        lambda attrs, tech: SRAMBuffer(
+            capacity_bytes=_get_int(attrs, "capacity_bytes", 64 * 1024),
+            access_width_bits=_get_int(attrs, "width", 64),
+            technology=tech,
+        ),
+    )
+    registry.register(
+        "register_file",
+        lambda attrs, tech: RegisterFile(
+            entries=_get_int(attrs, "entries", 16),
+            width_bits=_get_int(attrs, "width", 16),
+            technology=tech,
+        ),
+    )
+    registry.register(
+        "dram",
+        lambda attrs, tech: DRAMModel(
+            energy_per_bit_pj=_get_float(attrs, "energy_per_bit_pj", 4.0),
+            bandwidth_gbps=_get_float(attrs, "bandwidth_gbps", 128.0),
+        ),
+    )
+    registry.register(
+        "analog_adder",
+        lambda attrs, tech: AnalogAdder(
+            operands=_get_int(attrs, "operands", 2),
+            count=_get_int(attrs, "count", 1),
+            technology=tech,
+        ),
+    )
+    registry.register(
+        "analog_accumulator",
+        lambda attrs, tech: AnalogAccumulator(
+            count=_get_int(attrs, "count", 1), technology=tech
+        ),
+    )
+    registry.register(
+        "analog_mac",
+        lambda attrs, tech: AnalogMACUnit(
+            weight_bits=_get_int(attrs, "weight_bits", 8),
+            count=_get_int(attrs, "count", 1),
+            technology=tech,
+        ),
+    )
+    registry.register(
+        "digital_adder",
+        lambda attrs, tech: DigitalAdder(
+            bits=_get_int(attrs, "bits", 8), count=_get_int(attrs, "count", 1), technology=tech
+        ),
+    )
+    registry.register(
+        "digital_accumulator",
+        lambda attrs, tech: DigitalAccumulator(
+            bits=_get_int(attrs, "bits", 16), count=_get_int(attrs, "count", 1), technology=tech
+        ),
+    )
+    registry.register(
+        "digital_mac",
+        lambda attrs, tech: DigitalMACUnit(
+            bits=_get_int(attrs, "bits", 8), count=_get_int(attrs, "count", 1), technology=tech
+        ),
+    )
+    registry.register(
+        "shift_add",
+        lambda attrs, tech: ShiftAdd(
+            bits=_get_int(attrs, "bits", 16), count=_get_int(attrs, "count", 1), technology=tech
+        ),
+    )
+    registry.register(
+        "multiplexer",
+        lambda attrs, tech: Multiplexer(
+            bits=_get_int(attrs, "bits", 8),
+            ways=_get_int(attrs, "ways", 8),
+            technology=tech,
+        ),
+    )
+    registry.register(
+        "register",
+        lambda attrs, tech: Register(
+            bits=_get_int(attrs, "bits", 16), count=_get_int(attrs, "count", 1), technology=tech
+        ),
+    )
+    registry.register(
+        "row_driver",
+        lambda attrs, tech: RowDriver(
+            columns=_get_int(attrs, "columns", 256),
+            count=_get_int(attrs, "count", 1),
+            technology=tech,
+        ),
+    )
+    registry.register(
+        "column_mux",
+        lambda attrs, tech: ColumnMux(
+            ways=_get_int(attrs, "ways", 8),
+            rows=_get_int(attrs, "rows", 256),
+            count=_get_int(attrs, "count", 1),
+            technology=tech,
+        ),
+    )
+    registry.register(
+        "noc_router",
+        lambda attrs, tech: NoCRouter(
+            flit_bits=_get_int(attrs, "flit_bits", 64), technology=tech
+        ),
+    )
+    registry.register(
+        "noc_link",
+        lambda attrs, tech: NoCLink(
+            flit_bits=_get_int(attrs, "flit_bits", 64),
+            length_mm=_get_float(attrs, "length_mm", 1.0),
+            technology=tech,
+        ),
+    )
+    return registry

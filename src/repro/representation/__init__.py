@@ -1,0 +1,43 @@
+"""Hardware data representations: encoding and bit slicing.
+
+The paper (Sec. II-D) breaks data-value-dependence into three stages:
+workload operand values, the hardware *representation* of those values, and
+the circuits that propagate them.  This package implements the middle stage:
+
+* :mod:`repro.representation.encoding` — how signed operands are expressed
+  as non-negative digital codes (two's complement, offset, differential,
+  XNOR, magnitude-only).
+* :mod:`repro.representation.slicing` — how encoded codes are partitioned
+  into bit slices spread across devices, circuits, or timesteps.
+* :mod:`repro.representation.numeric` — fixed-point quantisation helpers
+  used when profiling floating-point workload tensors.
+"""
+
+from repro.representation.encoding import (
+    DifferentialEncoding,
+    Encoding,
+    MagnitudeOnlyEncoding,
+    OffsetEncoding,
+    TwosComplementEncoding,
+    UnsignedEncoding,
+    XnorEncoding,
+    get_encoding,
+    list_encodings,
+)
+from repro.representation.numeric import quantize_to_integers
+from repro.representation.slicing import SlicedDistribution, Slicing
+
+__all__ = [
+    "Encoding",
+    "TwosComplementEncoding",
+    "OffsetEncoding",
+    "DifferentialEncoding",
+    "XnorEncoding",
+    "MagnitudeOnlyEncoding",
+    "UnsignedEncoding",
+    "get_encoding",
+    "list_encodings",
+    "Slicing",
+    "SlicedDistribution",
+    "quantize_to_integers",
+]

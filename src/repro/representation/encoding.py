@@ -1,0 +1,301 @@
+"""Operand encodings.
+
+An *encoding* maps a signed integer operand (already quantised to ``bits``
+bits) onto one or more non-negative digital codes, each of which is then
+physically realised by devices and circuits (cell conductances, DAC
+voltages, ...).  Several encodings used by published CiM macros are
+provided; the paper lists offset, differential, XNOR, and magnitude-only
+encodings (Sec. III-C1b).
+
+Every encoding implements two views of the same transformation:
+
+* :meth:`Encoding.encode` — encode a single integer, returning one code per
+  *lane*.  Differential encodings, for example, produce two lanes (positive
+  and negative line); single-ended encodings produce one.
+* :meth:`Encoding.encode_pmf` — push a :class:`~repro.utils.prob.Pmf` of
+  operand values through the encoding, returning one PMF per lane.  This is
+  the path used by the fast statistical pipeline.
+
+Codes are always integers in ``[0, 2**bits - 1]`` for binary encodings, or
+``[0, levels - 1]`` for level-based encodings, so downstream slicing can
+treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence, Type
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.prob import Pmf
+
+
+def _check_bits(bits: int) -> None:
+    if bits < 1 or bits > 64:
+        raise ValidationError(f"bit width must be in [1, 64], got {bits}")
+
+
+def signed_range(bits: int) -> tuple[int, int]:
+    """Inclusive representable range of a ``bits``-bit two's complement value."""
+    _check_bits(bits)
+    return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+
+
+def unsigned_range(bits: int) -> tuple[int, int]:
+    """Inclusive representable range of a ``bits``-bit unsigned value."""
+    _check_bits(bits)
+    return 0, (1 << bits) - 1
+
+
+class Encoding(ABC):
+    """Base class for operand encodings."""
+
+    #: Registry name (set on subclasses).
+    name: str = "abstract"
+
+    #: Number of physical lanes each operand is encoded onto.
+    lanes: int = 1
+
+    def __init__(self, bits: int):
+        _check_bits(bits)
+        self.bits = bits
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def encode(self, value: int) -> List[int]:
+        """Encode one integer operand into one non-negative code per lane."""
+
+    @abstractmethod
+    def decode(self, codes: Sequence[int]) -> int:
+        """Invert :meth:`encode` (used for round-trip testing)."""
+
+    @abstractmethod
+    def representable_range(self) -> tuple[int, int]:
+        """Inclusive range of operand values this encoding accepts."""
+
+    # ------------------------------------------------------------------
+    def code_bits(self) -> int:
+        """Number of bits of each per-lane code."""
+        return self.bits
+
+    def max_code(self) -> int:
+        """Largest code value any lane may take."""
+        return (1 << self.code_bits()) - 1
+
+    def encode_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised encode: returns an array of shape ``(lanes, len(values))``."""
+        values = np.asarray(values, dtype=np.int64)
+        encoded = np.empty((self.lanes, values.size), dtype=np.int64)
+        flat = values.ravel()
+        for index, value in enumerate(flat):
+            codes = self.encode(int(value))
+            for lane in range(self.lanes):
+                encoded[lane, index] = codes[lane]
+        return encoded
+
+    def encode_pmf(self, pmf: Pmf) -> List[Pmf]:
+        """Push an operand PMF through the encoding, one output PMF per lane.
+
+        The default implementation enumerates the PMF support, which is
+        exact and fast because operand PMFs have at most ``2**bits`` support
+        points.
+        """
+        lane_maps: List[Dict[float, float]] = [dict() for _ in range(self.lanes)]
+        low, high = self.representable_range()
+        for value, prob in zip(pmf.values, pmf.probabilities):
+            clipped = int(np.clip(round(value), low, high))
+            codes = self.encode(clipped)
+            for lane, code in enumerate(codes):
+                lane_maps[lane][code] = lane_maps[lane].get(code, 0.0) + float(prob)
+        return [Pmf.from_mapping(lane_map) for lane_map in lane_maps]
+
+    def _check_value(self, value: int) -> int:
+        low, high = self.representable_range()
+        if not low <= value <= high:
+            raise ValidationError(
+                f"value {value} outside representable range [{low}, {high}] "
+                f"for {self.name} encoding with {self.bits} bits"
+            )
+        return int(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(bits={self.bits})"
+
+
+class UnsignedEncoding(Encoding):
+    """Identity encoding of already-unsigned operands (e.g. post-ReLU inputs)."""
+
+    name = "unsigned"
+    lanes = 1
+
+    def representable_range(self) -> tuple[int, int]:
+        return unsigned_range(self.bits)
+
+    def encode(self, value: int) -> List[int]:
+        return [self._check_value(value)]
+
+    def decode(self, codes: Sequence[int]) -> int:
+        return int(codes[0])
+
+
+class TwosComplementEncoding(Encoding):
+    """Standard two's complement encoding onto a single lane."""
+
+    name = "twos_complement"
+    lanes = 1
+
+    def representable_range(self) -> tuple[int, int]:
+        return signed_range(self.bits)
+
+    def encode(self, value: int) -> List[int]:
+        value = self._check_value(value)
+        return [value & ((1 << self.bits) - 1)]
+
+    def decode(self, codes: Sequence[int]) -> int:
+        code = int(codes[0])
+        sign_bit = 1 << (self.bits - 1)
+        return code - (1 << self.bits) if code & sign_bit else code
+
+
+class OffsetEncoding(Encoding):
+    """Offset-binary encoding: ``code = value + 2**(bits-1)``.
+
+    Used by ISAAC-style macros so that all cell conductances are
+    non-negative; the constant offset is subtracted digitally after the
+    column sum.
+    """
+
+    name = "offset"
+    lanes = 1
+
+    def representable_range(self) -> tuple[int, int]:
+        return signed_range(self.bits)
+
+    def encode(self, value: int) -> List[int]:
+        value = self._check_value(value)
+        return [value + (1 << (self.bits - 1))]
+
+    def decode(self, codes: Sequence[int]) -> int:
+        return int(codes[0]) - (1 << (self.bits - 1))
+
+
+class DifferentialEncoding(Encoding):
+    """Differential encoding onto a positive lane and a negative lane.
+
+    Positive operands are placed on the positive lane and zero on the
+    negative lane (and vice versa), so each lane holds a magnitude of at
+    most ``2**(bits-1)``.  Sparse unsigned data therefore keeps both lanes
+    near zero, which is why the paper's Fig. 4 shows differential encoding
+    winning for sparse CNN activations.
+    """
+
+    name = "differential"
+    lanes = 2
+
+    def representable_range(self) -> tuple[int, int]:
+        return signed_range(self.bits)
+
+    def encode(self, value: int) -> List[int]:
+        value = self._check_value(value)
+        if value >= 0:
+            return [value, 0]
+        return [0, -value]
+
+    def decode(self, codes: Sequence[int]) -> int:
+        return int(codes[0]) - int(codes[1])
+
+    def code_bits(self) -> int:
+        # Each lane only holds a magnitude, which fits in bits-1 bits, but
+        # hardware typically provisions the full width; keep bits-1 so the
+        # slice count reflects the actual information content per lane.
+        return max(self.bits - 1, 1)
+
+
+class XnorEncoding(Encoding):
+    """XNOR/bipolar encoding of binary (+1/-1) operands onto two lanes.
+
+    Each operand bit b (interpreted as +1 for 1 and -1 for 0) is stored as
+    the pair (b, 1-b); the MAC of two such pairs realises an XNOR popcount.
+    For multi-bit operands the encoding applies bitwise, so each lane code
+    has the same width as the operand.
+    """
+
+    name = "xnor"
+    lanes = 2
+
+    def representable_range(self) -> tuple[int, int]:
+        return unsigned_range(self.bits)
+
+    def encode(self, value: int) -> List[int]:
+        value = self._check_value(value)
+        mask = (1 << self.bits) - 1
+        return [value, (~value) & mask]
+
+    def decode(self, codes: Sequence[int]) -> int:
+        return int(codes[0])
+
+
+class MagnitudeOnlyEncoding(Encoding):
+    """Sign/magnitude encoding where only the magnitude enters the analog path.
+
+    The sign is tracked digitally (as in FORMS-style polarised arrays), so
+    the single analog lane carries ``abs(value)``.
+    """
+
+    name = "magnitude_only"
+    lanes = 1
+
+    def representable_range(self) -> tuple[int, int]:
+        return signed_range(self.bits)
+
+    def encode(self, value: int) -> List[int]:
+        value = self._check_value(value)
+        return [abs(value)]
+
+    def decode(self, codes: Sequence[int]) -> int:
+        # Sign information is carried out-of-band; decode returns magnitude.
+        return int(codes[0])
+
+    def code_bits(self) -> int:
+        return max(self.bits - 1, 1)
+
+
+_ENCODINGS: Dict[str, Type[Encoding]] = {
+    cls.name: cls
+    for cls in (
+        UnsignedEncoding,
+        TwosComplementEncoding,
+        OffsetEncoding,
+        DifferentialEncoding,
+        XnorEncoding,
+        MagnitudeOnlyEncoding,
+    )
+}
+
+
+def list_encodings() -> List[str]:
+    """Names of all registered encodings."""
+    return sorted(_ENCODINGS)
+
+
+def get_encoding(name: str, bits: int) -> Encoding:
+    """Instantiate an encoding by registry name."""
+    try:
+        cls = _ENCODINGS[name]
+    except KeyError as exc:
+        raise ValidationError(
+            f"unknown encoding {name!r}; available: {', '.join(list_encodings())}"
+        ) from exc
+    return cls(bits)
+
+
+def register_encoding(cls: Type[Encoding]) -> Type[Encoding]:
+    """Register a user-defined encoding class (usable as a decorator)."""
+    if not issubclass(cls, Encoding):
+        raise ValidationError("custom encodings must subclass Encoding")
+    if not cls.name or cls.name == "abstract":
+        raise ValidationError("custom encodings must define a unique name")
+    _ENCODINGS[cls.name] = cls
+    return cls

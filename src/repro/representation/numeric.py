@@ -1,0 +1,68 @@
+"""Fixed-point quantisation helpers.
+
+Workload tensors are profiled as floating-point values (or generated
+synthetically as floats); before they reach the hardware representation
+layer they are quantised to signed integers of the operand bit width, the
+same way a deployed int8 CiM accelerator would quantise activations and
+weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.prob import Pmf
+
+
+def quantize_to_integers(
+    values: np.ndarray,
+    bits: int,
+    symmetric: bool = True,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Quantise floating-point values to ``bits``-bit signed integers.
+
+    Parameters
+    ----------
+    values:
+        Floating point tensor values.
+    bits:
+        Target bit width (two's complement).
+    symmetric:
+        If True (default), the scale maps ``max(abs(values))`` to the
+        largest positive code, keeping zero exactly representable.
+    scale:
+        Optional explicit scale (float units per integer step).  When not
+        given it is derived from the value range.
+    """
+    if bits < 1 or bits > 32:
+        raise ValidationError(f"bits must be in [1, 32], got {bits}")
+    values = np.asarray(values, dtype=float)
+    q_max = (1 << (bits - 1)) - 1
+    q_min = -(1 << (bits - 1))
+    if scale is None:
+        max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+        if max_abs == 0.0:
+            return np.zeros_like(values, dtype=np.int64)
+        if symmetric:
+            scale = max_abs / q_max
+        else:
+            span = float(np.max(values) - np.min(values))
+            scale = span / (q_max - q_min) if span > 0 else max_abs / q_max
+    if scale <= 0:
+        raise ValidationError("quantisation scale must be positive")
+    quantised = np.clip(np.round(values / scale), q_min, q_max)
+    return quantised.astype(np.int64)
+
+
+def quantized_pmf(values: np.ndarray, bits: int) -> Pmf:
+    """Empirical PMF of a tensor after quantisation to ``bits`` bits."""
+    return Pmf.from_samples(quantize_to_integers(values, bits))
+
+
+def dequantize(codes: np.ndarray, scale: float) -> np.ndarray:
+    """Map integer codes back to floating point values."""
+    if scale <= 0:
+        raise ValidationError("scale must be positive")
+    return np.asarray(codes, dtype=float) * scale

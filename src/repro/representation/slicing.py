@@ -1,0 +1,183 @@
+"""Bit slicing of encoded operand codes.
+
+After encoding, operand codes are *sliced*: their bits are partitioned
+across multiple physical resources.  Weight bits may be spread across
+several memory cells in adjacent columns (each cell storing
+``bits_per_slice`` bits), and input bits may be streamed over several DAC
+steps in consecutive cycles.  The paper exposes slices to the mapper so
+that the bits of each tensor can be tiled spatially and temporally
+(Sec. III-C1b).
+
+:class:`Slicing` converts a code PMF into per-slice PMFs used by the
+component energy models, and reports how many slices a code requires, which
+drives action counts (e.g. number of DAC steps per input).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.utils.errors import ValidationError
+from repro.utils.prob import Pmf
+
+
+@dataclass(frozen=True)
+class Slicing:
+    """Partition a ``total_bits``-wide code into slices of ``bits_per_slice``.
+
+    Slices are ordered least-significant first.  The final slice may carry
+    fewer bits when ``total_bits`` is not a multiple of ``bits_per_slice``.
+    """
+
+    total_bits: int
+    bits_per_slice: int
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 1:
+            raise ValidationError("total_bits must be at least 1")
+        if self.bits_per_slice < 1:
+            raise ValidationError("bits_per_slice must be at least 1")
+
+    @property
+    def num_slices(self) -> int:
+        """Number of slices needed to hold the full code."""
+        return math.ceil(self.total_bits / self.bits_per_slice)
+
+    def slice_widths(self) -> List[int]:
+        """Bit width of each slice, least-significant slice first."""
+        widths = []
+        remaining = self.total_bits
+        for _ in range(self.num_slices):
+            width = min(self.bits_per_slice, remaining)
+            widths.append(width)
+            remaining -= width
+        return widths
+
+    def slice_value(self, code: int, slice_index: int) -> int:
+        """Extract one slice of an integer code."""
+        if code < 0:
+            raise ValidationError("codes must be non-negative before slicing")
+        if not 0 <= slice_index < self.num_slices:
+            raise ValidationError(
+                f"slice index {slice_index} out of range for {self.num_slices} slices"
+            )
+        shift = slice_index * self.bits_per_slice
+        width = self.slice_widths()[slice_index]
+        return (code >> shift) & ((1 << width) - 1)
+
+    def slice_values(self, code: int) -> List[int]:
+        """Extract every slice of an integer code, least-significant first."""
+        return [self.slice_value(code, i) for i in range(self.num_slices)]
+
+    def assemble(self, slices: List[int]) -> int:
+        """Reassemble slice values into the original code (inverse of slicing)."""
+        if len(slices) != self.num_slices:
+            raise ValidationError(
+                f"expected {self.num_slices} slices, got {len(slices)}"
+            )
+        code = 0
+        for index, value in enumerate(slices):
+            code |= int(value) << (index * self.bits_per_slice)
+        return code
+
+    # ------------------------------------------------------------------
+    # Distribution interface
+    # ------------------------------------------------------------------
+    def slice_pmf(self, code_pmf: Pmf, slice_index: int) -> Pmf:
+        """PMF of a single slice of a code distributed as ``code_pmf``."""
+        mapping: dict[float, float] = {}
+        for value, prob in zip(code_pmf.values, code_pmf.probabilities):
+            sliced = self.slice_value(int(round(value)), slice_index)
+            mapping[sliced] = mapping.get(sliced, 0.0) + float(prob)
+        return Pmf.from_mapping(mapping)
+
+    def slice_pmfs(self, code_pmf: Pmf) -> List[Pmf]:
+        """PMFs of every slice of a code distributed as ``code_pmf``."""
+        return [self.slice_pmf(code_pmf, i) for i in range(self.num_slices)]
+
+    def average_slice_pmf(self, code_pmf: Pmf) -> Pmf:
+        """Mixture of all slice PMFs, weighted equally.
+
+        Energy models that are linear in per-slice statistics (which all of
+        the provided models are) can use this single distribution instead of
+        iterating over slices, because the average of per-slice expectations
+        equals the expectation under the equal-weight mixture.
+        """
+        mapping: dict[float, float] = {}
+        weight = 1.0 / self.num_slices
+        for index in range(self.num_slices):
+            slice_pmf = self.slice_pmf(code_pmf, index)
+            for value, prob in zip(slice_pmf.values, slice_pmf.probabilities):
+                mapping[float(value)] = mapping.get(float(value), 0.0) + prob * weight
+        return Pmf.from_mapping(mapping)
+
+
+@dataclass(frozen=True)
+class SlicedDistribution:
+    """An operand distribution after encoding and slicing.
+
+    This is the object handed to component energy models: it bundles the
+    per-lane, per-slice PMFs together with the slicing metadata that
+    determines action counts.
+
+    Attributes
+    ----------
+    lane_pmfs:
+        One list of slice PMFs per encoding lane.
+    slicing:
+        The slicing applied to each lane's code.
+    bits:
+        Original operand bit width before encoding.
+    """
+
+    lane_pmfs: List[List[Pmf]]
+    slicing: Slicing
+    bits: int
+
+    @property
+    def num_lanes(self) -> int:
+        """Number of encoding lanes (2 for differential/XNOR, else 1)."""
+        return len(self.lane_pmfs)
+
+    @property
+    def num_slices(self) -> int:
+        """Number of slices per lane."""
+        return self.slicing.num_slices
+
+    def flat_pmfs(self) -> List[Pmf]:
+        """All slice PMFs across all lanes, flattened."""
+        return [pmf for lane in self.lane_pmfs for pmf in lane]
+
+    def average_pmf(self) -> Pmf:
+        """Equal-weight mixture of every lane/slice PMF."""
+        pmfs = self.flat_pmfs()
+        mapping: dict[float, float] = {}
+        weight = 1.0 / len(pmfs)
+        for pmf in pmfs:
+            for value, prob in zip(pmf.values, pmf.probabilities):
+                mapping[float(value)] = mapping.get(float(value), 0.0) + prob * weight
+        return Pmf.from_mapping(mapping)
+
+    def mean_normalized(self) -> float:
+        """Mean slice value normalised to the slice full scale (in [0, 1])."""
+        full_scale = (1 << self.slicing.bits_per_slice) - 1
+        if full_scale == 0:
+            return 0.0
+        return self.average_pmf().mean / full_scale
+
+    def mean_square_normalized(self) -> float:
+        """Mean squared slice value normalised to the squared full scale."""
+        full_scale = (1 << self.slicing.bits_per_slice) - 1
+        if full_scale == 0:
+            return 0.0
+        return self.average_pmf().mean_square / (full_scale * full_scale)
+
+
+def encode_and_slice(pmf: Pmf, encoding, bits_per_slice: int) -> SlicedDistribution:
+    """Convenience helper: encode a value PMF and slice each lane's codes."""
+    lane_code_pmfs = encoding.encode_pmf(pmf)
+    slicing = Slicing(total_bits=encoding.code_bits(), bits_per_slice=bits_per_slice)
+    lane_pmfs = [slicing.slice_pmfs(code_pmf) for code_pmf in lane_code_pmfs]
+    return SlicedDistribution(lane_pmfs=lane_pmfs, slicing=slicing, bits=encoding.bits)

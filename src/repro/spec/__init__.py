@@ -1,0 +1,37 @@
+"""Flexible system specification: components, containers, and reuse directives.
+
+This package implements the paper's first contribution (Sec. III-B): a
+specification that describes both circuits and architecture in a single
+*container-hierarchy*, with per-component, per-tensor data movement
+directives:
+
+* ``temporal_reuse`` — the component stores the tensor across cycles.
+* ``coalesce`` — the component merges multiple accesses of the same value
+  into one access of backing storage (e.g. an adder coalescing outputs).
+* ``no_coalesce`` — the component propagates the tensor but cannot merge
+  accesses (e.g. a DAC).
+* ``spatial_reuse`` — the tensor is multicast/reduced across the spatial
+  instances inside a container (vs. unicast).
+* bypass — tensors not listed for a component skip it entirely.
+
+Specifications can be written as YAML documents using ``!Component`` /
+``!Container`` tags (the paper's Fig. 5b syntax) or constructed
+programmatically.
+"""
+
+from repro.spec.component import ComponentSpec, ContainerSpec, ReuseDirective, SpecNode
+from repro.spec.hierarchy import ContainerHierarchy
+from repro.spec.yaml_loader import dumps_yaml, load_yaml_file, loads_yaml
+from repro.spec.validation import validate_hierarchy
+
+__all__ = [
+    "ReuseDirective",
+    "SpecNode",
+    "ComponentSpec",
+    "ContainerSpec",
+    "ContainerHierarchy",
+    "loads_yaml",
+    "load_yaml_file",
+    "dumps_yaml",
+    "validate_hierarchy",
+]

@@ -1,0 +1,281 @@
+"""Component and container specification nodes.
+
+A system is described as an ordered sequence of :class:`ComponentSpec` and
+:class:`ContainerSpec` nodes.  Containers group all subsequent nodes (the
+paper's Fig. 5b flat-YAML convention) or, equivalently, hold explicit child
+lists when built programmatically.  Each component declares, per tensor,
+how it moves and reuses data through a :class:`ReuseDirective`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.utils.errors import SpecificationError
+from repro.workloads.einsum import ALL_TENSORS, TensorRole
+
+
+class ReuseDirective(str, Enum):
+    """How one component handles one tensor (paper Sec. III-B1)."""
+
+    #: Stores the tensor across cycles (a buffer, a memory cell).
+    TEMPORAL_REUSE = "temporal_reuse"
+    #: Propagates the tensor without storage but can merge repeated
+    #: accesses of the same value into one backing-store access (an adder).
+    COALESCE = "coalesce"
+    #: Propagates the tensor without storage and cannot merge accesses
+    #: (a DAC or ADC: every use is a fresh conversion).
+    NO_COALESCE = "no_coalesce"
+    #: The tensor does not pass through this component at all.
+    BYPASS = "bypass"
+
+    @property
+    def stores(self) -> bool:
+        """True if the directive retains data across cycles."""
+        return self is ReuseDirective.TEMPORAL_REUSE
+
+    @property
+    def touches(self) -> bool:
+        """True if the tensor activates the component at all."""
+        return self is not ReuseDirective.BYPASS
+
+    @property
+    def can_coalesce(self) -> bool:
+        """True if repeated accesses can be merged into one parent access.
+
+        Temporal-reuse components can always coalesce when given the
+        opportunity (paper Sec. III-B1).
+        """
+        return self in (ReuseDirective.TEMPORAL_REUSE, ReuseDirective.COALESCE)
+
+
+def _parse_tensor_list(raw: Sequence[str] | None) -> Tuple[TensorRole, ...]:
+    if not raw:
+        return ()
+    parsed = []
+    for item in raw:
+        if isinstance(item, TensorRole):
+            parsed.append(item)
+            continue
+        try:
+            parsed.append(TensorRole(item))
+        except ValueError as exc:
+            valid = ", ".join(role.value for role in ALL_TENSORS)
+            raise SpecificationError(
+                f"unknown tensor {item!r} in specification; expected one of {valid}"
+            ) from exc
+    return tuple(parsed)
+
+
+@dataclass
+class SpecNode:
+    """Base class of specification nodes: a name plus free-form attributes."""
+
+    name: str
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecificationError("every spec node needs a non-empty name")
+
+    def attribute(self, key: str, default: object = None) -> object:
+        """Look up an attribute with a default."""
+        return self.attributes.get(key, default)
+
+
+@dataclass
+class ComponentSpec(SpecNode):
+    """A leaf component: class, attributes, spatial fanout, reuse directives.
+
+    Parameters
+    ----------
+    component_class:
+        The kind of hardware this is (``adc``, ``dac``, ``sram_buffer``,
+        ``memory_cell``, ...); used by the architecture builder to pick an
+        energy model.
+    spatial:
+        Mapping of mesh dimension (``meshX``/``meshY``) to instance count.
+    directives:
+        Per-tensor :class:`ReuseDirective`.  Tensors not present default to
+        BYPASS.
+    spatial_reuse:
+        Tensors that are multicast/reduced across this component's spatial
+        instances (others are unicast).
+    constraints:
+        Optional mapping constraints (e.g. which workload dimensions may be
+        mapped across this component's spatial instances).
+    """
+
+    component_class: str = "component"
+    spatial: Dict[str, int] = field(default_factory=dict)
+    directives: Dict[TensorRole, ReuseDirective] = field(default_factory=dict)
+    spatial_reuse: Tuple[TensorRole, ...] = ()
+    constraints: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for dim, count in self.spatial.items():
+            if dim not in ("meshX", "meshY"):
+                raise SpecificationError(
+                    f"component {self.name!r}: unknown spatial dimension {dim!r}"
+                )
+            if int(count) < 1:
+                raise SpecificationError(
+                    f"component {self.name!r}: spatial fanout must be >= 1"
+                )
+        self.spatial = {dim: int(count) for dim, count in self.spatial.items()}
+        self.spatial_reuse = _parse_tensor_list(self.spatial_reuse)
+
+    # ------------------------------------------------------------------
+    @property
+    def instances(self) -> int:
+        """Total spatial instances (product of mesh dimensions)."""
+        total = 1
+        for count in self.spatial.values():
+            total *= count
+        return total
+
+    def directive_for(self, role: TensorRole) -> ReuseDirective:
+        """Reuse directive for one tensor (BYPASS when unlisted)."""
+        return self.directives.get(role, ReuseDirective.BYPASS)
+
+    def touches(self, role: TensorRole) -> bool:
+        """True if the tensor passes through (activates) this component."""
+        return self.directive_for(role).touches
+
+    def stored_tensors(self) -> Tuple[TensorRole, ...]:
+        """Tensors this component retains across cycles."""
+        return tuple(r for r in ALL_TENSORS if self.directive_for(r).stores)
+
+    def reuses_spatially(self, role: TensorRole) -> bool:
+        """True if the tensor is multicast/reduced across spatial instances."""
+        return role in self.spatial_reuse
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_mapping(raw: Mapping[str, object]) -> "ComponentSpec":
+        """Build a component from a parsed YAML mapping (Fig. 5b syntax)."""
+        raw = dict(raw)
+        name = str(raw.pop("name", "") or "")
+        component_class = str(raw.pop("class", raw.pop("component_class", "component")))
+        spatial = dict(raw.pop("spatial", {}) or {})
+        spatial_reuse = _parse_tensor_list(raw.pop("spatial_reuse", ()) or ())
+        constraints = dict(raw.pop("constraints", {}) or {})
+
+        directives: Dict[TensorRole, ReuseDirective] = {}
+        for directive in (
+            ReuseDirective.TEMPORAL_REUSE,
+            ReuseDirective.COALESCE,
+            ReuseDirective.NO_COALESCE,
+        ):
+            tensors = _parse_tensor_list(raw.pop(directive.value, ()) or ())
+            for role in tensors:
+                if role in directives:
+                    raise SpecificationError(
+                        f"component {name!r}: tensor {role.value} given two directives"
+                    )
+                directives[role] = directive
+
+        attributes = dict(raw.pop("attributes", {}) or {})
+        # Any remaining top-level keys are treated as attributes, which keeps
+        # the YAML syntax compact (e.g. `resolution: 8` directly on the node).
+        attributes.update(raw)
+        return ComponentSpec(
+            name=name,
+            attributes=attributes,
+            component_class=component_class,
+            spatial=spatial,
+            directives=directives,
+            spatial_reuse=spatial_reuse,
+            constraints=constraints,
+        )
+
+
+@dataclass
+class ContainerSpec(SpecNode):
+    """A container grouping components and sub-containers.
+
+    Containers isolate local design decisions (paper Sec. III-B2): the
+    macro is a container, each column is a container, and the whole system
+    is the outermost container.  Spatial fanout on a container replicates
+    everything inside it.
+    """
+
+    spatial: Dict[str, int] = field(default_factory=dict)
+    spatial_reuse: Tuple[TensorRole, ...] = ()
+    children: List[SpecNode] = field(default_factory=list)
+    constraints: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for dim, count in self.spatial.items():
+            if dim not in ("meshX", "meshY"):
+                raise SpecificationError(
+                    f"container {self.name!r}: unknown spatial dimension {dim!r}"
+                )
+            if int(count) < 1:
+                raise SpecificationError(
+                    f"container {self.name!r}: spatial fanout must be >= 1"
+                )
+        self.spatial = {dim: int(count) for dim, count in self.spatial.items()}
+        self.spatial_reuse = _parse_tensor_list(self.spatial_reuse)
+
+    @property
+    def instances(self) -> int:
+        """Total spatial instances of this container."""
+        total = 1
+        for count in self.spatial.values():
+            total *= count
+        return total
+
+    def reuses_spatially(self, role: TensorRole) -> bool:
+        """True if the tensor is multicast/reduced across container instances."""
+        return role in self.spatial_reuse
+
+    def add(self, node: SpecNode) -> "ContainerSpec":
+        """Append a child node; returns self for chaining."""
+        if not isinstance(node, SpecNode):
+            raise SpecificationError("containers may only hold spec nodes")
+        self.children.append(node)
+        return self
+
+    def components(self) -> List[ComponentSpec]:
+        """All leaf components inside this container, depth first."""
+        found: List[ComponentSpec] = []
+        for child in self.children:
+            if isinstance(child, ContainerSpec):
+                found.extend(child.components())
+            elif isinstance(child, ComponentSpec):
+                found.append(child)
+        return found
+
+    def find(self, name: str) -> Optional[SpecNode]:
+        """Find a node by name anywhere inside this container."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            if isinstance(child, ContainerSpec):
+                nested = child.find(name)
+                if nested is not None:
+                    return nested
+        return None
+
+    @staticmethod
+    def from_mapping(raw: Mapping[str, object]) -> "ContainerSpec":
+        """Build a container (without children) from a parsed YAML mapping."""
+        raw = dict(raw)
+        name = str(raw.pop("name", "") or "")
+        spatial = dict(raw.pop("spatial", {}) or {})
+        spatial_reuse = _parse_tensor_list(raw.pop("spatial_reuse", ()) or ())
+        constraints = dict(raw.pop("constraints", {}) or {})
+        attributes = dict(raw.pop("attributes", {}) or {})
+        attributes.update(raw)
+        return ContainerSpec(
+            name=name,
+            attributes=attributes,
+            spatial=spatial,
+            spatial_reuse=spatial_reuse,
+            constraints=constraints,
+        )

@@ -1,0 +1,221 @@
+"""Container-hierarchy: the single representation of circuits + architecture.
+
+A :class:`ContainerHierarchy` is a series of containers where each contains
+all subsequent components and containers (paper Sec. III-B2).  It can be
+built from the flat node sequence produced by the YAML loader (where a
+``!Container`` tag opens a new nesting level that all following nodes fall
+into) or from an explicitly nested :class:`ContainerSpec` tree.
+
+The hierarchy answers the structural questions the rest of the library
+needs: the ordered list of levels, which components store which tensors,
+total spatial fanout of each component, and per-tensor reuse opportunities
+walking outward from the innermost level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.spec.component import ComponentSpec, ContainerSpec, ReuseDirective, SpecNode
+from repro.utils.errors import SpecificationError
+from repro.workloads.einsum import ALL_TENSORS, TensorRole
+
+
+@dataclass(frozen=True)
+class PlacedComponent:
+    """A component together with its position in the hierarchy.
+
+    Attributes
+    ----------
+    component:
+        The component specification.
+    path:
+        Names of the enclosing containers, outermost first.
+    fanout:
+        Total number of physical instances of this component: the product
+        of its own spatial fanout and the fanout of every enclosing
+        container.
+    depth:
+        Nesting depth (number of enclosing containers).
+    """
+
+    component: ComponentSpec
+    path: Tuple[str, ...]
+    fanout: int
+    depth: int
+
+    @property
+    def name(self) -> str:
+        """Component name."""
+        return self.component.name
+
+    @property
+    def qualified_name(self) -> str:
+        """Fully qualified ``container.container.component`` name."""
+        return ".".join(self.path + (self.component.name,))
+
+
+class ContainerHierarchy:
+    """An ordered container-hierarchy over components.
+
+    The hierarchy is stored as a single root :class:`ContainerSpec`; every
+    query walks that tree, so programmatically-built and YAML-loaded
+    hierarchies behave identically.
+    """
+
+    def __init__(self, root: ContainerSpec):
+        if not isinstance(root, ContainerSpec):
+            raise SpecificationError("hierarchy root must be a ContainerSpec")
+        self._root = root
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_flat_nodes(nodes: Sequence[SpecNode], root_name: str = "system") -> "ContainerHierarchy":
+        """Build a hierarchy from a flat node sequence (Fig. 5b convention).
+
+        Every ``ContainerSpec`` in the sequence opens a new nesting level;
+        all subsequent nodes (components and containers alike) are placed
+        inside it.  An implicit root container wraps the whole sequence.
+        """
+        root = ContainerSpec(name=root_name)
+        current = root
+        for node in nodes:
+            if isinstance(node, ContainerSpec):
+                if node.children:
+                    # A pre-nested container: attach as-is and do not descend.
+                    current.add(node)
+                else:
+                    current.add(node)
+                    current = node
+            elif isinstance(node, ComponentSpec):
+                current.add(node)
+            else:  # pragma: no cover - defensive
+                raise SpecificationError(f"unexpected node type {type(node).__name__}")
+        return ContainerHierarchy(root)
+
+    @property
+    def root(self) -> ContainerSpec:
+        """The outermost container."""
+        return self._root
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def placed_components(self) -> List[PlacedComponent]:
+        """All components with their container paths and total fanouts,
+        in hierarchy order (outermost first)."""
+        placed: List[PlacedComponent] = []
+
+        def visit(container: ContainerSpec, path: Tuple[str, ...], fanout: int, depth: int) -> None:
+            for child in container.children:
+                if isinstance(child, ContainerSpec):
+                    visit(child, path + (child.name,), fanout * child.instances, depth + 1)
+                elif isinstance(child, ComponentSpec):
+                    placed.append(
+                        PlacedComponent(
+                            component=child,
+                            path=path,
+                            fanout=fanout * child.instances,
+                            depth=depth,
+                        )
+                    )
+
+        visit(self._root, (self._root.name,), self._root.instances, 0)
+        return placed
+
+    def containers(self) -> List[ContainerSpec]:
+        """All containers, outermost first."""
+        found: List[ContainerSpec] = []
+
+        def visit(container: ContainerSpec) -> None:
+            found.append(container)
+            for child in container.children:
+                if isinstance(child, ContainerSpec):
+                    visit(child)
+
+        visit(self._root)
+        return found
+
+    def component_names(self) -> List[str]:
+        """Names of all components in hierarchy order."""
+        return [placed.name for placed in self.placed_components()]
+
+    def find_component(self, name: str) -> PlacedComponent:
+        """Find a placed component by (unqualified) name."""
+        for placed in self.placed_components():
+            if placed.name == name:
+                return placed
+        raise SpecificationError(f"no component named {name!r} in hierarchy")
+
+    def storage_levels(self, role: TensorRole) -> List[PlacedComponent]:
+        """Components that temporally reuse (store) the given tensor,
+        ordered from outermost to innermost."""
+        return [
+            placed
+            for placed in self.placed_components()
+            if placed.component.directive_for(role).stores
+        ]
+
+    def datapath(self, role: TensorRole) -> List[PlacedComponent]:
+        """Every component the tensor passes through, outermost first."""
+        return [
+            placed
+            for placed in self.placed_components()
+            if placed.component.touches(role)
+        ]
+
+    def spatial_reuse_factor(self, role: TensorRole) -> int:
+        """Product of container fanouts across which the tensor is spatially reused.
+
+        This is the number of spatial destinations a single fetched value
+        reaches via multicast (inputs/weights) or the number of sources
+        reduced into one value (outputs).
+        """
+        factor = 1
+        for container in self.containers():
+            if container.reuses_spatially(role):
+                factor *= container.instances
+        for placed in self.placed_components():
+            if placed.component.reuses_spatially(role):
+                factor *= placed.component.instances
+        return factor
+
+    def total_fanout(self) -> int:
+        """Total leaf component instances in the hierarchy."""
+        return sum(placed.fanout for placed in self.placed_components())
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[PlacedComponent]:
+        return iter(self.placed_components())
+
+    def __len__(self) -> int:
+        return len(self.placed_components())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ContainerHierarchy(root={self._root.name!r}, components={len(self)})"
+
+    def describe(self) -> str:
+        """A human-readable indented description of the hierarchy."""
+        lines: List[str] = []
+
+        def visit(container: ContainerSpec, indent: int) -> None:
+            spatial = f" x{container.instances}" if container.instances > 1 else ""
+            lines.append("  " * indent + f"[{container.name}]{spatial}")
+            for child in container.children:
+                if isinstance(child, ContainerSpec):
+                    visit(child, indent + 1)
+                else:
+                    assert isinstance(child, ComponentSpec)
+                    spatial = f" x{child.instances}" if child.instances > 1 else ""
+                    stored = ",".join(r.value for r in child.stored_tensors())
+                    suffix = f" stores({stored})" if stored else ""
+                    lines.append(
+                        "  " * (indent + 1)
+                        + f"- {child.name} ({child.component_class}){spatial}{suffix}"
+                    )
+
+        visit(self._root, 0)
+        return "\n".join(lines)

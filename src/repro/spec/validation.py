@@ -1,0 +1,87 @@
+"""Specification validation.
+
+Catches inconsistent system descriptions before they reach the evaluation
+engine, with error messages that point at the offending component.  The
+checks encode the structural rules implied by the paper's specification
+semantics:
+
+* every tensor that is computed must be stored somewhere (at least one
+  temporal-reuse level per tensor, typically the outermost memory);
+* component names must be unique within the hierarchy so mapping
+  constraints and energy breakdowns are unambiguous;
+* spatial reuse may only be declared on tensors that actually pass through
+  the spatially-replicated subtree;
+* converters (ADC/DAC classes) must not claim temporal reuse — they have
+  no storage.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from repro.spec.component import ComponentSpec, ReuseDirective
+from repro.spec.hierarchy import ContainerHierarchy
+from repro.utils.errors import SpecificationError
+from repro.workloads.einsum import ALL_TENSORS, TensorRole
+
+#: Component classes that are pure converters/propagators and cannot store data.
+_STATELESS_CLASSES = {"adc", "dac", "noc_router", "noc_link", "column_mux", "row_driver"}
+
+
+def validate_hierarchy(hierarchy: ContainerHierarchy, require_storage: bool = True) -> List[str]:
+    """Validate a hierarchy; raises SpecificationError on hard violations.
+
+    Returns a list of non-fatal warnings (as strings) for conditions that
+    are legal but usually unintended, such as a tensor that bypasses every
+    component.
+    """
+    warnings: List[str] = []
+    placed = hierarchy.placed_components()
+    if not placed:
+        raise SpecificationError("hierarchy contains no components")
+
+    # Unique names.
+    counts = Counter(p.name for p in placed)
+    duplicates = [name for name, count in counts.items() if count > 1]
+    if duplicates:
+        raise SpecificationError(
+            f"duplicate component names in hierarchy: {', '.join(sorted(duplicates))}"
+        )
+
+    # Stateless classes must not claim temporal reuse.
+    for p in placed:
+        component = p.component
+        if component.component_class in _STATELESS_CLASSES:
+            stored = component.stored_tensors()
+            if stored:
+                raise SpecificationError(
+                    f"component {component.name!r} of class "
+                    f"{component.component_class!r} cannot temporally reuse "
+                    f"{', '.join(r.value for r in stored)}"
+                )
+
+    # Every tensor should be stored somewhere and touched by something.
+    for role in ALL_TENSORS:
+        touching = [p for p in placed if p.component.touches(role)]
+        if not touching:
+            warnings.append(f"tensor {role.value} bypasses every component")
+            continue
+        if require_storage:
+            storing = [p for p in placed if p.component.directive_for(role).stores]
+            if not storing:
+                warnings.append(
+                    f"tensor {role.value} has no temporal-reuse (storage) level; "
+                    "every access will be charged to the hierarchy boundary"
+                )
+
+    # Spatial reuse declared on bypassed tensors is almost certainly a typo.
+    for p in placed:
+        for role in p.component.spatial_reuse:
+            if not p.component.touches(role):
+                warnings.append(
+                    f"component {p.name!r} declares spatial reuse of "
+                    f"{role.value} but that tensor bypasses it"
+                )
+
+    return warnings

@@ -1,0 +1,139 @@
+"""YAML loading of component/container specifications.
+
+The paper's Fig. 5b syntax tags each node with ``!Component`` or
+``!Container``; a container implicitly contains every node declared after
+it.  This module registers those tags with PyYAML and converts documents
+into a :class:`~repro.spec.hierarchy.ContainerHierarchy`.
+
+Two document shapes are accepted:
+
+* A flat list of tagged nodes (the paper's syntax)::
+
+      - !Component {name: buffer, temporal_reuse: [Inputs, Outputs]}
+      - !Container {name: macro}
+      - !Component {name: adder, coalesce: [Outputs]}
+
+* A nested mapping with explicit ``children`` lists, which is convenient
+  when generating specifications programmatically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, List, Sequence, Union
+
+import yaml
+
+from repro.spec.component import ComponentSpec, ContainerSpec, SpecNode
+from repro.spec.hierarchy import ContainerHierarchy
+from repro.utils.errors import SpecificationError
+
+
+class _TaggedNode:
+    """Intermediate holder for a tagged YAML node before spec conversion."""
+
+    def __init__(self, kind: str, payload: dict):
+        self.kind = kind
+        self.payload = payload
+
+
+class _SpecLoader(yaml.SafeLoader):
+    """SafeLoader subclass with the !Component / !Container tags registered."""
+
+
+def _component_constructor(loader: _SpecLoader, node: yaml.Node) -> _TaggedNode:
+    payload = loader.construct_mapping(node, deep=True)
+    return _TaggedNode("component", payload)
+
+
+def _container_constructor(loader: _SpecLoader, node: yaml.Node) -> _TaggedNode:
+    payload = loader.construct_mapping(node, deep=True)
+    return _TaggedNode("container", payload)
+
+
+_SpecLoader.add_constructor("!Component", _component_constructor)
+_SpecLoader.add_constructor("!Container", _container_constructor)
+
+
+def _convert(node: Any) -> SpecNode:
+    """Convert a parsed YAML object into a spec node."""
+    if isinstance(node, _TaggedNode):
+        if node.kind == "component":
+            return ComponentSpec.from_mapping(node.payload)
+        container = ContainerSpec.from_mapping(
+            {k: v for k, v in node.payload.items() if k != "children"}
+        )
+        for child in node.payload.get("children", []) or []:
+            container.add(_convert(child))
+        return container
+    if isinstance(node, dict):
+        # Untagged mapping: infer kind from the presence of a children list
+        # or an explicit `type` key.
+        kind = str(node.get("type", "")).lower()
+        if kind == "container" or "children" in node:
+            container = ContainerSpec.from_mapping(
+                {k: v for k, v in node.items() if k not in ("children", "type")}
+            )
+            for child in node.get("children", []) or []:
+                container.add(_convert(child))
+            return container
+        return ComponentSpec.from_mapping({k: v for k, v in node.items() if k != "type"})
+    raise SpecificationError(f"cannot convert YAML node of type {type(node).__name__}")
+
+
+def loads_yaml(text: str, root_name: str = "system") -> ContainerHierarchy:
+    """Parse a YAML specification string into a container-hierarchy."""
+    try:
+        document = yaml.load(text, Loader=_SpecLoader)
+    except yaml.YAMLError as exc:
+        raise SpecificationError(f"invalid YAML specification: {exc}") from exc
+    if document is None:
+        raise SpecificationError("empty YAML specification")
+
+    if isinstance(document, list):
+        nodes = [_convert(item) for item in document]
+        return ContainerHierarchy.from_flat_nodes(nodes, root_name=root_name)
+    converted = _convert(document)
+    if isinstance(converted, ContainerSpec):
+        return ContainerHierarchy(converted)
+    # A single component: wrap it in an implicit root container.
+    root = ContainerSpec(name=root_name)
+    root.add(converted)
+    return ContainerHierarchy(root)
+
+
+def load_yaml_file(path: Union[str, Path], root_name: str = "system") -> ContainerHierarchy:
+    """Parse a YAML specification file into a container-hierarchy."""
+    path = Path(path)
+    if not path.exists():
+        raise SpecificationError(f"specification file {path} does not exist")
+    return loads_yaml(path.read_text(), root_name=root_name)
+
+
+def dumps_yaml(hierarchy: ContainerHierarchy) -> str:
+    """Serialise a hierarchy back to (untagged, nested) YAML."""
+
+    def node_to_dict(node: SpecNode) -> dict:
+        if isinstance(node, ContainerSpec):
+            data: dict = {"type": "container", "name": node.name}
+            if node.spatial:
+                data["spatial"] = dict(node.spatial)
+            if node.spatial_reuse:
+                data["spatial_reuse"] = [r.value for r in node.spatial_reuse]
+            if node.attributes:
+                data["attributes"] = dict(node.attributes)
+            data["children"] = [node_to_dict(child) for child in node.children]
+            return data
+        assert isinstance(node, ComponentSpec)
+        data = {"type": "component", "name": node.name, "class": node.component_class}
+        if node.spatial:
+            data["spatial"] = dict(node.spatial)
+        if node.spatial_reuse:
+            data["spatial_reuse"] = [r.value for r in node.spatial_reuse]
+        for role, directive in node.directives.items():
+            data.setdefault(directive.value, []).append(role.value)
+        if node.attributes:
+            data["attributes"] = dict(node.attributes)
+        return data
+
+    return yaml.safe_dump(node_to_dict(hierarchy.root), sort_keys=False)

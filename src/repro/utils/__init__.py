@@ -1,0 +1,45 @@
+"""Shared utilities: probability mass functions, units, and error types."""
+
+from repro.utils.errors import (
+    CiMLoopError,
+    MappingError,
+    SpecificationError,
+    ValidationError,
+    WorkloadError,
+)
+from repro.utils.prob import Pmf
+from repro.utils.units import (
+    FEMTO,
+    GIGA,
+    MICRO,
+    MILLI,
+    NANO,
+    PICO,
+    TERA,
+    fj_to_joules,
+    joules_to_fj,
+    joules_to_pj,
+    pj_to_joules,
+    tops_per_watt,
+)
+
+__all__ = [
+    "CiMLoopError",
+    "MappingError",
+    "SpecificationError",
+    "ValidationError",
+    "WorkloadError",
+    "Pmf",
+    "FEMTO",
+    "GIGA",
+    "MICRO",
+    "MILLI",
+    "NANO",
+    "PICO",
+    "TERA",
+    "fj_to_joules",
+    "joules_to_fj",
+    "joules_to_pj",
+    "pj_to_joules",
+    "tops_per_watt",
+]

@@ -1,0 +1,33 @@
+"""Exception hierarchy used across the CiMLoop reproduction.
+
+All library errors derive from :class:`CiMLoopError` so callers can catch a
+single exception type when they do not care about the precise failure mode.
+"""
+
+
+class CiMLoopError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SpecificationError(CiMLoopError):
+    """A component/container specification is malformed or inconsistent."""
+
+
+class ValidationError(CiMLoopError):
+    """A value failed validation (out of range, wrong type, missing field)."""
+
+
+class WorkloadError(CiMLoopError):
+    """A workload (einsum, layer, network, or distribution) is invalid."""
+
+
+class MappingError(CiMLoopError):
+    """A mapping is invalid or violates an architecture constraint."""
+
+
+class EvaluationError(CiMLoopError):
+    """The evaluation engine could not produce a result."""
+
+
+class PluginError(CiMLoopError):
+    """A component plug-in could not estimate energy or area."""

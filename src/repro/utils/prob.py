@@ -1,0 +1,288 @@
+"""Probability mass functions over discrete operand values.
+
+CiMLoop's fast statistical pipeline (paper Sec. III-D) represents each
+workload tensor by a probability mass function (PMF) of its element values
+rather than by the full tensor.  Component energy models then consume these
+PMFs to compute the *average* energy of an action, which is amortised over
+every action of that component.
+
+:class:`Pmf` is the single distribution type used throughout the library.
+It stores a sorted array of support values and their probabilities and
+offers the expectation / transformation operations the energy models need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+_PROB_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class Pmf:
+    """A discrete probability mass function over real-valued support points.
+
+    Parameters
+    ----------
+    values:
+        Support points.  Stored sorted and deduplicated.
+    probabilities:
+        Probability of each support point.  Must be non-negative and sum
+        to one (within a small tolerance); they are renormalised on
+        construction so accumulated floating point error does not leak
+        into downstream expectations.
+    """
+
+    values: np.ndarray
+    probabilities: np.ndarray
+
+    def __init__(self, values: Iterable[float], probabilities: Iterable[float]):
+        values_arr = np.asarray(list(values), dtype=float)
+        probs_arr = np.asarray(list(probabilities), dtype=float)
+        if values_arr.shape != probs_arr.shape:
+            raise ValidationError(
+                "values and probabilities must have the same length: "
+                f"{values_arr.shape} vs {probs_arr.shape}"
+            )
+        if values_arr.size == 0:
+            raise ValidationError("a Pmf needs at least one support point")
+        if np.any(probs_arr < -_PROB_TOLERANCE):
+            raise ValidationError("probabilities must be non-negative")
+        probs_arr = np.clip(probs_arr, 0.0, None)
+        total = probs_arr.sum()
+        if not np.isfinite(total) or total <= 0:
+            raise ValidationError("probabilities must sum to a positive value")
+        if abs(total - 1.0) > 1e-3:
+            raise ValidationError(
+                f"probabilities must sum to 1 (got {total:.6f}); "
+                "normalise inputs before constructing a Pmf"
+            )
+        probs_arr = probs_arr / total
+
+        # Deduplicate support points, accumulating their probabilities.
+        order = np.argsort(values_arr, kind="stable")
+        values_arr = values_arr[order]
+        probs_arr = probs_arr[order]
+        unique_values, inverse = np.unique(values_arr, return_inverse=True)
+        unique_probs = np.zeros_like(unique_values)
+        np.add.at(unique_probs, inverse, probs_arr)
+
+        object.__setattr__(self, "values", unique_values)
+        object.__setattr__(self, "probabilities", unique_probs)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def delta(value: float) -> "Pmf":
+        """A distribution concentrated on a single value."""
+        return Pmf([value], [1.0])
+
+    @staticmethod
+    def uniform(values: Sequence[float]) -> "Pmf":
+        """A uniform distribution over the given support points."""
+        values = list(values)
+        if not values:
+            raise ValidationError("uniform Pmf needs at least one value")
+        return Pmf(values, [1.0 / len(values)] * len(values))
+
+    @staticmethod
+    def uniform_integers(low: int, high: int) -> "Pmf":
+        """A uniform distribution over the integers ``low .. high`` inclusive."""
+        if high < low:
+            raise ValidationError(f"empty integer range [{low}, {high}]")
+        return Pmf.uniform(list(range(low, high + 1)))
+
+    @staticmethod
+    def from_samples(samples: Iterable[float]) -> "Pmf":
+        """Build an empirical PMF from observed samples."""
+        samples_arr = np.asarray(list(samples), dtype=float)
+        if samples_arr.size == 0:
+            raise ValidationError("cannot build a Pmf from zero samples")
+        values, counts = np.unique(samples_arr, return_counts=True)
+        return Pmf(values, counts / counts.sum())
+
+    @staticmethod
+    def from_mapping(mapping: Mapping[float, float]) -> "Pmf":
+        """Build a PMF from a ``{value: probability}`` mapping."""
+        items = sorted(mapping.items())
+        return Pmf([value for value, _ in items], [prob for _, prob in items])
+
+    # ------------------------------------------------------------------
+    # Expectations and summary statistics
+    # ------------------------------------------------------------------
+    def expect(self, func: Callable[[np.ndarray], np.ndarray] | None = None) -> float:
+        """Expected value of ``func(X)``; identity if ``func`` is ``None``."""
+        transformed = self.values if func is None else np.asarray(func(self.values), dtype=float)
+        return float(np.dot(transformed, self.probabilities))
+
+    @property
+    def mean(self) -> float:
+        """Expected value of the distribution."""
+        return self.expect()
+
+    @property
+    def mean_abs(self) -> float:
+        """Expected absolute value."""
+        return self.expect(np.abs)
+
+    @property
+    def mean_square(self) -> float:
+        """Expected squared value (useful for CV^2-style switching energy)."""
+        return self.expect(np.square)
+
+    @property
+    def variance(self) -> float:
+        """Variance of the distribution."""
+        mean = self.mean
+        return max(self.mean_square - mean * mean, 0.0)
+
+    @property
+    def min(self) -> float:
+        """Smallest support value."""
+        return float(self.values[0])
+
+    @property
+    def max(self) -> float:
+        """Largest support value."""
+        return float(self.values[-1])
+
+    @property
+    def support_size(self) -> int:
+        """Number of distinct support points."""
+        return int(self.values.size)
+
+    def probability_of(self, value: float, tolerance: float = 1e-9) -> float:
+        """Probability mass at ``value`` (0.0 if it is not a support point)."""
+        matches = np.isclose(self.values, value, atol=tolerance)
+        return float(self.probabilities[matches].sum())
+
+    @property
+    def density_fraction(self) -> float:
+        """Fraction of probability mass on non-zero values (1 - sparsity)."""
+        return 1.0 - self.probability_of(0.0)
+
+    @property
+    def sparsity(self) -> float:
+        """Probability mass on exactly zero."""
+        return self.probability_of(0.0)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def map(self, func: Callable[[np.ndarray], np.ndarray]) -> "Pmf":
+        """Distribution of ``func(X)``; mass of colliding outputs is summed."""
+        return Pmf(np.asarray(func(self.values), dtype=float), self.probabilities)
+
+    def scale(self, factor: float) -> "Pmf":
+        """Distribution of ``factor * X``."""
+        return self.map(lambda x: x * factor)
+
+    def shift(self, offset: float) -> "Pmf":
+        """Distribution of ``X + offset``."""
+        return self.map(lambda x: x + offset)
+
+    def clip(self, low: float, high: float) -> "Pmf":
+        """Distribution of ``clip(X, low, high)``."""
+        if high < low:
+            raise ValidationError("clip range is empty")
+        return self.map(lambda x: np.clip(x, low, high))
+
+    def quantize(self, step: float) -> "Pmf":
+        """Distribution of X rounded to the nearest multiple of ``step``."""
+        if step <= 0:
+            raise ValidationError("quantisation step must be positive")
+        return self.map(lambda x: np.round(x / step) * step)
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def convolve(self, other: "Pmf", max_support: int = 4096) -> "Pmf":
+        """Distribution of ``X + Y`` for independent X ~ self, Y ~ other.
+
+        The support of the result is the cross product of both supports,
+        which can explode for large distributions; ``max_support`` caps the
+        resulting number of distinct values by falling back to quantising
+        onto a uniform grid when exceeded.
+        """
+        sums = np.add.outer(self.values, other.values).ravel()
+        probs = np.multiply.outer(self.probabilities, other.probabilities).ravel()
+        pmf = Pmf(sums, probs)
+        if pmf.support_size > max_support:
+            span = pmf.max - pmf.min
+            step = span / max_support if span > 0 else 1.0
+            pmf = pmf.quantize(step)
+        return pmf
+
+    def product(self, other: "Pmf", max_support: int = 4096) -> "Pmf":
+        """Distribution of ``X * Y`` for independent X ~ self, Y ~ other."""
+        prods = np.multiply.outer(self.values, other.values).ravel()
+        probs = np.multiply.outer(self.probabilities, other.probabilities).ravel()
+        pmf = Pmf(prods, probs)
+        if pmf.support_size > max_support:
+            span = pmf.max - pmf.min
+            step = span / max_support if span > 0 else 1.0
+            pmf = pmf.quantize(step)
+        return pmf
+
+    def mix(self, other: "Pmf", weight: float) -> "Pmf":
+        """Mixture distribution: ``weight`` mass from self, rest from other."""
+        if not 0.0 <= weight <= 1.0:
+            raise ValidationError("mixture weight must be within [0, 1]")
+        values = np.concatenate([self.values, other.values])
+        probs = np.concatenate(
+            [self.probabilities * weight, other.probabilities * (1.0 - weight)]
+        )
+        return Pmf(values, probs)
+
+    def sum_of_iid(self, count: int, max_support: int = 4096) -> "Pmf":
+        """Distribution of the sum of ``count`` independent copies of X."""
+        if count < 1:
+            raise ValidationError("count must be at least 1")
+        # Exponentiation-by-squaring over convolution keeps this O(log count).
+        power = self
+        result = Pmf.delta(0.0)
+        remaining = count
+        while remaining > 0:
+            if remaining & 1:
+                result = result.convolve(power, max_support=max_support)
+            remaining >>= 1
+            if remaining:
+                power = power.convolve(power, max_support=max_support)
+        return result
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, count: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Draw ``count`` independent samples from the distribution."""
+        if count < 0:
+            raise ValidationError("sample count must be non-negative")
+        rng = rng if rng is not None else np.random.default_rng()
+        return rng.choice(self.values, size=count, p=self.probabilities)
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.support_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Pmf(support={self.support_size}, mean={self.mean:.4g}, "
+            f"min={self.min:.4g}, max={self.max:.4g})"
+        )
+
+    def almost_equal(self, other: "Pmf", tolerance: float = 1e-9) -> bool:
+        """True if both PMFs have the same support and probabilities."""
+        if self.support_size != other.support_size:
+            return False
+        return bool(
+            np.allclose(self.values, other.values, atol=tolerance)
+            and np.allclose(self.probabilities, other.probabilities, atol=tolerance)
+        )

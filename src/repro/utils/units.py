@@ -1,0 +1,72 @@
+"""Unit helpers.
+
+The library uses SI base units internally: energy in joules, area in square
+micrometres (um^2, the customary unit in circuit papers), time in seconds,
+and capacitance in farads.  These helpers convert to the units used in the
+paper's figures (fJ, pJ, TOPS/W, GOPS, mm^2).
+"""
+
+from __future__ import annotations
+
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+
+def fj_to_joules(value_fj: float) -> float:
+    """Convert femtojoules to joules."""
+    return value_fj * FEMTO
+
+
+def joules_to_fj(value_j: float) -> float:
+    """Convert joules to femtojoules."""
+    return value_j / FEMTO
+
+
+def pj_to_joules(value_pj: float) -> float:
+    """Convert picojoules to joules."""
+    return value_pj * PICO
+
+
+def joules_to_pj(value_j: float) -> float:
+    """Convert joules to picojoules."""
+    return value_j / PICO
+
+
+def tops_per_watt(energy_per_op_joules: float) -> float:
+    """Energy efficiency in TOPS/W for a given energy per operation.
+
+    The CiM literature counts one multiply and one accumulate as two
+    operations (2 OPs per MAC); this helper takes the energy of a single
+    *operation*, so callers that have energy-per-MAC should divide by two
+    first (or use :func:`tops_per_watt_from_mac`).
+    """
+    if energy_per_op_joules <= 0:
+        raise ValueError("energy per operation must be positive")
+    return 1.0 / energy_per_op_joules / TERA
+
+
+def tops_per_watt_from_mac(energy_per_mac_joules: float) -> float:
+    """Energy efficiency in TOPS/W counting 2 OPs per MAC (paper convention)."""
+    return tops_per_watt(energy_per_mac_joules / 2.0)
+
+
+def gops(ops_per_second: float) -> float:
+    """Convert operations/second to GOPS."""
+    return ops_per_second / GIGA
+
+
+def um2_to_mm2(area_um2: float) -> float:
+    """Convert square micrometres to square millimetres."""
+    return area_um2 / 1e6
+
+
+def mm2_to_um2(area_mm2: float) -> float:
+    """Convert square millimetres to square micrometres."""
+    return area_mm2 * 1e6

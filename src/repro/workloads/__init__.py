@@ -1,0 +1,54 @@
+"""DNN workloads: einsum operations, layers, networks, and operand distributions.
+
+A workload in this library is a sequence of extended-einsum tensor
+operations (paper Sec. II-B).  Each operation declares its iteration-space
+dimensions and how each tensor (Inputs, Weights, Outputs) projects onto
+those dimensions.  Operand *value* information is carried separately as
+per-tensor distributions (:mod:`repro.workloads.distributions`), decoupling
+distribution gathering from system modeling exactly as the paper does
+(Sec. III-D1).
+"""
+
+from repro.workloads.distributions import (
+    DistributionProfile,
+    LayerDistributions,
+    cnn_activation_pmf,
+    gaussian_weight_pmf,
+    profile_layer,
+    transformer_activation_pmf,
+)
+from repro.workloads.einsum import EinsumOp, TensorRole
+from repro.workloads.layer import Layer, conv2d_layer, depthwise_conv2d_layer, matmul_layer
+from repro.workloads.networks import (
+    Network,
+    gpt2_small,
+    list_networks,
+    load_network,
+    matrix_vector_workload,
+    mobilenet_v3_small,
+    resnet18,
+    vit_base,
+)
+
+__all__ = [
+    "TensorRole",
+    "EinsumOp",
+    "Layer",
+    "conv2d_layer",
+    "depthwise_conv2d_layer",
+    "matmul_layer",
+    "Network",
+    "resnet18",
+    "vit_base",
+    "mobilenet_v3_small",
+    "gpt2_small",
+    "matrix_vector_workload",
+    "load_network",
+    "list_networks",
+    "DistributionProfile",
+    "LayerDistributions",
+    "profile_layer",
+    "cnn_activation_pmf",
+    "transformer_activation_pmf",
+    "gaussian_weight_pmf",
+]

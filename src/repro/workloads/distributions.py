@@ -1,0 +1,229 @@
+"""Operand value distributions.
+
+CiMLoop decouples the gathering of DNN operand distributions from system
+modeling (paper Sec. III-D1).  Users may provide profiled distributions of
+any fidelity; when none are provided, this module generates synthetic
+distributions whose qualitative properties match the datasets the paper
+uses (ImageNet activations through ReLU networks, Wikipedia text through
+transformers):
+
+* CNN activations — unsigned, sparse (ReLU zeros), exponentially decaying
+  magnitudes.
+* Transformer activations — signed, dense, approximately Gaussian.
+* Image inputs — unsigned, dense, broad.
+* Weights — signed, approximately Gaussian, optionally pruned.
+
+Each layer of a network gets a slightly different distribution (seeded by
+the layer name), reproducing the per-layer variation that makes
+non-data-value-dependent models inaccurate (paper Fig. 6).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.utils.errors import WorkloadError
+from repro.utils.prob import Pmf
+from repro.workloads.einsum import ALL_TENSORS, TensorRole
+from repro.workloads.layer import ActivationStyle, Layer
+
+
+# ----------------------------------------------------------------------
+# Synthetic distribution families
+# ----------------------------------------------------------------------
+def cnn_activation_pmf(bits: int, sparsity: float = 0.5, decay: float = 12.0) -> Pmf:
+    """Post-ReLU activation distribution: unsigned, sparse, decaying.
+
+    ``sparsity`` is the probability of an exact zero; the non-zero mass
+    decays exponentially with rate ``decay`` over the positive code range.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise WorkloadError("sparsity must be in [0, 1)")
+    max_value = (1 << (bits - 1)) - 1 if bits > 1 else 1
+    values = np.arange(0, max_value + 1, dtype=float)
+    weights = np.exp(-decay * values / max(max_value, 1))
+    weights[0] = 0.0
+    if weights.sum() == 0:
+        weights[1:] = 1.0
+    nonzero = weights / weights.sum() * (1.0 - sparsity)
+    nonzero[0] = sparsity
+    return Pmf(values, nonzero)
+
+
+def transformer_activation_pmf(bits: int, std_fraction: float = 0.25) -> Pmf:
+    """Transformer activation distribution: signed, dense, Gaussian-like."""
+    q_max = (1 << (bits - 1)) - 1
+    q_min = -(1 << (bits - 1))
+    values = np.arange(q_min, q_max + 1, dtype=float)
+    std = max(std_fraction * q_max, 0.5)
+    weights = np.exp(-0.5 * (values / std) ** 2)
+    return Pmf(values, weights / weights.sum())
+
+
+def image_input_pmf(bits: int) -> Pmf:
+    """First-layer image input distribution: unsigned, dense, broad."""
+    max_value = (1 << bits) - 1
+    values = np.arange(0, max_value + 1, dtype=float)
+    # Natural images after normalisation cluster mid-range; use a wide
+    # triangular-ish profile rather than uniform.
+    center = max_value / 2.0
+    weights = 1.0 + 0.5 * (1.0 - np.abs(values - center) / center)
+    return Pmf(values, weights / weights.sum())
+
+
+def gaussian_weight_pmf(bits: int, std_fraction: float = 0.2, sparsity: float = 0.0) -> Pmf:
+    """Trained-weight distribution: signed Gaussian, optionally pruned."""
+    if not 0.0 <= sparsity < 1.0:
+        raise WorkloadError("sparsity must be in [0, 1)")
+    q_max = (1 << (bits - 1)) - 1
+    q_min = -(1 << (bits - 1))
+    values = np.arange(q_min, q_max + 1, dtype=float)
+    std = max(std_fraction * q_max, 0.5)
+    weights = np.exp(-0.5 * (values / std) ** 2)
+    probs = weights / weights.sum()
+    if sparsity > 0.0:
+        zero_index = int(np.where(values == 0.0)[0][0])
+        probs = probs * (1.0 - sparsity)
+        probs[zero_index] += sparsity
+    return Pmf(values, probs)
+
+
+def accumulated_output_pmf(input_pmf: Pmf, weight_pmf: Pmf, reduction: int,
+                           max_support: int = 2048) -> Pmf:
+    """Approximate distribution of an output partial sum.
+
+    Outputs accumulate ``reduction`` products of independent input/weight
+    draws; for efficiency a Gaussian approximation (central limit theorem)
+    on an integer grid is used when the reduction is large.
+    """
+    if reduction < 1:
+        raise WorkloadError("reduction must be at least 1")
+    product = input_pmf.product(weight_pmf, max_support=max_support)
+    if reduction <= 8:
+        return product.sum_of_iid(reduction, max_support=max_support)
+    mean = product.mean * reduction
+    std = float(np.sqrt(max(product.variance, 1e-12) * reduction))
+    low = mean - 4 * std
+    high = mean + 4 * std
+    grid = np.linspace(low, high, min(max_support, 1024))
+    weights = np.exp(-0.5 * ((grid - mean) / std) ** 2)
+    return Pmf(grid, weights / weights.sum())
+
+
+# ----------------------------------------------------------------------
+# Per-layer profiles
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DistributionProfile:
+    """A value distribution for one tensor, with signedness metadata."""
+
+    pmf: Pmf
+    signed: bool
+    bits: int
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of exactly-zero values."""
+        return self.pmf.sparsity
+
+
+@dataclass(frozen=True)
+class LayerDistributions:
+    """Operand distributions for all three tensors of one layer."""
+
+    layer_name: str
+    tensors: Mapping[TensorRole, DistributionProfile]
+
+    def __post_init__(self) -> None:
+        for role in ALL_TENSORS:
+            if role not in self.tensors:
+                raise WorkloadError(
+                    f"distributions for layer {self.layer_name!r} missing {role}"
+                )
+
+    def __getitem__(self, role: TensorRole) -> DistributionProfile:
+        return self.tensors[role]
+
+    def pmf(self, role: TensorRole) -> Pmf:
+        """Value PMF of one tensor."""
+        return self.tensors[role].pmf
+
+
+def _layer_seed(layer_name: str, salt: int = 0) -> int:
+    """Deterministic per-layer seed derived from the layer name."""
+    digest = hashlib.sha256(f"{layer_name}:{salt}".encode()).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+def profile_layer(layer: Layer, salt: int = 0) -> LayerDistributions:
+    """Generate synthetic operand distributions for a layer.
+
+    The activation style selects the distribution family; the layer name
+    perturbs the family parameters so different layers have genuinely
+    different distributions, as real profiled networks do.
+    """
+    rng = np.random.default_rng(_layer_seed(layer.name, salt))
+
+    if layer.activation_style == ActivationStyle.CNN_SPARSE_UNSIGNED:
+        sparsity = float(rng.uniform(0.35, 0.75))
+        decay = float(rng.uniform(6.0, 18.0))
+        input_pmf = cnn_activation_pmf(layer.input_bits, sparsity=sparsity, decay=decay)
+        input_signed = False
+    elif layer.activation_style == ActivationStyle.TRANSFORMER_DENSE_SIGNED:
+        std_fraction = float(rng.uniform(0.18, 0.35))
+        input_pmf = transformer_activation_pmf(layer.input_bits, std_fraction=std_fraction)
+        input_signed = True
+    elif layer.activation_style == ActivationStyle.IMAGE_DENSE_UNSIGNED:
+        input_pmf = image_input_pmf(layer.input_bits)
+        input_signed = False
+    else:  # pragma: no cover - defensive, enum is exhaustive
+        raise WorkloadError(f"unknown activation style {layer.activation_style!r}")
+
+    weight_std = float(rng.uniform(0.12, 0.3))
+    weight_pmf = gaussian_weight_pmf(
+        layer.weight_bits, std_fraction=weight_std, sparsity=layer.weight_sparsity
+    )
+
+    reduction = layer.einsum.reduction_size()
+    output_pmf = accumulated_output_pmf(input_pmf, weight_pmf, min(reduction, 64))
+
+    return LayerDistributions(
+        layer_name=layer.name,
+        tensors={
+            TensorRole.INPUTS: DistributionProfile(
+                pmf=input_pmf, signed=input_signed, bits=layer.input_bits
+            ),
+            TensorRole.WEIGHTS: DistributionProfile(
+                pmf=weight_pmf, signed=True, bits=layer.weight_bits
+            ),
+            TensorRole.OUTPUTS: DistributionProfile(
+                pmf=output_pmf, signed=True, bits=layer.output_bits
+            ),
+        },
+    )
+
+
+def profile_network(network, salt: int = 0) -> Dict[str, LayerDistributions]:
+    """Profile every layer of a network, keyed by layer name."""
+    return {layer.name: profile_layer(layer, salt) for layer in network}
+
+
+# ----------------------------------------------------------------------
+# Tensor materialisation (used by the value-level ground-truth simulator)
+# ----------------------------------------------------------------------
+def generate_tensor(profile: DistributionProfile, count: int,
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Draw ``count`` operand values matching a distribution profile.
+
+    This is how the value-level baseline simulator materialises concrete
+    tensors to simulate every propagated data value, which CiMLoop's
+    statistical pipeline deliberately avoids.
+    """
+    if count < 0:
+        raise WorkloadError("tensor element count must be non-negative")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return profile.pmf.sample(count, rng=rng).astype(np.int64)

@@ -1,0 +1,221 @@
+"""Extended-einsum representation of tensor operations.
+
+Every DNN layer modelled by this library is expressed as a single einsum
+over named dimensions, with three tensor roles: Inputs, Weights, and
+Outputs.  A convolution, for instance, iterates dimensions
+``N, M, C, P, Q, R, S`` with
+
+* Inputs  projected onto ``N, C, P+R, Q+S`` (approximated as ``N, C, P, Q``
+  plus a halo captured by the layer definition),
+* Weights projected onto ``M, C, R, S``,
+* Outputs projected onto ``N, M, P, Q``.
+
+Only the *relevance* of each dimension to each tensor matters for reuse
+analysis, so the einsum records, per tensor, which dimensions index it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.utils.errors import WorkloadError
+
+
+class TensorRole(str, Enum):
+    """The three operand tensors of a MAC-based einsum."""
+
+    INPUTS = "Inputs"
+    WEIGHTS = "Weights"
+    OUTPUTS = "Outputs"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+ALL_TENSORS: Tuple[TensorRole, ...] = (
+    TensorRole.INPUTS,
+    TensorRole.WEIGHTS,
+    TensorRole.OUTPUTS,
+)
+
+
+@dataclass(frozen=True)
+class EinsumOp:
+    """A MAC einsum over named dimensions.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name (usually the layer name).
+    dimensions:
+        Mapping of dimension name to its extent (loop bound).
+    projections:
+        For each tensor role, the tuple of dimension names that index it.
+        Dimensions not listed for a tensor are "irrelevant" to it: looping
+        over them re-uses the same tensor elements.
+    """
+
+    name: str
+    dimensions: Mapping[str, int]
+    projections: Mapping[TensorRole, Tuple[str, ...]]
+
+    def __post_init__(self) -> None:
+        dims = dict(self.dimensions)
+        if not dims:
+            raise WorkloadError(f"einsum {self.name!r} has no dimensions")
+        for dim, extent in dims.items():
+            if extent < 1:
+                raise WorkloadError(
+                    f"dimension {dim!r} of einsum {self.name!r} has extent {extent}"
+                )
+        projections = dict(self.projections)
+        for role in ALL_TENSORS:
+            if role not in projections:
+                raise WorkloadError(
+                    f"einsum {self.name!r} is missing a projection for {role}"
+                )
+            for dim in projections[role]:
+                if dim not in dims:
+                    raise WorkloadError(
+                        f"projection of {role} references unknown dimension {dim!r}"
+                    )
+        object.__setattr__(self, "dimensions", dims)
+        object.__setattr__(self, "projections", projections)
+
+    # ------------------------------------------------------------------
+    @property
+    def dimension_names(self) -> Tuple[str, ...]:
+        """All iteration-space dimension names."""
+        return tuple(self.dimensions)
+
+    def extent(self, dim: str) -> int:
+        """Loop bound of one dimension."""
+        try:
+            return self.dimensions[dim]
+        except KeyError as exc:
+            raise WorkloadError(f"unknown dimension {dim!r} in einsum {self.name!r}") from exc
+
+    @property
+    def total_macs(self) -> int:
+        """Total number of MAC operations = product of all dimension extents."""
+        return math.prod(self.dimensions.values())
+
+    def tensor_dims(self, role: TensorRole) -> Tuple[str, ...]:
+        """Dimensions relevant to (i.e. indexing) the given tensor."""
+        return tuple(self.projections[role])
+
+    def is_relevant(self, dim: str, role: TensorRole) -> bool:
+        """True if looping over ``dim`` walks over different elements of ``role``."""
+        return dim in self.projections[role]
+
+    def tensor_size(self, role: TensorRole) -> int:
+        """Number of elements of a tensor = product of its relevant extents."""
+        return math.prod(self.dimensions[d] for d in self.projections[role])
+
+    def reduction_dims(self) -> Tuple[str, ...]:
+        """Dimensions reduced away (relevant to inputs/weights but not outputs)."""
+        return tuple(
+            d for d in self.dimensions if not self.is_relevant(d, TensorRole.OUTPUTS)
+        )
+
+    def reduction_size(self) -> int:
+        """Number of MACs accumulated into each output element."""
+        return math.prod(self.dimensions[d] for d in self.reduction_dims())
+
+    # ------------------------------------------------------------------
+    def sizes(self) -> Dict[TensorRole, int]:
+        """Element counts of all three tensors."""
+        return {role: self.tensor_size(role) for role in ALL_TENSORS}
+
+    def with_dimensions(self, **overrides: int) -> "EinsumOp":
+        """A copy of this einsum with some dimension extents replaced."""
+        dims = dict(self.dimensions)
+        for dim, extent in overrides.items():
+            if dim not in dims:
+                raise WorkloadError(f"unknown dimension {dim!r}")
+            dims[dim] = extent
+        return EinsumOp(name=self.name, dimensions=dims, projections=self.projections)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dims = ", ".join(f"{d}={e}" for d, e in self.dimensions.items())
+        return f"EinsumOp({self.name!r}, {dims})"
+
+
+def matmul_einsum(name: str, m: int, k: int, n: int) -> EinsumOp:
+    """Einsum for ``Outputs[m, n] += Weights[m, k] * Inputs[k, n]``."""
+    return EinsumOp(
+        name=name,
+        dimensions={"M": m, "K": k, "N": n},
+        projections={
+            TensorRole.INPUTS: ("K", "N"),
+            TensorRole.WEIGHTS: ("M", "K"),
+            TensorRole.OUTPUTS: ("M", "N"),
+        },
+    )
+
+
+def conv2d_einsum(
+    name: str,
+    batch: int,
+    in_channels: int,
+    out_channels: int,
+    output_height: int,
+    output_width: int,
+    kernel_height: int,
+    kernel_width: int,
+) -> EinsumOp:
+    """Einsum for a standard 2-D convolution (7 dimensions, Eyeriss naming).
+
+    Dimensions: N (batch), M (output channels), C (input channels),
+    P/Q (output spatial), R/S (kernel spatial).  Input halo effects are
+    ignored in the iteration space; input tensor size accounting uses P, Q
+    directly, which is the standard Timeloop approximation for unit stride.
+    """
+    return EinsumOp(
+        name=name,
+        dimensions={
+            "N": batch,
+            "M": out_channels,
+            "C": in_channels,
+            "P": output_height,
+            "Q": output_width,
+            "R": kernel_height,
+            "S": kernel_width,
+        },
+        projections={
+            TensorRole.INPUTS: ("N", "C", "P", "Q", "R", "S"),
+            TensorRole.WEIGHTS: ("M", "C", "R", "S"),
+            TensorRole.OUTPUTS: ("N", "M", "P", "Q"),
+        },
+    )
+
+
+def depthwise_conv2d_einsum(
+    name: str,
+    batch: int,
+    channels: int,
+    output_height: int,
+    output_width: int,
+    kernel_height: int,
+    kernel_width: int,
+) -> EinsumOp:
+    """Einsum for a depthwise 2-D convolution (no cross-channel reduction)."""
+    return EinsumOp(
+        name=name,
+        dimensions={
+            "N": batch,
+            "C": channels,
+            "P": output_height,
+            "Q": output_width,
+            "R": kernel_height,
+            "S": kernel_width,
+        },
+        projections={
+            TensorRole.INPUTS: ("N", "C", "P", "Q", "R", "S"),
+            TensorRole.WEIGHTS: ("C", "R", "S"),
+            TensorRole.OUTPUTS: ("N", "C", "P", "Q"),
+        },
+    )

@@ -1,0 +1,188 @@
+"""DNN layer descriptions.
+
+A :class:`Layer` couples an einsum (shape information) with workload-level
+value metadata: operand bit widths and a qualitative *activation style*
+(CNN-like sparse unsigned activations vs. transformer-like dense signed
+activations) used to generate synthetic operand distributions when real
+profiles are not supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.utils.errors import WorkloadError
+from repro.workloads.einsum import (
+    EinsumOp,
+    TensorRole,
+    conv2d_einsum,
+    depthwise_conv2d_einsum,
+    matmul_einsum,
+)
+
+
+class ActivationStyle(str, Enum):
+    """Qualitative shape of a layer's input activation distribution."""
+
+    #: Post-ReLU activations: unsigned, heavily sparse, exponentially decaying.
+    CNN_SPARSE_UNSIGNED = "cnn_sparse_unsigned"
+    #: Transformer activations: signed, dense, roughly Gaussian.
+    TRANSFORMER_DENSE_SIGNED = "transformer_dense_signed"
+    #: First-layer image inputs: unsigned, dense.
+    IMAGE_DENSE_UNSIGNED = "image_dense_unsigned"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A single DNN layer: einsum shape plus operand metadata.
+
+    Attributes
+    ----------
+    einsum:
+        The iteration space and tensor projections of the layer.
+    input_bits / weight_bits / output_bits:
+        Operand precisions used when no hardware override is given.
+    activation_style:
+        Qualitative distribution family for input activations; drives the
+        synthetic operand-distribution generator.
+    weight_sparsity:
+        Fraction of exactly-zero weights (pruning), default 0.
+    """
+
+    einsum: EinsumOp
+    input_bits: int = 8
+    weight_bits: int = 8
+    output_bits: int = 16
+    activation_style: ActivationStyle = ActivationStyle.CNN_SPARSE_UNSIGNED
+    weight_sparsity: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label, bits in (
+            ("input_bits", self.input_bits),
+            ("weight_bits", self.weight_bits),
+            ("output_bits", self.output_bits),
+        ):
+            if bits < 1 or bits > 32:
+                raise WorkloadError(f"{label} must be in [1, 32], got {bits}")
+        if not 0.0 <= self.weight_sparsity < 1.0:
+            raise WorkloadError("weight_sparsity must be in [0, 1)")
+
+    @property
+    def name(self) -> str:
+        """Layer name (taken from the einsum)."""
+        return self.einsum.name
+
+    @property
+    def total_macs(self) -> int:
+        """Total MAC count of the layer."""
+        return self.einsum.total_macs
+
+    def tensor_size(self, role: TensorRole) -> int:
+        """Element count of one of the layer's tensors."""
+        return self.einsum.tensor_size(role)
+
+    def tensor_bits(self, role: TensorRole) -> int:
+        """Operand precision of one of the layer's tensors."""
+        return {
+            TensorRole.INPUTS: self.input_bits,
+            TensorRole.WEIGHTS: self.weight_bits,
+            TensorRole.OUTPUTS: self.output_bits,
+        }[role]
+
+    def with_bits(
+        self,
+        input_bits: Optional[int] = None,
+        weight_bits: Optional[int] = None,
+        output_bits: Optional[int] = None,
+    ) -> "Layer":
+        """Copy of the layer with some operand precisions replaced."""
+        return replace(
+            self,
+            input_bits=input_bits if input_bits is not None else self.input_bits,
+            weight_bits=weight_bits if weight_bits is not None else self.weight_bits,
+            output_bits=output_bits if output_bits is not None else self.output_bits,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Layer({self.name!r}, macs={self.total_macs}, "
+            f"in={self.input_bits}b, w={self.weight_bits}b)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Layer constructors
+# ----------------------------------------------------------------------
+def conv2d_layer(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    output_height: int,
+    output_width: int,
+    kernel: int,
+    batch: int = 1,
+    activation_style: ActivationStyle = ActivationStyle.CNN_SPARSE_UNSIGNED,
+    input_bits: int = 8,
+    weight_bits: int = 8,
+) -> Layer:
+    """Standard square-kernel 2-D convolution layer."""
+    einsum = conv2d_einsum(
+        name=name,
+        batch=batch,
+        in_channels=in_channels,
+        out_channels=out_channels,
+        output_height=output_height,
+        output_width=output_width,
+        kernel_height=kernel,
+        kernel_width=kernel,
+    )
+    return Layer(
+        einsum=einsum,
+        activation_style=activation_style,
+        input_bits=input_bits,
+        weight_bits=weight_bits,
+    )
+
+
+def depthwise_conv2d_layer(
+    name: str,
+    channels: int,
+    output_height: int,
+    output_width: int,
+    kernel: int,
+    batch: int = 1,
+    input_bits: int = 8,
+    weight_bits: int = 8,
+) -> Layer:
+    """Depthwise separable convolution layer (MobileNet-style)."""
+    einsum = depthwise_conv2d_einsum(
+        name=name,
+        batch=batch,
+        channels=channels,
+        output_height=output_height,
+        output_width=output_width,
+        kernel_height=kernel,
+        kernel_width=kernel,
+    )
+    return Layer(einsum=einsum, input_bits=input_bits, weight_bits=weight_bits)
+
+
+def matmul_layer(
+    name: str,
+    m: int,
+    k: int,
+    n: int,
+    activation_style: ActivationStyle = ActivationStyle.TRANSFORMER_DENSE_SIGNED,
+    input_bits: int = 8,
+    weight_bits: int = 8,
+) -> Layer:
+    """Fully-connected / matmul layer: Outputs[M,N] += Weights[M,K] * Inputs[K,N]."""
+    einsum = matmul_einsum(name=name, m=m, k=k, n=n)
+    return Layer(
+        einsum=einsum,
+        activation_style=activation_style,
+        input_bits=input_bits,
+        weight_bits=weight_bits,
+    )

@@ -1,0 +1,119 @@
+"""Tests for the value-level, fixed-energy, and fixed-power baselines."""
+
+import pytest
+
+from repro.architecture import CiMMacro
+from repro.baselines import FixedEnergyModel, FixedPowerModel, ValueLevelSimulator
+from repro.plugins import NeuroSimPlugin
+from repro.utils.errors import EvaluationError
+from repro.workloads import matrix_vector_workload, resnet18
+from repro.workloads.distributions import profile_network
+from repro.workloads.networks import Network
+
+
+@pytest.fixture(scope="module")
+def macro() -> CiMMacro:
+    return NeuroSimPlugin().build_macro()
+
+
+@pytest.fixture(scope="module")
+def small_network() -> Network:
+    return Network(name="resnet_head", layers=tuple(list(resnet18())[:3]))
+
+
+@pytest.fixture(scope="module")
+def distributions(small_network):
+    return profile_network(small_network)
+
+
+class TestValueLevelSimulator:
+    def test_energy_close_to_statistical_model(self, macro, small_network, distributions):
+        layer = small_network.layers[1]
+        simulator = ValueLevelSimulator(macro, max_vectors=8)
+        ground_truth = simulator.simulate_layer(layer, distributions[layer.name])
+        statistical = macro.evaluate_layer(layer, distributions[layer.name])
+        error = abs(statistical.total_energy - ground_truth.total_energy) / ground_truth.total_energy
+        # The paper reports ~3% average error; allow headroom for sampling noise.
+        assert error < 0.15
+
+    def test_scaling_metadata(self, macro, small_network, distributions):
+        layer = small_network.layers[1]
+        result = ValueLevelSimulator(macro, max_vectors=4).simulate_layer(
+            layer, distributions[layer.name]
+        )
+        assert result.simulated_vectors <= 4
+        assert result.total_vectors >= result.simulated_vectors
+        assert result.values_simulated > 0
+        assert result.elapsed_s > 0
+
+    def test_more_vectors_costs_more_time(self, macro, small_network, distributions):
+        layer = small_network.layers[1]
+        few = ValueLevelSimulator(macro, max_vectors=2).simulate_layer(layer, distributions[layer.name])
+        many = ValueLevelSimulator(macro, max_vectors=16).simulate_layer(layer, distributions[layer.name])
+        assert many.values_simulated > few.values_simulated
+
+    def test_deterministic_for_fixed_seed(self, macro, small_network, distributions):
+        layer = small_network.layers[1]
+        a = ValueLevelSimulator(macro, seed=3, max_vectors=4).simulate_layer(layer, distributions[layer.name])
+        b = ValueLevelSimulator(macro, seed=3, max_vectors=4).simulate_layer(layer, distributions[layer.name])
+        assert a.total_energy == pytest.approx(b.total_energy)
+
+    def test_rejects_bad_max_vectors(self, macro):
+        with pytest.raises(EvaluationError):
+            ValueLevelSimulator(macro, max_vectors=0)
+
+
+class TestFixedEnergyModel:
+    def test_fixed_energies_are_layer_independent(self, macro, small_network, distributions):
+        fixed = FixedEnergyModel(macro, small_network, distributions)
+        energies = fixed.per_action_energies
+        assert energies == FixedEnergyModel(macro, small_network, distributions).per_action_energies
+
+    def test_fixed_model_is_less_accurate_than_statistical(self, macro, small_network, distributions):
+        simulator = ValueLevelSimulator(macro, max_vectors=8)
+        fixed = FixedEnergyModel(macro, small_network, distributions)
+        cimloop_errors, fixed_errors = [], []
+        for layer in small_network:
+            ground_truth = simulator.simulate_layer(layer, distributions[layer.name]).total_energy
+            cimloop = macro.evaluate_layer(layer, distributions[layer.name]).total_energy
+            fixed_energy = fixed.evaluate_layer(layer).total_energy
+            cimloop_errors.append(abs(cimloop - ground_truth) / ground_truth)
+            fixed_errors.append(abs(fixed_energy - ground_truth) / ground_truth)
+        assert sum(cimloop_errors) <= sum(fixed_errors)
+
+    def test_without_distributions_uses_nominal_context(self, macro, small_network):
+        fixed = FixedEnergyModel(macro)
+        result = fixed.evaluate_layer(small_network.layers[0])
+        assert result.total_energy > 0
+
+    def test_evaluate_network(self, macro, small_network, distributions):
+        fixed = FixedEnergyModel(macro, small_network, distributions)
+        results = fixed.evaluate_network(small_network)
+        assert set(results) == {layer.name for layer in small_network}
+
+
+class TestFixedPowerModel:
+    def test_energy_is_power_times_time(self, macro, small_network):
+        model = FixedPowerModel(macro)
+        result = model.evaluate_layer(small_network.layers[0])
+        assert result.total_energy == pytest.approx(result.power_w * result.busy_time_s)
+
+    def test_power_is_layer_independent(self, macro, small_network):
+        model = FixedPowerModel(macro)
+        results = model.evaluate_network(small_network)
+        powers = {round(r.power_w, 15) for r in results.values()}
+        assert len(powers) == 1
+
+    def test_rejects_bad_activity_factor(self, macro):
+        with pytest.raises(EvaluationError):
+            FixedPowerModel(macro, activity_factor=0.0)
+
+    def test_fixed_power_misses_utilisation_effects(self, macro):
+        """Two layers with equal activations but different utilisation get the
+        same fixed-power estimate, unlike the statistical model."""
+        model = FixedPowerModel(macro)
+        full = matrix_vector_workload(128, 128, repeats=4).layers[0]
+        quarter = matrix_vector_workload(32, 128, repeats=4).layers[0]
+        full_result = model.evaluate_layer(full)
+        quarter_result = model.evaluate_layer(quarter)
+        assert full_result.power_w == pytest.approx(quarter_result.power_w)

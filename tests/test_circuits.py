@@ -1,0 +1,271 @@
+"""Tests for the circuit component energy/area models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    ADCModel,
+    Action,
+    AnalogAccumulator,
+    AnalogAdder,
+    AnalogMACUnit,
+    ColumnMux,
+    DACModel,
+    DACType,
+    DigitalAccumulator,
+    DigitalAdder,
+    DigitalMACUnit,
+    DRAMModel,
+    Multiplexer,
+    NoCLink,
+    NoCRouter,
+    OperandContext,
+    OperandStats,
+    Register,
+    RegisterFile,
+    RowDriver,
+    ShiftAdd,
+    SRAMBuffer,
+)
+from repro.devices import TechnologyNode
+from repro.utils.errors import PluginError, ValidationError
+from repro.workloads.einsum import TensorRole
+
+
+def _context(mean=0.5, mean_square=0.3, density=1.0, toggle=0.5):
+    stats = OperandStats(mean=mean, mean_square=mean_square, density=density, toggle_rate=toggle)
+    return OperandContext(stats={role: stats for role in TensorRole})
+
+
+ALL_COMPONENTS = [
+    ADCModel(resolution_bits=8),
+    DACModel(resolution_bits=2),
+    AnalogAdder(operands=4),
+    AnalogAccumulator(),
+    AnalogMACUnit(weight_bits=8),
+    DigitalAdder(bits=16),
+    DigitalAccumulator(bits=16),
+    DigitalMACUnit(bits=8),
+    ShiftAdd(bits=16),
+    Multiplexer(bits=8, ways=8),
+    Register(bits=16),
+    RowDriver(columns=256),
+    ColumnMux(ways=8, rows=256),
+    SRAMBuffer(capacity_bytes=64 * 1024),
+    RegisterFile(entries=16, width_bits=16),
+    DRAMModel(),
+    NoCRouter(),
+    NoCLink(),
+]
+
+
+class TestCommonInterface:
+    @pytest.mark.parametrize("component", ALL_COMPONENTS, ids=lambda c: type(c).__name__)
+    def test_every_action_has_positive_finite_energy(self, component):
+        context = _context()
+        for action in component.actions():
+            energy = component.energy(action, context)
+            assert energy > 0
+            assert energy < 1e-6  # no single action should cost a microjoule
+
+    @pytest.mark.parametrize("component", ALL_COMPONENTS, ids=lambda c: type(c).__name__)
+    def test_area_is_non_negative(self, component):
+        assert component.area_um2() >= 0.0
+
+    @pytest.mark.parametrize("component", ALL_COMPONENTS, ids=lambda c: type(c).__name__)
+    def test_unsupported_action_rejected(self, component):
+        with pytest.raises(PluginError):
+            component.energy("warp_drive", _context())
+
+    @pytest.mark.parametrize("component", ALL_COMPONENTS, ids=lambda c: type(c).__name__)
+    def test_energy_table_covers_all_actions(self, component):
+        table = component.energy_table(_context())
+        assert set(table) == set(component.actions())
+
+
+class TestOperandStats:
+    def test_nominal_stats_are_valid(self):
+        stats = OperandStats.nominal()
+        assert 0 <= stats.mean <= 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            OperandStats(mean=1.5)
+
+    def test_context_defaults_to_nominal(self):
+        context = OperandContext.nominal()
+        assert context.for_tensor(TensorRole.INPUTS).mean == OperandStats.nominal().mean
+
+    def test_attribute_lookup(self):
+        context = OperandContext(stats={}, attributes={"vdd": 0.8})
+        assert context.attribute("vdd") == pytest.approx(0.8)
+        assert context.attribute("missing", 1.0) == pytest.approx(1.0)
+
+
+class TestADC:
+    def test_energy_grows_with_resolution(self):
+        low = ADCModel(resolution_bits=4).energy(Action.CONVERT, _context())
+        high = ADCModel(resolution_bits=10).energy(Action.CONVERT, _context())
+        assert high > low
+
+    def test_value_aware_adc_saves_energy_on_small_values(self):
+        adc = ADCModel(resolution_bits=8, value_aware=True)
+        small = adc.energy(Action.CONVERT, _context(mean=0.05))
+        large = adc.energy(Action.CONVERT, _context(mean=0.95))
+        assert small < large
+
+    def test_value_agnostic_adc_is_constant(self):
+        adc = ADCModel(resolution_bits=8, value_aware=False)
+        assert adc.energy(Action.CONVERT, _context(mean=0.05)) == pytest.approx(
+            adc.energy(Action.CONVERT, _context(mean=0.95))
+        )
+
+    def test_area_scales_with_count(self):
+        assert ADCModel(count=4).area_um2() == pytest.approx(ADCModel(count=1).area_um2() * 4)
+
+    def test_rejects_invalid_resolution(self):
+        with pytest.raises(ValidationError):
+            ADCModel(resolution_bits=0)
+
+    def test_technology_scaling(self):
+        small = ADCModel(resolution_bits=8, technology=TechnologyNode(7))
+        large = ADCModel(resolution_bits=8, technology=TechnologyNode(65))
+        assert small.energy(Action.CONVERT, _context()) < large.energy(Action.CONVERT, _context())
+
+
+class TestDAC:
+    def test_pulse_dac_energy_tracks_value(self):
+        dac = DACModel(resolution_bits=4, dac_type=DACType.PULSE)
+        small = dac.energy(Action.CONVERT, _context(mean=0.05, density=0.3))
+        large = dac.energy(Action.CONVERT, _context(mean=0.9, density=1.0))
+        assert large > small * 2
+
+    def test_capacitive_dac_tracks_toggle_rate(self):
+        dac = DACModel(resolution_bits=4, dac_type=DACType.CAPACITIVE)
+        idle = dac.energy(Action.CONVERT, _context(toggle=0.0))
+        busy = dac.energy(Action.CONVERT, _context(toggle=1.0))
+        assert busy > idle
+
+    def test_sparse_inputs_cost_less_on_pulse_dacs(self):
+        dac = DACModel(resolution_bits=4, dac_type=DACType.PULSE)
+        sparse = dac.energy(Action.CONVERT, _context(mean=0.1, density=0.2))
+        dense = dac.energy(Action.CONVERT, _context(mean=0.1, density=1.0))
+        assert sparse < dense
+
+    def test_rejects_invalid_resolution(self):
+        with pytest.raises(ValidationError):
+            DACModel(resolution_bits=13)
+
+
+class TestAnalog:
+    def test_adder_energy_grows_with_operands(self):
+        narrow = AnalogAdder(operands=2).energy(Action.ADD, _context())
+        wide = AnalogAdder(operands=8).energy(Action.ADD, _context())
+        assert wide > narrow
+
+    def test_adder_area_grows_with_operands(self):
+        assert AnalogAdder(operands=8).area_um2() > AnalogAdder(operands=2).area_um2()
+
+    def test_signal_energy_tracks_output_magnitude(self):
+        adder = AnalogAdder(operands=4)
+        small = adder.energy(Action.ADD, _context(mean_square=0.05))
+        large = adder.energy(Action.ADD, _context(mean_square=0.9))
+        assert large > small
+
+    def test_analog_mac_tracks_both_operands(self):
+        mac = AnalogMACUnit(weight_bits=8)
+        low = mac.energy(Action.COMPUTE, _context(mean=0.1))
+        high = mac.energy(Action.COMPUTE, _context(mean=0.9))
+        assert high > low
+
+    def test_accumulator_rejects_bad_count(self):
+        with pytest.raises(ValidationError):
+            AnalogAccumulator(count=0)
+
+
+class TestDigitalAndStorage:
+    def test_digital_energy_scales_with_bits(self):
+        assert DigitalAdder(bits=32).energy(Action.ADD, _context()) > DigitalAdder(bits=8).energy(
+            Action.ADD, _context()
+        )
+
+    def test_mac_costs_more_than_adder(self):
+        assert DigitalMACUnit(bits=8).energy(Action.COMPUTE, _context()) > DigitalAdder(
+            bits=8
+        ).energy(Action.ADD, _context())
+
+    def test_register_read_cheaper_than_write(self):
+        register = Register(bits=16)
+        assert register.energy(Action.READ, _context()) < register.energy(Action.WRITE, _context())
+
+    def test_buffer_energy_grows_with_capacity(self):
+        small = SRAMBuffer(capacity_bytes=8 * 1024).access_energy()
+        large = SRAMBuffer(capacity_bytes=512 * 1024).access_energy()
+        assert large > small
+
+    def test_buffer_update_costs_more_than_read(self):
+        buffer = SRAMBuffer()
+        assert buffer.energy(Action.UPDATE, _context()) > buffer.energy(Action.READ, _context())
+
+    def test_buffer_area_scales_with_capacity(self):
+        assert SRAMBuffer(capacity_bytes=256 * 1024).area_um2() > SRAMBuffer(
+            capacity_bytes=32 * 1024
+        ).area_um2()
+
+    def test_register_file_decoder_overhead(self):
+        small = RegisterFile(entries=2).energy(Action.READ, _context())
+        large = RegisterFile(entries=256).energy(Action.READ, _context())
+        assert large > small
+
+    def test_dram_energy_per_access_matches_bits(self):
+        dram = DRAMModel(energy_per_bit_pj=4.0, access_width_bits=64)
+        assert dram.energy(Action.READ, _context()) == pytest.approx(4.0e-12 * 64)
+
+    def test_dram_off_chip_has_no_on_chip_area(self):
+        assert DRAMModel().area_um2() == 0.0
+
+    def test_dram_is_much_more_expensive_than_sram_per_bit(self):
+        dram = DRAMModel()
+        sram = SRAMBuffer(capacity_bytes=64 * 1024, access_width_bits=64)
+        dram_per_bit = dram.energy(Action.READ, _context()) / dram.access_width_bits
+        sram_per_bit = sram.energy(Action.READ, _context()) / sram.access_width_bits
+        assert dram_per_bit > sram_per_bit * 5
+
+    def test_row_driver_energy_scales_with_columns(self):
+        short = RowDriver(columns=64).energy(Action.DRIVE, _context())
+        long = RowDriver(columns=1024).energy(Action.DRIVE, _context())
+        assert long > short
+
+    def test_row_driver_sparse_inputs_save_energy(self):
+        driver = RowDriver(columns=256)
+        sparse = driver.energy(Action.DRIVE, _context(density=0.2))
+        dense = driver.energy(Action.DRIVE, _context(density=1.0))
+        assert sparse < dense
+
+    def test_noc_link_energy_scales_with_length(self):
+        short = NoCLink(length_mm=0.5).energy(Action.TRANSFER, _context())
+        long = NoCLink(length_mm=4.0).energy(Action.TRANSFER, _context())
+        assert long > short
+
+
+@given(
+    st.floats(min_value=0, max_value=1),
+    st.floats(min_value=0, max_value=1),
+    st.floats(min_value=0, max_value=1),
+)
+@settings(max_examples=50, deadline=None)
+def test_component_energy_is_monotone_in_operand_magnitude(mean, mean_square, density):
+    """Raising every operand statistic never lowers a component's energy."""
+    baseline = _context(mean=mean * 0.5, mean_square=mean_square * 0.5, density=density * 0.5,
+                        toggle=0.25)
+    raised = _context(mean=mean * 0.5 + 0.5, mean_square=mean_square * 0.5 + 0.5,
+                      density=density * 0.5 + 0.5, toggle=0.75)
+    for component in (
+        DACModel(resolution_bits=4, dac_type=DACType.PULSE),
+        RowDriver(columns=128),
+        AnalogAdder(operands=4),
+        DigitalAdder(bits=16),
+    ):
+        for action in component.actions():
+            assert component.energy(action, raised) >= component.energy(action, baseline) - 1e-21

@@ -1,0 +1,188 @@
+"""Tests for the CiMLoopModel entry point, the fast pipeline, and accuracy metrics."""
+
+import pytest
+
+from repro import CiMLoopModel, CiMMacroConfig, SystemConfig
+from repro.core.accuracy import (
+    breakdown_error,
+    max_absolute_percent_error,
+    mean_absolute_percent_error,
+    normalize_breakdown,
+    percent_error,
+    series_correlation,
+)
+from repro.core.fast_pipeline import AmortizedEvaluator, PerActionEnergyCache
+from repro.architecture import CiMMacro
+from repro.macros import base_macro, macro_b
+from repro.utils.errors import EvaluationError
+from repro.workloads import matrix_vector_workload, resnet18
+from repro.workloads.networks import Network
+
+
+def _small_resnet(n=3) -> Network:
+    return Network(name="resnet_head", layers=tuple(list(resnet18())[:n]))
+
+
+class TestCiMLoopModelMacro:
+    def test_evaluate_single_layer(self):
+        model = CiMLoopModel(base_macro())
+        layer = matrix_vector_workload(128, 128, repeats=4).layers[0]
+        result = model.evaluate(layer)
+        assert result.total_macs == layer.total_macs
+        assert result.total_energy > 0
+
+    def test_evaluate_network_sums_layers(self):
+        model = CiMLoopModel(base_macro())
+        network = _small_resnet()
+        result = model.evaluate(network)
+        assert result.total_macs == network.total_macs
+        assert len(result.layers) == len(network)
+
+    def test_summary_keys(self):
+        model = CiMLoopModel(base_macro())
+        summary = model.evaluate(_small_resnet()).summary()
+        for key in ("total_energy_j", "tops_per_watt", "gops", "total_area_mm2"):
+            assert key in summary
+
+    def test_breakdown_fractions_sum_to_one(self):
+        result = CiMLoopModel(base_macro()).evaluate(_small_resnet())
+        assert sum(result.energy_breakdown_fraction().values()) == pytest.approx(1.0)
+        assert sum(result.area_breakdown_fraction().values()) == pytest.approx(1.0)
+
+    def test_layer_lookup(self):
+        result = CiMLoopModel(base_macro()).evaluate(_small_resnet())
+        assert result.layer("conv1").layer_name == "conv1"
+        with pytest.raises(EvaluationError):
+            result.layer("missing")
+
+    def test_invalid_workload_type(self):
+        with pytest.raises(EvaluationError):
+            CiMLoopModel(base_macro()).evaluate("resnet18")
+
+    def test_invalid_config_type(self):
+        with pytest.raises(EvaluationError):
+            CiMLoopModel("not a config")
+
+    def test_fixed_energy_mode_differs_from_distribution_mode(self):
+        network = _small_resnet()
+        with_dists = CiMLoopModel(base_macro(), use_distributions=True).evaluate(network)
+        without = CiMLoopModel(base_macro(), use_distributions=False).evaluate(network)
+        assert with_dists.total_energy != pytest.approx(without.total_energy, rel=1e-3)
+
+
+class TestCiMLoopModelSystem:
+    def test_full_system_includes_dram(self):
+        config = SystemConfig(macro=base_macro())
+        result = CiMLoopModel(config).evaluate(_small_resnet())
+        assert "dram" in result.energy_breakdown()
+
+    def test_is_full_system_flag(self):
+        assert CiMLoopModel(SystemConfig(macro=base_macro())).is_full_system
+        assert not CiMLoopModel(base_macro()).is_full_system
+
+
+class TestSweep:
+    def test_sweep_over_array_size(self):
+        model = CiMLoopModel(base_macro())
+        layer = matrix_vector_workload(256, 256, repeats=4).layers[0]
+        results = model.sweep(layer, "rows", [64, 128, 256])
+        assert set(results) == {64, 128, 256}
+        for result in results.values():
+            assert result.total_energy > 0
+
+    def test_sweep_preserves_system_context(self):
+        model = CiMLoopModel(SystemConfig(macro=base_macro()))
+        layer = matrix_vector_workload(128, 128, repeats=2).layers[0]
+        results = model.sweep(layer, "dac_resolution", [1, 2])
+        for result in results.values():
+            assert "dram" in result.energy_breakdown()
+
+
+class TestFastPipeline:
+    def test_cache_hit_on_second_use(self):
+        macro = CiMMacro(base_macro())
+        cache = PerActionEnergyCache()
+        layer = _small_resnet().layers[1]
+        cache.get(macro, layer)
+        cache.get(macro, layer)
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert len(cache) == 1
+
+    def test_invalidate(self):
+        macro = CiMMacro(base_macro())
+        cache = PerActionEnergyCache()
+        cache.get(macro, _small_resnet().layers[1])
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_amortized_evaluator_best_is_baseline(self):
+        macro = CiMMacro(base_macro())
+        evaluator = AmortizedEvaluator(macro)
+        layer = _small_resnet().layers[1]
+        result = evaluator.evaluate_mappings(layer, num_mappings=16)
+        baseline = macro.map_layer(layer)
+        assert result.best.counts.row_tiles == baseline.row_tiles
+        assert result.best.counts.col_tiles == baseline.col_tiles
+        assert result.evaluations == 16
+
+    def test_amortization_makes_per_mapping_time_drop(self):
+        macro = CiMMacro(base_macro())
+        evaluator = AmortizedEvaluator(macro)
+        layer = _small_resnet().layers[1]
+        single = evaluator.evaluate_mappings(layer, num_mappings=1)
+        many = evaluator.evaluate_mappings(layer, num_mappings=200)
+        time_per_mapping_single = single.elapsed_s / single.evaluations
+        time_per_mapping_many = many.elapsed_s / many.evaluations
+        assert time_per_mapping_many < time_per_mapping_single
+
+    def test_rejects_zero_candidates(self):
+        macro = CiMMacro(base_macro())
+        with pytest.raises(EvaluationError):
+            AmortizedEvaluator(macro).evaluate_mappings(_small_resnet().layers[1], 0)
+
+    def test_model_evaluate_mappings_shares_cache(self):
+        model = CiMLoopModel(base_macro())
+        layer = _small_resnet().layers[1]
+        model.evaluate_mappings(layer, num_mappings=4)
+        model.evaluate_mappings(layer, num_mappings=4)
+        assert model.energy_cache.hits >= 1
+
+
+class TestAccuracyMetrics:
+    def test_percent_error(self):
+        assert percent_error(110, 100) == pytest.approx(10.0)
+
+    def test_percent_error_zero_reference(self):
+        with pytest.raises(EvaluationError):
+            percent_error(1.0, 0.0)
+
+    def test_mean_and_max_errors(self):
+        modeled = [1.0, 2.0, 3.0]
+        reference = [1.0, 1.0, 3.0]
+        assert mean_absolute_percent_error(modeled, reference) == pytest.approx(100.0 / 3)
+        assert max_absolute_percent_error(modeled, reference) == pytest.approx(100.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            mean_absolute_percent_error([1.0], [1.0, 2.0])
+
+    def test_breakdown_error(self):
+        errors = breakdown_error({"adc": 1.1, "dac": 2.0}, {"adc": 1.0, "dac": 2.0})
+        assert errors["adc"] == pytest.approx(10.0)
+        assert errors["dac"] == pytest.approx(0.0)
+
+    def test_breakdown_error_no_shared_keys(self):
+        with pytest.raises(EvaluationError):
+            breakdown_error({"a": 1.0}, {"b": 1.0})
+
+    def test_normalize_breakdown(self):
+        normalized = normalize_breakdown({"a": 1.0, "b": 3.0})
+        assert normalized["b"] == pytest.approx(0.75)
+
+    def test_series_correlation_perfect(self):
+        assert series_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_series_correlation_constant_rejected(self):
+        with pytest.raises(EvaluationError):
+            series_correlation([1, 1, 1], [1, 2, 3])

@@ -1,0 +1,149 @@
+"""Tests for technology scaling and memory cell device models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import (
+    CellLibrary,
+    DRAMCell,
+    PCMCell,
+    ReRAMCell,
+    SRAMCell,
+    STTRAMCell,
+    TechnologyNode,
+    default_cell_library,
+    scale_area,
+    scale_energy,
+)
+from repro.devices.technology import REFERENCE_NODE, scale_delay
+from repro.utils.errors import ValidationError
+
+
+class TestTechnologyNode:
+    def test_nominal_vdd_used_when_not_given(self):
+        assert TechnologyNode(65).vdd == pytest.approx(1.0)
+        assert TechnologyNode(7).vdd == pytest.approx(0.70, abs=0.05)
+
+    def test_smaller_nodes_have_lower_energy_and_area(self):
+        assert TechnologyNode(7).energy_factor < TechnologyNode(65).energy_factor
+        assert TechnologyNode(7).area_factor < TechnologyNode(65).area_factor
+
+    def test_voltage_scaling_is_quadratic(self):
+        nominal = TechnologyNode(65)
+        overdriven = TechnologyNode(65, vdd=nominal.vdd * 2)
+        assert overdriven.energy_factor == pytest.approx(nominal.energy_factor * 4)
+
+    def test_lower_voltage_slows_the_node(self):
+        nominal = TechnologyNode(65)
+        undervolted = nominal.with_vdd(nominal.vdd * 0.7)
+        assert undervolted.delay_factor > nominal.delay_factor
+
+    def test_interpolation_between_table_nodes(self):
+        mid = TechnologyNode(28)
+        assert TechnologyNode(22).energy_factor < mid.energy_factor < TechnologyNode(32).energy_factor
+
+    def test_rejects_non_positive_node(self):
+        with pytest.raises(ValidationError):
+            TechnologyNode(0)
+
+    def test_scale_energy_identity(self):
+        node = TechnologyNode(65)
+        assert scale_energy(1e-12, node, node) == pytest.approx(1e-12)
+
+    def test_scale_energy_to_smaller_node_shrinks(self):
+        assert scale_energy(1e-12, TechnologyNode(65), TechnologyNode(7)) < 1e-12
+
+    def test_scale_area_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            scale_area(-1.0, REFERENCE_NODE, REFERENCE_NODE)
+
+    def test_scale_delay(self):
+        assert scale_delay(1e-9, TechnologyNode(65), TechnologyNode(7)) < 1e-9
+
+
+class TestCells:
+    @pytest.mark.parametrize(
+        "cell_cls", [SRAMCell, ReRAMCell, DRAMCell, STTRAMCell, PCMCell]
+    )
+    def test_energies_and_area_are_positive(self, cell_cls):
+        cell = cell_cls()
+        assert cell.compute_energy(1.0, 1.0) > 0
+        assert cell.write_energy() > 0
+        assert cell.area_um2() > 0
+
+    @pytest.mark.parametrize(
+        "cell_cls", [SRAMCell, ReRAMCell, DRAMCell, STTRAMCell, PCMCell]
+    )
+    def test_data_dependence_monotone_in_input(self, cell_cls):
+        cell = cell_cls()
+        low = cell.compute_energy(0.1, 0.8)
+        high = cell.compute_energy(0.9, 0.8)
+        assert high >= low
+
+    def test_reram_energy_scales_with_conductance(self):
+        cell = ReRAMCell()
+        assert cell.compute_energy(1.0, 1.0) > cell.compute_energy(1.0, 0.1)
+
+    def test_reram_respects_on_off_ratio_floor(self):
+        cell = ReRAMCell(on_off_ratio=10.0)
+        # Even the lowest weight level conducts 1/on_off of full scale.
+        assert cell.compute_energy(1.0, 0.0) >= cell.compute_energy(1.0, 1.0) / 10.0 * 0.99
+
+    def test_compute_energy_rejects_out_of_range_fraction(self):
+        with pytest.raises(ValidationError):
+            SRAMCell().compute_energy(1.5, 0.5)
+
+    def test_volatility_flags(self):
+        assert SRAMCell().is_volatile
+        assert not ReRAMCell().is_volatile
+        assert not PCMCell().is_volatile
+
+    def test_nonvolatile_cells_have_expensive_writes(self):
+        assert ReRAMCell().write_energy() > SRAMCell().write_energy()
+
+    def test_bits_per_cell_levels(self):
+        assert ReRAMCell(bits_per_cell=3).levels == 8
+
+    def test_rejects_bad_bits_per_cell(self):
+        with pytest.raises(ValidationError):
+            SRAMCell(bits_per_cell=0)
+
+    def test_technology_scaling_applies_to_cells(self):
+        small = SRAMCell(technology=TechnologyNode(7))
+        large = SRAMCell(technology=TechnologyNode(65))
+        assert small.compute_energy(1.0, 1.0) < large.compute_energy(1.0, 1.0)
+
+
+class TestCellLibrary:
+    def test_default_library_has_all_paper_devices(self):
+        library = default_cell_library()
+        for device in ("sram", "reram", "dram", "sttram", "pcm"):
+            assert device in library
+
+    def test_create_cell(self):
+        library = default_cell_library()
+        cell = library.create("reram", TechnologyNode(130), bits_per_cell=4)
+        assert isinstance(cell, ReRAMCell)
+        assert cell.bits_per_cell == 4
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValidationError):
+            default_cell_library().create("memristor9000", TechnologyNode(65))
+
+    def test_register_custom_device(self):
+        library = CellLibrary()
+        library.register("custom", lambda tech, bits: SRAMCell(technology=tech, bits_per_cell=bits))
+        assert "custom" in library
+        assert isinstance(library.create("custom", TechnologyNode(65)), SRAMCell)
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            CellLibrary().register("", lambda tech, bits: SRAMCell())
+
+
+@given(st.floats(min_value=5, max_value=180), st.floats(min_value=5, max_value=180))
+@settings(max_examples=50, deadline=None)
+def test_energy_factor_monotone_in_node(node_a, node_b):
+    smaller, larger = sorted([node_a, node_b])
+    assert TechnologyNode(smaller).energy_factor <= TechnologyNode(larger).energy_factor + 1e-9

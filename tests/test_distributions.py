@@ -1,0 +1,111 @@
+"""Tests for synthetic operand distributions and layer profiling."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import WorkloadError
+from repro.workloads import (
+    TensorRole,
+    cnn_activation_pmf,
+    gaussian_weight_pmf,
+    profile_layer,
+    resnet18,
+    transformer_activation_pmf,
+)
+from repro.workloads.distributions import (
+    accumulated_output_pmf,
+    generate_tensor,
+    image_input_pmf,
+    profile_network,
+)
+from repro.workloads.layer import ActivationStyle, matmul_layer
+
+
+class TestSyntheticFamilies:
+    def test_cnn_activations_are_unsigned_and_sparse(self):
+        pmf = cnn_activation_pmf(8, sparsity=0.6)
+        assert pmf.min >= 0
+        assert pmf.sparsity == pytest.approx(0.6)
+
+    def test_cnn_activation_rejects_bad_sparsity(self):
+        with pytest.raises(WorkloadError):
+            cnn_activation_pmf(8, sparsity=1.0)
+
+    def test_transformer_activations_are_signed_and_dense(self):
+        pmf = transformer_activation_pmf(8)
+        assert pmf.min < 0 < pmf.max
+        assert pmf.sparsity < 0.05
+
+    def test_image_inputs_are_dense(self):
+        pmf = image_input_pmf(8)
+        assert pmf.sparsity < 0.02
+        assert pmf.max == 255
+
+    def test_weights_are_roughly_symmetric(self):
+        pmf = gaussian_weight_pmf(8)
+        assert abs(pmf.mean) < 1.0
+
+    def test_weight_pruning_adds_mass_at_zero(self):
+        dense = gaussian_weight_pmf(8, sparsity=0.0)
+        pruned = gaussian_weight_pmf(8, sparsity=0.5)
+        assert pruned.sparsity > dense.sparsity + 0.3
+
+    def test_accumulated_output_mean_scales_with_reduction(self):
+        inputs = cnn_activation_pmf(8)
+        weights = gaussian_weight_pmf(8)
+        small = accumulated_output_pmf(inputs, weights, reduction=4)
+        large = accumulated_output_pmf(inputs, weights, reduction=64)
+        assert abs(large.mean) >= abs(small.mean) - 1e-6
+
+    def test_accumulated_output_rejects_zero_reduction(self):
+        with pytest.raises(WorkloadError):
+            accumulated_output_pmf(cnn_activation_pmf(8), gaussian_weight_pmf(8), 0)
+
+
+class TestProfiling:
+    def test_profile_layer_has_all_tensors(self):
+        layer = resnet18().layers[3]
+        dists = profile_layer(layer)
+        for role in TensorRole:
+            assert dists[role].pmf.probabilities.sum() == pytest.approx(1.0)
+
+    def test_profiles_are_deterministic_per_layer(self):
+        layer = resnet18().layers[3]
+        a = profile_layer(layer)
+        b = profile_layer(layer)
+        assert a.pmf(TensorRole.INPUTS).almost_equal(b.pmf(TensorRole.INPUTS))
+
+    def test_different_layers_get_different_distributions(self):
+        net = resnet18()
+        a = profile_layer(net.layers[2]).pmf(TensorRole.INPUTS)
+        b = profile_layer(net.layers[10]).pmf(TensorRole.INPUTS)
+        assert not a.almost_equal(b)
+
+    def test_salt_changes_distribution(self):
+        layer = resnet18().layers[3]
+        a = profile_layer(layer, salt=0).pmf(TensorRole.INPUTS)
+        b = profile_layer(layer, salt=1).pmf(TensorRole.INPUTS)
+        assert not a.almost_equal(b)
+
+    def test_activation_style_controls_signedness(self):
+        cnn = matmul_layer("a", 8, 8, 1, activation_style=ActivationStyle.CNN_SPARSE_UNSIGNED)
+        trans = matmul_layer("b", 8, 8, 1, activation_style=ActivationStyle.TRANSFORMER_DENSE_SIGNED)
+        assert not profile_layer(cnn)[TensorRole.INPUTS].signed
+        assert profile_layer(trans)[TensorRole.INPUTS].signed
+
+    def test_profile_network_covers_every_layer(self):
+        net = resnet18()
+        profiles = profile_network(net)
+        assert set(profiles) == {layer.name for layer in net}
+
+    def test_generate_tensor_matches_distribution_mean(self):
+        layer = resnet18().layers[3]
+        profile = profile_layer(layer)[TensorRole.INPUTS]
+        samples = generate_tensor(profile, 20000, rng=np.random.default_rng(0))
+        assert samples.mean() == pytest.approx(profile.pmf.mean, rel=0.1, abs=0.5)
+
+    def test_generate_tensor_rejects_negative_count(self):
+        layer = resnet18().layers[3]
+        profile = profile_layer(layer)[TensorRole.INPUTS]
+        with pytest.raises(WorkloadError):
+            generate_tensor(profile, -1)

@@ -1,0 +1,167 @@
+"""Tests for operand encodings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.representation import (
+    DifferentialEncoding,
+    MagnitudeOnlyEncoding,
+    OffsetEncoding,
+    TwosComplementEncoding,
+    UnsignedEncoding,
+    XnorEncoding,
+    get_encoding,
+    list_encodings,
+)
+from repro.representation.encoding import register_encoding, signed_range, unsigned_range
+from repro.utils import Pmf, ValidationError
+
+
+class TestRegistry:
+    def test_all_paper_encodings_are_registered(self):
+        names = list_encodings()
+        for expected in ("offset", "differential", "xnor", "magnitude_only", "twos_complement"):
+            assert expected in names
+
+    def test_get_encoding_unknown_name(self):
+        with pytest.raises(ValidationError):
+            get_encoding("no_such_encoding", 8)
+
+    def test_register_custom_encoding(self):
+        class Gray(UnsignedEncoding):
+            name = "gray_test"
+
+            def encode(self, value):
+                value = self._check_value(value)
+                return [value ^ (value >> 1)]
+
+        register_encoding(Gray)
+        encoding = get_encoding("gray_test", 4)
+        assert encoding.encode(3) == [2]
+
+    def test_register_rejects_non_encoding(self):
+        with pytest.raises(ValidationError):
+            register_encoding(dict)
+
+
+class TestRanges:
+    def test_signed_range(self):
+        assert signed_range(8) == (-128, 127)
+
+    def test_unsigned_range(self):
+        assert unsigned_range(4) == (0, 15)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValidationError):
+            TwosComplementEncoding(0)
+
+
+class TestTwosComplement:
+    def test_encode_negative(self):
+        assert TwosComplementEncoding(8).encode(-1) == [255]
+
+    def test_round_trip(self):
+        encoding = TwosComplementEncoding(8)
+        for value in (-128, -1, 0, 1, 127):
+            assert encoding.decode(encoding.encode(value)) == value
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            TwosComplementEncoding(4).encode(8)
+
+
+class TestOffset:
+    def test_zero_maps_to_half_scale(self):
+        assert OffsetEncoding(8).encode(0) == [128]
+
+    def test_round_trip(self):
+        encoding = OffsetEncoding(6)
+        for value in (-32, -5, 0, 17, 31):
+            assert encoding.decode(encoding.encode(value)) == value
+
+
+class TestDifferential:
+    def test_positive_value_on_positive_lane(self):
+        assert DifferentialEncoding(8).encode(5) == [5, 0]
+
+    def test_negative_value_on_negative_lane(self):
+        assert DifferentialEncoding(8).encode(-5) == [0, 5]
+
+    def test_two_lanes(self):
+        assert DifferentialEncoding(8).lanes == 2
+
+    def test_round_trip(self):
+        encoding = DifferentialEncoding(8)
+        for value in (-128, -3, 0, 3, 127):
+            assert encoding.decode(encoding.encode(value)) == value
+
+    def test_zero_keeps_both_lanes_at_zero(self):
+        assert DifferentialEncoding(8).encode(0) == [0, 0]
+
+    def test_sparse_pmf_keeps_lanes_sparse(self):
+        pmf = Pmf([0, 0, 1, 2], [0.5, 0.0, 0.3, 0.2])
+        lanes = DifferentialEncoding(8).encode_pmf(pmf)
+        assert lanes[0].probability_of(0) == pytest.approx(0.5)
+        assert lanes[1].probability_of(0) == pytest.approx(1.0)
+
+
+class TestXnor:
+    def test_lanes_are_complementary(self):
+        codes = XnorEncoding(4).encode(0b1010)
+        assert codes[0] ^ codes[1] == 0b1111
+
+    def test_decode_returns_first_lane(self):
+        encoding = XnorEncoding(4)
+        assert encoding.decode(encoding.encode(9)) == 9
+
+
+class TestMagnitudeOnly:
+    def test_magnitude_only(self):
+        assert MagnitudeOnlyEncoding(8).encode(-17) == [17]
+
+    def test_code_bits_smaller_than_operand(self):
+        assert MagnitudeOnlyEncoding(8).code_bits() == 7
+
+
+class TestEncodePmf:
+    def test_probability_mass_is_preserved(self):
+        pmf = Pmf([-2, 0, 3], [0.25, 0.5, 0.25])
+        for name in list_encodings():
+            encoding = get_encoding(name, 8)
+            for lane in encoding.encode_pmf(pmf):
+                assert lane.probabilities.sum() == pytest.approx(1.0)
+
+    def test_offset_pmf_mean_shift(self):
+        pmf = Pmf([-1, 1], [0.5, 0.5])
+        lanes = OffsetEncoding(8).encode_pmf(pmf)
+        assert lanes[0].mean == pytest.approx(128.0)
+
+
+# ----------------------------------------------------------------------
+# Property-based round-trip tests
+# ----------------------------------------------------------------------
+_SIGNED = [TwosComplementEncoding, OffsetEncoding, DifferentialEncoding]
+
+
+@given(
+    st.sampled_from(_SIGNED),
+    st.integers(min_value=2, max_value=12),
+    st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_signed_encodings_round_trip(encoding_cls, bits, data):
+    encoding = encoding_cls(bits)
+    low, high = encoding.representable_range()
+    value = data.draw(st.integers(min_value=low, max_value=high))
+    assert encoding.decode(encoding.encode(value)) == value
+
+
+@given(st.integers(min_value=2, max_value=12), st.data())
+@settings(max_examples=100, deadline=None)
+def test_codes_are_always_non_negative(bits, data):
+    name = data.draw(st.sampled_from(list_encodings()))
+    encoding = get_encoding(name, bits)
+    low, high = encoding.representable_range()
+    value = data.draw(st.integers(min_value=low, max_value=high))
+    assert all(code >= 0 for code in encoding.encode(value))

@@ -1,0 +1,311 @@
+"""Tests for the analytical CiM macro model: configs, counts, energy, area."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.architecture import CiMMacro, CiMMacroConfig, OutputReuseStyle
+from repro.circuits.dac import DACType
+from repro.devices import TechnologyNode
+from repro.utils.errors import ValidationError
+from repro.workloads import matrix_vector_workload, resnet18
+from repro.workloads.distributions import profile_layer
+from repro.workloads.networks import Network
+
+
+def _macro(**overrides) -> CiMMacro:
+    config = CiMMacroConfig(
+        name="test_macro",
+        technology=TechnologyNode(65),
+        rows=128,
+        cols=128,
+        device="sram",
+        input_bits=8,
+        weight_bits=8,
+        dac_resolution=1,
+        adc_resolution=8,
+    ).with_updates(**overrides)
+    return CiMMacro(config)
+
+
+def _mvm_layer(rows=128, cols=128, repeats=8, input_bits=8, weight_bits=8):
+    return matrix_vector_workload(rows, cols, repeats).layers[0].with_bits(
+        input_bits=input_bits, weight_bits=weight_bits
+    )
+
+
+class TestConfigValidation:
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ValidationError):
+            CiMMacroConfig(rows=0)
+
+    def test_rejects_dac_resolution_above_input_bits(self):
+        with pytest.raises(ValidationError):
+            CiMMacroConfig(input_bits=4, dac_resolution=8)
+
+    def test_rejects_active_rows_above_rows(self):
+        with pytest.raises(ValidationError):
+            CiMMacroConfig(rows=64, rows_active_per_cycle=128)
+
+    def test_with_updates_returns_new_config(self):
+        config = CiMMacroConfig(rows=64)
+        updated = config.with_updates(rows=128)
+        assert config.rows == 64 and updated.rows == 128
+
+    def test_active_rows_defaults_to_all(self):
+        assert CiMMacroConfig(rows=256).active_rows == 256
+
+
+class TestDerivedQuantities:
+    def test_cells_per_weight_single_bit_cells(self):
+        macro = _macro(weight_bits=8, bits_per_cell=1)
+        assert macro.cells_per_weight == 8
+
+    def test_cells_per_weight_multibit_cells(self):
+        macro = _macro(weight_bits=8, bits_per_cell=4)
+        assert macro.cells_per_weight == 2
+
+    def test_differential_weights_double_cells(self):
+        macro = _macro(weight_encoding="differential")
+        assert macro.weight_lanes == 2
+
+    def test_input_steps_bit_serial(self):
+        macro = _macro(input_bits=8, dac_resolution=1)
+        assert macro.input_steps == 8
+
+    def test_input_steps_full_word(self):
+        macro = _macro(input_bits=8, dac_resolution=8)
+        assert macro.input_steps == 1
+
+    def test_weight_capacity(self):
+        macro = _macro(rows=128, cols=128, weight_bits=8, bits_per_cell=1)
+        assert macro.weight_capacity() == 128 * 128 // 8
+
+
+class TestMapLayerCounts:
+    def test_matched_mvm_is_fully_utilised(self):
+        macro = _macro()
+        counts = macro.map_layer(_mvm_layer())
+        assert counts.row_utilization == pytest.approx(1.0)
+        assert counts.col_utilization == pytest.approx(1.0)
+        assert counts.utilization == pytest.approx(1.0)
+
+    def test_small_layer_underutilises_rows(self):
+        macro = _macro(rows=512)
+        counts = macro.map_layer(_mvm_layer(rows=128))
+        assert counts.row_utilization == pytest.approx(128 / 512)
+
+    def test_oversized_reduction_needs_row_tiles(self):
+        macro = _macro(rows=128)
+        counts = macro.map_layer(_mvm_layer(rows=512))
+        assert counts.row_tiles == 4
+
+    def test_cell_ops_formula(self):
+        macro = _macro()
+        layer = _mvm_layer()
+        counts = macro.map_layer(layer)
+        expected = layer.total_macs * macro.cells_per_weight * macro.input_steps
+        assert counts.cell_ops == expected
+
+    def test_dac_converts_grow_with_column_tiles(self):
+        macro = _macro(cols=64)
+        wide = macro.map_layer(_mvm_layer(cols=512))
+        narrow = macro.map_layer(_mvm_layer(cols=64))
+        assert wide.col_tiles > narrow.col_tiles
+        assert wide.dac_converts > narrow.dac_converts
+
+    def test_adc_converts_zero_for_digital_cim(self):
+        macro = _macro(output_reuse_style=OutputReuseStyle.DIGITAL)
+        counts = macro.map_layer(_mvm_layer())
+        assert counts.adc_converts == 0
+        assert counts.digital_mac_ops > 0
+
+    def test_analog_adder_reduces_adc_converts(self):
+        base = _macro().map_layer(_mvm_layer())
+        merged = _macro(
+            output_reuse_style=OutputReuseStyle.ANALOG_ADDER, analog_adder_operands=4
+        ).map_layer(_mvm_layer())
+        assert merged.adc_converts < base.adc_converts
+        assert merged.analog_adder_ops == merged.adc_converts
+
+    def test_analog_accumulator_reduces_adc_converts(self):
+        base = _macro().map_layer(_mvm_layer())
+        accumulated = _macro(
+            output_reuse_style=OutputReuseStyle.ANALOG_ACCUMULATOR,
+            temporal_accumulation_cycles=4,
+        ).map_layer(_mvm_layer())
+        assert accumulated.adc_converts < base.adc_converts
+
+    def test_wire_fold_trades_adc_for_dac(self):
+        layer = _mvm_layer(rows=512)
+        base = _macro(rows=128).map_layer(layer)
+        folded = _macro(
+            rows=128,
+            output_reuse_style=OutputReuseStyle.WIRE,
+            output_reuse_columns=4,
+        ).map_layer(layer)
+        assert folded.adc_converts < base.adc_converts
+        assert folded.dac_converts >= base.dac_converts
+
+    def test_higher_dac_resolution_reduces_activations(self):
+        bit_serial = _macro(dac_resolution=1).map_layer(_mvm_layer())
+        multi_bit = _macro(dac_resolution=4).map_layer(_mvm_layer())
+        assert multi_bit.array_activations < bit_serial.array_activations
+
+    def test_programming_writes_cover_all_weights(self):
+        macro = _macro()
+        layer = _mvm_layer()
+        counts = macro.map_layer(layer)
+        from repro.workloads.einsum import TensorRole
+
+        assert counts.cell_writes == layer.tensor_size(TensorRole.WEIGHTS) * macro.cells_per_weight
+
+
+class TestEnergyAndLatency:
+    def test_energy_breakdown_components_are_non_negative(self):
+        result = _macro().evaluate_layer(_mvm_layer())
+        assert all(value >= 0 for value in result.energy_breakdown.values())
+        assert result.total_energy > 0
+
+    def test_energy_per_mac_reasonable_range(self):
+        result = _macro().evaluate_layer(_mvm_layer())
+        # Published CiM macros land between ~1 fJ and ~10 pJ per MAC.
+        assert 1e-16 < result.energy_per_mac < 1e-11
+
+    def test_tops_per_watt_consistent_with_energy_per_mac(self):
+        result = _macro().evaluate_layer(_mvm_layer())
+        assert result.tops_per_watt == pytest.approx(2e-12 / result.energy_per_mac, rel=1e-9)
+
+    def test_latency_positive_and_gops_consistent(self):
+        result = _macro().evaluate_layer(_mvm_layer())
+        assert result.latency_s > 0
+        assert result.gops == pytest.approx(
+            2 * result.counts.total_macs / result.latency_s / 1e9, rel=1e-9
+        )
+
+    def test_lower_voltage_lowers_energy_and_throughput(self):
+        layer = _mvm_layer()
+        nominal = _macro().evaluate_layer(layer)
+        undervolted = _macro(technology=TechnologyNode(65, vdd=0.7)).evaluate_layer(layer)
+        assert undervolted.total_energy < nominal.total_energy
+        assert undervolted.gops < nominal.gops
+
+    def test_smaller_node_is_more_efficient(self):
+        layer = _mvm_layer()
+        old = _macro(technology=TechnologyNode(65)).evaluate_layer(layer)
+        new = _macro(technology=TechnologyNode(7)).evaluate_layer(layer)
+        assert new.tops_per_watt > old.tops_per_watt
+
+    def test_data_value_dependence_sparse_cheaper_than_dense(self):
+        macro = _macro(dac_type=DACType.PULSE)
+        layer = _mvm_layer()
+        from repro.workloads.distributions import (
+            DistributionProfile,
+            LayerDistributions,
+            cnn_activation_pmf,
+            gaussian_weight_pmf,
+            accumulated_output_pmf,
+        )
+        from repro.workloads.einsum import TensorRole
+
+        def dists(sparsity):
+            inputs = cnn_activation_pmf(8, sparsity=sparsity)
+            weights = gaussian_weight_pmf(8)
+            outputs = accumulated_output_pmf(inputs, weights, 16)
+            return LayerDistributions(
+                layer_name=layer.name,
+                tensors={
+                    TensorRole.INPUTS: DistributionProfile(inputs, False, 8),
+                    TensorRole.WEIGHTS: DistributionProfile(weights, True, 8),
+                    TensorRole.OUTPUTS: DistributionProfile(outputs, True, 16),
+                },
+            )
+
+        sparse = macro.evaluate_layer(layer, dists(0.8)).total_energy
+        dense = macro.evaluate_layer(layer, dists(0.05)).total_energy
+        assert sparse < dense
+
+    def test_fixed_energy_mode_without_distributions(self):
+        result = _macro().evaluate_layer(_mvm_layer(), distributions=None, auto_profile=False)
+        assert result.total_energy > 0
+
+    def test_programming_energy_optional(self):
+        layer = _mvm_layer()
+        macro = _macro()
+        without = macro.evaluate_layer(layer, include_programming=False)
+        with_programming = macro.evaluate_layer(layer, include_programming=True)
+        assert "programming" in with_programming.energy_breakdown
+        assert with_programming.total_energy > without.total_energy
+
+    def test_adc_limited_latency(self):
+        # Sharing one ADC across many columns makes conversion the bottleneck.
+        shared = _macro(columns_per_adc=128)
+        dedicated = _macro(columns_per_adc=1)
+        layer = _mvm_layer()
+        assert shared.latency_seconds(shared.map_layer(layer)) > \
+            dedicated.latency_seconds(dedicated.map_layer(layer))
+
+
+class TestArea:
+    def test_area_breakdown_positive_total(self):
+        macro = _macro()
+        breakdown = macro.area_breakdown_um2()
+        assert sum(breakdown.values()) > 0
+        assert macro.total_area_mm2() == pytest.approx(sum(breakdown.values()) / 1e6)
+
+    def test_array_area_scales_with_cells(self):
+        small = _macro(rows=64, cols=64).area_breakdown_um2()["array"]
+        large = _macro(rows=256, cols=256).area_breakdown_um2()["array"]
+        assert large == pytest.approx(small * 16, rel=0.01)
+
+    def test_digital_cim_has_no_adc_area(self):
+        breakdown = _macro(output_reuse_style=OutputReuseStyle.DIGITAL).area_breakdown_um2()
+        assert breakdown["adc"] == 0.0
+        assert breakdown["digital_mac"] > 0.0
+
+    def test_style_specific_components_only_present_when_used(self):
+        base = _macro().area_breakdown_um2()
+        assert base["analog_adder"] == 0.0
+        adder = _macro(output_reuse_style=OutputReuseStyle.ANALOG_ADDER).area_breakdown_um2()
+        assert adder["analog_adder"] > 0.0
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants of the mapping counts
+# ----------------------------------------------------------------------
+@given(
+    rows=st.sampled_from([64, 128, 256]),
+    cols=st.sampled_from([64, 128, 256]),
+    k=st.sampled_from([32, 128, 512, 1024]),
+    m=st.sampled_from([16, 64, 256]),
+    input_bits=st.sampled_from([1, 2, 4, 8]),
+    weight_bits=st.sampled_from([1, 4, 8]),
+)
+@settings(max_examples=40, deadline=None)
+def test_mapping_count_invariants(rows, cols, k, m, input_bits, weight_bits):
+    macro = CiMMacro(
+        CiMMacroConfig(
+            name="prop",
+            rows=rows,
+            cols=cols,
+            input_bits=input_bits,
+            weight_bits=weight_bits,
+            dac_resolution=1,
+        )
+    )
+    layer = matrix_vector_workload(k, m, repeats=4).layers[0].with_bits(
+        input_bits=input_bits, weight_bits=weight_bits
+    )
+    counts = macro.map_layer(layer)
+    # Utilisation is a fraction.
+    assert 0.0 < counts.row_utilization <= 1.0
+    assert 0.0 < counts.col_utilization <= 1.0
+    # Tiles cover the problem.
+    assert counts.row_tiles * macro.config.active_rows >= k
+    assert counts.col_tiles * counts.outputs_per_activation >= m
+    # Every useful MAC is backed by cell work.
+    assert counts.cell_ops >= layer.total_macs
+    # DAC conversions cover every input element at least once per step.
+    assert counts.dac_converts >= counts.input_vectors * counts.reduction_size

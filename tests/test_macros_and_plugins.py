@@ -1,0 +1,192 @@
+"""Tests for the pre-built macro models, reference data, and plug-ins."""
+
+import pytest
+
+from repro.architecture import CiMMacro, OutputReuseStyle
+from repro.core.accuracy import percent_error
+from repro.devices import TechnologyNode
+from repro.macros import (
+    REFERENCE,
+    base_macro,
+    digital_cim_macro,
+    get_reference,
+    macro_a,
+    macro_b,
+    macro_c,
+    macro_d,
+)
+from repro.plugins import NeuroSimPlugin, default_registry
+from repro.plugins.adc_plugin import fit_adc, survey_energy_fj
+from repro.plugins.aladdin_like import digital_operations, estimate_digital
+from repro.plugins.cacti_like import estimate_dram, estimate_sram, sram_energy_per_bit_pj
+from repro.plugins.library import LibraryPlugin
+from repro.circuits.interface import Action, OperandContext
+from repro.utils.errors import PluginError, ValidationError
+from repro.workloads import matrix_vector_workload
+
+
+def _headline_result(config, input_bits, weight_bits):
+    macro = CiMMacro(config)
+    fold = config.output_reuse_columns if config.output_reuse_style is OutputReuseStyle.WIRE else 1
+    layer = matrix_vector_workload(config.active_rows * fold, config.cols, repeats=64).layers[0]
+    layer = layer.with_bits(input_bits=input_bits, weight_bits=weight_bits)
+    return macro.evaluate_layer(layer)
+
+
+class TestMacroDefinitions:
+    def test_table3_attributes(self):
+        assert macro_a().rows == 768 and macro_a().cols == 768
+        assert macro_b().technology.node_nm == 7
+        assert macro_c().device == "reram"
+        assert macro_d().rows_active_per_cycle == 64
+
+    def test_all_macros_instantiate_and_evaluate(self):
+        for factory in (base_macro, macro_a, macro_b, macro_c, macro_d, digital_cim_macro):
+            config = factory()
+            result = _headline_result(config, config.input_bits, config.weight_bits)
+            assert result.total_energy > 0
+            assert result.latency_s > 0
+
+    @pytest.mark.parametrize(
+        "name, factory, bits",
+        [
+            ("macro_a", lambda: macro_a(input_bits=1, weight_bits=1), (1, 1)),
+            ("macro_b", macro_b, (4, 4)),
+            ("macro_c", lambda: macro_c(input_bits=1), (1, 8)),
+            ("macro_d", macro_d, (8, 8)),
+        ],
+    )
+    def test_headline_efficiency_matches_published(self, name, factory, bits):
+        """Modeled headline TOPS/W lands within 20% of the published value,
+        comfortably inside the paper's validation tolerance plus calibration."""
+        reference = get_reference(name)
+        result = _headline_result(factory(), *bits)
+        assert percent_error(result.tops_per_watt, reference.headline_tops_per_watt) < 20.0
+
+    def test_voltage_override(self):
+        low = _headline_result(macro_d(vdd=0.7), 8, 8)
+        high = _headline_result(macro_d(vdd=1.1), 8, 8)
+        assert low.tops_per_watt > high.tops_per_watt
+        assert low.gops < high.gops
+
+    def test_digital_cim_has_no_adc_energy(self):
+        result = _headline_result(digital_cim_macro(), 8, 8)
+        assert result.energy_breakdown["adc"] == 0.0
+
+
+class TestReferenceData:
+    def test_every_macro_has_reference(self):
+        for name in ("macro_a", "macro_b", "macro_c", "macro_d"):
+            reference = get_reference(name)
+            assert reference.headline_tops_per_watt > 0
+
+    def test_unknown_macro_rejected(self):
+        with pytest.raises(ValidationError):
+            get_reference("macro_z")
+
+    def test_breakdown_fractions_sum_to_about_one(self):
+        for reference in REFERENCE.values():
+            for breakdown in (reference.energy_breakdown, reference.area_breakdown):
+                if breakdown:
+                    assert sum(breakdown.values()) == pytest.approx(1.0, abs=0.05)
+
+
+class TestNeuroSimPlugin:
+    def test_default_macro_configuration(self):
+        config = NeuroSimPlugin().default_macro_config()
+        assert config.rows == 128 and config.cols == 128
+        assert config.device == "reram"
+
+    def test_device_swap(self):
+        plugin = NeuroSimPlugin().with_device("sttram", bits_per_cell=1)
+        macro = plugin.build_macro()
+        assert macro.cell.name == "sttram"
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(PluginError):
+            NeuroSimPlugin(device="quantum_foam").build_macro()
+
+
+class TestRegistry:
+    def test_default_registry_covers_main_classes(self):
+        registry = default_registry()
+        for name in ("adc", "dac", "sram_buffer", "dram", "analog_adder", "digital_mac"):
+            assert name in registry
+
+    def test_create_with_attributes(self):
+        registry = default_registry()
+        adc = registry.create("adc", {"resolution": 6, "count": 4}, TechnologyNode(28))
+        assert adc.resolution_bits == 6
+        assert adc.count == 4
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(PluginError):
+            default_registry().create("flux_capacitor")
+
+    def test_user_registration(self):
+        registry = default_registry()
+        registry.register("my_adc", lambda attrs, tech: fit_adc(8, 100, technology=tech))
+        assert "my_adc" in registry
+
+
+class TestADCPlugin:
+    def test_survey_energy_grows_with_resolution(self):
+        assert survey_energy_fj(10) > survey_energy_fj(6)
+
+    def test_survey_rejects_out_of_range(self):
+        with pytest.raises(PluginError):
+            survey_energy_fj(20)
+
+    def test_fit_adc_matches_survey_at_reference_node(self):
+        adc = fit_adc(8, 100, technology=TechnologyNode(65))
+        assert adc.full_scale_energy() * 1e15 == pytest.approx(survey_energy_fj(8), rel=0.05)
+
+
+class TestCactiAndAladdin:
+    def test_estimate_sram(self):
+        buffer = estimate_sram(32 * 1024, access_width_bits=32)
+        assert buffer.capacity_bytes == 32 * 1024
+
+    def test_estimate_sram_rejects_zero_capacity(self):
+        with pytest.raises(PluginError):
+            estimate_sram(0)
+
+    def test_sram_energy_per_bit_increases_with_capacity(self):
+        assert sram_energy_per_bit_pj(1024 * 1024) > sram_energy_per_bit_pj(16 * 1024)
+
+    def test_estimate_dram(self):
+        dram = estimate_dram(energy_per_bit_pj=3.0)
+        assert dram.energy_per_bit_pj == 3.0
+
+    def test_estimate_digital_operations(self):
+        for operation in digital_operations():
+            component = estimate_digital(operation, bits=8)
+            assert component.area_um2() > 0
+
+    def test_estimate_digital_unknown_operation(self):
+        with pytest.raises(PluginError):
+            estimate_digital("teleport")
+
+
+class TestLibraryPlugin:
+    def test_all_presets_build(self):
+        library = LibraryPlugin()
+        context = OperandContext.nominal()
+        for name in library.available():
+            component = library.build(name)
+            for action in component.actions():
+                assert component.energy(action, context) > 0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(PluginError):
+            LibraryPlugin().entry("unobtainium_adc")
+
+    def test_register_custom_preset(self):
+        from repro.plugins.library import LibraryEntry
+        from repro.circuits import DigitalAdder
+
+        library = LibraryPlugin()
+        library.register(
+            LibraryEntry(name="my_adder", styled_after="test", factory=lambda tech: DigitalAdder(technology=tech))
+        )
+        assert "my_adder" in library.available()

@@ -1,0 +1,253 @@
+"""Tests for loop-nest mappings, tiling, reuse analysis, and mapping search."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping import (
+    LoopNestMapping,
+    MappingLevel,
+    MapSpace,
+    analyze_mapping,
+    balanced_split,
+    divisors,
+    enumerate_tilings,
+    random_tiling,
+    search_mappings,
+)
+from repro.mapping.loopnest import single_level_mapping
+from repro.mapping.tiling import count_factor_splits, factor_splits
+from repro.utils.errors import MappingError
+from repro.workloads.einsum import TensorRole, matmul_einsum
+
+
+def _three_level_mapping(m=8, k=16, n=4, inner_k=4, mid_m=2):
+    """compute / buffer / DRAM mapping of an MxKxN matmul."""
+    einsum = matmul_einsum("mm", m=m, k=k, n=n)
+    levels = (
+        MappingLevel(name="compute"),
+        MappingLevel(name="buffer", temporal={"K": inner_k, "M": mid_m}),
+        MappingLevel(
+            name="dram",
+            temporal={"K": k // inner_k, "M": m // mid_m, "N": n},
+        ),
+    )
+    return LoopNestMapping(einsum=einsum, levels=levels)
+
+
+class TestTiling:
+    def test_divisors(self):
+        assert divisors(12) == (1, 2, 3, 4, 6, 12)
+
+    def test_divisors_of_one(self):
+        assert divisors(1) == (1,)
+
+    def test_divisors_rejects_non_positive(self):
+        with pytest.raises(MappingError):
+            divisors(0)
+
+    def test_factor_splits_products(self):
+        for split in factor_splits(24, 3):
+            assert math.prod(split) == 24
+
+    def test_count_factor_splits_matches_enumeration(self):
+        assert count_factor_splits(12, 2) == len(list(factor_splits(12, 2)))
+
+    def test_balanced_split_product(self):
+        split = balanced_split(360, 3)
+        assert math.prod(split) == 360
+
+    def test_balanced_split_is_reasonably_even(self):
+        split = balanced_split(64, 3)
+        assert max(split) <= 8
+
+    def test_enumerate_tilings_limit(self):
+        tilings = list(enumerate_tilings({"M": 8, "K": 8}, parts=2, limit=5))
+        assert len(tilings) == 5
+
+    def test_random_tiling_products(self):
+        import numpy as np
+
+        tiling = random_tiling({"M": 24, "K": 36}, parts=3, rng=np.random.default_rng(0))
+        for dim, extent in (("M", 24), ("K", 36)):
+            assert math.prod(tiling[dim]) == extent
+
+
+class TestLoopNest:
+    def test_validation_accepts_consistent_mapping(self):
+        _three_level_mapping()  # must not raise
+
+    def test_validation_rejects_wrong_product(self):
+        einsum = matmul_einsum("mm", m=8, k=16, n=4)
+        with pytest.raises(MappingError):
+            LoopNestMapping(
+                einsum=einsum,
+                levels=(
+                    MappingLevel(name="compute"),
+                    MappingLevel(name="dram", temporal={"M": 8, "K": 16, "N": 3}),
+                ),
+            )
+
+    def test_validation_rejects_unknown_dimension(self):
+        einsum = matmul_einsum("mm", m=8, k=16, n=4)
+        with pytest.raises(MappingError):
+            LoopNestMapping(
+                einsum=einsum,
+                levels=(
+                    MappingLevel(name="compute"),
+                    MappingLevel(name="dram", temporal={"M": 8, "K": 16, "N": 4, "Z": 2}),
+                ),
+            )
+
+    def test_tile_sizes_grow_monotonically(self):
+        mapping = _three_level_mapping()
+        for role in TensorRole:
+            sizes = [mapping.tile_size(role, level) for level in range(mapping.num_levels)]
+            assert sizes == sorted(sizes)
+
+    def test_outermost_tile_is_full_tensor(self):
+        mapping = _three_level_mapping()
+        for role in TensorRole:
+            assert mapping.tile_size(role, mapping.num_levels - 1) == \
+                mapping.einsum.tensor_size(role)
+
+    def test_iterations_above_top_level_is_one(self):
+        mapping = _three_level_mapping()
+        assert mapping.iterations_above(TensorRole.WEIGHTS, mapping.num_levels - 1) == 1
+
+    def test_single_level_mapping(self):
+        einsum = matmul_einsum("mm", m=8, k=16, n=4)
+        mapping = single_level_mapping(einsum)
+        assert mapping.total_iterations() == einsum.total_macs
+
+    def test_describe_contains_level_names(self):
+        description = _three_level_mapping().describe()
+        assert "dram" in description and "buffer" in description
+
+    def test_rejects_zero_factor(self):
+        with pytest.raises(MappingError):
+            MappingLevel(name="x", temporal={"M": 0})
+
+
+class TestAnalysis:
+    def test_weight_fills_equal_tensor_size_when_fully_buffered(self):
+        # The whole weight matrix fits in the buffer and the only loop above
+        # it (N) is irrelevant to weights, so the buffer is filled exactly
+        # once: each weight crosses the DRAM boundary a single time.
+        mapping = _three_level_mapping(m=8, k=16, n=4, inner_k=16, mid_m=8)
+        counts = analyze_mapping(mapping)
+        weight_elements = mapping.einsum.tensor_size(TensorRole.WEIGHTS)
+        buffer = counts.at(1, TensorRole.WEIGHTS)
+        assert buffer.writes == weight_elements
+        assert buffer.parent_reads == weight_elements
+
+    def test_compute_demand_equals_total_macs(self):
+        mapping = _three_level_mapping()
+        counts = analyze_mapping(mapping)
+        assert counts.at(0, TensorRole.INPUTS).reads == mapping.einsum.total_macs
+        assert counts.at(0, TensorRole.OUTPUTS).updates == mapping.einsum.total_macs
+
+    def test_buffer_reads_do_not_exceed_compute_demand(self):
+        mapping = _three_level_mapping()
+        counts = analyze_mapping(mapping)
+        for role in (TensorRole.INPUTS, TensorRole.WEIGHTS):
+            assert counts.at(1, role).reads <= mapping.einsum.total_macs
+
+    def test_fills_are_at_least_tensor_size(self):
+        mapping = _three_level_mapping()
+        counts = analyze_mapping(mapping)
+        for role in (TensorRole.INPUTS, TensorRole.WEIGHTS):
+            assert counts.at(1, role).writes >= mapping.einsum.tensor_size(role)
+
+    def test_level_total_is_sum_of_tensor_accesses(self):
+        mapping = _three_level_mapping()
+        counts = analyze_mapping(mapping)
+        manual = sum(counts.at(1, role).total_accesses for role in TensorRole)
+        assert counts.level_total(1) == manual
+
+    def test_out_of_range_level_rejected(self):
+        counts = analyze_mapping(_three_level_mapping())
+        with pytest.raises(MappingError):
+            counts.at(10, TensorRole.INPUTS)
+
+
+class TestMapper:
+    def _space(self):
+        einsum = matmul_einsum("mm", m=16, k=32, n=4)
+        return MapSpace(einsum=einsum, level_names=("compute", "buffer", "dram"))
+
+    def test_search_returns_valid_mapping(self):
+        result = search_mappings(self._space(), num_mappings=20, seed=1)
+        assert result.valid_mappings > 0
+        result.best_mapping.validate()
+
+    def test_search_is_deterministic_for_fixed_seed(self):
+        a = search_mappings(self._space(), num_mappings=20, seed=7)
+        b = search_mappings(self._space(), num_mappings=20, seed=7)
+        assert a.best_cost == pytest.approx(b.best_cost)
+
+    def test_more_mappings_never_worse(self):
+        few = search_mappings(self._space(), num_mappings=5, seed=3)
+        many = search_mappings(self._space(), num_mappings=50, seed=3)
+        assert many.best_cost <= few.best_cost
+
+    def test_capacity_constraint_respected(self):
+        einsum = matmul_einsum("mm", m=16, k=32, n=4)
+        space = MapSpace(
+            einsum=einsum,
+            level_names=("compute", "buffer", "dram"),
+            capacities={1: 64},
+        )
+        result = search_mappings(space, num_mappings=50, seed=0)
+        footprint = sum(
+            result.best_mapping.tile_size(role, 1) for role in TensorRole
+        )
+        assert footprint <= 64
+
+    def test_impossible_constraints_raise(self):
+        einsum = matmul_einsum("mm", m=16, k=32, n=4)
+        space = MapSpace(
+            einsum=einsum,
+            level_names=("compute", "buffer", "dram"),
+            capacities={1: 1},
+        )
+        with pytest.raises(MappingError):
+            search_mappings(space, num_mappings=5, seed=0)
+
+    def test_map_space_needs_two_levels(self):
+        with pytest.raises(MappingError):
+            MapSpace(einsum=matmul_einsum("mm", 2, 2, 2), level_names=("only",))
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants of the analysis
+# ----------------------------------------------------------------------
+@given(
+    st.sampled_from([1, 2, 4, 8, 16]),
+    st.sampled_from([1, 2, 4, 8, 16, 32]),
+    st.sampled_from([1, 2, 4]),
+    st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_dram_traffic_at_least_tensor_size(m, k, n, data):
+    """Every tensor must cross the top boundary at least once."""
+    einsum = matmul_einsum("mm", m=m, k=k, n=n)
+    inner_k = data.draw(st.sampled_from(divisors(k)))
+    inner_m = data.draw(st.sampled_from(divisors(m)))
+    mapping = LoopNestMapping(
+        einsum=einsum,
+        levels=(
+            MappingLevel(name="compute"),
+            MappingLevel(name="buffer", temporal={"K": inner_k, "M": inner_m}),
+            MappingLevel(
+                name="dram",
+                temporal={"K": k // inner_k, "M": m // inner_m, "N": n},
+            ),
+        ),
+    )
+    counts = analyze_mapping(mapping)
+    top = mapping.num_levels - 1
+    for role in (TensorRole.INPUTS, TensorRole.WEIGHTS):
+        assert counts.at(top, role).writes >= einsum.tensor_size(role)

@@ -1,0 +1,60 @@
+"""Tests for fixed-point quantisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.representation.numeric import dequantize, quantize_to_integers, quantized_pmf
+from repro.utils.errors import ValidationError
+
+
+def test_symmetric_quantisation_uses_full_positive_range():
+    values = np.array([-1.0, 0.0, 1.0])
+    codes = quantize_to_integers(values, bits=8)
+    assert codes.max() == 127
+    assert codes.min() == -127
+
+
+def test_zero_tensor_stays_zero():
+    codes = quantize_to_integers(np.zeros(10), bits=8)
+    assert np.all(codes == 0)
+
+
+def test_codes_fit_bit_width():
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=1000)
+    codes = quantize_to_integers(values, bits=6)
+    assert codes.max() <= 31
+    assert codes.min() >= -32
+
+
+def test_explicit_scale():
+    codes = quantize_to_integers(np.array([0.5, 1.0]), bits=8, scale=0.5)
+    assert list(codes) == [1, 2]
+
+
+def test_rejects_bad_bits():
+    with pytest.raises(ValidationError):
+        quantize_to_integers(np.array([1.0]), bits=0)
+
+
+def test_rejects_non_positive_scale():
+    with pytest.raises(ValidationError):
+        quantize_to_integers(np.array([1.0]), bits=8, scale=0.0)
+
+
+def test_quantized_pmf_sums_to_one():
+    rng = np.random.default_rng(1)
+    pmf = quantized_pmf(rng.normal(size=500), bits=8)
+    assert pmf.probabilities.sum() == pytest.approx(1.0)
+
+
+def test_dequantize_round_trip_is_close():
+    values = np.linspace(-1, 1, 65)
+    codes = quantize_to_integers(values, bits=8)
+    restored = dequantize(codes, scale=1.0 / 127)
+    assert np.max(np.abs(restored - values)) < 1.0 / 127
+
+
+def test_dequantize_rejects_bad_scale():
+    with pytest.raises(ValidationError):
+        dequantize(np.array([1]), scale=0.0)

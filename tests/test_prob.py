@@ -1,0 +1,197 @@
+"""Tests for the Pmf probability-mass-function utility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import Pmf, ValidationError
+
+
+class TestConstruction:
+    def test_values_and_probabilities_stored_sorted(self):
+        pmf = Pmf([3, 1, 2], [0.2, 0.5, 0.3])
+        assert list(pmf.values) == [1, 2, 3]
+        assert pmf.probability_of(1) == pytest.approx(0.5)
+
+    def test_duplicate_support_points_are_merged(self):
+        pmf = Pmf([1, 1, 2], [0.25, 0.25, 0.5])
+        assert pmf.support_size == 2
+        assert pmf.probability_of(1) == pytest.approx(0.5)
+
+    def test_probabilities_are_renormalised(self):
+        pmf = Pmf([0, 1], [0.5001, 0.4999])
+        assert pmf.probabilities.sum() == pytest.approx(1.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            Pmf([1, 2], [1.0])
+
+    def test_rejects_empty_support(self):
+        with pytest.raises(ValidationError):
+            Pmf([], [])
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ValidationError):
+            Pmf([1, 2], [1.5, -0.5])
+
+    def test_rejects_probabilities_far_from_one(self):
+        with pytest.raises(ValidationError):
+            Pmf([1, 2], [0.2, 0.2])
+
+    def test_delta_distribution(self):
+        pmf = Pmf.delta(7.0)
+        assert pmf.mean == 7.0
+        assert pmf.variance == 0.0
+
+    def test_uniform_integers(self):
+        pmf = Pmf.uniform_integers(0, 3)
+        assert pmf.support_size == 4
+        assert pmf.mean == pytest.approx(1.5)
+
+    def test_uniform_integers_rejects_empty_range(self):
+        with pytest.raises(ValidationError):
+            Pmf.uniform_integers(5, 4)
+
+    def test_from_samples(self):
+        pmf = Pmf.from_samples([1, 1, 2, 2, 2, 3])
+        assert pmf.probability_of(2) == pytest.approx(0.5)
+
+    def test_from_mapping(self):
+        pmf = Pmf.from_mapping({0: 0.25, 4: 0.75})
+        assert pmf.mean == pytest.approx(3.0)
+
+
+class TestStatistics:
+    def test_mean_and_mean_square(self):
+        pmf = Pmf([0, 2], [0.5, 0.5])
+        assert pmf.mean == pytest.approx(1.0)
+        assert pmf.mean_square == pytest.approx(2.0)
+
+    def test_variance(self):
+        pmf = Pmf([0, 2], [0.5, 0.5])
+        assert pmf.variance == pytest.approx(1.0)
+
+    def test_sparsity_and_density(self):
+        pmf = Pmf([0, 1, 2], [0.6, 0.3, 0.1])
+        assert pmf.sparsity == pytest.approx(0.6)
+        assert pmf.density_fraction == pytest.approx(0.4)
+
+    def test_expect_with_function(self):
+        pmf = Pmf([-1, 1], [0.5, 0.5])
+        assert pmf.expect(np.abs) == pytest.approx(1.0)
+        assert pmf.mean == pytest.approx(0.0)
+
+    def test_min_max(self):
+        pmf = Pmf([5, -3, 2], [0.2, 0.3, 0.5])
+        assert pmf.min == -3
+        assert pmf.max == 5
+
+
+class TestTransformations:
+    def test_map_merges_colliding_outputs(self):
+        pmf = Pmf([-1, 1], [0.5, 0.5]).map(np.abs)
+        assert pmf.support_size == 1
+        assert pmf.probability_of(1) == pytest.approx(1.0)
+
+    def test_scale_and_shift(self):
+        pmf = Pmf([1, 2], [0.5, 0.5])
+        assert pmf.scale(2).mean == pytest.approx(3.0)
+        assert pmf.shift(1).mean == pytest.approx(2.5)
+
+    def test_clip(self):
+        pmf = Pmf([0, 5, 10], [1 / 3] * 3).clip(0, 5)
+        assert pmf.max == 5
+
+    def test_clip_rejects_empty_range(self):
+        with pytest.raises(ValidationError):
+            Pmf([1], [1.0]).clip(2, 1)
+
+    def test_quantize(self):
+        pmf = Pmf([0.1, 0.9], [0.5, 0.5]).quantize(1.0)
+        assert set(pmf.values) == {0.0, 1.0}
+
+    def test_quantize_rejects_nonpositive_step(self):
+        with pytest.raises(ValidationError):
+            Pmf([1], [1.0]).quantize(0)
+
+
+class TestCombination:
+    def test_convolve_means_add(self):
+        a = Pmf([0, 1], [0.5, 0.5])
+        b = Pmf([0, 2], [0.5, 0.5])
+        assert a.convolve(b).mean == pytest.approx(a.mean + b.mean)
+
+    def test_product_means_multiply_for_independent(self):
+        a = Pmf([1, 3], [0.5, 0.5])
+        b = Pmf([2, 4], [0.5, 0.5])
+        assert a.product(b).mean == pytest.approx(a.mean * b.mean)
+
+    def test_mix(self):
+        a = Pmf([0], [1.0])
+        b = Pmf([10], [1.0])
+        assert a.mix(b, 0.25).mean == pytest.approx(7.5)
+
+    def test_mix_rejects_bad_weight(self):
+        with pytest.raises(ValidationError):
+            Pmf([0], [1.0]).mix(Pmf([1], [1.0]), 1.5)
+
+    def test_sum_of_iid_mean(self):
+        pmf = Pmf([0, 1], [0.5, 0.5])
+        assert pmf.sum_of_iid(4).mean == pytest.approx(2.0)
+
+    def test_sum_of_iid_rejects_zero_count(self):
+        with pytest.raises(ValidationError):
+            Pmf([1], [1.0]).sum_of_iid(0)
+
+    def test_sample_shape_and_support(self):
+        pmf = Pmf([1, 2, 3], [0.2, 0.3, 0.5])
+        samples = pmf.sample(100, rng=np.random.default_rng(0))
+        assert samples.shape == (100,)
+        assert set(np.unique(samples)).issubset({1, 2, 3})
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+@st.composite
+def pmfs(draw):
+    size = draw(st.integers(min_value=1, max_value=8))
+    values = draw(
+        st.lists(st.integers(min_value=-64, max_value=64), min_size=size, max_size=size, unique=True)
+    )
+    weights = draw(
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=size, max_size=size)
+    )
+    total = sum(weights)
+    return Pmf(values, [w / total for w in weights])
+
+
+@given(pmfs())
+@settings(max_examples=50, deadline=None)
+def test_probabilities_always_sum_to_one(pmf):
+    assert pmf.probabilities.sum() == pytest.approx(1.0)
+
+
+@given(pmfs())
+@settings(max_examples=50, deadline=None)
+def test_variance_is_non_negative(pmf):
+    assert pmf.variance >= -1e-12
+
+
+@given(pmfs(), pmfs())
+@settings(max_examples=30, deadline=None)
+def test_convolution_mean_is_sum_of_means(a, b):
+    assert a.convolve(b).mean == pytest.approx(a.mean + b.mean, rel=1e-9, abs=1e-9)
+
+
+@given(pmfs(), st.floats(min_value=-4, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_shift_moves_mean_by_offset(pmf, offset):
+    assert pmf.shift(offset).mean == pytest.approx(pmf.mean + offset, rel=1e-9, abs=1e-9)
+
+
+@given(pmfs())
+@settings(max_examples=50, deadline=None)
+def test_mean_within_support_bounds(pmf):
+    assert pmf.min - 1e-9 <= pmf.mean <= pmf.max + 1e-9

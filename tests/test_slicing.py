@@ -1,0 +1,117 @@
+"""Tests for bit slicing and sliced distributions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.representation import Slicing, get_encoding
+from repro.representation.slicing import encode_and_slice
+from repro.utils import Pmf, ValidationError
+
+
+class TestSlicing:
+    def test_num_slices_rounds_up(self):
+        assert Slicing(total_bits=8, bits_per_slice=3).num_slices == 3
+
+    def test_slice_widths(self):
+        assert Slicing(8, 3).slice_widths() == [3, 3, 2]
+
+    def test_slice_values_least_significant_first(self):
+        slicing = Slicing(total_bits=8, bits_per_slice=4)
+        assert slicing.slice_values(0xAB) == [0xB, 0xA]
+
+    def test_assemble_is_inverse(self):
+        slicing = Slicing(total_bits=10, bits_per_slice=3)
+        code = 0b1011011101
+        assert slicing.assemble(slicing.slice_values(code)) == code
+
+    def test_slice_value_rejects_negative_code(self):
+        with pytest.raises(ValidationError):
+            Slicing(8, 2).slice_value(-1, 0)
+
+    def test_slice_index_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Slicing(8, 4).slice_value(3, 5)
+
+    def test_assemble_rejects_wrong_slice_count(self):
+        with pytest.raises(ValidationError):
+            Slicing(8, 4).assemble([1])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValidationError):
+            Slicing(0, 1)
+        with pytest.raises(ValidationError):
+            Slicing(4, 0)
+
+
+class TestSlicePmfs:
+    def test_slice_pmf_mass_preserved(self):
+        code_pmf = Pmf([0, 5, 255], [0.3, 0.4, 0.3])
+        slicing = Slicing(8, 4)
+        for index in range(slicing.num_slices):
+            assert slicing.slice_pmf(code_pmf, index).probabilities.sum() == pytest.approx(1.0)
+
+    def test_low_slice_of_small_values_matches_value(self):
+        code_pmf = Pmf([1, 2, 3], [1 / 3] * 3)
+        slicing = Slicing(8, 4)
+        low = slicing.slice_pmf(code_pmf, 0)
+        high = slicing.slice_pmf(code_pmf, 1)
+        assert low.mean == pytest.approx(2.0)
+        assert high.mean == pytest.approx(0.0)
+
+    def test_average_slice_pmf_mean(self):
+        code_pmf = Pmf([0x0F], [1.0])
+        slicing = Slicing(8, 4)
+        # Slices are 0xF and 0x0; their equal-weight mixture has mean 7.5.
+        assert slicing.average_slice_pmf(code_pmf).mean == pytest.approx(7.5)
+
+
+class TestEncodeAndSlice:
+    def test_lane_and_slice_counts(self):
+        pmf = Pmf([-3, 0, 3], [0.25, 0.5, 0.25])
+        encoding = get_encoding("differential", 8)
+        sliced = encode_and_slice(pmf, encoding, bits_per_slice=2)
+        assert sliced.num_lanes == 2
+        assert sliced.num_slices == encoding.code_bits() // 2 + (encoding.code_bits() % 2 > 0)
+
+    def test_mean_normalized_in_unit_interval(self):
+        pmf = Pmf(list(range(-8, 8)), [1 / 16] * 16)
+        for name in ("offset", "twos_complement", "differential", "magnitude_only"):
+            encoding = get_encoding(name, 5)
+            sliced = encode_and_slice(pmf, encoding, bits_per_slice=2)
+            assert 0.0 <= sliced.mean_normalized() <= 1.0
+            assert 0.0 <= sliced.mean_square_normalized() <= 1.0
+
+    def test_flat_pmfs_count(self):
+        pmf = Pmf([0, 1], [0.5, 0.5])
+        encoding = get_encoding("offset", 8)
+        sliced = encode_and_slice(pmf, encoding, bits_per_slice=1)
+        assert len(sliced.flat_pmfs()) == sliced.num_lanes * sliced.num_slices
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=8),
+    st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_slice_assemble_round_trip(total_bits, bits_per_slice, data):
+    slicing = Slicing(total_bits=total_bits, bits_per_slice=bits_per_slice)
+    code = data.draw(st.integers(min_value=0, max_value=(1 << total_bits) - 1))
+    assert slicing.assemble(slicing.slice_values(code)) == code
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=8),
+    st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_slice_values_fit_slice_width(total_bits, bits_per_slice, data):
+    slicing = Slicing(total_bits=total_bits, bits_per_slice=bits_per_slice)
+    code = data.draw(st.integers(min_value=0, max_value=(1 << total_bits) - 1))
+    for width, value in zip(slicing.slice_widths(), slicing.slice_values(code)):
+        assert 0 <= value < (1 << width)

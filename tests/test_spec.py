@@ -1,0 +1,246 @@
+"""Tests for the container-hierarchy specification, YAML loader, and validation."""
+
+import pytest
+
+from repro.spec import (
+    ComponentSpec,
+    ContainerHierarchy,
+    ContainerSpec,
+    ReuseDirective,
+    dumps_yaml,
+    loads_yaml,
+    validate_hierarchy,
+)
+from repro.utils.errors import SpecificationError
+from repro.workloads.einsum import TensorRole
+
+# The paper's Fig. 5b example system, transcribed in the tagged syntax.
+FIG5B_YAML = """
+- !Component
+  name: buffer
+  class: sram_buffer
+  temporal_reuse: [Inputs, Outputs]
+- !Container
+  name: macro
+- !Component
+  name: adder
+  class: digital_adder
+  coalesce: [Outputs]
+- !Component
+  name: DAC_bank
+  class: dac
+  no_coalesce: [Inputs]
+- !Container
+  name: column
+  spatial: {meshX: 2}
+  spatial_reuse: [Inputs]
+- !Component
+  name: ADC
+  class: adc
+  no_coalesce: [Outputs]
+- !Component
+  name: memory_cell
+  class: memory_cell
+  spatial: {meshY: 2}
+  temporal_reuse: [Weights]
+  spatial_reuse: [Outputs]
+"""
+
+
+class TestReuseDirective:
+    def test_temporal_reuse_stores_and_coalesces(self):
+        assert ReuseDirective.TEMPORAL_REUSE.stores
+        assert ReuseDirective.TEMPORAL_REUSE.can_coalesce
+
+    def test_no_coalesce_touches_but_does_not_store(self):
+        directive = ReuseDirective.NO_COALESCE
+        assert directive.touches
+        assert not directive.stores
+        assert not directive.can_coalesce
+
+    def test_bypass_does_not_touch(self):
+        assert not ReuseDirective.BYPASS.touches
+
+
+class TestComponentSpec:
+    def test_from_mapping_parses_directives(self):
+        component = ComponentSpec.from_mapping(
+            {"name": "dac", "class": "dac", "no_coalesce": ["Inputs"], "resolution": 4}
+        )
+        assert component.directive_for(TensorRole.INPUTS) is ReuseDirective.NO_COALESCE
+        assert component.directive_for(TensorRole.WEIGHTS) is ReuseDirective.BYPASS
+        assert component.attribute("resolution") == 4
+
+    def test_conflicting_directives_rejected(self):
+        with pytest.raises(SpecificationError):
+            ComponentSpec.from_mapping(
+                {"name": "x", "temporal_reuse": ["Inputs"], "no_coalesce": ["Inputs"]}
+            )
+
+    def test_unknown_tensor_rejected(self):
+        with pytest.raises(SpecificationError):
+            ComponentSpec.from_mapping({"name": "x", "temporal_reuse": ["Gradients"]})
+
+    def test_spatial_instances(self):
+        component = ComponentSpec(
+            name="cell", spatial={"meshX": 4, "meshY": 8}
+        )
+        assert component.instances == 32
+
+    def test_invalid_spatial_dimension(self):
+        with pytest.raises(SpecificationError):
+            ComponentSpec(name="cell", spatial={"meshZ": 2})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecificationError):
+            ComponentSpec(name="")
+
+
+class TestContainerSpec:
+    def test_components_are_collected_recursively(self):
+        inner = ContainerSpec(name="inner").add(ComponentSpec(name="a"))
+        outer = ContainerSpec(name="outer").add(inner).add(ComponentSpec(name="b"))
+        assert [c.name for c in outer.components()] == ["a", "b"]
+
+    def test_find(self):
+        inner = ContainerSpec(name="inner").add(ComponentSpec(name="a"))
+        outer = ContainerSpec(name="outer").add(inner)
+        assert outer.find("a").name == "a"
+        assert outer.find("missing") is None
+
+    def test_add_rejects_non_nodes(self):
+        with pytest.raises(SpecificationError):
+            ContainerSpec(name="c").add("not a node")
+
+
+class TestHierarchy:
+    def test_flat_nodes_nest_under_containers(self):
+        hierarchy = loads_yaml(FIG5B_YAML)
+        assert hierarchy.component_names() == [
+            "buffer", "adder", "DAC_bank", "ADC", "memory_cell"
+        ]
+        cell = hierarchy.find_component("memory_cell")
+        assert cell.path == ("system", "macro", "column")
+
+    def test_fanout_multiplies_through_containers(self):
+        hierarchy = loads_yaml(FIG5B_YAML)
+        cell = hierarchy.find_component("memory_cell")
+        # 2 columns (container meshX) x 2 cells (component meshY).
+        assert cell.fanout == 4
+
+    def test_storage_levels(self):
+        hierarchy = loads_yaml(FIG5B_YAML)
+        weights = hierarchy.storage_levels(TensorRole.WEIGHTS)
+        assert [p.name for p in weights] == ["memory_cell"]
+        inputs = hierarchy.storage_levels(TensorRole.INPUTS)
+        assert [p.name for p in inputs] == ["buffer"]
+
+    def test_datapath(self):
+        hierarchy = loads_yaml(FIG5B_YAML)
+        assert [p.name for p in hierarchy.datapath(TensorRole.INPUTS)] == ["buffer", "DAC_bank"]
+
+    def test_spatial_reuse_factor(self):
+        hierarchy = loads_yaml(FIG5B_YAML)
+        # Inputs are reused across the 2 columns.
+        assert hierarchy.spatial_reuse_factor(TensorRole.INPUTS) == 2
+        # Outputs are reused across the 2 cells in each column.
+        assert hierarchy.spatial_reuse_factor(TensorRole.OUTPUTS) == 2
+
+    def test_find_component_missing(self):
+        hierarchy = loads_yaml(FIG5B_YAML)
+        with pytest.raises(SpecificationError):
+            hierarchy.find_component("nonexistent")
+
+    def test_describe_mentions_every_component(self):
+        hierarchy = loads_yaml(FIG5B_YAML)
+        description = hierarchy.describe()
+        for name in hierarchy.component_names():
+            assert name in description
+
+
+class TestYamlLoader:
+    def test_nested_mapping_form(self):
+        text = """
+type: container
+name: system
+children:
+  - {name: buffer, class: sram_buffer, temporal_reuse: [Inputs]}
+  - type: container
+    name: macro
+    children:
+      - {name: adc, class: adc, no_coalesce: [Outputs]}
+"""
+        hierarchy = loads_yaml(text)
+        assert hierarchy.component_names() == ["buffer", "adc"]
+        assert hierarchy.find_component("adc").path == ("system", "macro")
+
+    def test_round_trip_through_dumps(self):
+        hierarchy = loads_yaml(FIG5B_YAML)
+        restored = loads_yaml(dumps_yaml(hierarchy))
+        assert restored.component_names() == hierarchy.component_names()
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(SpecificationError):
+            loads_yaml("")
+
+    def test_invalid_yaml_rejected(self):
+        with pytest.raises(SpecificationError):
+            loads_yaml("- !Component {name: [unclosed")
+
+    def test_single_component_document(self):
+        hierarchy = loads_yaml("{name: adc, class: adc, no_coalesce: [Outputs]}")
+        assert hierarchy.component_names() == ["adc"]
+
+    def test_load_yaml_file_missing(self, tmp_path):
+        from repro.spec import load_yaml_file
+
+        with pytest.raises(SpecificationError):
+            load_yaml_file(tmp_path / "missing.yaml")
+
+    def test_load_yaml_file(self, tmp_path):
+        from repro.spec import load_yaml_file
+
+        path = tmp_path / "spec.yaml"
+        path.write_text(FIG5B_YAML)
+        assert load_yaml_file(path).component_names()[0] == "buffer"
+
+
+class TestValidation:
+    def test_fig5b_system_is_valid(self):
+        hierarchy = loads_yaml(FIG5B_YAML)
+        warnings = validate_hierarchy(hierarchy)
+        assert isinstance(warnings, list)
+
+    def test_duplicate_names_rejected(self):
+        text = """
+- {name: adc, class: adc, no_coalesce: [Outputs]}
+- {name: adc, class: adc, no_coalesce: [Outputs]}
+"""
+        with pytest.raises(SpecificationError):
+            validate_hierarchy(loads_yaml(text))
+
+    def test_stateless_component_cannot_store(self):
+        text = "- {name: adc, class: adc, temporal_reuse: [Outputs]}"
+        with pytest.raises(SpecificationError):
+            validate_hierarchy(loads_yaml(text))
+
+    def test_missing_storage_produces_warning(self):
+        text = "- {name: adc, class: adc, no_coalesce: [Outputs]}"
+        warnings = validate_hierarchy(loads_yaml(text))
+        assert any("Inputs" in warning or "no temporal-reuse" in warning for warning in warnings)
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(SpecificationError):
+            validate_hierarchy(ContainerHierarchy(ContainerSpec(name="empty")))
+
+
+class TestMacroSpecs:
+    def test_prebuilt_macro_specs_load_and_validate(self):
+        from repro.macros import macro_a, macro_b, macro_c, macro_d, macro_yaml_spec
+
+        for factory in (macro_a, macro_b, macro_c, macro_d):
+            hierarchy = loads_yaml(macro_yaml_spec(factory()))
+            names = hierarchy.component_names()
+            assert "memory_cell" in names
+            assert "dac_bank" in names
+            validate_hierarchy(hierarchy)

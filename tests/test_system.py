@@ -1,0 +1,107 @@
+"""Tests for the full-system model (macro + global buffer + NoC + DRAM)."""
+
+import pytest
+
+from repro.architecture import DataPlacement, System, SystemConfig
+from repro.macros import macro_d
+from repro.utils.errors import ValidationError
+from repro.workloads import matrix_vector_workload, resnet18
+from repro.workloads.networks import Network
+
+
+def _system(placement=DataPlacement.WEIGHT_STATIONARY, **overrides) -> System:
+    config = SystemConfig(macro=macro_d(), placement=placement, **overrides)
+    return System(config)
+
+
+def _small_network() -> Network:
+    return Network(name="resnet_head", layers=tuple(list(resnet18())[:4]))
+
+
+class TestConfig:
+    def test_rejects_zero_macros(self):
+        with pytest.raises(ValidationError):
+            SystemConfig(macro=macro_d(), num_macros=0)
+
+    def test_rejects_zero_global_buffer(self):
+        with pytest.raises(ValidationError):
+            SystemConfig(macro=macro_d(), global_buffer_kib=0)
+
+
+class TestLayerEvaluation:
+    def test_breakdown_has_expected_categories(self):
+        result = _system().evaluate_layer(_small_network().layers[1])
+        assert set(result.energy_breakdown) == {
+            "macro", "on_chip_network", "global_buffer", "dram"
+        }
+
+    def test_total_energy_is_sum_of_breakdown(self):
+        result = _system().evaluate_layer(_small_network().layers[1])
+        assert result.total_energy == pytest.approx(sum(result.energy_breakdown.values()))
+
+    def test_system_energy_exceeds_macro_energy(self):
+        layer = _small_network().layers[1]
+        result = _system().evaluate_layer(layer)
+        assert result.total_energy > result.macro_result.total_energy
+
+    def test_dram_traffic_positive_when_fetching_everything(self):
+        layer = _small_network().layers[1]
+        result = _system(DataPlacement.ALL_DRAM).evaluate_layer(layer)
+        assert result.dram_bits_moved > 0
+
+    def test_on_chip_io_moves_no_input_output_dram_bits_mid_network(self):
+        layer = _small_network().layers[1]
+        on_chip = _system(DataPlacement.ON_CHIP_IO).evaluate_layer(layer)
+        stationary = _system(DataPlacement.WEIGHT_STATIONARY).evaluate_layer(layer)
+        assert on_chip.dram_bits_moved < stationary.dram_bits_moved
+
+
+class TestPlacementOrdering:
+    def test_scenarios_are_ordered_by_energy(self):
+        network = _small_network()
+        energies = {}
+        for placement in DataPlacement:
+            result = System(SystemConfig(macro=macro_d(), placement=placement)).evaluate_network(network)
+            energies[placement] = result.total_energy
+        assert energies[DataPlacement.ALL_DRAM] >= energies[DataPlacement.WEIGHT_STATIONARY]
+        assert energies[DataPlacement.WEIGHT_STATIONARY] >= energies[DataPlacement.ON_CHIP_IO]
+
+    def test_weight_heavy_layer_benefits_most_from_weight_stationarity(self):
+        # A fully-connected layer has weights >> activations, so removing
+        # repeated weight fetches dominates.
+        layer = matrix_vector_workload(4096, 1024, repeats=1).layers[0]
+        all_dram = _system(DataPlacement.ALL_DRAM).evaluate_layer(layer)
+        assert all_dram.energy_breakdown["dram"] / all_dram.total_energy > 0.3
+
+
+class TestNetworkEvaluation:
+    def test_network_result_aggregates_layers(self):
+        network = _small_network()
+        result = _system().evaluate_network(network)
+        assert len(result.layers) == len(network)
+        assert result.total_macs == network.total_macs
+        assert result.total_energy == pytest.approx(
+            sum(layer.total_energy for layer in result.layers)
+        )
+
+    def test_breakdown_aggregation(self):
+        result = _system().evaluate_network(_small_network())
+        breakdown = result.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(result.total_energy)
+
+    def test_energy_per_mac_positive(self):
+        result = _system().evaluate_network(_small_network())
+        assert result.energy_per_mac > 0
+        assert result.total_latency_s > 0
+
+
+class TestArea:
+    def test_area_scales_with_macro_count(self):
+        few = System(SystemConfig(macro=macro_d(), num_macros=2)).total_area_mm2()
+        many = System(SystemConfig(macro=macro_d(), num_macros=8)).total_area_mm2()
+        assert many > few
+
+    def test_area_breakdown_contains_macros_and_buffer(self):
+        breakdown = _system().area_breakdown_um2()
+        assert breakdown["macros"] > 0
+        assert breakdown["global_buffer"] > 0

@@ -1,0 +1,39 @@
+"""Tests for unit conversion helpers."""
+
+import pytest
+
+from repro.utils import units
+
+
+def test_fj_round_trip():
+    assert units.joules_to_fj(units.fj_to_joules(123.0)) == pytest.approx(123.0)
+
+
+def test_pj_round_trip():
+    assert units.joules_to_pj(units.pj_to_joules(0.5)) == pytest.approx(0.5)
+
+
+def test_tops_per_watt_of_one_picojoule_op():
+    assert units.tops_per_watt(1e-12) == pytest.approx(1.0)
+
+
+def test_tops_per_watt_from_mac_counts_two_ops():
+    assert units.tops_per_watt_from_mac(1e-12) == pytest.approx(2.0)
+
+
+def test_tops_per_watt_rejects_non_positive_energy():
+    with pytest.raises(ValueError):
+        units.tops_per_watt(0.0)
+
+
+def test_gops():
+    assert units.gops(3e9) == pytest.approx(3.0)
+
+
+def test_area_round_trip():
+    assert units.mm2_to_um2(units.um2_to_mm2(5e6)) == pytest.approx(5e6)
+
+
+def test_si_prefixes_are_consistent():
+    assert units.PICO / units.FEMTO == pytest.approx(1000.0)
+    assert units.TERA * units.PICO == pytest.approx(1.0)

@@ -1,0 +1,192 @@
+"""Tests for einsum operations, layers, and the built-in networks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.errors import WorkloadError
+from repro.workloads import (
+    EinsumOp,
+    Layer,
+    TensorRole,
+    conv2d_layer,
+    depthwise_conv2d_layer,
+    gpt2_small,
+    list_networks,
+    load_network,
+    matmul_layer,
+    matrix_vector_workload,
+    mobilenet_v3_small,
+    resnet18,
+    vit_base,
+)
+from repro.workloads.einsum import conv2d_einsum, matmul_einsum
+
+
+class TestEinsum:
+    def test_matmul_total_macs(self):
+        op = matmul_einsum("mm", m=4, k=8, n=2)
+        assert op.total_macs == 64
+
+    def test_matmul_tensor_sizes(self):
+        op = matmul_einsum("mm", m=4, k=8, n=2)
+        assert op.tensor_size(TensorRole.WEIGHTS) == 32
+        assert op.tensor_size(TensorRole.INPUTS) == 16
+        assert op.tensor_size(TensorRole.OUTPUTS) == 8
+
+    def test_reduction_dims_of_matmul(self):
+        op = matmul_einsum("mm", m=4, k=8, n=2)
+        assert op.reduction_dims() == ("K",)
+        assert op.reduction_size() == 8
+
+    def test_conv_reduction_size(self):
+        op = conv2d_einsum("c", 1, 64, 128, 14, 14, 3, 3)
+        assert op.reduction_size() == 64 * 9
+
+    def test_relevance(self):
+        op = matmul_einsum("mm", m=4, k=8, n=2)
+        assert op.is_relevant("K", TensorRole.WEIGHTS)
+        assert not op.is_relevant("K", TensorRole.OUTPUTS)
+
+    def test_with_dimensions(self):
+        op = matmul_einsum("mm", m=4, k=8, n=2).with_dimensions(N=5)
+        assert op.extent("N") == 5
+
+    def test_with_dimensions_unknown_dim(self):
+        with pytest.raises(WorkloadError):
+            matmul_einsum("mm", 4, 8, 2).with_dimensions(Z=3)
+
+    def test_rejects_zero_extent(self):
+        with pytest.raises(WorkloadError):
+            EinsumOp(
+                name="bad",
+                dimensions={"M": 0},
+                projections={
+                    TensorRole.INPUTS: (),
+                    TensorRole.WEIGHTS: ("M",),
+                    TensorRole.OUTPUTS: ("M",),
+                },
+            )
+
+    def test_rejects_missing_projection(self):
+        with pytest.raises(WorkloadError):
+            EinsumOp(
+                name="bad",
+                dimensions={"M": 2},
+                projections={TensorRole.INPUTS: ("M",), TensorRole.WEIGHTS: ("M",)},
+            )
+
+    def test_rejects_unknown_projection_dim(self):
+        with pytest.raises(WorkloadError):
+            EinsumOp(
+                name="bad",
+                dimensions={"M": 2},
+                projections={
+                    TensorRole.INPUTS: ("Z",),
+                    TensorRole.WEIGHTS: ("M",),
+                    TensorRole.OUTPUTS: ("M",),
+                },
+            )
+
+
+class TestLayers:
+    def test_conv_layer_macs_match_formula(self):
+        layer = conv2d_layer("c", 64, 128, 14, 14, 3)
+        assert layer.total_macs == 64 * 128 * 14 * 14 * 9
+
+    def test_depthwise_layer_has_no_cross_channel_reduction(self):
+        layer = depthwise_conv2d_layer("dw", 32, 14, 14, 3)
+        assert layer.einsum.reduction_size() == 9
+
+    def test_matmul_layer_bits(self):
+        layer = matmul_layer("fc", 10, 20, 1, input_bits=4, weight_bits=2)
+        assert layer.tensor_bits(TensorRole.INPUTS) == 4
+        assert layer.tensor_bits(TensorRole.WEIGHTS) == 2
+
+    def test_with_bits(self):
+        layer = matmul_layer("fc", 10, 20, 1).with_bits(input_bits=3)
+        assert layer.input_bits == 3
+        assert layer.weight_bits == 8
+
+    def test_rejects_invalid_bits(self):
+        with pytest.raises(WorkloadError):
+            matmul_layer("fc", 10, 20, 1, input_bits=0)
+
+    def test_rejects_invalid_sparsity(self):
+        with pytest.raises(WorkloadError):
+            Layer(einsum=matmul_einsum("m", 2, 2, 2), weight_sparsity=1.5)
+
+
+class TestNetworks:
+    def test_resnet18_has_21_layers(self):
+        assert len(resnet18()) == 21
+
+    def test_resnet18_macs_near_published(self):
+        # ResNet18 is ~1.8 GMACs for a 224x224 image.
+        assert resnet18().total_macs == pytest.approx(1.8e9, rel=0.1)
+
+    def test_vit_layer_count(self):
+        assert len(vit_base(blocks=12)) == 1 + 12 * 4 + 1
+
+    def test_gpt2_weight_count_near_published(self):
+        # GPT-2 small has ~124M parameters; weight-bearing matmuls hold most.
+        assert gpt2_small().total_weights == pytest.approx(124e6, rel=0.35)
+
+    def test_mobilenet_is_much_smaller_than_resnet(self):
+        assert mobilenet_v3_small().total_macs < resnet18().total_macs / 10
+
+    def test_matrix_vector_workload_dims(self):
+        net = matrix_vector_workload(256, 128, repeats=4)
+        layer = net.layers[0]
+        assert layer.einsum.reduction_size() == 256
+        assert layer.total_macs == 256 * 128 * 4
+
+    def test_matrix_vector_rejects_bad_dims(self):
+        with pytest.raises(WorkloadError):
+            matrix_vector_workload(0, 8)
+
+    def test_registry_load(self):
+        for name in list_networks():
+            network = load_network(name)
+            assert len(network) > 0
+
+    def test_registry_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            load_network("alexnet-from-the-future")
+
+    def test_layer_named(self):
+        net = resnet18()
+        assert net.layer_named("conv1").name == "conv1"
+        with pytest.raises(WorkloadError):
+            net.layer_named("missing")
+
+    def test_scaled_batch(self):
+        net = resnet18().scaled_batch(4)
+        assert net.total_macs == pytest.approx(resnet18().total_macs * 4, rel=0.01)
+
+
+# ----------------------------------------------------------------------
+# Property-based: einsum size identities
+# ----------------------------------------------------------------------
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=50, deadline=None)
+def test_matmul_macs_equal_outputs_times_reduction(m, k, n):
+    op = matmul_einsum("mm", m=m, k=k, n=n)
+    assert op.total_macs == op.tensor_size(TensorRole.OUTPUTS) * op.reduction_size()
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=8),
+    st.sampled_from([1, 3, 5]),
+)
+@settings(max_examples=30, deadline=None)
+def test_conv_weight_size_identity(c, m, p, q, kernel):
+    op = conv2d_einsum("c", 1, c, m, p, q, kernel, kernel)
+    assert op.tensor_size(TensorRole.WEIGHTS) == m * c * kernel * kernel
