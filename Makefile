@@ -1,0 +1,27 @@
+# Developer entry points. `test` is the tier-1 gate; `lint` uses ruff when
+# installed and a built-in unused-import checker otherwise; `bench-smoke`
+# regenerates the two speed-critical results (Table II and the
+# amortisation ablation) as a quick performance regression check.
+
+PYTHONPATH := src
+
+.PHONY: test test-all lint bench bench-smoke
+
+# Unit tests only: benchmarks (with their timing assertions) live in the
+# separate bench targets so a loaded CI runner cannot flake the test gate.
+test:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q tests/
+
+# The repo's full tier-1 gate: unit tests plus benchmark reproductions.
+test-all:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
+
+lint:
+	python tools/lint.py
+
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
+		benchmarks/test_table2_speed.py benchmarks/test_ablation_amortization.py
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only benchmarks/

@@ -6,7 +6,6 @@ the reproduction report generator.  Benchmarks use reduced sweep sizes where
 the full sweep would take minutes; the printed output states the sweep used.
 """
 
-import pytest
 
 
 def pytest_configure(config):

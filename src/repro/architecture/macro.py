@@ -28,6 +28,8 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Dict, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.circuits.adc import ADCModel
 from repro.circuits.analog import AnalogAccumulator, AnalogAdder, AnalogMACUnit
 from repro.circuits.buffers import SRAMBuffer
@@ -39,7 +41,7 @@ from repro.devices.nvmexplorer import CellLibrary, default_cell_library
 from repro.devices.technology import TechnologyNode
 from repro.representation.encoding import get_encoding
 from repro.representation.slicing import encode_and_slice
-from repro.utils.errors import SpecificationError, ValidationError
+from repro.utils.errors import ValidationError
 from repro.workloads.distributions import LayerDistributions, profile_layer
 from repro.workloads.einsum import TensorRole
 from repro.workloads.layer import Layer
@@ -70,6 +72,78 @@ class OutputReuseStyle(str, Enum):
     ANALOG_ACCUMULATOR = "analog_accumulator"
     ANALOG_MAC = "analog_mac"
     DIGITAL = "digital"
+
+
+# ----------------------------------------------------------------------
+# Canonical action layout.
+#
+# One table links the three vocabularies the energy model moves between:
+# the count field on :class:`MacroLayerCounts`, the per-action energy key
+# produced by :meth:`CiMMacro.per_action_energies`, and the component name
+# under which the energy is reported in a breakdown.  The table's order
+# defines the layout of the action *vector* used by the batch evaluation
+# engine (:mod:`repro.core.batch`), so the scalar and vectorized paths
+# cannot drift apart: both are generated from this single source of truth.
+# ----------------------------------------------------------------------
+ACTION_TABLE: Tuple[Tuple[str, str, str], ...] = (
+    ("cell_ops", "cell_compute", "array"),
+    ("dac_converts", "dac_convert", "dac"),
+    ("adc_converts", "adc_convert", "adc"),
+    ("row_driver_ops", "row_drive", "row_drivers"),
+    ("column_mux_ops", "column_mux", "column_mux"),
+    ("analog_adder_ops", "analog_add", "analog_adder"),
+    ("analog_accumulator_ops", "analog_accumulate", "analog_accumulator"),
+    ("analog_mac_ops", "analog_mac", "analog_mac"),
+    ("shift_add_ops", "shift_add", "shift_add"),
+    ("digital_accumulate_ops", "digital_accumulate", "digital_accumulate"),
+    ("digital_mac_ops", "digital_mac", "digital_mac"),
+    ("input_buffer_reads", "input_buffer_read", "input_buffer"),
+    ("input_buffer_writes", "input_buffer_write", "input_buffer"),
+    ("output_buffer_updates", "output_buffer_update", "output_buffer"),
+    ("output_buffer_reads", "output_buffer_read", "output_buffer"),
+)
+
+#: Array programming is charged only when ``include_programming`` is set,
+#: so it lives outside :data:`ACTION_TABLE` and is appended on demand.
+PROGRAMMING_ACTION: Tuple[str, str, str] = ("cell_writes", "cell_write", "programming")
+
+#: Per-action energy keys in canonical vector order.
+ACTION_KINDS: Tuple[str, ...] = tuple(action for _, action, _ in ACTION_TABLE)
+
+#: Breakdown component names in reporting order (``misc`` is derived).
+ENERGY_COMPONENTS: Tuple[str, ...] = tuple(
+    dict.fromkeys(component for _, _, component in ACTION_TABLE)
+)
+
+
+def _action_table(include_programming: bool) -> Tuple[Tuple[str, str, str], ...]:
+    if include_programming:
+        return ACTION_TABLE + (PROGRAMMING_ACTION,)
+    return ACTION_TABLE
+
+
+def per_action_energy_vector(
+    per_action: Mapping[str, float], include_programming: bool = False
+) -> np.ndarray:
+    """Per-action energies as a vector in canonical :data:`ACTION_KINDS` order."""
+    table = _action_table(include_programming)
+    return np.array([per_action[action] for _, action, _ in table], dtype=np.float64)
+
+
+def action_component_matrix(include_programming: bool = False) -> Tuple[np.ndarray, Tuple[str, ...]]:
+    """0/1 aggregation matrix folding action energies into components.
+
+    Returns ``(matrix, components)`` where ``matrix`` has shape
+    ``(actions, components)`` and a batch of action energies ``E`` (shape
+    ``candidates x actions``) aggregates to component energies ``E @ matrix``.
+    """
+    table = _action_table(include_programming)
+    components = tuple(dict.fromkeys(component for _, _, component in table))
+    index = {name: i for i, name in enumerate(components)}
+    matrix = np.zeros((len(table), len(components)), dtype=np.float64)
+    for row, (_, _, component) in enumerate(table):
+        matrix[row, index[component]] = 1.0
+    return matrix, components
 
 
 @dataclass(frozen=True)
@@ -199,6 +273,17 @@ class MacroLayerCounts:
     def utilization(self) -> float:
         """Average fraction of array cells doing useful work."""
         return self.row_utilization * self.col_utilization
+
+    def action_vector(self, include_programming: bool = False) -> np.ndarray:
+        """Action counts as a vector in canonical :data:`ACTION_KINDS` order.
+
+        The dot product of this vector with the matching per-action energy
+        vector is the layer's total energy before the ``misc`` overhead;
+        stacking many of these rows is how the batch engine evaluates
+        thousands of candidate mappings in one matrix product.
+        """
+        table = _action_table(include_programming)
+        return np.array([getattr(self, count) for count, _, _ in table], dtype=np.float64)
 
 
 @dataclass(frozen=True)
@@ -377,10 +462,8 @@ class CiMMacro:
     def peak_macs_per_second(self) -> float:
         """Peak MAC rate with a fully-utilised array."""
         cfg = self.config
-        cycle_s = cfg.cycle_time_ns * 1e-9 * cfg.technology.delay_factor / \
-            TechnologyNode(cfg.technology.node_nm).delay_factor
         macs_per_activation = (cfg.active_rows * cfg.cols) / self.cells_per_weight
-        return macs_per_activation / (cycle_s * self.input_steps)
+        return macs_per_activation / (self.effective_cycle_seconds() * self.input_steps)
 
     # ------------------------------------------------------------------
     # Operand contexts
@@ -596,33 +679,31 @@ class CiMMacro:
         per_action: Mapping[str, float],
         include_programming: bool = False,
     ) -> Dict[str, float]:
-        """Total per-component energy of one layer from counts x per-action energy."""
-        breakdown = {
-            "array": counts.cell_ops * per_action["cell_compute"],
-            "dac": counts.dac_converts * per_action["dac_convert"],
-            "adc": counts.adc_converts * per_action["adc_convert"],
-            "row_drivers": counts.row_driver_ops * per_action["row_drive"],
-            "column_mux": counts.column_mux_ops * per_action["column_mux"],
-            "analog_adder": counts.analog_adder_ops * per_action["analog_add"],
-            "analog_accumulator": counts.analog_accumulator_ops * per_action["analog_accumulate"],
-            "analog_mac": counts.analog_mac_ops * per_action["analog_mac"],
-            "shift_add": counts.shift_add_ops * per_action["shift_add"],
-            "digital_accumulate": counts.digital_accumulate_ops * per_action["digital_accumulate"],
-            "digital_mac": counts.digital_mac_ops * per_action["digital_mac"],
-            "input_buffer": (
-                counts.input_buffer_reads * per_action["input_buffer_read"]
-                + counts.input_buffer_writes * per_action["input_buffer_write"]
-            ),
-            "output_buffer": (
-                counts.output_buffer_updates * per_action["output_buffer_update"]
-                + counts.output_buffer_reads * per_action["output_buffer_read"]
-            ),
-        }
-        if include_programming:
-            breakdown["programming"] = counts.cell_writes * per_action["cell_write"]
+        """Total per-component energy of one layer from counts x per-action energy.
+
+        Generated from :data:`ACTION_TABLE` so that this scalar path and
+        the vectorized batch path (:mod:`repro.core.batch`) charge exactly
+        the same actions to the same components.
+        """
+        breakdown: Dict[str, float] = {}
+        for count, action, component in _action_table(include_programming):
+            energy = getattr(counts, count) * per_action[action]
+            breakdown[component] = breakdown.get(component, 0.0) + energy
         subtotal = sum(breakdown.values())
         breakdown["misc"] = subtotal * self.config.misc_energy_fraction
         return breakdown
+
+    def effective_cycle_seconds(self) -> float:
+        """Cycle time in seconds after supply-voltage delay scaling.
+
+        Single source of the cycle-time math shared by the scalar
+        :meth:`latency_seconds` and the batch engine's vectorized latency
+        model, so the two paths cannot drift.
+        """
+        cfg = self.config
+        nominal = TechnologyNode(cfg.technology.node_nm)
+        slowdown = cfg.technology.delay_factor / nominal.delay_factor
+        return cfg.cycle_time_ns * 1e-9 * slowdown
 
     def latency_seconds(self, counts: MacroLayerCounts) -> float:
         """Layer latency in seconds.
@@ -636,10 +717,7 @@ class CiMMacro:
         still pay their area.  The cycle time is scaled by the supply
         voltage's delay factor (alpha-power model).
         """
-        cfg = self.config
-        nominal = TechnologyNode(cfg.technology.node_nm)
-        slowdown = cfg.technology.delay_factor / nominal.delay_factor
-        cycle_s = cfg.cycle_time_ns * 1e-9 * slowdown
+        cycle_s = self.effective_cycle_seconds()
         adc_limited_cycles = counts.adc_converts / max(self.adc_bank.count, 1)
         cycles = max(counts.array_activations, adc_limited_cycles)
         return cycles * cycle_s

@@ -16,13 +16,13 @@ written once per layer (partial sums are accumulated inside the macros).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional
 
 from repro.architecture.macro import CiMMacro, CiMMacroConfig, MacroLayerResult
 from repro.circuits.buffers import SRAMBuffer
-from repro.circuits.interface import Action, OperandContext
+from repro.circuits.interface import Action
 from repro.circuits.memory import DRAMModel
 from repro.circuits.router import NoCLink, NoCRouter
 from repro.utils.errors import ValidationError

@@ -13,7 +13,6 @@ per-layer error the paper reports (28% average / 70% max).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
 from repro.architecture.macro import CiMMacro, MacroLayerResult

@@ -23,14 +23,13 @@ being measured.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro.architecture.macro import CiMMacro, OutputReuseStyle
 from repro.circuits.dac import DACType
-from repro.circuits.interface import Action, OperandContext
 from repro.utils.errors import EvaluationError
 from repro.workloads.distributions import LayerDistributions, profile_layer
 from repro.workloads.einsum import TensorRole
@@ -207,6 +206,10 @@ class ValueLevelSimulator:
         energy_adc = 0.0
         values_simulated = 0
 
+        # Loop-invariant view of the weight slices used for cell energy;
+        # reshaping per (vector, step) wasted the hot path Table II times.
+        flat_weights = weight_slice_planes.reshape(reduction, -1)
+
         for vector_index in range(vectors):
             codes = input_codes[vector_index]
             for step in range(input_steps):
@@ -215,7 +218,6 @@ class ValueLevelSimulator:
                 energy_drivers += float(np.sum(self._row_driver_energy_values(slice_values)))
 
                 # Cell energy over the full (reduction x output_channels x slices) array.
-                flat_weights = weight_slice_planes.reshape(reduction, -1)
                 energy_cells += self._cell_energy_matrix(slice_values, flat_weights)
 
                 # Column sums per (output channel, weight slice).

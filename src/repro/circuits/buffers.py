@@ -15,7 +15,6 @@ from dataclasses import dataclass, field
 from repro.circuits.interface import Action, ComponentEnergyModel, OperandContext
 from repro.devices.technology import REFERENCE_NODE, TechnologyNode, scale_area, scale_energy
 from repro.utils.errors import ValidationError
-from repro.workloads.einsum import TensorRole
 
 
 @dataclass(frozen=True)

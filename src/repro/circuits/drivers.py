@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.circuits.interface import Action, ComponentEnergyModel, OperandContext
-from repro.devices.technology import REFERENCE_NODE, TechnologyNode, scale_area, scale_energy
+from repro.devices.technology import REFERENCE_NODE, TechnologyNode, scale_area
 from repro.utils.errors import ValidationError
 from repro.workloads.einsum import TensorRole
 

@@ -7,12 +7,21 @@
   dependent pipeline: per-action energies computed once per (layer,
   architecture) and amortised over arbitrarily many mappings
   (paper Sec. III-D).
+* :mod:`repro.core.batch` — the vectorized batch evaluation engine
+  (candidate batches as NumPy counts matrices) and the process-pool
+  :class:`~repro.core.batch.BatchRunner` for parallel sweeps.
 * :mod:`repro.core.evaluation` — result containers and breakdown helpers.
 * :mod:`repro.core.accuracy` — error metrics used to validate against the
   value-level ground truth and published silicon (paper Sec. IV/V).
 """
 
 from repro.core.accuracy import mean_absolute_percent_error, percent_error
+from repro.core.batch import (
+    BatchEvaluationResult,
+    BatchEvaluator,
+    BatchRunner,
+    MappingCandidateSpace,
+)
 from repro.core.evaluation import EvaluationResult, LayerEvaluation
 from repro.core.fast_pipeline import AmortizedEvaluator, PerActionEnergyCache
 from repro.core.model import CiMLoopModel
@@ -21,6 +30,10 @@ __all__ = [
     "CiMLoopModel",
     "PerActionEnergyCache",
     "AmortizedEvaluator",
+    "BatchEvaluator",
+    "BatchEvaluationResult",
+    "BatchRunner",
+    "MappingCandidateSpace",
     "EvaluationResult",
     "LayerEvaluation",
     "percent_error",

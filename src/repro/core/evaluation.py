@@ -9,7 +9,7 @@ and utilisation statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List
 
 from repro.architecture.macro import MacroLayerResult
 from repro.utils.errors import EvaluationError

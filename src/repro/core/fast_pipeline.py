@@ -13,34 +13,62 @@ CiMLoop's speed comes from amortisation (paper Sec. III-D and Algorithm 1):
 
 The evaluator is the machinery behind the paper's Table II: time per
 mapping drops by orders of magnitude once the per-action energies are
-amortised across a large mapping search.
+amortised across a large mapping search.  The per-candidate arithmetic is
+vectorized by :mod:`repro.core.batch`; the scalar loop survives as
+:meth:`AmortizedEvaluator.evaluate_mappings_scalar`, the reference oracle
+the batch engine is tested against.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.architecture.macro import CiMMacro, MacroLayerCounts, MacroLayerResult
+from repro.architecture.macro import CiMMacro, CiMMacroConfig, MacroLayerCounts
 from repro.utils.errors import EvaluationError
 from repro.workloads.distributions import LayerDistributions, profile_layer
 from repro.workloads.layer import Layer
 
+#: Cache key: the full frozen macro config plus the layer fingerprint.
+CacheKey = Tuple[CiMMacroConfig, tuple]
+
 
 @dataclass
 class PerActionEnergyCache:
-    """Cache of per-action energies keyed by (macro name, layer name).
+    """Cache of per-action energies keyed by full config and layer identity.
 
     The cache embodies the paper's mapping-invariance assumption
     (Sec. III-D3): per-action energy depends on the layer's operand
     distributions and the architecture, but not on the mapping, so one
     entry serves every mapping of that layer onto that macro.
+
+    Keying contract
+    ---------------
+    Entries are keyed by the *entire frozen* :class:`CiMMacroConfig` plus
+    the layer's :meth:`~repro.workloads.layer.Layer.fingerprint` (einsum
+    shape, projections, precisions, and distribution seed inputs) — never
+    by bare names.  Two swept configs that share a name, or two same-named
+    layers with different shapes, therefore get distinct entries instead
+    of silently reusing stale energies.  Two caveats remain outside the
+    key: a custom ``cell_library`` handed to :class:`CiMMacro`, and
+    explicitly supplied non-default ``distributions``; callers varying
+    either should use separate caches (or :meth:`invalidate`).
+
+    Access is serialised by a lock so a cache can be shared by concurrent
+    sweep threads with exact hit/miss accounting.
     """
 
-    _entries: Dict[Tuple[str, str], Dict[str, float]] = field(default_factory=dict)
+    _entries: Dict[CacheKey, Dict[str, float]] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @staticmethod
+    def key_for(macro: CiMMacro, layer: Layer) -> CacheKey:
+        """The cache key used for a (macro, layer) pair."""
+        return (macro.config, layer.fingerprint())
 
     def get(
         self,
@@ -49,23 +77,25 @@ class PerActionEnergyCache:
         distributions: Optional[LayerDistributions] = None,
     ) -> Dict[str, float]:
         """Per-action energies for (macro, layer), computing them on first use."""
-        key = (macro.config.name, layer.name)
-        if key in self._entries:
-            self.hits += 1
-            return self._entries[key]
-        self.misses += 1
-        if distributions is None:
-            distributions = profile_layer(layer)
-        context = macro.operand_context(distributions)
-        energies = macro.per_action_energies(context)
-        self._entries[key] = energies
-        return energies
+        key = self.key_for(macro, layer)
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            if distributions is None:
+                distributions = profile_layer(layer)
+            context = macro.operand_context(distributions)
+            energies = macro.per_action_energies(context)
+            self._entries[key] = energies
+            return energies
 
     def invalidate(self) -> None:
         """Drop every cached entry (e.g. after changing a macro's config)."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -178,9 +208,31 @@ class AmortizedEvaluator:
     ) -> AmortizedSearchResult:
         """Evaluate ``num_mappings`` candidates and return the best.
 
-        The per-action energies are fetched from the cache once; every
-        candidate after the first reuses them, which is exactly the
-        amortisation the paper measures in Table II.
+        The per-action energies are fetched from the cache once and the
+        whole candidate batch is evaluated in one vectorized matrix
+        product (:class:`repro.core.batch.BatchEvaluator`), so thousands
+        of mappings cost barely more than one — the amortisation the
+        paper measures in Table II, without even a per-candidate Python
+        loop.
+        """
+        from repro.core.batch import BatchEvaluator
+
+        if num_mappings < 1:
+            raise EvaluationError("need at least one candidate mapping")
+        batch = BatchEvaluator(self.macro, cache=self.cache)
+        return batch.evaluate_mappings(layer, num_mappings, distributions=distributions)
+
+    def evaluate_mappings_scalar(
+        self,
+        layer: Layer,
+        num_mappings: int = 1,
+        distributions: Optional[LayerDistributions] = None,
+    ) -> AmortizedSearchResult:
+        """Reference oracle: the original per-candidate Python loop.
+
+        Kept (and tested) as the ground truth the vectorized batch engine
+        must match to within float rounding; also the baseline the
+        amortization benchmark measures the batch speedup against.
         """
         start = time.perf_counter()
         per_action = self.cache.get(self.macro, layer, distributions)

@@ -13,11 +13,12 @@ paper's case studies perform:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.architecture.macro import CiMMacro, CiMMacroConfig
-from repro.architecture.system import DataPlacement, System, SystemConfig
+from repro.architecture.system import System, SystemConfig
+from repro.core.batch import BatchRunner
 from repro.core.evaluation import EvaluationResult, LayerEvaluation
 from repro.core.fast_pipeline import AmortizedEvaluator, AmortizedSearchResult, PerActionEnergyCache
 from repro.utils.errors import EvaluationError
@@ -110,15 +111,7 @@ class CiMLoopModel:
         distributions: Optional[Mapping[str, LayerDistributions]] = None,
     ) -> EvaluationResult:
         """Evaluate a whole network (or a single layer) end to end."""
-        if isinstance(workload, Layer):
-            network = Network(name=workload.name, layers=(workload,))
-        elif isinstance(workload, Network):
-            network = workload
-        else:
-            raise EvaluationError(
-                f"workload must be a Network or Layer, got {type(workload).__name__}"
-            )
-
+        network = self._as_network(workload)
         layer_results: List[LayerEvaluation] = []
         num_layers = len(network)
         for index, layer in enumerate(network):
@@ -148,37 +141,49 @@ class CiMLoopModel:
     # ------------------------------------------------------------------
     # Sweeps and mapping search
     # ------------------------------------------------------------------
+    def _as_network(self, workload: Union[Network, Layer]) -> Network:
+        if isinstance(workload, Layer):
+            return Network(name=workload.name, layers=(workload,))
+        if isinstance(workload, Network):
+            return workload
+        raise EvaluationError(
+            f"workload must be a Network or Layer, got {type(workload).__name__}"
+        )
+
     def sweep(
         self,
         workload: Union[Network, Layer],
         parameter: str,
         values: Sequence[object],
+        workers: int = 1,
     ) -> Dict[object, EvaluationResult]:
         """Evaluate the workload for each value of one macro config parameter.
 
         Returns a mapping from swept value to evaluation result; the macro
-        config is rebuilt per point, so any :class:`CiMMacroConfig` field
-        can be swept (array size, DAC resolution, encodings, ...).
+        config is rebuilt per point (``dataclasses.replace``, so system
+        fields are carried over wholesale), so any :class:`CiMMacroConfig`
+        field can be swept (array size, DAC resolution, encodings, ...).
+
+        Operand distributions are profiled once per layer and shared by
+        every sweep point — profiling is layer-only (paper Sec. III-D1) and
+        independent of the swept hardware.  With ``workers > 1`` the points
+        are fanned across a process pool via :class:`BatchRunner`.
         """
-        results: Dict[object, EvaluationResult] = {}
+        network = self._as_network(workload)
+        distributions = profile_network(network) if self.use_distributions else None
+        configs: List[Union[CiMMacroConfig, SystemConfig]] = []
         for value in values:
             macro_config = self.macro_config.with_updates(**{parameter: value})
             if self.system_config is not None:
-                config: Union[CiMMacroConfig, SystemConfig] = SystemConfig(
-                    macro=macro_config,
-                    num_macros=self.system_config.num_macros,
-                    global_buffer_kib=self.system_config.global_buffer_kib,
-                    dram_energy_per_bit_pj=self.system_config.dram_energy_per_bit_pj,
-                    dram_bandwidth_gbps=self.system_config.dram_bandwidth_gbps,
-                    noc_flit_bits=self.system_config.noc_flit_bits,
-                    noc_hops_per_transfer=self.system_config.noc_hops_per_transfer,
-                    placement=self.system_config.placement,
-                )
+                configs.append(replace(self.system_config, macro=macro_config))
             else:
-                config = macro_config
-            model = CiMLoopModel(config, use_distributions=self.use_distributions)
-            results[value] = model.evaluate(workload)
-        return results
+                configs.append(macro_config)
+        runner = BatchRunner(workers=workers)
+        evaluations = runner.run_points(
+            configs, network, distributions=distributions,
+            use_distributions=self.use_distributions,
+        )
+        return dict(zip(values, evaluations))
 
     def evaluate_mappings(
         self,
@@ -186,8 +191,16 @@ class CiMLoopModel:
         num_mappings: int = 1,
         distributions: Optional[LayerDistributions] = None,
     ) -> AmortizedSearchResult:
-        """Amortised evaluation of many candidate mappings of one layer."""
-        evaluator = AmortizedEvaluator(self.macro, cache=self.energy_cache)
+        """Amortised evaluation of many candidate mappings of one layer.
+
+        The model's persistent energy cache is keyed by (config, layer
+        fingerprint) and assumes default-profiled distributions; when the
+        caller supplies custom ``distributions``, a fresh per-call cache is
+        used instead so the persistent entries are never computed from (or
+        served to) non-default profiles.
+        """
+        cache = self.energy_cache if distributions is None else PerActionEnergyCache()
+        evaluator = AmortizedEvaluator(self.macro, cache=cache)
         dists = self._layer_distributions(layer, distributions)
         return evaluator.evaluate_mappings(layer, num_mappings, distributions=dists)
 

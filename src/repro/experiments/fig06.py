@@ -16,7 +16,7 @@ on the synthetic operand distributions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.architecture.macro import CiMMacro
 from repro.baselines.fixed_energy import FixedEnergyModel

@@ -10,7 +10,7 @@ dependence, so it is evaluated with small and large data values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 from repro.architecture.macro import CiMMacro, CiMMacroConfig
 from repro.circuits.interface import OperandContext, OperandStats

@@ -14,7 +14,7 @@ from typing import Dict, List, Tuple
 
 from repro.architecture.macro import CiMMacro
 from repro.macros.definitions import macro_a
-from repro.workloads.networks import Network, matrix_vector_workload, resnet18
+from repro.workloads.networks import matrix_vector_workload, resnet18
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,7 @@ on-chip energy floor remains.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.architecture.system import DataPlacement, SystemConfig
 from repro.core.model import CiMLoopModel

@@ -23,7 +23,7 @@ accelerator models):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
 from repro.mapping.loopnest import LoopNestMapping

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Tuple
 
 from repro.utils.errors import MappingError
 from repro.workloads.einsum import EinsumOp, TensorRole

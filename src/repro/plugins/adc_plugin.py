@@ -15,7 +15,6 @@ operating points and exposes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.circuits.adc import ADCModel

@@ -14,7 +14,7 @@ from the NVMExplorer-style cell library.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.architecture.macro import CiMMacro, CiMMacroConfig, OutputReuseStyle
 from repro.devices.nvmexplorer import CellLibrary, default_cell_library

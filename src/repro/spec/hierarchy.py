@@ -14,12 +14,12 @@ walking outward from the innermost level.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
 
-from repro.spec.component import ComponentSpec, ContainerSpec, ReuseDirective, SpecNode
+from repro.spec.component import ComponentSpec, ContainerSpec, SpecNode
 from repro.utils.errors import SpecificationError
-from repro.workloads.einsum import ALL_TENSORS, TensorRole
+from repro.workloads.einsum import TensorRole
 
 
 @dataclass(frozen=True)

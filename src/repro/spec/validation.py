@@ -20,10 +20,9 @@ from __future__ import annotations
 from collections import Counter
 from typing import List
 
-from repro.spec.component import ComponentSpec, ReuseDirective
 from repro.spec.hierarchy import ContainerHierarchy
 from repro.utils.errors import SpecificationError
-from repro.workloads.einsum import ALL_TENSORS, TensorRole
+from repro.workloads.einsum import ALL_TENSORS
 
 #: Component classes that are pure converters/propagators and cannot store data.
 _STATELESS_CLASSES = {"adc", "dac", "noc_router", "noc_link", "column_mux", "row_driver"}

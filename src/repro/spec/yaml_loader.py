@@ -20,7 +20,7 @@ Two document shapes are accepted:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, List, Sequence, Union
+from typing import Any, Union
 
 import yaml
 

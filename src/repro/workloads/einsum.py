@@ -17,9 +17,9 @@ analysis, so the einsum records, per tensor, which dimensions index it.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Mapping, Tuple
 
 from repro.utils.errors import WorkloadError
 

@@ -9,12 +9,13 @@ profiles are not supplied.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.utils.errors import WorkloadError
 from repro.workloads.einsum import (
+    ALL_TENSORS,
     EinsumOp,
     TensorRole,
     conv2d_einsum,
@@ -90,6 +91,28 @@ class Layer:
             TensorRole.WEIGHTS: self.weight_bits,
             TensorRole.OUTPUTS: self.output_bits,
         }[role]
+
+    def fingerprint(self) -> tuple:
+        """Hashable signature of everything that shapes this layer's energies.
+
+        Two layers with equal fingerprints are interchangeable for the fast
+        pipeline: same iteration space, same tensor projections, same
+        operand precisions, and same synthetic-distribution inputs (name
+        and activation style seed the profile generator).  The per-action
+        energy cache keys on this instead of the bare layer name so that
+        same-named layers with different shapes never share an entry.
+        """
+        einsum = self.einsum
+        return (
+            einsum.name,
+            tuple(sorted(einsum.dimensions.items())),
+            tuple((role.value, tuple(einsum.projections[role])) for role in ALL_TENSORS),
+            self.input_bits,
+            self.weight_bits,
+            self.output_bits,
+            self.activation_style.value,
+            self.weight_sparsity,
+        )
 
     def with_bits(
         self,

@@ -11,8 +11,8 @@ a network is not required, but the shapes below are the standard ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Tuple
 
 from repro.utils.errors import WorkloadError
 from repro.workloads.layer import (

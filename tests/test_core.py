@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import CiMLoopModel, CiMMacroConfig, SystemConfig
+from repro import CiMLoopModel, SystemConfig
 from repro.core.accuracy import (
     breakdown_error,
     max_absolute_percent_error,
@@ -13,7 +13,7 @@ from repro.core.accuracy import (
 )
 from repro.core.fast_pipeline import AmortizedEvaluator, PerActionEnergyCache
 from repro.architecture import CiMMacro
-from repro.macros import base_macro, macro_b
+from repro.macros import base_macro
 from repro.utils.errors import EvaluationError
 from repro.workloads import matrix_vector_workload, resnet18
 from repro.workloads.networks import Network

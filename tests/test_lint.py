@@ -1,0 +1,39 @@
+"""The repo's own sources stay free of unused imports.
+
+Runs the fallback AST checker from ``tools/lint.py`` (the same one CI runs
+when ruff is unavailable) over every tracked Python tree.  Keeping this in
+the tier-1 suite means a reintroduced unused import fails fast even in
+environments without ruff.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location("repo_lint", REPO_ROOT / "tools" / "lint.py")
+repo_lint = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(repo_lint)
+
+
+def test_no_unused_imports():
+    findings = []
+    for tree in ("src", "tests", "benchmarks", "examples", "tools"):
+        for path in repo_lint._python_files([str(REPO_ROOT / tree)]):
+            findings.extend(repo_lint.find_unused_imports(path))
+    assert findings == []
+
+
+def test_checker_catches_a_planted_unused_import(tmp_path):
+    planted = tmp_path / "module.py"
+    planted.write_text("import os\nimport sys\n\nprint(sys.argv)\n")
+    findings = repo_lint.find_unused_imports(planted)
+    assert len(findings) == 1 and "'os'" in findings[0]
+
+
+def test_checker_respects_noqa_and_future(tmp_path):
+    planted = tmp_path / "module.py"
+    planted.write_text(
+        "from __future__ import annotations\nimport os  # noqa: F401\n"
+    )
+    assert repo_lint.find_unused_imports(planted) == []

@@ -1,6 +1,5 @@
 """Tests for the analytical CiM macro model: configs, counts, energy, area."""
 
-import math
 
 import pytest
 from hypothesis import given, settings
@@ -10,9 +9,7 @@ from repro.architecture import CiMMacro, CiMMacroConfig, OutputReuseStyle
 from repro.circuits.dac import DACType
 from repro.devices import TechnologyNode
 from repro.utils.errors import ValidationError
-from repro.workloads import matrix_vector_workload, resnet18
-from repro.workloads.distributions import profile_layer
-from repro.workloads.networks import Network
+from repro.workloads import matrix_vector_workload
 
 
 def _macro(**overrides) -> CiMMacro:

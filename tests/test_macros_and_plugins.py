@@ -20,7 +20,7 @@ from repro.plugins.adc_plugin import fit_adc, survey_energy_fj
 from repro.plugins.aladdin_like import digital_operations, estimate_digital
 from repro.plugins.cacti_like import estimate_dram, estimate_sram, sram_energy_per_bit_pj
 from repro.plugins.library import LibraryPlugin
-from repro.circuits.interface import Action, OperandContext
+from repro.circuits.interface import OperandContext
 from repro.utils.errors import PluginError, ValidationError
 from repro.workloads import matrix_vector_workload
 

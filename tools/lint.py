@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Repository lint entry point.
+
+Runs ``ruff check`` when ruff is installed (configuration lives in
+``pyproject.toml``).  The offline CI image does not ship ruff, so this
+script falls back to a small AST-based checker that catches the lint class
+that has actually bitten this repo: imports that are never used.
+
+Usage::
+
+    python tools/lint.py [paths...]     # defaults to src tests benchmarks examples tools
+"""
+
+from __future__ import annotations
+
+import ast
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples", "tools")
+
+
+def _python_files(paths: List[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif not path.exists():
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+
+
+def _imported_names(tree: ast.Module, source_lines: List[str]) -> List[Tuple[str, int]]:
+    """(bound name, line) for every import, skipping __future__ and noqa lines."""
+    names: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            aliases = node.names
+        elif isinstance(node, ast.Import):
+            aliases = node.names
+        else:
+            continue
+        for alias in aliases:
+            if alias.name == "*":
+                continue
+            line = source_lines[node.lineno - 1] if node.lineno <= len(source_lines) else ""
+            if "noqa" in line:
+                continue
+            bound = alias.asname or alias.name.split(".")[0]
+            names.append((bound, node.lineno))
+    return names
+
+
+def _referenced_names(tree: ast.Module) -> set:
+    """Every name the module references outside import statements."""
+    referenced = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            referenced.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # `repro.core.batch` used as `repro.core...` roots at a Name
+            # node, already collected above; nothing extra to do here.
+            continue
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # Conservatively count string constants (docstring references,
+            # __all__ entries, typing forward references).
+            referenced.update(
+                token for token in node.value.replace(",", " ").split() if token.isidentifier()
+            )
+    return referenced
+
+
+def find_unused_imports(path: Path) -> List[str]:
+    """Unused-import findings for one file, as ``path:line: message`` strings."""
+    if path.name == "__init__.py":  # re-export surface: imports are the API
+        return []
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:  # pragma: no cover - repo code must parse
+        return [f"{path}:{error.lineno}: syntax error: {error.msg}"]
+    source_lines = source.splitlines()
+    referenced = _referenced_names(tree)
+    findings = []
+    for name, lineno in _imported_names(tree, source_lines):
+        if name not in referenced:
+            findings.append(f"{path}:{lineno}: unused import '{name}' (F401)")
+    return findings
+
+
+def run_fallback(paths: List[str]) -> int:
+    findings: List[str] = []
+    try:
+        for path in _python_files(paths):
+            findings.extend(find_unused_imports(path))
+    except FileNotFoundError as error:
+        print(f"error: {error}")
+        return 2
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"fallback linter: {len(findings)} finding(s)")
+        return 1
+    print("fallback linter: clean")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    paths = argv or list(DEFAULT_PATHS)
+    if shutil.which("ruff"):
+        return subprocess.call(["ruff", "check", *paths])
+    print("ruff not installed; using built-in unused-import checker")
+    return run_fallback(paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
