@@ -5,7 +5,7 @@
 
 PYTHONPATH := src
 
-.PHONY: test test-all lint bench bench-smoke
+.PHONY: test test-all lint bench bench-smoke bench-json
 
 # Unit tests only: benchmarks (with their timing assertions) live in the
 # separate bench targets so a loaded CI runner cannot flake the test gate.
@@ -22,6 +22,12 @@ lint:
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
 		benchmarks/test_table2_speed.py benchmarks/test_ablation_amortization.py
+
+# Perf trajectory: mapper and value-sim throughput benchmarks write
+# BENCH_*.json records (mappings/s, values/s, wall time) at the repo root.
+bench-json:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
+		benchmarks/test_mapper_throughput.py benchmarks/test_value_sim_throughput.py
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only benchmarks/

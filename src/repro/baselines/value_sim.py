@@ -18,13 +18,22 @@ The simulator samples ``max_vectors`` input vectors (and scales energy to
 the full layer) so that ground-truth runs stay tractable on a laptop while
 remaining value-accurate; sampling noise is well below the modelling error
 being measured.
+
+Two accumulation engines share the same per-value energy functions and the
+same sampled operands: the historical per-``(vector, step)`` Python loop
+(kept as the tested oracle, ``vectorized=False``) and a vectorized engine
+that extracts every input slice at once, computes all column sums with one
+matrix product, and evaluates cell energy either by a DAC-level histogram
+(exact regrouping of the same terms — each distinct slice value's
+contribution is weighted by its occurrence count) or by a chunked
+broadcast whose peak memory is bounded by ``chunk_bytes``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -53,15 +62,47 @@ class ValueSimResult:
         return sum(self.energy_breakdown.values())
 
 
-class ValueLevelSimulator:
-    """Simulate every propagated data value of a macro running a layer."""
+@dataclass(frozen=True)
+class _SimOperands:
+    """Sampled operands and geometry shared by both accumulation engines."""
 
-    def __init__(self, macro: CiMMacro, seed: int = 0, max_vectors: int = 32):
+    counts: "object"  # MacroLayerCounts
+    distributions: LayerDistributions
+    vectors: int
+    input_codes: np.ndarray  # (vectors, reduction)
+    weight_slice_planes: np.ndarray  # (reduction, output_channels, weight_slices)
+    flat_weights: np.ndarray  # (reduction, output_channels * weight_slices)
+
+
+class ValueLevelSimulator:
+    """Simulate every propagated data value of a macro running a layer.
+
+    Parameters
+    ----------
+    macro / seed / max_vectors:
+        As before: the hardware, the operand sampling seed, and the input
+        vector sample size (energy is scaled to the full layer).
+    chunk_bytes:
+        Peak-memory bound for the vectorized engine's broadcast fallback;
+        the (values x weights) pair tensor is processed in row chunks no
+        larger than this.
+    """
+
+    def __init__(
+        self,
+        macro: CiMMacro,
+        seed: int = 0,
+        max_vectors: int = 32,
+        chunk_bytes: int = 64 * 1024 * 1024,
+    ):
         if max_vectors < 1:
             raise EvaluationError("max_vectors must be at least 1")
+        if chunk_bytes < 1:
+            raise EvaluationError("chunk_bytes must be positive")
         self.macro = macro
         self.seed = seed
         self.max_vectors = max_vectors
+        self.chunk_bytes = chunk_bytes
 
     # ------------------------------------------------------------------
     # Per-value energy functions.  These are the functions whose
@@ -145,13 +186,10 @@ class ValueLevelSimulator:
         return full_scale_energy * (0.3 + 0.7 * normalized)
 
     # ------------------------------------------------------------------
-    def simulate_layer(
-        self,
-        layer: Layer,
-        distributions: Optional[LayerDistributions] = None,
-    ) -> ValueSimResult:
-        """Simulate one layer and return its energy breakdown."""
-        start = time.perf_counter()
+    def _prepare(
+        self, layer: Layer, distributions: Optional[LayerDistributions]
+    ) -> _SimOperands:
+        """Sample and encode the operands both engines iterate over."""
         macro = self.macro
         cfg = macro.config
         if distributions is None:
@@ -161,9 +199,7 @@ class ValueLevelSimulator:
         counts = macro.map_layer(layer)
         reduction = counts.reduction_size
         output_channels = counts.output_channels
-        total_vectors = counts.input_vectors
-        vectors = min(total_vectors, self.max_vectors)
-        scale_vectors = total_vectors / vectors
+        vectors = min(counts.input_vectors, self.max_vectors)
 
         # Materialise operands.
         input_pmf = distributions.pmf(TensorRole.INPUTS)
@@ -186,19 +222,33 @@ class ValueLevelSimulator:
         input_codes = input_enc.encode_array(np.clip(input_values, i_low, i_high))[0]
         input_codes = input_codes.reshape(vectors, reduction)
 
-        input_steps = macro.input_steps_per_lane
-        weight_slices = macro.weight_slices
-        dac_mask = (1 << cfg.dac_resolution) - 1
         cell_mask = (1 << cfg.bits_per_cell) - 1
-
         # Pre-slice the weights: shape (reduction, output_channels, weight_slices)
         weight_slice_planes = np.stack(
             [
                 (weight_codes >> (s * cfg.bits_per_cell)) & cell_mask
-                for s in range(weight_slices)
+                for s in range(macro.weight_slices)
             ],
             axis=-1,
         )
+        return _SimOperands(
+            counts=counts,
+            distributions=distributions,
+            vectors=vectors,
+            input_codes=input_codes,
+            weight_slice_planes=weight_slice_planes,
+            flat_weights=weight_slice_planes.reshape(reduction, -1),
+        )
+
+    def _accumulate_loop(self, prep: _SimOperands) -> Tuple[float, float, float, float, int]:
+        """Reference oracle: the original per-(vector, step) Python loop."""
+        macro = self.macro
+        cfg = macro.config
+        input_steps = macro.input_steps_per_lane
+        dac_mask = (1 << cfg.dac_resolution) - 1
+        weight_slice_planes = prep.weight_slice_planes
+        flat_weights = prep.flat_weights
+        reduction = prep.counts.reduction_size
 
         energy_dac = 0.0
         energy_drivers = 0.0
@@ -206,12 +256,8 @@ class ValueLevelSimulator:
         energy_adc = 0.0
         values_simulated = 0
 
-        # Loop-invariant view of the weight slices used for cell energy;
-        # reshaping per (vector, step) wasted the hot path Table II times.
-        flat_weights = weight_slice_planes.reshape(reduction, -1)
-
-        for vector_index in range(vectors):
-            codes = input_codes[vector_index]
+        for vector_index in range(prep.vectors):
+            codes = prep.input_codes[vector_index]
             for step in range(input_steps):
                 slice_values = (codes >> (step * cfg.dac_resolution)) & dac_mask
                 energy_dac += float(np.sum(self._dac_energy_values(slice_values)))
@@ -229,6 +275,115 @@ class ValueLevelSimulator:
                     accumulate = min(cfg.temporal_accumulation_cycles, macro.input_steps)
                     energy_adc += float(np.sum(adc_values)) / merge / accumulate
                 values_simulated += slice_values.size + column_sums.size
+        return energy_dac, energy_drivers, energy_cells, energy_adc, values_simulated
+
+    def _cell_energy_batch(self, slices_flat: np.ndarray, flat_weights: np.ndarray) -> float:
+        """Total cell energy over all (value, step) pairs at once (J).
+
+        Evaluates the same per-pair data dependence as
+        :meth:`_cell_energy_matrix` but across the whole batch.  When the
+        DAC emits fewer distinct levels than there are (vector, step)
+        pairs, identical slice values are grouped per row into a histogram
+        and the dependence is evaluated once per (level, row) — an exact
+        regrouping of the same sum.  Otherwise the pair tensor is
+        broadcast directly, in row chunks bounded by ``chunk_bytes``.
+        """
+        cfg = self.macro.config
+        cell = self.macro.cell
+        input_full = max((1 << cfg.dac_resolution) - 1, 1)
+        weight_full = max((1 << cfg.bits_per_cell) - 1, 1)
+        weight_fraction = flat_weights / weight_full
+        from repro.devices.technology import REFERENCE_NODE, scale_energy
+
+        base = (
+            scale_energy(cell.base_compute_energy(), REFERENCE_NODE, cfg.technology)
+            * cfg.cell_energy_scale
+        )
+        pairs, rows = slices_flat.shape
+        levels = np.unique(slices_flat)
+        total = 0.0
+        if levels.size <= pairs:
+            # Histogram path: occurrence counts of each DAC level per row.
+            num_codes = (1 << cfg.dac_resolution)
+            flat_index = slices_flat * rows + np.arange(rows)[None, :]
+            occurrences = np.bincount(
+                flat_index.ravel(), minlength=num_codes * rows
+            ).reshape(num_codes, rows)
+            for level in levels:
+                level_fraction = (float(level) / input_full) ** 2
+                pair_factor = cell._data_dependence(level_fraction, weight_fraction)
+                total += float(occurrences[int(level)] @ pair_factor.sum(axis=1))
+        else:
+            input_fraction = (slices_flat / input_full) ** 2
+            row_bytes = rows * flat_weights.shape[1] * 8
+            chunk = max(1, self.chunk_bytes // max(row_bytes, 1))
+            for begin in range(0, pairs, chunk):
+                block = input_fraction[begin:begin + chunk]
+                pair_factor = cell._data_dependence(
+                    block[:, :, None], weight_fraction[None, :, :]
+                )
+                total += float(np.sum(pair_factor))
+        return base * total
+
+    def _accumulate_vectorized(self, prep: _SimOperands) -> Tuple[float, float, float, float, int]:
+        """Whole-tensor engine: every (vector, step, row) slice at once."""
+        macro = self.macro
+        cfg = macro.config
+        input_steps = macro.input_steps_per_lane
+        dac_mask = (1 << cfg.dac_resolution) - 1
+        reduction = prep.counts.reduction_size
+        flat_weights = prep.flat_weights
+
+        # All input slices: (vectors, steps, reduction) in one shift.
+        shifts = np.arange(input_steps, dtype=np.int64) * cfg.dac_resolution
+        slices = (prep.input_codes[:, None, :] >> shifts[None, :, None]) & dac_mask
+        energy_dac = float(np.sum(self._dac_energy_values(slices)))
+        energy_drivers = float(np.sum(self._row_driver_energy_values(slices)))
+
+        slices_flat = slices.reshape(-1, reduction)
+        energy_cells = self._cell_energy_batch(slices_flat, flat_weights)
+
+        columns = flat_weights.shape[1]
+        energy_adc = 0.0
+        if cfg.output_reuse_style is not OutputReuseStyle.DIGITAL:
+            # Column sums for every (vector, step) as one matrix product,
+            # in row chunks so peak memory stays bounded.
+            merge = macro.slice_merge_factor()
+            accumulate = min(cfg.temporal_accumulation_cycles, macro.input_steps)
+            chunk = max(1, self.chunk_bytes // max(columns * 8, 1))
+            adc_total = 0.0
+            for begin in range(0, slices_flat.shape[0], chunk):
+                column_sums = slices_flat[begin:begin + chunk].astype(float) @ \
+                    flat_weights.astype(float)
+                adc_total += float(np.sum(self._adc_energy_values(column_sums, reduction)))
+            energy_adc = adc_total / merge / accumulate
+        values_simulated = slices.size + prep.vectors * input_steps * columns
+        return energy_dac, energy_drivers, energy_cells, energy_adc, values_simulated
+
+    def simulate_layer(
+        self,
+        layer: Layer,
+        distributions: Optional[LayerDistributions] = None,
+        vectorized: bool = True,
+    ) -> ValueSimResult:
+        """Simulate one layer and return its energy breakdown.
+
+        ``vectorized`` selects the whole-tensor engine (default); passing
+        False runs the per-(vector, step) loop oracle.  Both engines
+        simulate the identical sampled operands and agree to float
+        summation order.
+        """
+        start = time.perf_counter()
+        macro = self.macro
+        cfg = macro.config
+        prep = self._prepare(layer, distributions)
+        counts = prep.counts
+        distributions = prep.distributions
+        total_vectors = counts.input_vectors
+        scale_vectors = total_vectors / prep.vectors
+
+        engine = self._accumulate_vectorized if vectorized else self._accumulate_loop
+        energy_dac, energy_drivers, energy_cells, energy_adc, values_simulated = engine(prep)
 
         # Scale the simulated sample to the full layer: all input vectors,
         # both encoding lanes, input re-conversion per column tile (DACs and
@@ -271,7 +426,7 @@ class ValueLevelSimulator:
         return ValueSimResult(
             layer_name=layer.name,
             energy_breakdown=breakdown,
-            simulated_vectors=vectors,
+            simulated_vectors=prep.vectors,
             total_vectors=total_vectors,
             elapsed_s=elapsed,
             values_simulated=values_simulated,

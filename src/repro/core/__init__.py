@@ -21,6 +21,9 @@ from repro.core.batch import (
     BatchEvaluator,
     BatchRunner,
     MappingCandidateSpace,
+    process_energy_cache,
+    shared_pool,
+    shutdown_shared_pool,
 )
 from repro.core.evaluation import EvaluationResult, LayerEvaluation
 from repro.core.fast_pipeline import AmortizedEvaluator, PerActionEnergyCache
@@ -34,6 +37,9 @@ __all__ = [
     "BatchEvaluationResult",
     "BatchRunner",
     "MappingCandidateSpace",
+    "process_energy_cache",
+    "shared_pool",
+    "shutdown_shared_pool",
     "EvaluationResult",
     "LayerEvaluation",
     "percent_error",

@@ -16,11 +16,20 @@ candidates one at a time in Python.  This module removes that loop:
   equivalent to the scalar loop (kept as the reference oracle in
   :meth:`AmortizedEvaluator.evaluate_mappings_scalar`) to within float
   rounding, and orders of magnitude faster per candidate.
-* :class:`BatchRunner` — fans independent evaluation points (sweep
-  configs) and network layers across a :mod:`concurrent.futures` process
-  pool.  Layer-distribution profiles are profiled once and shared across
-  all points (profiling is layer-only, paper Sec. III-D1), instead of
-  being regenerated per swept config.
+* :class:`BatchRunner` — fans independent evaluation work into the
+  **process-wide shared pool** (:func:`shared_pool`): one lazily-created
+  :class:`~concurrent.futures.ProcessPoolExecutor` per process, created on
+  first parallel use, reused by every subsequent sweep / Table II run /
+  mapping search, grown only when a later call requests more workers, and
+  shut down at interpreter exit (or explicitly via
+  :func:`shutdown_shared_pool`).  Sweeps fan the *joint* ``(point x
+  layer)`` product (:meth:`BatchRunner.run_grid`) instead of one axis at a
+  time, so the pool stays busy even when one axis is shorter than the
+  worker count.  Layer-distribution profiles are profiled once and shared
+  across all points (profiling is layer-only, paper Sec. III-D1), and
+  per-action energies are derived once per (config, layer) in the parent
+  (:func:`process_energy_cache`) and shipped to workers instead of being
+  re-derived per process.
 
 Cache-keying contract: every worker gets per-action energies through a
 :class:`~repro.core.fast_pipeline.PerActionEnergyCache`, which keys on the
@@ -30,10 +39,13 @@ so concurrently swept configs can never alias each other's entries.
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -274,31 +286,108 @@ class BatchEvaluator:
 
 
 # ----------------------------------------------------------------------
-# Process-pool fan-out
+# Shared process-wide pool
 # ----------------------------------------------------------------------
-def _evaluate_sweep_point(payload):
-    """Worker: evaluate one (config, workload) sweep point end to end."""
-    config, network, distributions, use_distributions = payload
+_pool_lock = threading.Lock()
+_shared_pool: Optional[ProcessPoolExecutor] = None
+_shared_pool_workers = 0
+
+
+def shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The process-wide executor every parallel runner fans work into.
+
+    Lifecycle: the pool is created lazily on the first parallel request
+    and then reused by every subsequent sweep, Table II run, and mapping
+    search in this process — worker processes are forked once, not per
+    call.  If a later request asks for *more* workers than the live pool
+    has, the pool is replaced by a larger one (still leaving exactly one
+    alive); requests for fewer workers simply share the existing pool.  A
+    pool whose workers died (e.g. OOM-killed) is detected and replaced
+    rather than handed out broken.  Call :func:`shutdown_shared_pool` to
+    release the workers explicitly (also registered at interpreter exit).
+    """
+    global _shared_pool, _shared_pool_workers
+    if workers < 1:
+        raise EvaluationError("a process pool needs at least one worker")
+    with _pool_lock:
+        broken = _shared_pool is not None and getattr(_shared_pool, "_broken", False)
+        if _shared_pool is not None and (broken or workers > _shared_pool_workers):
+            _shared_pool.shutdown(wait=True)
+            _shared_pool = None
+        if _shared_pool is None:
+            _shared_pool = ProcessPoolExecutor(max_workers=max(workers, _shared_pool_workers))
+            _shared_pool_workers = max(workers, _shared_pool_workers)
+        return _shared_pool
+
+
+def shutdown_shared_pool() -> None:
+    """Shut down the shared pool (a later parallel call recreates it)."""
+    global _shared_pool, _shared_pool_workers
+    with _pool_lock:
+        if _shared_pool is not None:
+            _shared_pool.shutdown(wait=True)
+            _shared_pool = None
+            _shared_pool_workers = 0
+
+
+atexit.register(shutdown_shared_pool)
+
+#: Parent-side cache of per-action energies shipped to pool workers.  One
+#: derivation per (config, layer) per process; assumes default-profiled
+#: distributions (callers with custom profiles pass their own cache).
+_process_energy_cache = PerActionEnergyCache()
+
+
+def process_energy_cache() -> PerActionEnergyCache:
+    """The process-wide per-action energy cache used by parallel runs."""
+    return _process_energy_cache
+
+
+# ----------------------------------------------------------------------
+# Pool workers
+# ----------------------------------------------------------------------
+def _evaluate_grid_cell(payload):
+    """Worker: evaluate one (config, layer) cell of a sweep grid."""
+    config, layer, distributions, use_distributions, first_layer, last_layer = payload
     from repro.core.model import CiMLoopModel
 
     model = CiMLoopModel(config, use_distributions=use_distributions)
-    return model.evaluate(network, distributions=distributions)
+    return model.evaluate_layer(
+        layer, distributions=distributions, first_layer=first_layer, last_layer=last_layer
+    )
 
 
 def _evaluate_layer_mappings(payload):
-    """Worker: batch-evaluate one layer's candidate mappings."""
-    config, layer, num_mappings, distributions = payload
-    evaluator = BatchEvaluator(CiMMacro(config), PerActionEnergyCache())
+    """Worker: batch-evaluate one layer's candidate mappings.
+
+    Per-action energies arrive precomputed from the parent; the worker
+    seeds its local cache with them instead of re-deriving.
+    """
+    config, layer, num_mappings, distributions, per_action = payload
+    macro = CiMMacro(config)
+    cache = PerActionEnergyCache()
+    if per_action is not None:
+        cache.seed(macro, layer, per_action)
+    evaluator = BatchEvaluator(macro, cache)
     return evaluator.evaluate_mappings(layer, num_mappings, distributions=distributions)
 
 
 class BatchRunner:
-    """Fan independent evaluation work across a process pool.
+    """Fan independent evaluation work across the shared process pool.
 
-    Two fan-out axes mirror the paper's Table II parallel runs: sweep
-    *points* (one config per worker) and network *layers* (one layer per
-    worker).  Operand distributions are profiled once by the caller and
-    shipped to every worker, so no worker ever re-profiles a layer.
+    All runners in a process share one lazily-created pool (see
+    :func:`shared_pool`): constructing a ``BatchRunner`` is free, and the
+    fan-out axes are joint — a sweep ships the full ``(point x layer)``
+    product so the pool stays busy even when one axis is shorter than the
+    worker count.  Operand distributions are profiled once by the caller
+    and shipped to every worker, so no worker ever re-profiles a layer;
+    per-action energies are likewise derived once per (config, layer) in
+    the parent and shipped (see :func:`process_energy_cache`).
+
+    Choosing ``workers``: evaluation cells are CPU-bound, so physical
+    core count (``os.cpu_count()``, the default) is the ceiling; fewer
+    workers than grid cells is fine (cells queue), and ``workers=1``
+    bypasses the pool entirely for debugging or tiny grids.
     """
 
     def __init__(self, workers: Optional[int] = None):
@@ -307,8 +396,69 @@ class BatchRunner:
     def _map(self, function, payloads: List) -> List:
         if self.workers <= 1 or len(payloads) <= 1:
             return [function(payload) for payload in payloads]
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(payloads))) as pool:
-            return list(pool.map(function, payloads))
+        # Size the first pool to the work actually available; the shared
+        # pool grows on demand when a wider batch arrives later.
+        width = min(self.workers, len(payloads))
+        try:
+            return list(shared_pool(width).map(function, payloads))
+        except BrokenProcessPool:
+            # A worker died (OOM kill, segfault).  Drop the broken pool
+            # and retry once on a fresh one before giving up.
+            shutdown_shared_pool()
+            return list(shared_pool(width).map(function, payloads))
+
+    def run_grid(
+        self,
+        configs: Sequence[Union[CiMMacroConfig, SystemConfig]],
+        network,
+        distributions: Optional[Dict[str, LayerDistributions]] = None,
+        use_distributions: bool = True,
+    ) -> List:
+        """Evaluate the joint (config x layer) grid and reassemble points.
+
+        Every cell of the grid is an independent work item, so a sweep of
+        4 configs over an 8-layer network keeps 32 workers busy rather
+        than 4.  Returns one
+        :class:`~repro.core.evaluation.EvaluationResult` per config, in
+        order, identical to evaluating each config serially.
+        """
+        from repro.core.model import CiMLoopModel
+
+        layers = list(network)
+        num_layers = len(layers)
+        payloads = [
+            (
+                config,
+                layer,
+                distributions.get(layer.name) if distributions else None,
+                use_distributions,
+                index == 0,
+                index == num_layers - 1,
+            )
+            for config in configs
+            for index, layer in enumerate(layers)
+        ]
+        cells = self._map(_evaluate_grid_cell, payloads)
+
+        from repro.core.evaluation import EvaluationResult
+
+        results = []
+        for point, config in enumerate(configs):
+            model = CiMLoopModel(config, use_distributions=use_distributions)
+            target = (
+                f"system({model.macro_config.name})"
+                if model.is_full_system
+                else model.macro_config.name
+            )
+            results.append(
+                EvaluationResult(
+                    workload_name=network.name,
+                    target_name=target,
+                    layers=cells[point * num_layers:(point + 1) * num_layers],
+                    area_breakdown_um2=model.area_breakdown_um2(),
+                )
+            )
+        return results
 
     def run_points(
         self,
@@ -317,9 +467,15 @@ class BatchRunner:
         distributions: Optional[Dict[str, LayerDistributions]] = None,
         use_distributions: bool = True,
     ) -> List:
-        """Evaluate one workload under many configs, one point per worker."""
-        payloads = [(config, network, distributions, use_distributions) for config in configs]
-        return self._map(_evaluate_sweep_point, payloads)
+        """Evaluate one workload under many configs.
+
+        Alias of :meth:`run_grid`: points are expanded into the joint
+        (point x layer) product before hitting the pool.
+        """
+        return self.run_grid(
+            configs, network, distributions=distributions,
+            use_distributions=use_distributions,
+        )
 
     def mapping_search(
         self,
@@ -327,15 +483,33 @@ class BatchRunner:
         layers: Sequence[Layer],
         num_mappings: int,
         distributions: Optional[Dict[str, LayerDistributions]] = None,
+        energy_cache: Optional[PerActionEnergyCache] = None,
     ) -> List[AmortizedSearchResult]:
-        """Batch-evaluate many layers' mapping spaces, one layer per worker."""
-        payloads = [
-            (
-                config,
-                layer,
-                num_mappings,
-                distributions.get(layer.name) if distributions else None,
-            )
-            for layer in layers
-        ]
+        """Batch-evaluate many layers' mapping spaces, one layer per worker.
+
+        Per-action energies are resolved in the parent through
+        ``energy_cache`` and shipped in the payloads, so repeated searches
+        over the same (config, layer) pairs — e.g. Table II's x1 and x5000
+        rows sharing one cache — derive them once per process instead of
+        once per worker invocation.  The default cache is the process-wide
+        one only when no explicit ``distributions`` are supplied; custom
+        distributions get a fresh per-call cache (the process cache keys on
+        (config, layer) alone, so serving it custom-profiled energies would
+        poison later default-profiled runs — the same guard as
+        :meth:`repro.core.model.CiMLoopModel.evaluate_mappings`).  Callers
+        repeating searches with the same explicit distributions can pass
+        their own ``energy_cache`` to keep the reuse.
+        """
+        if energy_cache is not None:
+            cache = energy_cache
+        elif distributions is None:
+            cache = _process_energy_cache
+        else:
+            cache = PerActionEnergyCache()
+        macro = CiMMacro(config)
+        payloads = []
+        for layer in layers:
+            layer_distributions = distributions.get(layer.name) if distributions else None
+            per_action = cache.get(macro, layer, layer_distributions)
+            payloads.append((config, layer, num_mappings, layer_distributions, per_action))
         return self._map(_evaluate_layer_mappings, payloads)

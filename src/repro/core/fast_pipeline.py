@@ -90,6 +90,17 @@ class PerActionEnergyCache:
             self._entries[key] = energies
             return energies
 
+    def seed(self, macro: CiMMacro, layer: Layer, energies: Dict[str, float]) -> None:
+        """Pre-insert per-action energies computed elsewhere.
+
+        Used by the parallel runner: the parent process derives (or cache-
+        hits) the energies once per (config, layer) and ships them to
+        workers, which seed their local caches instead of re-deriving.
+        """
+        key = self.key_for(macro, layer)
+        with self._lock:
+            self._entries[key] = energies
+
     def invalidate(self) -> None:
         """Drop every cached entry (e.g. after changing a macro's config)."""
         with self._lock:

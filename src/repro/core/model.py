@@ -166,8 +166,13 @@ class CiMLoopModel:
 
         Operand distributions are profiled once per layer and shared by
         every sweep point — profiling is layer-only (paper Sec. III-D1) and
-        independent of the swept hardware.  With ``workers > 1`` the points
-        are fanned across a process pool via :class:`BatchRunner`.
+        independent of the swept hardware.  With ``workers > 1`` the joint
+        ``(point x layer)`` product is fanned across the process-wide
+        shared pool (:func:`repro.core.batch.shared_pool`): the pool is
+        created once per process on first use, reused by every later
+        sweep/search, and sized by the largest ``workers`` requested.
+        Physical core count is a sensible ceiling for ``workers``; cells
+        beyond the worker count simply queue.
         """
         network = self._as_network(workload)
         distributions = profile_network(network) if self.use_distributions else None
@@ -203,6 +208,45 @@ class CiMLoopModel:
         evaluator = AmortizedEvaluator(self.macro, cache=cache)
         dists = self._layer_distributions(layer, distributions)
         return evaluator.evaluate_mappings(layer, num_mappings, distributions=dists)
+
+    def layer_mapspace(self, layer: Layer):
+        """The loop-nest map space of a layer on this hardware.
+
+        Three levels — compute, the CiM array (capacity limited to the
+        weights the array can hold at once), and the outer backing store —
+        over the layer's einsum iteration space.
+        """
+        from repro.mapping import MapSpace
+
+        return MapSpace(
+            einsum=layer.einsum,
+            level_names=("compute", "array", "backing"),
+            capacities={1: self.macro.weight_capacity()},
+        )
+
+    def search_layer_mappings(
+        self,
+        layer: Layer,
+        num_mappings: int = 1000,
+        seed: int = 0,
+        engine: str = "batch",
+    ):
+        """Random-search loop-nest mappings of a layer onto this hardware.
+
+        ``engine="batch"`` scores the whole random-tiling population as
+        NumPy arrays (:func:`repro.mapping.batch_search.batch_search`);
+        ``engine="scalar"`` runs the per-candidate oracle.  Both draw the
+        identical population at equal seeds, so they return the same best
+        mapping — the scalar path is simply orders of magnitude slower.
+        """
+        from repro.mapping import batch_search, search_mappings
+
+        space = self.layer_mapspace(layer)
+        if engine == "batch":
+            return batch_search(space, num_mappings=num_mappings, seed=seed)
+        if engine == "scalar":
+            return search_mappings(space, num_mappings=num_mappings, seed=seed)
+        raise EvaluationError(f"unknown mapping-search engine {engine!r}")
 
     # ------------------------------------------------------------------
     def area_breakdown_um2(self) -> Dict[str, float]:

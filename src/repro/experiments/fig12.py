@@ -14,6 +14,7 @@ from typing import Dict, List, Tuple
 
 from repro.architecture.macro import CiMMacro
 from repro.macros.definitions import macro_a
+from repro.mapping import MappingSearchResult, MapSpace, batch_search, search_mappings
 from repro.workloads.networks import matrix_vector_workload, resnet18
 
 
@@ -122,3 +123,45 @@ def best_reuse(rows: List[Fig12Row], workload: str) -> int:
     """The column-reuse setting with the lowest total energy for a workload."""
     candidates = [r for r in rows if r.workload == workload]
     return min(candidates, key=lambda r: r.total_energy).reuse_columns
+
+
+# ----------------------------------------------------------------------
+# Loop-nest mapping search at each reuse setting
+# ----------------------------------------------------------------------
+def fig12_mapspace(reuse: int, input_bits: int = 8, weight_bits: int = 8) -> MapSpace:
+    """The loop-nest map space of the fig. 12 max-utilisation workload.
+
+    Column reuse changes the array's effective geometry, so each reuse
+    setting defines a different workload einsum and a different array
+    capacity — the constraint the mapper must tile around.
+    """
+    config = macro_a(
+        input_bits=input_bits, weight_bits=weight_bits, output_reuse_columns=reuse
+    )
+    macro = CiMMacro(config)
+    workload = matrix_vector_workload(config.rows * reuse, config.cols, repeats=16)
+    layer = workload.layers[0].with_bits(input_bits=input_bits, weight_bits=weight_bits)
+    return MapSpace(
+        einsum=layer.einsum,
+        level_names=("compute", "array", "backing"),
+        capacities={1: macro.weight_capacity()},
+    )
+
+
+def run_fig12_mapping_search(
+    reuse_settings: Tuple[int, ...] = (1, 2, 4, 8),
+    num_mappings: int = 1000,
+    seed: int = 0,
+    engine: str = "batch",
+) -> Dict[int, MappingSearchResult]:
+    """Random-search the fig. 12 map space at each column-reuse setting.
+
+    ``engine`` selects the batched population scorer (default) or the
+    scalar per-candidate oracle; both return the identical best mapping
+    at equal seeds because they share one candidate generator.
+    """
+    searcher = {"batch": batch_search, "scalar": search_mappings}[engine]
+    return {
+        reuse: searcher(fig12_mapspace(reuse), num_mappings=num_mappings, seed=seed)
+        for reuse in reuse_settings
+    }

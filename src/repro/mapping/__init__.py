@@ -5,11 +5,28 @@ mappings over the einsum iteration space, tiling factorisation, reuse /
 access-count analysis across a storage hierarchy, and a mapping search.
 CiM-macro-internal scheduling (which rows/columns/bit-slices are active) is
 handled by :mod:`repro.architecture.macro` on top of these primitives.
+
+Two search engines share one candidate generator: the scalar
+:func:`~repro.mapping.mapper.search_mappings` (the tested per-candidate
+oracle) and the batched :func:`~repro.mapping.batch_search.batch_search`,
+which represents the whole random-tiling population as a
+``(candidates, levels, dims)`` factor array, applies constraints as
+boolean masks, analyzes reuse as array expressions, and scores the
+population in one vectorized cost evaluation.  Equal seeds give both
+engines the identical population — and the identical best mapping.
 """
 
 from repro.mapping.analysis import AccessCounts, TensorAccesses, analyze_mapping
+from repro.mapping.batch_search import (
+    BatchAccessCounts,
+    MappingPopulation,
+    batch_analyze,
+    batch_default_cost,
+    batch_search,
+    generate_mapping_population,
+)
 from repro.mapping.loopnest import LoopNestMapping, MappingLevel
-from repro.mapping.mapper import MappingSearchResult, MapSpace, search_mappings
+from repro.mapping.mapper import MappingSearchResult, MapSpace, random_mappings, search_mappings
 from repro.mapping.tiling import balanced_split, divisors, enumerate_tilings, random_tiling
 
 __all__ = [
@@ -23,6 +40,13 @@ __all__ = [
     "enumerate_tilings",
     "random_tiling",
     "MapSpace",
+    "random_mappings",
     "search_mappings",
     "MappingSearchResult",
+    "BatchAccessCounts",
+    "MappingPopulation",
+    "batch_analyze",
+    "batch_default_cost",
+    "batch_search",
+    "generate_mapping_population",
 ]

@@ -1,0 +1,466 @@
+"""Batched mapping search: the whole random-tiling population as arrays.
+
+The scalar mapper (:func:`repro.mapping.mapper.search_mappings`) scores
+loop nests one at a time: every candidate costs a Python
+:func:`~repro.mapping.analysis.analyze_mapping` walk over levels and
+tensors.  This module lowers the entire population onto NumPy:
+
+* :func:`generate_mapping_population` — samples random tilings for *all*
+  candidates at once as an integer factor array of shape
+  ``(candidates, levels, dims)``, composes pinned factors with the
+  sampled splits, and applies capacity / spatial-limit constraints as
+  boolean masks over the batch.
+* :func:`batch_analyze` — derives tile sizes, footprints, distinct-tile
+  counts, and per-level access counts for every candidate as array
+  expressions, mirroring :func:`~repro.mapping.analysis.analyze_mapping`
+  term by term (same integer arithmetic, so counts are exact).
+* :func:`batch_search` — scores the population with one vectorized cost
+  evaluation and materialises only the winning candidate as a
+  :class:`~repro.mapping.loopnest.LoopNestMapping`.
+
+The scalar path remains the tested oracle: both engines draw candidates
+from the *same* generator (:func:`generate_mapping_population`), so a
+fixed seed yields the identical population, and the vectorized default
+cost accumulates in the same level order with the same weights as
+:func:`~repro.mapping.mapper.default_cost` — equal seeds therefore return
+the identical best mapping and bitwise-equal best cost.
+
+Scope: the random-tiling population is temporal-only (the scalar
+generator never emits spatial factors either), so spatial fanout is 1
+throughout and multicast terms drop out of the batched analysis.  Counts
+use ``int64``; extents whose access products approach 2**63 would need
+the scalar path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.mapping.analysis import analyze_mapping
+from repro.mapping.loopnest import LoopNestMapping, MappingLevel
+from repro.mapping.tiling import divisors
+from repro.utils.errors import MappingError
+from repro.workloads.einsum import ALL_TENSORS, EinsumOp, TensorRole
+
+#: Rows sampled per generation round.  Fixed (count-independent) so the
+#: candidate stream for a given seed is a prefix-stable sequence: asking
+#: for more mappings extends the population without changing its head.
+GENERATION_CHUNK = 1024
+
+#: A batch cost function maps batched access counts to one cost per
+#: candidate (lower is better), shape ``(candidates,)``.
+BatchCostFunction = Callable[["BatchAccessCounts"], np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# Vectorized tiling generation
+# ----------------------------------------------------------------------
+def _divisor_tables(extent: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Lookup tables for vectorized divisor-chain sampling.
+
+    Returns ``(values, ndiv, table)`` where ``values`` lists the divisors
+    of ``extent`` ascending, ``ndiv[i]`` is the divisor count of
+    ``values[i]``, and ``table[i, :ndiv[i]]`` are its divisors.  Every
+    intermediate "remaining" extent during a split of ``extent`` is one of
+    ``values``, so the chain can be advanced for a whole batch with two
+    table gathers per position.
+    """
+    values = np.asarray(divisors(extent), dtype=np.int64)
+    per_value = [divisors(int(v)) for v in values]
+    width = max(len(d) for d in per_value)
+    table = np.zeros((len(values), width), dtype=np.int64)
+    ndiv = np.empty(len(values), dtype=np.int64)
+    for row, divs in enumerate(per_value):
+        ndiv[row] = len(divs)
+        table[row, : len(divs)] = divs
+    return values, ndiv, table
+
+
+def _sample_splits(
+    extent: int, parts: int, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``count`` random ordered factorisations of ``extent``.
+
+    Vectorized twin of :func:`repro.mapping.tiling.random_tiling`'s inner
+    loop: a uniform divisor chain over ``parts - 1`` positions followed by
+    an independent within-row shuffle, batched across candidates.
+    Returns an ``(count, parts)`` int64 array whose rows multiply to
+    ``extent``.
+    """
+    if parts == 1:
+        return np.full((count, 1), extent, dtype=np.int64)
+    values, ndiv, table = _divisor_tables(extent)
+    factors = np.empty((count, parts), dtype=np.int64)
+    remaining = np.full(count, extent, dtype=np.int64)
+    for position in range(parts - 1):
+        row_index = np.searchsorted(values, remaining)
+        choice = rng.integers(0, ndiv[row_index])
+        chosen = table[row_index, choice]
+        factors[:, position] = chosen
+        remaining //= chosen
+    factors[:, parts - 1] = remaining
+    # Shuffle within each row so large factors are not biased toward
+    # early levels (the batched form of the scalar generator's
+    # per-candidate permutation).
+    return rng.permuted(factors, axis=1)
+
+
+def _pinned_by_dimension(space) -> Dict[str, Dict[int, int]]:
+    """Fixed factors regrouped as dimension -> {level index: factor}."""
+    pinned: Dict[str, Dict[int, int]] = {}
+    for (level_index, dim), factor in space.fixed_factors.items():
+        if not 0 <= level_index < space.num_levels:
+            raise MappingError(f"fixed factor pins out-of-range level {level_index}")
+        if factor < 1:
+            raise MappingError(f"fixed factor of {dim} must be >= 1, got {factor}")
+        pinned.setdefault(dim, {})[level_index] = factor
+    return pinned
+
+
+@dataclass(frozen=True)
+class MappingPopulation:
+    """A generated batch of valid candidate tilings of one map space.
+
+    ``factors`` has shape ``(candidates, levels, dims)``; row ``i`` is the
+    per-level factor of each dimension (levels innermost first, dimension
+    order given by ``dims``).  Every row already satisfies the map
+    space's constraints.  ``attempted`` counts the tilings sampled up to
+    and including the last accepted one, so ``rejected`` is the number of
+    constraint-violating samples the generator discarded along the way.
+    """
+
+    space: "object"  # MapSpace (typed loosely to avoid a circular import)
+    dims: Tuple[str, ...]
+    factors: np.ndarray
+    attempted: int
+
+    def __len__(self) -> int:
+        return int(self.factors.shape[0])
+
+    @property
+    def rejected(self) -> int:
+        """Sampled tilings discarded by the constraint masks."""
+        return self.attempted - len(self)
+
+    def mapping(self, index: int) -> LoopNestMapping:
+        """Materialise one candidate as a :class:`LoopNestMapping`."""
+        levels: List[MappingLevel] = []
+        for level_index, name in enumerate(self.space.level_names):
+            temporal = {
+                dim: int(self.factors[index, level_index, d])
+                for d, dim in enumerate(self.dims)
+                if self.factors[index, level_index, d] > 1
+            }
+            levels.append(MappingLevel(name=name, temporal=temporal))
+        return LoopNestMapping(einsum=self.space.einsum, levels=tuple(levels))
+
+
+def _constraint_mask(space, dims: Tuple[str, ...], factors: np.ndarray) -> np.ndarray:
+    """Validity of each sampled tiling under the map space's constraints.
+
+    Mirrors the scalar ``_respects_constraints`` exactly: integer tile
+    footprints against level capacities and (unit) spatial fanout against
+    spatial limits.  Pinned factors are satisfied by construction.
+    """
+    count = factors.shape[0]
+    valid = np.ones(count, dtype=bool)
+    if space.capacities:
+        cumulative = np.cumprod(factors, axis=1)
+        footprint = np.zeros((count, space.num_levels), dtype=np.int64)
+        for role in TensorRole:
+            indices = [d for d, dim in enumerate(dims)
+                       if space.einsum.is_relevant(dim, role)]
+            if indices:
+                footprint += np.prod(cumulative[:, :, indices], axis=2)
+            else:
+                footprint += 1
+        for level_index, capacity in space.capacities.items():
+            valid &= footprint[:, level_index] <= capacity
+    for _, limit in space.spatial_limits.items():
+        # The random-tiling population carries no spatial factors, so the
+        # fanout at every level is exactly 1.
+        if limit < 1:
+            valid &= False
+    return valid
+
+
+def generate_mapping_population(
+    space,
+    count: int,
+    seed: int = 0,
+    chunk: int = GENERATION_CHUNK,
+) -> MappingPopulation:
+    """Sample up to ``count`` valid tilings of the map space as one batch.
+
+    The generator samples fixed-size chunks of random tilings (divisor
+    chains per dimension, vectorized across the chunk), composes pinned
+    factors with the sampled splits (the pinned level holds exactly the
+    pinned factor; the dimension's remaining extent is split across the
+    free levels), masks out constraint violations, and keeps the first
+    ``count`` valid rows of the stream.  Sampling stops after the scalar
+    mapper's historical attempt budget (``count * 20 + 100``).
+    """
+    rng = np.random.default_rng(seed)
+    dims = tuple(space.einsum.dimensions)
+    num_levels = space.num_levels
+    max_attempts = count * 20 + 100
+    pinned = _pinned_by_dimension(space)
+
+    # Per-dimension split plan: which levels receive sampled factors and
+    # how much extent remains to be split once pins are carved out.
+    plans = []
+    for dim in dims:
+        extent = space.einsum.extent(dim)
+        pins = pinned.get(dim, {})
+        pin_product = 1
+        for factor in pins.values():
+            pin_product *= factor
+        if extent % pin_product != 0:
+            raise MappingError(
+                f"pinned factors of {dim} multiply to {pin_product}, "
+                f"which does not divide extent {extent}"
+            )
+        free_levels = [index for index in range(num_levels) if index not in pins]
+        split_extent = extent // pin_product
+        if not free_levels and split_extent != 1:
+            raise MappingError(
+                f"every level of {dim} is pinned but extent {extent} is not covered"
+            )
+        plans.append((dim, pins, free_levels, split_extent))
+
+    kept: List[np.ndarray] = []
+    found = 0
+    sampled = 0
+    attempted = 0
+    while found < count and sampled < max_attempts:
+        block = np.ones((chunk, num_levels, len(dims)), dtype=np.int64)
+        for d, (dim, pins, free_levels, split_extent) in enumerate(plans):
+            for level_index, factor in pins.items():
+                block[:, level_index, d] = factor
+            if free_levels:
+                block[:, free_levels, d] = _sample_splits(
+                    split_extent, len(free_levels), chunk, rng
+                )
+        # Truncate the final chunk so the stream never exceeds the
+        # attempt budget (keeps parity with the scalar attempt counter).
+        block = block[: max_attempts - sampled]
+        sampled += block.shape[0]
+        valid = _constraint_mask(space, dims, block)
+        positions = np.flatnonzero(valid)
+        take = positions[: count - found]
+        if take.size:
+            kept.append(block[take])
+            found += take.size
+            attempted = sampled - block.shape[0] + int(take[-1]) + 1
+    if found < count:
+        attempted = sampled
+
+    factors = (
+        np.concatenate(kept, axis=0)
+        if kept
+        else np.empty((0, num_levels, len(dims)), dtype=np.int64)
+    )
+    return MappingPopulation(space=space, dims=dims, factors=factors, attempted=attempted)
+
+
+# ----------------------------------------------------------------------
+# Batched reuse analysis
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchAccessCounts:
+    """Access counts of a whole candidate batch, one array per quantity.
+
+    Each mapping of ``reads`` / ``writes`` / ``updates`` /
+    ``tile_elements`` holds, per tensor role, an int64 array of shape
+    ``(candidates, levels)`` — the batched form of
+    :class:`~repro.mapping.analysis.TensorAccesses` over every candidate
+    at once.  Values are exact (same integer arithmetic as the scalar
+    analysis).
+    """
+
+    level_names: Tuple[str, ...]
+    reads: Mapping[TensorRole, np.ndarray]
+    writes: Mapping[TensorRole, np.ndarray]
+    updates: Mapping[TensorRole, np.ndarray]
+    tile_elements: Mapping[TensorRole, np.ndarray]
+
+    @property
+    def num_levels(self) -> int:
+        """Number of hierarchy levels (0 = compute)."""
+        return len(self.level_names)
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of candidates in the batch."""
+        return int(self.reads[TensorRole.INPUTS].shape[0])
+
+    def level_total(self, level_index: int) -> np.ndarray:
+        """Per-candidate total accesses of all tensors at one level."""
+        total = np.zeros(self.num_candidates, dtype=np.int64)
+        for role in ALL_TENSORS:
+            total += (
+                self.reads[role][:, level_index]
+                + self.writes[role][:, level_index]
+                + self.updates[role][:, level_index]
+            )
+        return total
+
+
+def batch_analyze(
+    einsum: EinsumOp,
+    dims: Tuple[str, ...],
+    factors: np.ndarray,
+    stores: Optional[Mapping[int, Tuple[TensorRole, ...]]] = None,
+) -> BatchAccessCounts:
+    """Vectorized :func:`~repro.mapping.analysis.analyze_mapping`.
+
+    ``factors`` is the ``(candidates, levels, dims)`` batch of temporal
+    loop factors.  The analysis mirrors the scalar walk exactly — same
+    storage-level selection, fill/drain formulas, and integer arithmetic —
+    restricted to temporal-only mappings (spatial fanout 1, which is the
+    entire random-tiling population).
+    """
+    count, num_levels, _ = factors.shape
+    if stores is None:
+        stores = {index: tuple(ALL_TENSORS) for index in range(1, num_levels)}
+    total_macs = einsum.total_macs
+
+    all_product = np.prod(factors, axis=2)  # (N, L) factor product per level
+    cum_all = np.cumprod(all_product, axis=1)
+    total_all = cum_all[:, -1]
+
+    reads: Dict[TensorRole, np.ndarray] = {}
+    writes: Dict[TensorRole, np.ndarray] = {}
+    updates: Dict[TensorRole, np.ndarray] = {}
+    tiles: Dict[TensorRole, np.ndarray] = {}
+
+    for role in ALL_TENSORS:
+        role_reads = np.zeros((count, num_levels), dtype=np.int64)
+        role_writes = np.zeros((count, num_levels), dtype=np.int64)
+        role_updates = np.zeros((count, num_levels), dtype=np.int64)
+        role_tiles = np.zeros((count, num_levels), dtype=np.int64)
+
+        indices = [d for d, dim in enumerate(dims) if einsum.is_relevant(dim, role)]
+        if indices:
+            relevant_product = np.prod(factors[:, :, indices], axis=2)
+        else:
+            relevant_product = np.ones((count, num_levels), dtype=np.int64)
+        cum_relevant = np.cumprod(relevant_product, axis=1)
+        total_relevant = cum_relevant[:, -1]
+
+        storage_levels = sorted(
+            {index for index in range(1, num_levels) if role in stores.get(index, ())}
+            | {num_levels - 1}
+        )
+
+        remaining = np.full(count, total_macs, dtype=np.int64)
+        for storage_index in storage_levels:
+            # Spatial fanout is 1 for the whole population, so one access
+            # at this level serves exactly one compute-side use.
+            level_reads = remaining
+            tile = cum_relevant[:, storage_index]
+            distinct_tiles = total_relevant // cum_relevant[:, storage_index]
+            fills = tile * distinct_tiles
+
+            if role is TensorRole.OUTPUTS:
+                iterations_above = total_all // cum_all[:, storage_index]
+                irrelevant_above = np.maximum(
+                    iterations_above // np.maximum(distinct_tiles, 1), 1
+                )
+                role_updates[:, storage_index] = level_reads
+                if storage_index < num_levels - 1:
+                    parent_writes = fills * irrelevant_above
+                    parent_reads = fills * (irrelevant_above - 1)
+                else:
+                    parent_writes = fills
+                    parent_reads = np.zeros(count, dtype=np.int64)
+                remaining = parent_writes + parent_reads
+            else:
+                role_reads[:, storage_index] = level_reads
+                role_writes[:, storage_index] = fills
+                remaining = fills
+            role_tiles[:, storage_index] = tile
+
+        # Compute level: raw per-MAC demand, as in the scalar analysis.
+        if role is TensorRole.OUTPUTS:
+            role_updates[:, 0] = total_macs
+        else:
+            role_reads[:, 0] = total_macs
+        role_tiles[:, 0] = cum_relevant[:, 0]
+
+        reads[role] = role_reads
+        writes[role] = role_writes
+        updates[role] = role_updates
+        tiles[role] = role_tiles
+
+    # Level names are positional in the batch form; reuse indices.
+    return BatchAccessCounts(
+        level_names=tuple(str(index) for index in range(num_levels)),
+        reads=reads,
+        writes=writes,
+        updates=updates,
+        tile_elements=tiles,
+    )
+
+
+def batch_default_cost(counts: BatchAccessCounts) -> np.ndarray:
+    """Vectorized twin of :func:`repro.mapping.mapper.default_cost`.
+
+    Accumulates per-level totals in the same order with the same
+    ``10 ** level`` weights, so costs are bitwise equal to the scalar
+    function applied to each candidate.
+    """
+    cost = np.zeros(counts.num_candidates, dtype=np.float64)
+    for level_index in range(1, counts.num_levels):
+        cost += counts.level_total(level_index) * (10.0 ** level_index)
+    return cost
+
+
+# ----------------------------------------------------------------------
+# Batched search
+# ----------------------------------------------------------------------
+def batch_search(
+    space,
+    cost_function: Optional[BatchCostFunction] = None,
+    num_mappings: int = 100,
+    seed: int = 0,
+    stores: Optional[Dict[int, Tuple[TensorRole, ...]]] = None,
+):
+    """Vectorized random search over a map space.
+
+    Drop-in counterpart of :func:`repro.mapping.mapper.search_mappings`:
+    the same seed draws the same candidate population (both engines share
+    :func:`generate_mapping_population`), but the whole population is
+    analyzed and scored as NumPy arrays and only the winner is
+    materialised.  ``cost_function`` here is *batched* — it maps a
+    :class:`BatchAccessCounts` to one cost per candidate; the default
+    reproduces the scalar weighted access-count proxy exactly.
+    """
+    from repro.mapping.mapper import MappingSearchResult
+
+    cost_function = cost_function or batch_default_cost
+    population = generate_mapping_population(space, num_mappings, seed=seed)
+    if len(population) == 0:
+        raise MappingError(
+            "mapping search found no valid mapping; relax capacity or factor constraints"
+        )
+    counts = batch_analyze(space.einsum, population.dims, population.factors, stores=stores)
+    costs = np.asarray(cost_function(counts), dtype=np.float64)
+    if costs.shape != (len(population),):
+        raise MappingError(
+            f"batch cost function returned shape {costs.shape}, "
+            f"expected ({len(population)},)"
+        )
+    best_index = int(np.argmin(costs))
+    best_mapping = population.mapping(best_index)
+    best_counts = analyze_mapping(best_mapping, stores=stores)
+    return MappingSearchResult(
+        best_mapping=best_mapping,
+        best_cost=float(costs[best_index]),
+        best_counts=best_counts,
+        mappings_attempted=population.attempted,
+        mappings_evaluated=len(population),
+    )

@@ -7,6 +7,15 @@ proxy).  The paper evaluates thousands of mappings per (architecture,
 layer) pair; the statistical energy model's per-action energies are
 computed once and amortised across all of them, which is what makes
 CiMLoop fast (Table II).
+
+Two engines share one candidate generator
+(:func:`repro.mapping.batch_search.generate_mapping_population`): the
+scalar :func:`search_mappings` here scores candidates one at a time with
+:func:`~repro.mapping.analysis.analyze_mapping` and serves as the tested
+oracle, while :func:`repro.mapping.batch_search.batch_search` scores the
+whole population as NumPy arrays.  Because generation is shared, equal
+seeds give both engines the identical population — and therefore the
+identical best mapping.
 """
 
 from __future__ import annotations
@@ -15,11 +24,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
-import numpy as np
-
 from repro.mapping.analysis import AccessCounts, analyze_mapping
-from repro.mapping.loopnest import LoopNestMapping, MappingLevel
-from repro.mapping.tiling import random_tiling
+from repro.mapping.loopnest import LoopNestMapping
 from repro.utils.errors import MappingError
 from repro.workloads.einsum import EinsumOp, TensorRole
 
@@ -67,18 +73,37 @@ class MapSpace:
 
 @dataclass(frozen=True)
 class MappingSearchResult:
-    """Outcome of a mapping search."""
+    """Outcome of a mapping search.
+
+    ``mappings_attempted`` counts every tiling the generator sampled up to
+    the last accepted candidate (including constraint-rejected ones);
+    ``mappings_evaluated`` counts the valid candidates actually scored.
+    The difference, :attr:`mappings_rejected`, is how much of the sampled
+    space the constraints pruned.
+    """
 
     best_mapping: LoopNestMapping
     best_cost: float
     best_counts: AccessCounts
+    mappings_attempted: int
     mappings_evaluated: int
-    valid_mappings: int
+
+    @property
+    def mappings_rejected(self) -> int:
+        """Sampled tilings discarded by capacity/factor/spatial constraints."""
+        return self.mappings_attempted - self.mappings_evaluated
+
+    @property
+    def valid_mappings(self) -> int:
+        """Alias of :attr:`mappings_evaluated` (every scored mapping is valid)."""
+        return self.mappings_evaluated
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"MappingSearchResult(cost={self.best_cost:.4g}, "
-            f"evaluated={self.mappings_evaluated}, valid={self.valid_mappings})"
+            f"attempted={self.mappings_attempted}, "
+            f"evaluated={self.mappings_evaluated}, "
+            f"rejected={self.mappings_rejected})"
         )
 
 
@@ -96,31 +121,8 @@ def default_cost(counts: AccessCounts) -> float:
     return cost
 
 
-def _tiling_to_mapping(
-    space: MapSpace, tiling: Dict[str, Tuple[int, ...]], spatial_levels: Dict[int, Dict[str, int]]
-) -> LoopNestMapping:
-    levels = []
-    for index, name in enumerate(space.level_names):
-        temporal = {dim: factors[index] for dim, factors in tiling.items() if factors[index] > 1}
-        spatial = {
-            dim: factor
-            for dim, factor in spatial_levels.get(index, {}).items()
-            if factor > 1
-        }
-        # Spatial factors are carved out of the temporal factor at the same level.
-        for dim, factor in spatial.items():
-            current = temporal.get(dim, 1)
-            if current % factor == 0:
-                reduced = current // factor
-                if reduced > 1:
-                    temporal[dim] = reduced
-                else:
-                    temporal.pop(dim, None)
-        levels.append(MappingLevel(name=name, temporal=temporal, spatial=spatial))
-    return LoopNestMapping(einsum=space.einsum, levels=tuple(levels))
-
-
 def _respects_constraints(space: MapSpace, mapping: LoopNestMapping) -> bool:
+    """Scalar reference for the batched constraint masks (kept as oracle)."""
     for (level_index, dim), factor in space.fixed_factors.items():
         if mapping.level(level_index).factor(dim) != factor:
             return False
@@ -141,37 +143,20 @@ def random_mappings(
     count: int,
     seed: int = 0,
 ) -> Iterable[LoopNestMapping]:
-    """Generate up to ``count`` random valid mappings from the map space."""
-    rng = np.random.default_rng(seed)
-    produced = 0
-    attempts = 0
-    max_attempts = count * 20 + 100
-    while produced < count and attempts < max_attempts:
-        attempts += 1
-        tiling = random_tiling(dict(space.einsum.dimensions), space.num_levels, rng=rng)
-        # Apply pinned factors by overriding the sampled split.
-        for (level_index, dim), factor in space.fixed_factors.items():
-            extent = space.einsum.extent(dim)
-            if extent % factor != 0:
-                raise MappingError(
-                    f"fixed factor {factor} does not divide extent {extent} of {dim}"
-                )
-            remainder = extent // factor
-            factors = [1] * space.num_levels
-            factors[level_index] = factor
-            # Put the remainder at the outermost level.
-            factors[-1] = factors[-1] * remainder if level_index != space.num_levels - 1 else factors[-1]
-            if level_index == space.num_levels - 1:
-                factors[0] = remainder
-            tiling[dim] = tuple(factors)
-        try:
-            mapping = _tiling_to_mapping(space, tiling, spatial_levels={})
-        except MappingError:
-            continue
-        if not _respects_constraints(space, mapping):
-            continue
-        produced += 1
-        yield mapping
+    """Generate up to ``count`` random valid mappings from the map space.
+
+    Candidates come from the shared population generator: pinned factors
+    *compose* with the sampled tiling (the pinned level holds exactly the
+    pinned factor and the dimension's remaining extent is randomly split
+    across the free levels — including pins at the outermost level, which
+    previously discarded the sampled split and dumped the remainder into
+    the compute level), and constraint-violating samples are skipped.
+    """
+    from repro.mapping.batch_search import generate_mapping_population
+
+    population = generate_mapping_population(space, count, seed=seed)
+    for index in range(len(population)):
+        yield population.mapping(index)
 
 
 def search_mappings(
@@ -197,17 +182,17 @@ def search_mappings(
     stores:
         Optional per-level stored-tensor sets forwarded to the analysis.
     """
+    from repro.mapping.batch_search import generate_mapping_population
+
     cost_function = cost_function or default_cost
     best_mapping: Optional[LoopNestMapping] = None
     best_counts: Optional[AccessCounts] = None
     best_cost = math.inf
-    evaluated = 0
-    valid = 0
 
-    for mapping in random_mappings(space, num_mappings, seed=seed):
-        evaluated += 1
+    population = generate_mapping_population(space, num_mappings, seed=seed)
+    for index in range(len(population)):
+        mapping = population.mapping(index)
         counts = analyze_mapping(mapping, stores=stores)
-        valid += 1
         cost = cost_function(counts)
         if cost < best_cost:
             best_cost = cost
@@ -222,6 +207,6 @@ def search_mappings(
         best_mapping=best_mapping,
         best_cost=best_cost,
         best_counts=best_counts,
-        mappings_evaluated=evaluated,
-        valid_mappings=valid,
+        mappings_attempted=population.attempted,
+        mappings_evaluated=len(population),
     )

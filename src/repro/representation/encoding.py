@@ -85,11 +85,28 @@ class Encoding(ABC):
         return (1 << self.code_bits()) - 1
 
     def encode_array(self, values: np.ndarray) -> np.ndarray:
-        """Vectorised encode: returns an array of shape ``(lanes, len(values))``."""
-        values = np.asarray(values, dtype=np.int64)
+        """Vectorised encode: returns an array of shape ``(lanes, len(values))``.
+
+        Range-checks the whole array at once, then dispatches to the
+        encoding's array implementation (:meth:`_encode_array_impl`); the
+        built-in encodings encode without any per-element Python work.
+        """
+        values = np.asarray(values, dtype=np.int64).ravel()
+        low, high = self.representable_range()
+        invalid = (values < low) | (values > high)
+        if np.any(invalid):
+            # Report the first offender, matching the scalar error message.
+            self._check_value(int(values[np.argmax(invalid)]))
+        return self._encode_array_impl(values)
+
+    def _encode_array_impl(self, values: np.ndarray) -> np.ndarray:
+        """Array encode of pre-validated values; subclasses vectorise this.
+
+        The fallback loops over :meth:`encode`, so custom encodings that
+        only define the scalar method still work (just slower).
+        """
         encoded = np.empty((self.lanes, values.size), dtype=np.int64)
-        flat = values.ravel()
-        for index, value in enumerate(flat):
+        for index, value in enumerate(values):
             codes = self.encode(int(value))
             for lane in range(self.lanes):
                 encoded[lane, index] = codes[lane]
@@ -136,6 +153,9 @@ class UnsignedEncoding(Encoding):
     def encode(self, value: int) -> List[int]:
         return [self._check_value(value)]
 
+    def _encode_array_impl(self, values: np.ndarray) -> np.ndarray:
+        return values[None, :]
+
     def decode(self, codes: Sequence[int]) -> int:
         return int(codes[0])
 
@@ -152,6 +172,9 @@ class TwosComplementEncoding(Encoding):
     def encode(self, value: int) -> List[int]:
         value = self._check_value(value)
         return [value & ((1 << self.bits) - 1)]
+
+    def _encode_array_impl(self, values: np.ndarray) -> np.ndarray:
+        return (values & ((1 << self.bits) - 1))[None, :]
 
     def decode(self, codes: Sequence[int]) -> int:
         code = int(codes[0])
@@ -176,6 +199,9 @@ class OffsetEncoding(Encoding):
     def encode(self, value: int) -> List[int]:
         value = self._check_value(value)
         return [value + (1 << (self.bits - 1))]
+
+    def _encode_array_impl(self, values: np.ndarray) -> np.ndarray:
+        return (values + (1 << (self.bits - 1)))[None, :]
 
     def decode(self, codes: Sequence[int]) -> int:
         return int(codes[0]) - (1 << (self.bits - 1))
@@ -202,6 +228,9 @@ class DifferentialEncoding(Encoding):
         if value >= 0:
             return [value, 0]
         return [0, -value]
+
+    def _encode_array_impl(self, values: np.ndarray) -> np.ndarray:
+        return np.stack([np.maximum(values, 0), np.maximum(-values, 0)])
 
     def decode(self, codes: Sequence[int]) -> int:
         return int(codes[0]) - int(codes[1])
@@ -233,6 +262,10 @@ class XnorEncoding(Encoding):
         mask = (1 << self.bits) - 1
         return [value, (~value) & mask]
 
+    def _encode_array_impl(self, values: np.ndarray) -> np.ndarray:
+        mask = (1 << self.bits) - 1
+        return np.stack([values, (~values) & mask])
+
     def decode(self, codes: Sequence[int]) -> int:
         return int(codes[0])
 
@@ -253,6 +286,9 @@ class MagnitudeOnlyEncoding(Encoding):
     def encode(self, value: int) -> List[int]:
         value = self._check_value(value)
         return [abs(value)]
+
+    def _encode_array_impl(self, values: np.ndarray) -> np.ndarray:
+        return np.abs(values)[None, :]
 
     def decode(self, codes: Sequence[int]) -> int:
         # Sign information is carried out-of-band; decode returns magnitude.

@@ -3,11 +3,13 @@
 import pytest
 
 from repro.architecture import CiMMacro
+from repro.architecture.macro import OutputReuseStyle
 from repro.baselines import FixedEnergyModel, FixedPowerModel, ValueLevelSimulator
+from repro.circuits.dac import DACType
 from repro.plugins import NeuroSimPlugin
 from repro.utils.errors import EvaluationError
 from repro.workloads import matrix_vector_workload, resnet18
-from repro.workloads.distributions import profile_network
+from repro.workloads.distributions import profile_layer, profile_network
 from repro.workloads.networks import Network
 
 
@@ -61,6 +63,68 @@ class TestValueLevelSimulator:
     def test_rejects_bad_max_vectors(self, macro):
         with pytest.raises(EvaluationError):
             ValueLevelSimulator(macro, max_vectors=0)
+
+    def test_rejects_bad_chunk_bytes(self, macro):
+        with pytest.raises(EvaluationError):
+            ValueLevelSimulator(macro, chunk_bytes=0)
+
+
+class TestVectorizedValueSim:
+    """The vectorized engine must match the (vector, step) loop oracle."""
+
+    #: Config variants covering both DAC families, digital vs analog
+    #: output reuse, and value-aware ADC on/off.
+    VARIANTS = {
+        "capacitive": dict(),
+        "pulse_dac": dict(dac_type=DACType.PULSE),
+        "value_aware_adc": dict(value_aware_adc=True),
+        "pulse_value_aware": dict(dac_type=DACType.PULSE, value_aware_adc=True),
+        "digital_reuse": dict(output_reuse_style=OutputReuseStyle.DIGITAL),
+        "analog_adder": dict(output_reuse_style=OutputReuseStyle.ANALOG_ADDER),
+        "wide_dac": dict(dac_resolution=8),  # exercises the broadcast path
+    }
+
+    @staticmethod
+    def _assert_equivalent(config, layer, distributions, max_vectors=4, **sim_kwargs):
+        macro = CiMMacro(config)
+        simulator = ValueLevelSimulator(macro, max_vectors=max_vectors, **sim_kwargs)
+        loop = simulator.simulate_layer(layer, distributions, vectorized=False)
+        fast = simulator.simulate_layer(layer, distributions)
+        assert fast.values_simulated == loop.values_simulated
+        assert fast.simulated_vectors == loop.simulated_vectors
+        assert set(fast.energy_breakdown) == set(loop.energy_breakdown)
+        for component, expected in loop.energy_breakdown.items():
+            actual = fast.energy_breakdown[component]
+            scale = max(abs(actual), abs(expected), 1e-300)
+            assert abs(actual - expected) <= 1e-9 * scale, component
+
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_vectorized_matches_loop(self, variant):
+        layer = matrix_vector_workload(48, 40, repeats=4).layers[0]
+        distributions = profile_layer(layer)
+        config = NeuroSimPlugin().default_macro_config().with_updates(
+            **self.VARIANTS[variant]
+        )
+        self._assert_equivalent(config, layer, distributions)
+
+    def test_tiny_chunks_still_match(self):
+        """A 1-byte budget forces maximal chunking in both fallback loops."""
+        layer = matrix_vector_workload(32, 24, repeats=2).layers[0]
+        distributions = profile_layer(layer)
+        config = NeuroSimPlugin().default_macro_config().with_updates(dac_resolution=8)
+        self._assert_equivalent(config, layer, distributions, chunk_bytes=1)
+
+    def test_vectorized_on_conv_layer(self, macro, small_network, distributions):
+        layer = small_network.layers[1]
+        self._assert_equivalent(macro.config, layer, distributions[layer.name],
+                                max_vectors=8)
+
+    def test_vectorized_is_default_and_deterministic(self, macro, small_network, distributions):
+        layer = small_network.layers[1]
+        simulator = ValueLevelSimulator(macro, seed=5, max_vectors=4)
+        a = simulator.simulate_layer(layer, distributions[layer.name])
+        b = simulator.simulate_layer(layer, distributions[layer.name])
+        assert a.total_energy == b.total_energy
 
 
 class TestFixedEnergyModel:

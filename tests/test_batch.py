@@ -265,6 +265,119 @@ class TestSweepRebuild:
             )
 
 
+class TestSharedPool:
+    def test_sweep_creates_exactly_one_pool_per_process(self, monkeypatch):
+        """Repeated parallel sweeps reuse one process-wide executor."""
+        from repro.core import batch
+
+        batch.shutdown_shared_pool()
+        created = []
+        real_executor = batch.ProcessPoolExecutor
+
+        class CountingExecutor(real_executor):
+            def __init__(self, *args, **kwargs):
+                created.append(kwargs.get("max_workers"))
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(batch, "ProcessPoolExecutor", CountingExecutor)
+        try:
+            model = CiMLoopModel(macro_a(), use_distributions=False)
+            layer = matrix_vector_workload(64, 64, repeats=1).layers[0]
+            model.sweep(layer, "adc_resolution", [4, 5], workers=2)
+            model.sweep(layer, "adc_resolution", [6, 7], workers=2)
+            BatchRunner(workers=2).mapping_search(macro_a(), [_layer(1)], 4)
+            assert created == [2]
+        finally:
+            batch.shutdown_shared_pool()
+
+    def test_pool_grows_only_when_more_workers_requested(self, monkeypatch):
+        from repro.core import batch
+
+        batch.shutdown_shared_pool()
+        created = []
+        real_executor = batch.ProcessPoolExecutor
+
+        class CountingExecutor(real_executor):
+            def __init__(self, *args, **kwargs):
+                created.append(kwargs.get("max_workers"))
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(batch, "ProcessPoolExecutor", CountingExecutor)
+        try:
+            assert batch.shared_pool(2) is batch.shared_pool(2)
+            assert batch.shared_pool(1) is batch.shared_pool(2)  # smaller reuses
+            bigger = batch.shared_pool(3)  # larger replaces
+            assert batch.shared_pool(3) is bigger
+            assert created == [2, 3]
+        finally:
+            batch.shutdown_shared_pool()
+
+    def test_shared_pool_rejects_bad_worker_count(self):
+        from repro.core import batch
+
+        with pytest.raises(EvaluationError):
+            batch.shared_pool(0)
+
+    def test_shutdown_allows_recreation(self):
+        from repro.core import batch
+
+        batch.shutdown_shared_pool()
+        first = batch.shared_pool(2)
+        batch.shutdown_shared_pool()
+        second = batch.shared_pool(2)
+        assert first is not second
+        batch.shutdown_shared_pool()
+
+    def test_mapping_search_ships_parent_cached_energies(self):
+        """Per-action energies are derived once in the parent and reused by
+        later searches over the same (config, layer) pairs."""
+        from repro.core.fast_pipeline import PerActionEnergyCache
+
+        cache = PerActionEnergyCache()
+        runner = BatchRunner(workers=1)
+        layers = [_layer(1), _layer(2)]
+        first = runner.mapping_search(macro_b(), layers, 8, energy_cache=cache)
+        assert cache.misses == len(layers) and cache.hits == 0
+        second = runner.mapping_search(macro_b(), layers, 8, energy_cache=cache)
+        assert cache.misses == len(layers) and cache.hits == len(layers)
+        for a, b in zip(first, second):
+            assert a.best.total_energy == b.best.total_energy
+
+    def test_mapping_search_custom_distributions_bypass_process_cache(self):
+        """Explicit distributions must not seed (or be served from) the
+        process-wide energy cache, whose key ignores distributions."""
+        from repro.core import batch
+        from repro.workloads.distributions import profile_layer
+
+        layer = _layer(1)
+        shared = batch.process_energy_cache()
+        before = len(shared)
+        custom = profile_layer(layer, salt=99)
+        with_custom = BatchRunner(workers=1).mapping_search(
+            macro_b(), [layer], 8, distributions={layer.name: custom}
+        )
+        assert len(shared) == before  # untouched by the custom-profile run
+        default = BatchRunner(workers=1).mapping_search(macro_b(), [layer], 8)
+        assert len(shared) == before + 1
+        assert default[0].best.total_energy != with_custom[0].best.total_energy
+
+    def test_grid_results_match_serial_evaluate(self):
+        """run_grid reassembles per-point results identical to evaluate()."""
+        from repro.workloads.networks import Network
+
+        layers = tuple(list(resnet18())[:2])
+        network = Network(name="head", layers=layers)
+        configs = [macro_a(), macro_a().with_updates(adc_resolution=6)]
+        grid = BatchRunner(workers=1).run_grid(configs, network, use_distributions=False)
+        for config, result in zip(configs, grid):
+            expected = CiMLoopModel(config, use_distributions=False).evaluate(network)
+            assert result.target_name == expected.target_name
+            assert result.workload_name == expected.workload_name
+            assert result.total_energy == pytest.approx(expected.total_energy, rel=1e-12)
+            assert [cell.layer_name for cell in result.layers] == \
+                [cell.layer_name for cell in expected.layers]
+
+
 class TestBatchRunner:
     def test_run_points_serial_and_parallel_agree(self):
         layer = matrix_vector_workload(64, 64, repeats=1).layers[0]
@@ -278,7 +391,7 @@ class TestBatchRunner:
             assert a.total_energy == pytest.approx(b.total_energy, rel=1e-12)
 
     def test_mapping_search_fans_layers(self):
-        layers = [l for l in list(resnet18())[:2]]
+        layers = list(resnet18())[:2]
         results = BatchRunner(workers=2).mapping_search(macro_b(), layers, 8)
         assert [r.layer_name for r in results] == [l.name for l in layers]
         for result in results:

@@ -1,0 +1,170 @@
+"""Equivalence tests: batched mapping search vs the scalar oracle.
+
+The batched engine must be a drop-in replacement for the scalar mapper:
+same seed, same population, same best mapping, bitwise-equal default
+cost.  These tests pin that contract across workload shapes, constraint
+regimes, and seeds, and check the batched analysis term by term against
+:func:`analyze_mapping`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping import (
+    MapSpace,
+    analyze_mapping,
+    batch_analyze,
+    batch_default_cost,
+    batch_search,
+    generate_mapping_population,
+    search_mappings,
+)
+from repro.mapping.mapper import _respects_constraints, default_cost
+from repro.utils.errors import MappingError
+from repro.workloads.einsum import ALL_TENSORS, conv2d_einsum, matmul_einsum
+
+MATMUL = matmul_einsum("mm", m=16, k=32, n=4)
+CONV = conv2d_einsum("conv", 1, 16, 32, 8, 8, 3, 3)
+
+SPACES = {
+    "matmul": MapSpace(einsum=MATMUL, level_names=("compute", "buffer", "dram")),
+    "matmul_capacity": MapSpace(
+        einsum=MATMUL, level_names=("compute", "buffer", "dram"), capacities={1: 64}
+    ),
+    "conv_four_levels": MapSpace(
+        einsum=CONV, level_names=("compute", "array", "buffer", "dram")
+    ),
+    "conv_pinned": MapSpace(
+        einsum=CONV,
+        level_names=("compute", "array", "buffer", "dram"),
+        fixed_factors={(1, "C"): 4, (3, "M"): 8},
+    ),
+    "conv_tight": MapSpace(
+        einsum=CONV,
+        level_names=("compute", "array", "buffer", "dram"),
+        capacities={1: 512, 2: 4096},
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SPACES))
+@pytest.mark.parametrize("seed", [0, 7])
+def test_batch_matches_scalar_best_mapping_and_cost(name, seed):
+    space = SPACES[name]
+    scalar = search_mappings(space, num_mappings=60, seed=seed)
+    batched = batch_search(space, num_mappings=60, seed=seed)
+    assert batched.best_mapping == scalar.best_mapping
+    assert batched.best_cost == scalar.best_cost  # bitwise, not approx
+    assert batched.mappings_attempted == scalar.mappings_attempted
+    assert batched.mappings_evaluated == scalar.mappings_evaluated
+    assert batched.best_counts.per_level == scalar.best_counts.per_level
+
+
+def test_batch_analyze_matches_scalar_counts_exactly():
+    space = SPACES["conv_four_levels"]
+    population = generate_mapping_population(space, 25, seed=3)
+    batch = batch_analyze(space.einsum, population.dims, population.factors)
+    for index in range(len(population)):
+        counts = analyze_mapping(population.mapping(index))
+        for level in range(counts.mapping.num_levels):
+            for role in ALL_TENSORS:
+                scalar_acc = counts.at(level, role)
+                assert batch.reads[role][index, level] == scalar_acc.reads
+                assert batch.writes[role][index, level] == scalar_acc.writes
+                assert batch.updates[role][index, level] == scalar_acc.updates
+                assert batch.tile_elements[role][index, level] == scalar_acc.tile_elements
+
+
+def test_batch_default_cost_bitwise_equals_scalar():
+    space = SPACES["matmul"]
+    population = generate_mapping_population(space, 40, seed=1)
+    batch = batch_analyze(space.einsum, population.dims, population.factors)
+    costs = batch_default_cost(batch)
+    for index in range(len(population)):
+        scalar_cost = default_cost(analyze_mapping(population.mapping(index)))
+        assert costs[index] == scalar_cost
+
+
+def test_constraint_masks_match_scalar_filter():
+    """Every generated candidate passes the scalar constraint check, and the
+    attempt accounting reflects rejected samples."""
+    space = SPACES["conv_tight"]
+    population = generate_mapping_population(space, 30, seed=5)
+    assert population.rejected > 0  # the tight capacities actually prune
+    for index in range(len(population)):
+        assert _respects_constraints(space, population.mapping(index))
+
+
+def test_population_prefix_is_stable_across_counts():
+    """Asking for more mappings must extend the population, not reshuffle it
+    (this is what makes few-vs-many searches comparable at one seed)."""
+    space = SPACES["matmul"]
+    small = generate_mapping_population(space, 5, seed=3)
+    large = generate_mapping_population(space, 50, seed=3)
+    assert np.array_equal(small.factors, large.factors[:5])
+
+
+def test_more_mappings_never_worse_batched():
+    space = SPACES["conv_four_levels"]
+    few = batch_search(space, num_mappings=5, seed=3)
+    many = batch_search(space, num_mappings=200, seed=3)
+    assert many.best_cost <= few.best_cost
+
+
+def test_batch_search_counts_are_meaningful():
+    result = batch_search(SPACES["matmul_capacity"], num_mappings=50, seed=0)
+    assert result.mappings_attempted > result.mappings_evaluated
+    assert result.mappings_rejected == result.mappings_attempted - result.mappings_evaluated
+    assert result.valid_mappings == result.mappings_evaluated
+
+
+def test_batch_search_impossible_constraints_raise():
+    space = MapSpace(
+        einsum=MATMUL, level_names=("compute", "buffer", "dram"), capacities={1: 1}
+    )
+    with pytest.raises(MappingError):
+        batch_search(space, num_mappings=5, seed=0)
+
+
+def test_batch_search_rejects_bad_cost_shape():
+    with pytest.raises(MappingError):
+        batch_search(SPACES["matmul"], cost_function=lambda counts: np.zeros(3),
+                     num_mappings=10, seed=0)
+
+
+def test_custom_batch_cost_function():
+    """A batched cost over the analysis arrays drives the argmin."""
+    space = SPACES["matmul"]
+
+    def innermost_traffic(counts):
+        return counts.level_total(1).astype(float)
+
+    result = batch_search(space, cost_function=innermost_traffic, num_mappings=40, seed=2)
+    scalar = search_mappings(
+        space, cost_function=lambda c: float(c.level_total(1)), num_mappings=40, seed=2
+    )
+    assert result.best_mapping == scalar.best_mapping
+
+
+# ----------------------------------------------------------------------
+# Property-style equivalence over random shapes and seeds
+# ----------------------------------------------------------------------
+@given(
+    st.sampled_from([4, 8, 16]),
+    st.sampled_from([6, 12, 24, 36]),
+    st.sampled_from([1, 2, 4]),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_equivalence_property(m, k, n, seed):
+    space = MapSpace(
+        einsum=matmul_einsum("mm", m=m, k=k, n=n),
+        level_names=("compute", "buffer", "dram"),
+        capacities={1: m * k},
+    )
+    scalar = search_mappings(space, num_mappings=25, seed=seed)
+    batched = batch_search(space, num_mappings=25, seed=seed)
+    assert batched.best_mapping == scalar.best_mapping
+    assert batched.best_cost == scalar.best_cost

@@ -165,3 +165,50 @@ def test_codes_are_always_non_negative(bits, data):
     low, high = encoding.representable_range()
     value = data.draw(st.integers(min_value=low, max_value=high))
     assert all(code >= 0 for code in encoding.encode(value))
+
+
+# ----------------------------------------------------------------------
+# Vectorised array encoding
+# ----------------------------------------------------------------------
+class TestEncodeArray:
+    @pytest.mark.parametrize("name", sorted(list_encodings()))
+    def test_array_matches_scalar_encode(self, name):
+        import numpy as np
+
+        encoding = get_encoding(name, 6)
+        low, high = encoding.representable_range()
+        values = np.arange(low, high + 1, dtype=np.int64)
+        encoded = encoding.encode_array(values)
+        assert encoded.shape == (encoding.lanes, values.size)
+        for index, value in enumerate(values):
+            assert list(encoded[:, index]) == encoding.encode(int(value))
+
+    def test_array_rejects_out_of_range(self):
+        import numpy as np
+
+        encoding = UnsignedEncoding(4)
+        with pytest.raises(ValidationError):
+            encoding.encode_array(np.array([0, 3, 99]))
+
+    def test_custom_encoding_uses_scalar_fallback(self):
+        """Encodings defining only scalar encode() still work on arrays."""
+        import numpy as np
+
+        from repro.representation.encoding import Encoding
+
+        class DoubledEncoding(Encoding):
+            name = "doubled_test_only"
+            lanes = 1
+
+            def representable_range(self):
+                return unsigned_range(self.bits)
+
+            def encode(self, value):
+                return [2 * self._check_value(value)]
+
+            def decode(self, codes):
+                return int(codes[0]) // 2
+
+        encoding = DoubledEncoding(4)
+        encoded = encoding.encode_array(np.array([1, 2, 3]))
+        assert list(encoded[0]) == [2, 4, 6]

@@ -14,6 +14,7 @@ from repro.mapping import (
     balanced_split,
     divisors,
     enumerate_tilings,
+    random_mappings,
     random_tiling,
     search_mappings,
 )
@@ -219,6 +220,84 @@ class TestMapper:
     def test_map_space_needs_two_levels(self):
         with pytest.raises(MappingError):
             MapSpace(einsum=matmul_einsum("mm", 2, 2, 2), level_names=("only",))
+
+    def test_search_reports_attempted_and_rejected(self):
+        einsum = matmul_einsum("mm", m=16, k=32, n=4)
+        space = MapSpace(
+            einsum=einsum,
+            level_names=("compute", "buffer", "dram"),
+            capacities={1: 64},
+        )
+        result = search_mappings(space, num_mappings=30, seed=0)
+        assert result.mappings_evaluated == 30
+        assert result.mappings_attempted > result.mappings_evaluated
+        assert result.mappings_rejected == \
+            result.mappings_attempted - result.mappings_evaluated
+        # Unconstrained spaces accept every sample: nothing rejected.
+        free = search_mappings(
+            MapSpace(einsum=einsum, level_names=("compute", "buffer", "dram")),
+            num_mappings=30,
+            seed=0,
+        )
+        assert free.mappings_attempted == free.mappings_evaluated == 30
+
+
+class TestFixedFactors:
+    def _space(self, fixed):
+        einsum = matmul_einsum("mm", m=16, k=32, n=4)
+        return MapSpace(
+            einsum=einsum,
+            level_names=("compute", "buffer", "dram"),
+            fixed_factors=fixed,
+        )
+
+    def test_pinned_level_holds_exactly_the_pin(self):
+        space = self._space({(1, "K"): 4})
+        for mapping in random_mappings(space, 25, seed=0):
+            assert mapping.level(1).factor("K") == 4
+            mapping.validate()
+
+    def test_pin_composes_with_sampled_tiling(self):
+        """Regression: the old override discarded the sampled split, so the
+        un-pinned levels of a pinned dimension were deterministic."""
+        space = self._space({(1, "K"): 4})
+        free_splits = {
+            (mapping.level(0).factor("K"), mapping.level(2).factor("K"))
+            for mapping in random_mappings(space, 40, seed=1)
+        }
+        assert len(free_splits) > 1  # remainder is randomly split, not constant
+        for inner, outer in free_splits:
+            assert inner * 4 * outer == 32
+
+    def test_outermost_pin_does_not_dump_remainder_into_compute(self):
+        """Regression: a pin at the outermost level used to force the whole
+        remainder into the compute level (and invalidated the tiling)."""
+        space = self._space({(2, "K"): 4})
+        compute_factors = [
+            mapping.level(0).factor("K")
+            for mapping in random_mappings(space, 40, seed=2)
+        ]
+        assert any(factor != 8 for factor in compute_factors)
+        for mapping in random_mappings(space, 10, seed=3):
+            assert mapping.level(2).factor("K") == 4
+            mapping.validate()
+
+    def test_multiple_pins_on_one_dimension(self):
+        space = self._space({(1, "K"): 4, (2, "K"): 8})
+        for mapping in random_mappings(space, 10, seed=0):
+            assert mapping.level(1).factor("K") == 4
+            assert mapping.level(2).factor("K") == 8
+            assert mapping.level(0).factor("K") == 1
+
+    def test_pin_must_divide_extent(self):
+        space = self._space({(1, "K"): 5})
+        with pytest.raises(MappingError):
+            list(random_mappings(space, 5, seed=0))
+
+    def test_search_respects_pins(self):
+        space = self._space({(2, "M"): 8})
+        result = search_mappings(space, num_mappings=20, seed=4)
+        assert result.best_mapping.level(2).factor("M") == 8
 
 
 # ----------------------------------------------------------------------
