@@ -23,11 +23,17 @@ bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
 		benchmarks/test_table2_speed.py benchmarks/test_ablation_amortization.py
 
-# Perf trajectory: mapper and value-sim throughput benchmarks write
-# BENCH_*.json records (mappings/s, values/s, wall time) at the repo root.
+# Perf trajectory: mapper, energy-search, and value-sim throughput
+# benchmarks write BENCH_*.json snapshots (mappings/s, values/s, wall
+# time) at the repo root, then each snapshot is appended — stamped with
+# the git SHA — to BENCH_history.jsonl for the per-commit trend.
 bench-json:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
-		benchmarks/test_mapper_throughput.py benchmarks/test_value_sim_throughput.py
+		benchmarks/test_mapper_throughput.py \
+		benchmarks/test_energy_search_throughput.py \
+		benchmarks/test_value_sim_throughput.py
+	python tools/bench_record.py BENCH_mapper.json BENCH_energy_search.json \
+		BENCH_value_sim.json
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only benchmarks/

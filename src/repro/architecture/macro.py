@@ -728,13 +728,22 @@ class CiMMacro:
         distributions: Optional[LayerDistributions] = None,
         include_programming: bool = False,
         auto_profile: bool = True,
+        per_action: Optional[Mapping[str, float]] = None,
     ) -> MacroLayerResult:
-        """Map + evaluate one layer: counts, energy breakdown, latency."""
-        if distributions is None and auto_profile:
-            distributions = profile_layer(layer)
+        """Map + evaluate one layer: counts, energy breakdown, latency.
+
+        ``per_action`` short-circuits the operand-context derivation with
+        energies computed elsewhere (e.g. a
+        :class:`~repro.core.fast_pipeline.PerActionEnergyCache` hit) —
+        the caller is responsible for having derived them from the same
+        distributions this call would have used.
+        """
+        if per_action is None:
+            if distributions is None and auto_profile:
+                distributions = profile_layer(layer)
+            context = self.operand_context(distributions)
+            per_action = self.per_action_energies(context)
         counts = self.map_layer(layer)
-        context = self.operand_context(distributions)
-        per_action = self.per_action_energies(context)
         breakdown = self.energy_breakdown(counts, per_action, include_programming)
         return MacroLayerResult(
             layer_name=layer.name,

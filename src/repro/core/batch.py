@@ -62,6 +62,7 @@ from repro.architecture.macro import (
 from repro.architecture.system import SystemConfig
 from repro.core.fast_pipeline import (
     AmortizedSearchResult,
+    DiskEnergyCache,
     MappingEvaluation,
     PerActionEnergyCache,
 )
@@ -258,6 +259,36 @@ class BatchEvaluator:
             elapsed_s=elapsed,
         )
 
+    def score_action_matrix(
+        self,
+        layer: Layer,
+        counts_matrix: np.ndarray,
+        distributions: Optional[LayerDistributions] = None,
+        include_programming: bool = True,
+        per_action: Optional[Dict[str, float]] = None,
+    ) -> np.ndarray:
+        """Total energy of each row of a per-action counts matrix, in joules.
+
+        ``counts_matrix`` has shape ``(candidates, actions)`` in canonical
+        :data:`~repro.architecture.macro.ACTION_KINDS` order (plus the
+        programming action when ``include_programming``).  The per-action
+        energies come from the shared cache (or the explicit ``per_action``
+        override), so a batch of N candidates costs one matrix-vector
+        product — this is the hook the loop-nest mapper's femtojoule cost
+        function (:func:`repro.mapping.energy.energy_cost`) scores whole
+        populations through.
+        """
+        if per_action is None:
+            per_action = self.cache.get(self.macro, layer, distributions)
+        energy_vector = per_action_energy_vector(per_action, include_programming)
+        if counts_matrix.ndim != 2 or counts_matrix.shape[1] != energy_vector.shape[0]:
+            raise EvaluationError(
+                f"action counts matrix has shape {counts_matrix.shape}, expected "
+                f"(candidates, {energy_vector.shape[0]})"
+            )
+        subtotals = counts_matrix @ energy_vector
+        return subtotals * (1.0 + self.macro.config.misc_energy_fraction)
+
     def _latencies(self, space: MappingCandidateSpace) -> np.ndarray:
         """Vectorized form of :meth:`CiMMacro.latency_seconds`."""
         cycle_s = self.macro.effective_cycle_seconds()
@@ -332,10 +363,15 @@ def shutdown_shared_pool() -> None:
 
 atexit.register(shutdown_shared_pool)
 
-#: Parent-side cache of per-action energies shipped to pool workers.  One
-#: derivation per (config, layer) per process; assumes default-profiled
-#: distributions (callers with custom profiles pass their own cache).
-_process_energy_cache = PerActionEnergyCache()
+#: Process-wide cache of per-action energies.  One derivation per
+#: (config, layer) per process; assumes default-profiled distributions
+#: (callers with custom profiles pass their own cache).  The same module
+#: global exists inside every pool worker: entries present in the parent
+#: when the pool forks are inherited for free, later worker-side
+#: derivations persist across payloads for the worker's lifetime, and the
+#: optional disk backing (``REPRO_ENERGY_CACHE_DIR``) shares entries
+#: across processes and runs.
+_process_energy_cache = PerActionEnergyCache(disk=DiskEnergyCache.from_env())
 
 
 def process_energy_cache() -> PerActionEnergyCache:
@@ -347,8 +383,38 @@ def process_energy_cache() -> PerActionEnergyCache:
 # Pool workers
 # ----------------------------------------------------------------------
 def _evaluate_grid_cell(payload):
-    """Worker: evaluate one (config, layer) cell of a sweep grid."""
-    config, layer, distributions, use_distributions, first_layer, last_layer = payload
+    """Worker: evaluate one (config, layer) cell of a sweep grid.
+
+    Macro-only cells with default-profiled distributions resolve their
+    per-action energies through the worker-persistent process cache
+    (fork-inherited, and disk-backed when enabled), so repeated grids over
+    the same (config, layer) pairs — successive sweeps, warm re-runs —
+    derive each energy table at most once per process instead of once per
+    cell.  System cells and fixed-energy runs take the uncached path
+    unchanged.
+    """
+    (
+        config,
+        layer,
+        distributions,
+        use_distributions,
+        first_layer,
+        last_layer,
+        default_profiled,
+    ) = payload
+    cacheable = default_profiled or distributions is None  # None: worker
+    # profiles the layer itself with defaults, which is provably cacheable.
+    if cacheable and use_distributions and isinstance(config, CiMMacroConfig):
+        from repro.core.evaluation import LayerEvaluation
+        from repro.workloads.distributions import profile_layer
+
+        macro = CiMMacro(config)
+        if distributions is None:
+            distributions = profile_layer(layer)
+        per_action = _process_energy_cache.get(macro, layer, distributions)
+        result = macro.evaluate_layer(layer, distributions, per_action=per_action)
+        return LayerEvaluation.from_macro_result(result)
+
     from repro.core.model import CiMLoopModel
 
     model = CiMLoopModel(config, use_distributions=use_distributions)
@@ -360,12 +426,21 @@ def _evaluate_grid_cell(payload):
 def _evaluate_layer_mappings(payload):
     """Worker: batch-evaluate one layer's candidate mappings.
 
-    Per-action energies arrive precomputed from the parent; the worker
-    seeds its local cache with them instead of re-deriving.
+    With default-profiled distributions the worker scores through the
+    process-persistent cache — per-action energies shipped by the parent
+    seed it once and stay for the worker's lifetime, so repeated searches
+    over the same (config, layer) pairs never re-derive (nor re-seed a
+    throwaway cache per payload).  Custom-profiled payloads keep using an
+    isolated per-call cache: the persistent cache's key ignores
+    distributions, so serving it custom energies would poison later
+    default-profiled runs.
     """
-    config, layer, num_mappings, distributions, per_action = payload
+    config, layer, num_mappings, distributions, per_action, persistent = payload
     macro = CiMMacro(config)
-    cache = PerActionEnergyCache()
+    if persistent and distributions is None:
+        cache = _process_energy_cache
+    else:
+        cache = PerActionEnergyCache()
     if per_action is not None:
         cache.seed(macro, layer, per_action)
     evaluator = BatchEvaluator(macro, cache)
@@ -413,6 +488,7 @@ class BatchRunner:
         network,
         distributions: Optional[Dict[str, LayerDistributions]] = None,
         use_distributions: bool = True,
+        default_profiled: bool = False,
     ) -> List:
         """Evaluate the joint (config x layer) grid and reassemble points.
 
@@ -421,6 +497,16 @@ class BatchRunner:
         than 4.  Returns one
         :class:`~repro.core.evaluation.EvaluationResult` per config, in
         order, identical to evaluating each config serially.
+
+        ``default_profiled=True`` declares that the supplied
+        ``distributions`` are the layers' *default* profiles (as
+        ``profile_network`` produces); under that declaration — or when no
+        distributions are shipped at all, in which case workers profile
+        with defaults themselves — macro-only cells resolve per-action
+        energies through the worker-persistent process cache, so warm
+        re-runs derive nothing.  The flag defaults to False so callers
+        shipping custom (salted) profiles are isolated from the shared
+        cache unless they explicitly opt in.
         """
         from repro.core.model import CiMLoopModel
 
@@ -434,6 +520,7 @@ class BatchRunner:
                 use_distributions,
                 index == 0,
                 index == num_layers - 1,
+                default_profiled,
             )
             for config in configs
             for index, layer in enumerate(layers)
@@ -466,6 +553,7 @@ class BatchRunner:
         network,
         distributions: Optional[Dict[str, LayerDistributions]] = None,
         use_distributions: bool = True,
+        default_profiled: bool = False,
     ) -> List:
         """Evaluate one workload under many configs.
 
@@ -475,6 +563,7 @@ class BatchRunner:
         return self.run_grid(
             configs, network, distributions=distributions,
             use_distributions=use_distributions,
+            default_profiled=default_profiled,
         )
 
     def mapping_search(
@@ -506,10 +595,16 @@ class BatchRunner:
             cache = _process_energy_cache
         else:
             cache = PerActionEnergyCache()
+        # Workers mirror the parent's cache choice: searches on the shared
+        # process cache stay persistent worker-side too (entries outlive
+        # the payload), while explicit caller caches keep their isolation.
+        persistent = cache is _process_energy_cache
         macro = CiMMacro(config)
         payloads = []
         for layer in layers:
             layer_distributions = distributions.get(layer.name) if distributions else None
             per_action = cache.get(macro, layer, layer_distributions)
-            payloads.append((config, layer, num_mappings, layer_distributions, per_action))
+            payloads.append(
+                (config, layer, num_mappings, layer_distributions, per_action, persistent)
+            )
         return self._map(_evaluate_layer_mappings, payloads)

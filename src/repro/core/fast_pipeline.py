@@ -21,10 +21,14 @@ the batch engine is tested against.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.architecture.macro import CiMMacro, CiMMacroConfig, MacroLayerCounts
 from repro.utils.errors import EvaluationError
@@ -33,6 +37,139 @@ from repro.workloads.layer import Layer
 
 #: Cache key: the full frozen macro config plus the layer fingerprint.
 CacheKey = Tuple[CiMMacroConfig, tuple]
+
+#: Environment variable naming the directory of the opt-in disk cache.
+ENERGY_CACHE_DIR_ENV = "REPRO_ENERGY_CACHE_DIR"
+
+
+class DiskEnergyCache:
+    """Disk-backed store of per-action energies for cross-process reuse.
+
+    Entries are JSON files named by the SHA-256 of the *canonical key
+    string* — the full frozen macro config repr plus the layer
+    fingerprint repr, the same identity the in-memory
+    :class:`PerActionEnergyCache` keys on.  Any config or layer change
+    therefore lands on a different file, so stale entries can never be
+    served after a design change (fingerprint invalidation for free).
+    The stored key string is verified on load, which also guards against
+    hash collisions.
+
+    Robustness: a missing, truncated, corrupted, version-skewed, or
+    mismatched file is treated as a miss (counted in ``load_failures``)
+    and the energies are recomputed and rewritten.  Writes go through a
+    temporary file + ``os.replace`` so concurrent workers never observe a
+    half-written entry.
+
+    Like the in-memory cache, entries assume default-profiled
+    distributions; callers with custom profiles must use a separate
+    directory (or no disk cache at all).
+    """
+
+    VERSION = 1
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.loads = 0
+        self.load_failures = 0
+
+    @classmethod
+    def from_env(cls, variable: str = ENERGY_CACHE_DIR_ENV) -> Optional["DiskEnergyCache"]:
+        """The cache named by the environment, or None when unset/empty.
+
+        An unusable directory (unwritable parent, permission denied)
+        disables the opt-in cache with a warning instead of raising —
+        this runs at import time of the batch engine, and a broken env
+        var must not take the whole package down.
+        """
+        directory = os.environ.get(variable, "").strip()
+        if not directory:
+            return None
+        try:
+            return cls(directory)
+        except OSError as error:
+            import sys
+
+            print(
+                f"warning: {variable}={directory!r} is unusable ({error}); "
+                "disk energy cache disabled",
+                file=sys.stderr,
+            )
+            return None
+
+    @staticmethod
+    def canonical_key(key: CacheKey) -> str:
+        """Deterministic string identity of a cache key."""
+        config, fingerprint = key
+        return f"{config!r}|{fingerprint!r}"
+
+    def path_for(self, key: CacheKey) -> Path:
+        """The entry file a key maps to."""
+        digest = hashlib.sha256(self.canonical_key(key).encode("utf-8")).hexdigest()
+        return self.directory / f"energy-{digest}.json"
+
+    def load(self, key: CacheKey) -> Optional[Dict[str, float]]:
+        """The stored energies of a key, or None on any kind of miss."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload["version"] != self.VERSION:
+                raise ValueError(f"version {payload['version']}")
+            if payload["key"] != self.canonical_key(key):
+                raise ValueError("key mismatch")
+            energies = {
+                str(action): float(value)
+                for action, value in payload["energies"].items()
+            }
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            self.load_failures += 1
+            return None
+        self.loads += 1
+        return energies
+
+    def store(self, key: CacheKey, energies: Dict[str, float]) -> None:
+        """Atomically persist one entry (last writer wins).
+
+        Disk trouble (full volume, directory removed, permissions) only
+        costs the persistence, never the run: the caller already holds
+        the energies in memory, so write failures degrade to a warning —
+        the same treat-disk-problems-as-misses contract ``load`` follows.
+        """
+        import tempfile
+
+        path = self.path_for(key)
+        payload = {
+            "version": self.VERSION,
+            "key": self.canonical_key(key),
+            "energies": dict(energies),
+        }
+        try:
+            handle, scratch = tempfile.mkstemp(
+                prefix=path.name, suffix=".tmp", dir=self.directory
+            )
+            try:
+                with os.fdopen(handle, "w") as stream:
+                    stream.write(json.dumps(payload, indent=1) + "\n")
+                os.replace(scratch, path)
+            except BaseException:
+                try:
+                    os.unlink(scratch)
+                except OSError:
+                    pass
+                raise
+        except OSError as error:
+            import sys
+
+            print(
+                f"warning: could not persist energy cache entry {path.name} "
+                f"({error}); continuing without it",
+                file=sys.stderr,
+            )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("energy-*.json"))
 
 
 @dataclass
@@ -58,11 +195,24 @@ class PerActionEnergyCache:
 
     Access is serialised by a lock so a cache can be shared by concurrent
     sweep threads with exact hit/miss accounting.
+
+    Persistence
+    -----------
+    An optional :class:`DiskEnergyCache` backs the in-memory map: memory
+    misses consult the disk before deriving, and fresh derivations are
+    written through, so a second process (or a later run) reuses energies
+    without ever recomputing them.  ``derivations`` counts *actual*
+    energy-model computations — a fully warm memory or disk cache leaves
+    it at zero — while ``misses`` keeps counting memory misses whether or
+    not the disk served them (``disk_hits`` says how many it did).
     """
 
     _entries: Dict[CacheKey, Dict[str, float]] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    disk: Optional[DiskEnergyCache] = None
+    disk_hits: int = 0
+    derivations: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     @staticmethod
@@ -83,11 +233,20 @@ class PerActionEnergyCache:
                 self.hits += 1
                 return self._entries[key]
             self.misses += 1
+            if self.disk is not None:
+                stored = self.disk.load(key)
+                if stored is not None:
+                    self.disk_hits += 1
+                    self._entries[key] = stored
+                    return stored
+            self.derivations += 1
             if distributions is None:
                 distributions = profile_layer(layer)
             context = macro.operand_context(distributions)
             energies = macro.per_action_energies(context)
             self._entries[key] = energies
+            if self.disk is not None:
+                self.disk.store(key, energies)
             return energies
 
     def seed(self, macro: CiMMacro, layer: Layer, energies: Dict[str, float]) -> None:
@@ -102,11 +261,15 @@ class PerActionEnergyCache:
             self._entries[key] = energies
 
     def invalidate(self) -> None:
-        """Drop every cached entry (e.g. after changing a macro's config)."""
+        """Drop every cached in-memory entry (disk entries are left alone:
+        their keys embed the full config, so they can never serve a
+        changed design)."""
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.disk_hits = 0
+            self.derivations = 0
 
     def __len__(self) -> int:
         return len(self._entries)

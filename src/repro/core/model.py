@@ -102,7 +102,16 @@ class CiMLoopModel:
                 latency_s=result.latency_s,
                 utilization=result.macro_result.counts.utilization,
             )
-        result = self.macro.evaluate_layer(layer, dists, auto_profile=self.use_distributions)
+        # Self-profiled layers go through the model's persistent energy
+        # cache (keyed on config + layer fingerprint, default profiles
+        # only) so re-evaluating a layer never re-derives its energies;
+        # caller-supplied distributions may be custom, so they bypass it.
+        per_action = None
+        if distributions is None and dists is not None:
+            per_action = self.energy_cache.get(self.macro, layer, dists)
+        result = self.macro.evaluate_layer(
+            layer, dists, auto_profile=self.use_distributions, per_action=per_action
+        )
         return LayerEvaluation.from_macro_result(result)
 
     def evaluate(
@@ -184,9 +193,12 @@ class CiMLoopModel:
             else:
                 configs.append(macro_config)
         runner = BatchRunner(workers=workers)
+        # The profiles shipped here are profile_network defaults, so grid
+        # cells may serve them from the worker-persistent energy cache.
         evaluations = runner.run_points(
             configs, network, distributions=distributions,
             use_distributions=self.use_distributions,
+            default_profiled=True,
         )
         return dict(zip(values, evaluations))
 
@@ -209,19 +221,25 @@ class CiMLoopModel:
         dists = self._layer_distributions(layer, distributions)
         return evaluator.evaluate_mappings(layer, num_mappings, distributions=dists)
 
-    def layer_mapspace(self, layer: Layer):
+    def layer_mapspace(self, layer: Layer, spatial_fanout: Optional[int] = None):
         """The loop-nest map space of a layer on this hardware.
 
         Three levels — compute, the CiM array (capacity limited to the
         weights the array can hold at once), and the outer backing store —
-        over the layer's einsum iteration space.
+        over the layer's einsum iteration space.  ``spatial_fanout``
+        optionally grants the array level a spatial-fanout budget (parallel
+        compute groups inside the macro), which lets the mapper trade
+        sequential passes for parallelism; by default the space is
+        temporal-only.
         """
         from repro.mapping import MapSpace
 
+        spatial_limits = {1: spatial_fanout} if spatial_fanout else {}
         return MapSpace(
             einsum=layer.einsum,
             level_names=("compute", "array", "backing"),
             capacities={1: self.macro.weight_capacity()},
+            spatial_limits=spatial_limits,
         )
 
     def search_layer_mappings(
@@ -230,6 +248,8 @@ class CiMLoopModel:
         num_mappings: int = 1000,
         seed: int = 0,
         engine: str = "batch",
+        objective: str = "energy",
+        spatial_fanout: Optional[int] = None,
     ):
         """Random-search loop-nest mappings of a layer onto this hardware.
 
@@ -238,14 +258,51 @@ class CiMLoopModel:
         ``engine="scalar"`` runs the per-candidate oracle.  Both draw the
         identical population at equal seeds, so they return the same best
         mapping — the scalar path is simply orders of magnitude slower.
-        """
-        from repro.mapping import batch_search, search_mappings
 
-        space = self.layer_mapspace(layer)
+        ``objective="energy"`` (the default) ranks candidates by total
+        femtojoules against this macro's cached per-action energies — the
+        objective the paper's figures report — via
+        :func:`repro.mapping.energy.energy_cost`; ``objective="proxy"``
+        keeps the weighted access-count proxy.  ``best_cost`` is joules
+        for the energy objective and a unitless score for the proxy.
+        """
+        from repro.mapping import (
+            batch_search,
+            energy_cost,
+            scalar_energy_cost,
+            search_mappings,
+        )
+
+        space = self.layer_mapspace(layer, spatial_fanout=spatial_fanout)
+        if objective == "proxy":
+            batch_cost = scalar_cost = None
+        elif objective == "energy":
+            per_action = None
+            if not self.use_distributions:
+                # Nominal (fixed-energy) operation: derive outside the
+                # cache, whose entries must stay default-profiled.
+                from repro.circuits.interface import OperandContext
+
+                per_action = self.macro.per_action_energies(OperandContext.nominal())
+            if engine == "batch":
+                batch_cost = energy_cost(
+                    self.macro, layer, cache=self.energy_cache, per_action=per_action
+                )
+            else:
+                scalar_cost = scalar_energy_cost(
+                    self.macro, layer, cache=self.energy_cache, per_action=per_action
+                )
+        else:
+            raise EvaluationError(f"unknown mapping-search objective {objective!r}")
+
         if engine == "batch":
-            return batch_search(space, num_mappings=num_mappings, seed=seed)
+            return batch_search(
+                space, cost_function=batch_cost, num_mappings=num_mappings, seed=seed
+            )
         if engine == "scalar":
-            return search_mappings(space, num_mappings=num_mappings, seed=seed)
+            return search_mappings(
+                space, cost_function=scalar_cost, num_mappings=num_mappings, seed=seed
+            )
         raise EvaluationError(f"unknown mapping-search engine {engine!r}")
 
     # ------------------------------------------------------------------

@@ -14,7 +14,7 @@ from typing import Dict, List, Tuple
 
 from repro.architecture.macro import CiMMacro
 from repro.macros.definitions import macro_a
-from repro.mapping import MappingSearchResult, MapSpace, batch_search, search_mappings
+from repro.mapping import MappingSearchResult, MapSpace
 from repro.workloads.networks import matrix_vector_workload, resnet18
 
 
@@ -128,12 +128,20 @@ def best_reuse(rows: List[Fig12Row], workload: str) -> int:
 # ----------------------------------------------------------------------
 # Loop-nest mapping search at each reuse setting
 # ----------------------------------------------------------------------
-def fig12_mapspace(reuse: int, input_bits: int = 8, weight_bits: int = 8) -> MapSpace:
-    """The loop-nest map space of the fig. 12 max-utilisation workload.
+def fig12_mapping_setup(
+    reuse: int,
+    input_bits: int = 8,
+    weight_bits: int = 8,
+    spatial_fanout: int = 0,
+) -> Tuple[CiMMacro, "object", MapSpace]:
+    """The (macro, layer, map space) triple of the fig. 12 mapper studies.
 
     Column reuse changes the array's effective geometry, so each reuse
     setting defines a different workload einsum and a different array
     capacity — the constraint the mapper must tile around.
+    ``spatial_fanout`` > 1 additionally grants the array level a
+    spatial-fanout budget, letting the mapper spread loops across
+    parallel compute groups.
     """
     config = macro_a(
         input_bits=input_bits, weight_bits=weight_bits, output_reuse_columns=reuse
@@ -141,11 +149,19 @@ def fig12_mapspace(reuse: int, input_bits: int = 8, weight_bits: int = 8) -> Map
     macro = CiMMacro(config)
     workload = matrix_vector_workload(config.rows * reuse, config.cols, repeats=16)
     layer = workload.layers[0].with_bits(input_bits=input_bits, weight_bits=weight_bits)
-    return MapSpace(
+    space = MapSpace(
         einsum=layer.einsum,
         level_names=("compute", "array", "backing"),
         capacities={1: macro.weight_capacity()},
+        spatial_limits={1: spatial_fanout} if spatial_fanout > 1 else {},
     )
+    return macro, layer, space
+
+
+def fig12_mapspace(reuse: int, input_bits: int = 8, weight_bits: int = 8) -> MapSpace:
+    """The loop-nest map space of the fig. 12 max-utilisation workload."""
+    _, _, space = fig12_mapping_setup(reuse, input_bits, weight_bits)
+    return space
 
 
 def run_fig12_mapping_search(
@@ -153,15 +169,31 @@ def run_fig12_mapping_search(
     num_mappings: int = 1000,
     seed: int = 0,
     engine: str = "batch",
+    objective: str = "energy",
 ) -> Dict[int, MappingSearchResult]:
     """Random-search the fig. 12 map space at each column-reuse setting.
 
     ``engine`` selects the batched population scorer (default) or the
     scalar per-candidate oracle; both return the identical best mapping
-    at equal seeds because they share one candidate generator.
+    at equal seeds because they share one candidate generator.  With the
+    default ``objective="energy"`` candidates are ranked by total
+    femtojoules against each reuse setting's per-action energies (one
+    GEMM for the whole population on the batch engine); ``"proxy"``
+    keeps the weighted access-count score.  Dispatch lives in
+    :meth:`~repro.core.model.CiMLoopModel.search_layer_mappings`; this
+    sweep just binds each reuse setting's macro and workload.
     """
-    searcher = {"batch": batch_search, "scalar": search_mappings}[engine]
-    return {
-        reuse: searcher(fig12_mapspace(reuse), num_mappings=num_mappings, seed=seed)
-        for reuse in reuse_settings
-    }
+    from repro.core.fast_pipeline import PerActionEnergyCache
+    from repro.core.model import CiMLoopModel
+
+    cache = PerActionEnergyCache()  # shared across reuse settings
+    results: Dict[int, MappingSearchResult] = {}
+    for reuse in reuse_settings:
+        macro, layer, _ = fig12_mapping_setup(reuse)
+        model = CiMLoopModel(macro.config)
+        model.energy_cache = cache
+        results[reuse] = model.search_layer_mappings(
+            layer, num_mappings=num_mappings, seed=seed,
+            engine=engine, objective=objective,
+        )
+    return results

@@ -25,6 +25,14 @@ from repro.mapping.batch_search import (
     batch_search,
     generate_mapping_population,
 )
+from repro.mapping.energy import (
+    CiMLowering,
+    action_counts_matrix,
+    energy_cost,
+    lowering_for,
+    mapping_action_counts,
+    scalar_energy_cost,
+)
 from repro.mapping.loopnest import LoopNestMapping, MappingLevel
 from repro.mapping.mapper import MappingSearchResult, MapSpace, random_mappings, search_mappings
 from repro.mapping.tiling import balanced_split, divisors, enumerate_tilings, random_tiling
@@ -49,4 +57,10 @@ __all__ = [
     "batch_default_cost",
     "batch_search",
     "generate_mapping_population",
+    "CiMLowering",
+    "lowering_for",
+    "action_counts_matrix",
+    "mapping_action_counts",
+    "energy_cost",
+    "scalar_energy_cost",
 ]

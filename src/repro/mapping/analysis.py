@@ -19,6 +19,14 @@ accelerator models):
   (paper Sec. III-D3).
 * **Dense operation** — no zero-skipping; counts depend only on the loop
   structure, not on data values (paper models dense CiM systems).
+
+The vectorized twin of this walk is
+:func:`repro.mapping.batch_search.batch_analyze`, which evaluates whole
+candidate populations (including spatial fanout and multicast) with the
+same integer arithmetic; this scalar walk is the oracle it is tested
+against.  Counts feed either the access-count proxy cost or the
+femtojoule lowering of :mod:`repro.mapping.energy` (see the cost-function
+notes in :mod:`repro.mapping.mapper`).
 """
 
 from __future__ import annotations

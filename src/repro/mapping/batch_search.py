@@ -8,12 +8,16 @@ tensors.  This module lowers the entire population onto NumPy:
 * :func:`generate_mapping_population` — samples random tilings for *all*
   candidates at once as an integer factor array of shape
   ``(candidates, levels, dims)``, composes pinned factors with the
-  sampled splits, and applies capacity / spatial-limit constraints as
-  boolean masks over the batch.
+  sampled splits, sub-splits each level's factor into spatial x temporal
+  parts at levels that declare a ``spatial_limits`` fanout budget, and
+  applies capacity / spatial-limit constraints as boolean masks over the
+  batch.
 * :func:`batch_analyze` — derives tile sizes, footprints, distinct-tile
   counts, and per-level access counts for every candidate as array
   expressions, mirroring :func:`~repro.mapping.analysis.analyze_mapping`
-  term by term (same integer arithmetic, so counts are exact).
+  term by term (same integer arithmetic, so counts are exact), including
+  spatial multicast / reduction: one parent access serves every parallel
+  instance spawned between two storage levels.
 * :func:`batch_search` — scores the population with one vectorized cost
   evaluation and materialises only the winning candidate as a
   :class:`~repro.mapping.loopnest.LoopNestMapping`.
@@ -25,11 +29,29 @@ cost accumulates in the same level order with the same weights as
 :func:`~repro.mapping.mapper.default_cost` — equal seeds therefore return
 the identical best mapping and bitwise-equal best cost.
 
-Scope: the random-tiling population is temporal-only (the scalar
-generator never emits spatial factors either), so spatial fanout is 1
-throughout and multicast terms drop out of the batched analysis.  Counts
-use ``int64``; extents whose access products approach 2**63 would need
-the scalar path.
+Cost functions
+--------------
+Two batched objectives are available:
+
+* :func:`batch_default_cost` (the default) — the weighted access-count
+  *proxy*: per-level totals weighted ``10 ** level``.  Exact twin of the
+  scalar default, cheap, but it only approximates the paper's ranking
+  (real hierarchies do not have decade-spaced per-access energies).
+* :func:`repro.mapping.energy.energy_cost` — scores the population in
+  **femtojoules**: the per-candidate access counts are lowered to macro
+  action counts and multiplied against the cached per-action energy
+  vector in one GEMM.  This optimizes the objective the paper's figures
+  report and is exact w.r.t. the scalar per-candidate energy evaluation
+  (:func:`repro.mapping.energy.scalar_energy_cost`).
+
+Counts use ``int64``.  Workloads whose extents multiply beyond
+:data:`INT64_COUNT_LIMIT` would overflow the vectorized integer
+arithmetic (constraint footprints in the shared generator, access counts
+in the analysis), so both are refused with a clear
+:class:`~repro.utils.errors.MappingError` instead of silently wrapping.
+The scalar *analysis* (:func:`~repro.mapping.analysis.analyze_mapping`,
+arbitrary-precision Python integers) remains exact at any extent for
+hand-constructed mappings.
 """
 
 from __future__ import annotations
@@ -50,9 +72,27 @@ from repro.workloads.einsum import ALL_TENSORS, EinsumOp, TensorRole
 #: for more mappings extends the population without changing its head.
 GENERATION_CHUNK = 1024
 
+#: Largest total iteration-space product the batched int64 analysis
+#: accepts.  Every access count the analysis produces is bounded by the
+#: total factor product (= total MACs), and intermediate sums reach a few
+#: times that, so capping the product at 2**61 keeps all arithmetic
+#: comfortably inside int64.  Larger workloads must use the scalar mapper.
+INT64_COUNT_LIMIT = 2 ** 61
+
 #: A batch cost function maps batched access counts to one cost per
 #: candidate (lower is better), shape ``(candidates,)``.
 BatchCostFunction = Callable[["BatchAccessCounts"], np.ndarray]
+
+
+def _check_count_range(einsum: EinsumOp) -> None:
+    """Refuse workloads whose counts would overflow the int64 batch math."""
+    if einsum.total_macs >= INT64_COUNT_LIMIT:
+        raise MappingError(
+            f"einsum {einsum.name!r} iterates {einsum.total_macs} points, which "
+            f"exceeds the int64 limit ({INT64_COUNT_LIMIT}) of the vectorized "
+            "count arithmetic; split the workload, or analyze hand-built "
+            "mappings with the exact scalar analyze_mapping"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -63,10 +103,10 @@ def _divisor_tables(extent: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
 
     Returns ``(values, ndiv, table)`` where ``values`` lists the divisors
     of ``extent`` ascending, ``ndiv[i]`` is the divisor count of
-    ``values[i]``, and ``table[i, :ndiv[i]]`` are its divisors.  Every
-    intermediate "remaining" extent during a split of ``extent`` is one of
-    ``values``, so the chain can be advanced for a whole batch with two
-    table gathers per position.
+    ``values[i]``, and ``table[i, :ndiv[i]]`` are its divisors ascending.
+    Every intermediate "remaining" extent during a split of ``extent`` is
+    one of ``values``, so the chain can be advanced for a whole batch with
+    two table gathers per position.
     """
     values = np.asarray(divisors(extent), dtype=np.int64)
     per_value = [divisors(int(v)) for v in values]
@@ -108,6 +148,27 @@ def _sample_splits(
     return rng.permuted(factors, axis=1)
 
 
+def _sample_bounded_divisors(
+    extent: int, values_of: np.ndarray, cap: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample, per row, a uniform divisor of ``values_of[i]`` that is <= ``cap[i]``.
+
+    ``values_of`` must hold divisors of ``extent``.  Because each divisor
+    table row is sorted ascending, the admissible divisors form a prefix
+    of the row, so one gather + one bounded integer draw per row suffices.
+    A cap >= 1 always admits the divisor 1, so sampling never fails.
+    """
+    values, ndiv, table = _divisor_tables(extent)
+    row_index = np.searchsorted(values, values_of)
+    width = table.shape[1]
+    admissible = (np.arange(width)[None, :] < ndiv[row_index][:, None]) & (
+        table[row_index] <= cap[:, None]
+    )
+    allowed = admissible.sum(axis=1)
+    choice = rng.integers(0, allowed)
+    return table[row_index, choice]
+
+
 def _pinned_by_dimension(space) -> Dict[str, Dict[int, int]]:
     """Fixed factors regrouped as dimension -> {level index: factor}."""
     pinned: Dict[str, Dict[int, int]] = {}
@@ -125,16 +186,21 @@ class MappingPopulation:
     """A generated batch of valid candidate tilings of one map space.
 
     ``factors`` has shape ``(candidates, levels, dims)``; row ``i`` is the
-    per-level factor of each dimension (levels innermost first, dimension
-    order given by ``dims``).  Every row already satisfies the map
-    space's constraints.  ``attempted`` counts the tilings sampled up to
-    and including the last accepted one, so ``rejected`` is the number of
-    constraint-violating samples the generator discarded along the way.
+    per-level *combined* (temporal x spatial) factor of each dimension
+    (levels innermost first, dimension order given by ``dims``).
+    ``spatial`` has the same shape and holds the spatial part of each
+    factor (all ones at levels without a spatial-fanout budget), so the
+    temporal part is ``factors // spatial``.  Every row already satisfies
+    the map space's constraints.  ``attempted`` counts the tilings sampled
+    up to and including the last accepted one, so ``rejected`` is the
+    number of constraint-violating samples the generator discarded along
+    the way.
     """
 
     space: "object"  # MapSpace (typed loosely to avoid a circular import)
     dims: Tuple[str, ...]
     factors: np.ndarray
+    spatial: np.ndarray
     attempted: int
 
     def __len__(self) -> int:
@@ -149,21 +215,29 @@ class MappingPopulation:
         """Materialise one candidate as a :class:`LoopNestMapping`."""
         levels: List[MappingLevel] = []
         for level_index, name in enumerate(self.space.level_names):
-            temporal = {
-                dim: int(self.factors[index, level_index, d])
-                for d, dim in enumerate(self.dims)
-                if self.factors[index, level_index, d] > 1
-            }
-            levels.append(MappingLevel(name=name, temporal=temporal))
+            temporal: Dict[str, int] = {}
+            spatial: Dict[str, int] = {}
+            for d, dim in enumerate(self.dims):
+                combined = int(self.factors[index, level_index, d])
+                spatial_part = int(self.spatial[index, level_index, d])
+                temporal_part = combined // spatial_part
+                if temporal_part > 1:
+                    temporal[dim] = temporal_part
+                if spatial_part > 1:
+                    spatial[dim] = spatial_part
+            levels.append(MappingLevel(name=name, temporal=temporal, spatial=spatial))
         return LoopNestMapping(einsum=self.space.einsum, levels=tuple(levels))
 
 
-def _constraint_mask(space, dims: Tuple[str, ...], factors: np.ndarray) -> np.ndarray:
+def _constraint_mask(
+    space, dims: Tuple[str, ...], factors: np.ndarray, spatial: np.ndarray
+) -> np.ndarray:
     """Validity of each sampled tiling under the map space's constraints.
 
     Mirrors the scalar ``_respects_constraints`` exactly: integer tile
-    footprints against level capacities and (unit) spatial fanout against
-    spatial limits.  Pinned factors are satisfied by construction.
+    footprints (combined factors) against level capacities and per-level
+    spatial fanout against spatial limits.  Pinned factors are satisfied
+    by construction.
     """
     count = factors.shape[0]
     valid = np.ones(count, dtype=bool)
@@ -179,11 +253,12 @@ def _constraint_mask(space, dims: Tuple[str, ...], factors: np.ndarray) -> np.nd
                 footprint += 1
         for level_index, capacity in space.capacities.items():
             valid &= footprint[:, level_index] <= capacity
-    for _, limit in space.spatial_limits.items():
-        # The random-tiling population carries no spatial factors, so the
-        # fanout at every level is exactly 1.
+    for level_index, limit in space.spatial_limits.items():
         if limit < 1:
             valid &= False
+            continue
+        fanout = np.prod(spatial[:, level_index, :], axis=1)
+        valid &= fanout <= limit
     return valid
 
 
@@ -202,12 +277,28 @@ def generate_mapping_population(
     free levels), masks out constraint violations, and keeps the first
     ``count`` valid rows of the stream.  Sampling stops after the scalar
     mapper's historical attempt budget (``count * 20 + 100``).
+
+    Levels listed in ``space.spatial_limits`` (with a limit >= 2) receive
+    *spatial* factors: each such level's sampled factor is sub-split into
+    a spatial part — drawn uniformly from the divisors that keep the
+    level's running fanout within the limit, dimension by dimension — and
+    a temporal remainder.  The sub-split never changes the combined
+    per-level factor, so capacities and pinned factors are unaffected,
+    and the level's fanout respects its limit by construction.
     """
     rng = np.random.default_rng(seed)
     dims = tuple(space.einsum.dimensions)
     num_levels = space.num_levels
     max_attempts = count * 20 + 100
     pinned = _pinned_by_dimension(space)
+    _check_count_range(space.einsum)
+
+    for level_index in space.spatial_limits:
+        if not 0 <= level_index < num_levels:
+            raise MappingError(f"spatial limit on out-of-range level {level_index}")
+    spatial_levels = sorted(
+        index for index, limit in space.spatial_limits.items() if limit >= 2
+    )
 
     # Per-dimension split plan: which levels receive sampled factors and
     # how much extent remains to be split once pins are carved out.
@@ -231,7 +322,8 @@ def generate_mapping_population(
             )
         plans.append((dim, pins, free_levels, split_extent))
 
-    kept: List[np.ndarray] = []
+    kept_factors: List[np.ndarray] = []
+    kept_spatial: List[np.ndarray] = []
     found = 0
     sampled = 0
     attempted = 0
@@ -244,26 +336,43 @@ def generate_mapping_population(
                 block[:, free_levels, d] = _sample_splits(
                     split_extent, len(free_levels), chunk, rng
                 )
+        # Sub-split levels with a fanout budget into spatial x temporal.
+        # Dimensions are visited in order with a shrinking per-row cap, so
+        # every sampled row satisfies its spatial limit by construction.
+        spatial_block = np.ones_like(block)
+        for level_index in spatial_levels:
+            cap = np.full(chunk, space.spatial_limits[level_index], dtype=np.int64)
+            for d, (dim, _, _, _) in enumerate(plans):
+                chosen = _sample_bounded_divisors(
+                    space.einsum.extent(dim), block[:, level_index, d], cap, rng
+                )
+                spatial_block[:, level_index, d] = chosen
+                cap //= chosen
         # Truncate the final chunk so the stream never exceeds the
         # attempt budget (keeps parity with the scalar attempt counter).
         block = block[: max_attempts - sampled]
+        spatial_block = spatial_block[: block.shape[0]]
         sampled += block.shape[0]
-        valid = _constraint_mask(space, dims, block)
+        valid = _constraint_mask(space, dims, block, spatial_block)
         positions = np.flatnonzero(valid)
         take = positions[: count - found]
         if take.size:
-            kept.append(block[take])
+            kept_factors.append(block[take])
+            kept_spatial.append(spatial_block[take])
             found += take.size
             attempted = sampled - block.shape[0] + int(take[-1]) + 1
     if found < count:
         attempted = sampled
 
-    factors = (
-        np.concatenate(kept, axis=0)
-        if kept
-        else np.empty((0, num_levels, len(dims)), dtype=np.int64)
+    if kept_factors:
+        factors = np.concatenate(kept_factors, axis=0)
+        spatial = np.concatenate(kept_spatial, axis=0)
+    else:
+        factors = np.empty((0, num_levels, len(dims)), dtype=np.int64)
+        spatial = np.empty((0, num_levels, len(dims)), dtype=np.int64)
+    return MappingPopulation(
+        space=space, dims=dims, factors=factors, spatial=spatial, attempted=attempted
     )
-    return MappingPopulation(space=space, dims=dims, factors=factors, attempted=attempted)
 
 
 # ----------------------------------------------------------------------
@@ -314,23 +423,36 @@ def batch_analyze(
     dims: Tuple[str, ...],
     factors: np.ndarray,
     stores: Optional[Mapping[int, Tuple[TensorRole, ...]]] = None,
+    spatial: Optional[np.ndarray] = None,
+    spatial_reuse: Optional[Mapping[int, Tuple[TensorRole, ...]]] = None,
 ) -> BatchAccessCounts:
     """Vectorized :func:`~repro.mapping.analysis.analyze_mapping`.
 
-    ``factors`` is the ``(candidates, levels, dims)`` batch of temporal
-    loop factors.  The analysis mirrors the scalar walk exactly — same
-    storage-level selection, fill/drain formulas, and integer arithmetic —
-    restricted to temporal-only mappings (spatial fanout 1, which is the
-    entire random-tiling population).
+    ``factors`` is the ``(candidates, levels, dims)`` batch of *combined*
+    (temporal x spatial) loop factors; ``spatial`` optionally carries the
+    spatial part with the same shape (omitted = temporal-only, fanout 1
+    everywhere).  The analysis mirrors the scalar walk exactly — same
+    storage-level selection, fill/drain formulas, spatial multicast /
+    reduction division, and integer arithmetic.  ``spatial_reuse`` names,
+    per level, the tensors multicast (inputs/weights) or spatially
+    reduced (outputs) across that level's parallel instances; it defaults
+    to every tensor at every level, like the scalar analysis.
     """
+    _check_count_range(einsum)
     count, num_levels, _ = factors.shape
     if stores is None:
         stores = {index: tuple(ALL_TENSORS) for index in range(1, num_levels)}
+    if spatial_reuse is None:
+        spatial_reuse = {index: tuple(ALL_TENSORS) for index in range(num_levels)}
     total_macs = einsum.total_macs
 
     all_product = np.prod(factors, axis=2)  # (N, L) factor product per level
     cum_all = np.cumprod(all_product, axis=1)
     total_all = cum_all[:, -1]
+    if spatial is None:
+        level_fanout = np.ones((count, num_levels), dtype=np.int64)
+    else:
+        level_fanout = np.prod(spatial, axis=2)
 
     reads: Dict[TensorRole, np.ndarray] = {}
     writes: Dict[TensorRole, np.ndarray] = {}
@@ -356,11 +478,26 @@ def batch_analyze(
             | {num_levels - 1}
         )
 
+        # Exclusive prefix product of this role's reusable fanout: one
+        # access at storage level s serves `prefix[s] // prefix[prev]`
+        # compute-side uses (the instances spawned between the levels).
+        reused = np.array(
+            [role in spatial_reuse.get(index, ()) for index in range(num_levels)]
+        )
+        role_fanout = np.where(reused[None, :], level_fanout, 1)
+        fanout_prefix = np.concatenate(
+            [
+                np.ones((count, 1), dtype=np.int64),
+                np.cumprod(role_fanout, axis=1)[:, :-1],
+            ],
+            axis=1,
+        )
+
         remaining = np.full(count, total_macs, dtype=np.int64)
+        previous_level = 0
         for storage_index in storage_levels:
-            # Spatial fanout is 1 for the whole population, so one access
-            # at this level serves exactly one compute-side use.
-            level_reads = remaining
+            fanout = fanout_prefix[:, storage_index] // fanout_prefix[:, previous_level]
+            level_reads = remaining // np.maximum(fanout, 1)
             tile = cum_relevant[:, storage_index]
             distinct_tiles = total_relevant // cum_relevant[:, storage_index]
             fills = tile * distinct_tiles
@@ -383,6 +520,7 @@ def batch_analyze(
                 role_writes[:, storage_index] = fills
                 remaining = fills
             role_tiles[:, storage_index] = tile
+            previous_level = storage_index
 
         # Compute level: raw per-MAC demand, as in the scalar analysis.
         if role is TensorRole.OUTPUTS:
@@ -411,7 +549,9 @@ def batch_default_cost(counts: BatchAccessCounts) -> np.ndarray:
 
     Accumulates per-level totals in the same order with the same
     ``10 ** level`` weights, so costs are bitwise equal to the scalar
-    function applied to each candidate.
+    function applied to each candidate.  This is the access-count *proxy*
+    objective; see :func:`repro.mapping.energy.energy_cost` for scoring
+    populations in femtojoules against a real macro's per-action energies.
     """
     cost = np.zeros(counts.num_candidates, dtype=np.float64)
     for level_index in range(1, counts.num_levels):
@@ -437,7 +577,9 @@ def batch_search(
     analyzed and scored as NumPy arrays and only the winner is
     materialised.  ``cost_function`` here is *batched* — it maps a
     :class:`BatchAccessCounts` to one cost per candidate; the default
-    reproduces the scalar weighted access-count proxy exactly.
+    reproduces the scalar weighted access-count proxy exactly, and
+    :func:`repro.mapping.energy.energy_cost` scores candidates in
+    femtojoules against a macro's cached per-action energies.
     """
     from repro.mapping.mapper import MappingSearchResult
 
@@ -447,7 +589,13 @@ def batch_search(
         raise MappingError(
             "mapping search found no valid mapping; relax capacity or factor constraints"
         )
-    counts = batch_analyze(space.einsum, population.dims, population.factors, stores=stores)
+    counts = batch_analyze(
+        space.einsum,
+        population.dims,
+        population.factors,
+        stores=stores,
+        spatial=population.spatial,
+    )
     costs = np.asarray(cost_function(counts), dtype=np.float64)
     if costs.shape != (len(population),):
         raise MappingError(

@@ -1,0 +1,293 @@
+"""Energy-exact (femtojoule) cost functions for the loop-nest mapper.
+
+The paper ranks design points and mappings by *energy*, but the mapper's
+default objective is the weighted access-count proxy — fast, yet a
+different objective than the figures report.  This module closes the gap:
+it lowers loop-nest access counts onto the CiM macro's per-action count
+vocabulary (:data:`repro.architecture.macro.ACTION_TABLE`) so a whole
+random-tiling population is scored in joules with **one GEMM** against the
+cached per-action energy vector — the same
+:class:`~repro.core.fast_pipeline.PerActionEnergyCache` /
+:func:`~repro.architecture.macro.per_action_energy_vector` machinery the
+batch evaluation engine uses, amortised across every candidate.
+
+The lowering
+------------
+The canonical map space (:meth:`repro.core.model.CiMLoopModel.layer_mapspace`)
+has three levels: ``compute`` (0), ``array`` (1, the CiM macro boundary),
+and ``backing`` (2+).  Per candidate, four access-count quantities drive
+the action counts; everything else is mapping-invariant:
+
+* ``reads[Inputs][array]`` — input-element uses served at the array's
+  input port (multicast below the array already divided out).  Each use
+  is streamed bit-serially through the DACs: ``dac_converts`` (and
+  ``row_driver_ops``) = uses x input steps, and each use is one
+  ``input_buffer_read``.
+* ``writes[Inputs][array]`` — input fills from the backing store, each
+  one ``input_buffer_write``.
+* ``writes[Weights][array]`` — weight elements (re)programmed into the
+  array; x cells-per-weight gives ``cell_writes``.  Mappings that thrash
+  weight tiles pay reprogramming energy, so the lowering charges
+  programming by default.
+* ``updates[Outputs][backing]`` — partial sums crossing the array's top
+  boundary after any spatial reduction (spatially reduced partial sums
+  are combined in the analog domain before conversion, like the paper's
+  wire/adder output-reuse styles).  Each drained value is converted —
+  ``adc_converts`` = drains x slice conversions x input-step groups —
+  and accumulated once into the macro output buffer.
+
+Peripheral actions (column mux, shift-add, digital accumulate, and the
+style-specific analog adder/accumulator/MAC or digital-MAC counts) follow
+the same per-conversion relationships as
+:meth:`repro.architecture.macro.CiMMacro.map_layer`; ``cell_ops`` and the
+final ``output_buffer_reads`` are mapping-invariant.
+
+Exactness
+---------
+:func:`energy_cost` (batched) and :func:`scalar_energy_cost` (per
+candidate) compute the identical formulas — the scalar path routes each
+candidate's counts through the same vectorized column builder with a
+batch of one — so the batched argmin reproduces the scalar per-candidate
+energy ranking, and both report the same total joules to float rounding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.mapping.analysis import AccessCounts
+from repro.mapping.batch_search import BatchAccessCounts
+from repro.utils.errors import MappingError
+from repro.workloads.einsum import EinsumOp, TensorRole
+
+#: Level indices of the canonical ``(compute, array, backing...)`` space.
+ARRAY_LEVEL = 1
+BACKING_LEVEL = 2
+
+
+@dataclass(frozen=True)
+class CiMLowering:
+    """Macro-derived constants of the counts -> action-counts lowering.
+
+    Derived once per (macro, einsum) pair by :func:`lowering_for`; every
+    candidate then shares these scalars, so lowering a population is pure
+    array arithmetic.
+    """
+
+    style: "object"  # OutputReuseStyle (typed loosely: no macro import here)
+    cells_per_weight: int
+    input_steps: int
+    slice_conversions: int
+    accumulation: int
+    conversion_groups: int
+    active_rows: int
+    total_macs: int
+    cell_ops: int
+    output_elements: int
+
+
+def lowering_for(macro, einsum: EinsumOp) -> CiMLowering:
+    """The lowering constants of one einsum on one :class:`CiMMacro`."""
+    config = macro.config
+    input_steps = macro.input_steps
+    accumulation = min(config.temporal_accumulation_cycles, input_steps)
+    return CiMLowering(
+        style=config.output_reuse_style,
+        cells_per_weight=macro.cells_per_weight,
+        input_steps=input_steps,
+        slice_conversions=macro.cells_per_weight // macro.slice_merge_factor(),
+        accumulation=accumulation,
+        conversion_groups=math.ceil(input_steps / accumulation),
+        active_rows=config.active_rows,
+        total_macs=einsum.total_macs,
+        cell_ops=einsum.total_macs * macro.cells_per_weight * input_steps,
+        output_elements=einsum.tensor_size(TensorRole.OUTPUTS),
+    )
+
+
+def _action_columns(
+    lowering: CiMLowering,
+    in_reads: np.ndarray,
+    in_writes: np.ndarray,
+    weight_fills: np.ndarray,
+    out_drains: np.ndarray,
+) -> Dict[str, np.ndarray]:
+    """Per-action count columns (float64, one entry per candidate).
+
+    The four inputs are the mapping-dependent access counts described in
+    the module docstring; the returned dict is keyed by
+    :class:`~repro.architecture.macro.MacroLayerCounts` field names so the
+    matrix can be assembled in canonical ``ACTION_TABLE`` order.
+    """
+    from repro.architecture.macro import OutputReuseStyle
+
+    count = in_reads.shape[0]
+    style = lowering.style
+    zeros = np.zeros(count, dtype=np.float64)
+
+    dac = in_reads * float(lowering.input_steps)
+    if style is OutputReuseStyle.DIGITAL:
+        adc = zeros
+    else:
+        adc = out_drains * float(lowering.slice_conversions * lowering.conversion_groups)
+
+    cell_ops = np.full(count, float(lowering.cell_ops))
+    columns: Dict[str, np.ndarray] = {
+        "cell_ops": cell_ops,
+        "dac_converts": dac,
+        "adc_converts": adc,
+        "row_driver_ops": dac,
+        "column_mux_ops": adc,
+        "analog_adder_ops": adc if style is OutputReuseStyle.ANALOG_ADDER else zeros,
+        "analog_accumulator_ops": adc * float(lowering.accumulation)
+        if style is OutputReuseStyle.ANALOG_ACCUMULATOR else zeros,
+        "analog_mac_ops": out_drains * float(lowering.input_steps)
+        if style is OutputReuseStyle.ANALOG_MAC else zeros,
+        "input_buffer_reads": in_reads.astype(np.float64),
+        "input_buffer_writes": in_writes.astype(np.float64),
+        "output_buffer_updates": out_drains.astype(np.float64),
+        "output_buffer_reads": np.full(count, float(lowering.output_elements)),
+        "cell_writes": weight_fills * float(lowering.cells_per_weight),
+    }
+    if style is OutputReuseStyle.DIGITAL:
+        columns["shift_add_ops"] = np.full(
+            count, float(lowering.cell_ops // max(lowering.active_rows, 1))
+        )
+        columns["digital_accumulate_ops"] = out_drains * float(lowering.input_steps)
+        columns["digital_mac_ops"] = cell_ops
+    else:
+        columns["shift_add_ops"] = adc
+        columns["digital_accumulate_ops"] = adc
+        columns["digital_mac_ops"] = zeros
+    return columns
+
+
+def _assemble(columns: Dict[str, np.ndarray], include_programming: bool) -> np.ndarray:
+    from repro.architecture.macro import _action_table
+
+    table = _action_table(include_programming)
+    return np.stack([columns[count_name] for count_name, _, _ in table], axis=1)
+
+
+def _require_canonical(num_levels: int) -> None:
+    if num_levels < BACKING_LEVEL + 1:
+        raise MappingError(
+            "the energy lowering needs the canonical (compute, array, backing) "
+            f"hierarchy: got {num_levels} levels, need at least {BACKING_LEVEL + 1}"
+        )
+
+
+def action_counts_matrix(
+    lowering: CiMLowering,
+    counts: BatchAccessCounts,
+    include_programming: bool = True,
+) -> np.ndarray:
+    """Lower a whole population's access counts to per-action counts.
+
+    Returns a float64 matrix of shape ``(candidates, actions)`` in the
+    canonical :data:`~repro.architecture.macro.ACTION_TABLE` layout — the
+    matrix :meth:`repro.core.batch.BatchEvaluator.score_action_matrix`
+    turns into joules with one matrix-vector product.
+    """
+    _require_canonical(counts.num_levels)
+    columns = _action_columns(
+        lowering,
+        counts.reads[TensorRole.INPUTS][:, ARRAY_LEVEL].astype(np.float64),
+        counts.writes[TensorRole.INPUTS][:, ARRAY_LEVEL].astype(np.float64),
+        counts.writes[TensorRole.WEIGHTS][:, ARRAY_LEVEL].astype(np.float64),
+        counts.updates[TensorRole.OUTPUTS][:, BACKING_LEVEL].astype(np.float64),
+    )
+    return _assemble(columns, include_programming)
+
+
+def mapping_action_counts(
+    lowering: CiMLowering,
+    counts: AccessCounts,
+    include_programming: bool = True,
+) -> np.ndarray:
+    """Lower one candidate's scalar access counts to a per-action vector.
+
+    Routes the candidate through the *same* column builder as
+    :func:`action_counts_matrix` (a batch of one), so the scalar oracle
+    and the batched engine compute identical per-action counts.
+    """
+    _require_canonical(len(counts.level_names))
+    columns = _action_columns(
+        lowering,
+        np.array([counts.at(ARRAY_LEVEL, TensorRole.INPUTS).reads], dtype=np.float64),
+        np.array([counts.at(ARRAY_LEVEL, TensorRole.INPUTS).writes], dtype=np.float64),
+        np.array([counts.at(ARRAY_LEVEL, TensorRole.WEIGHTS).writes], dtype=np.float64),
+        np.array([counts.at(BACKING_LEVEL, TensorRole.OUTPUTS).updates], dtype=np.float64),
+    )
+    return _assemble(columns, include_programming)[0]
+
+
+# ----------------------------------------------------------------------
+# Cost-function factories
+# ----------------------------------------------------------------------
+def energy_cost(
+    macro,
+    layer,
+    cache=None,
+    distributions=None,
+    per_action: Optional[Mapping[str, float]] = None,
+) -> Callable[[BatchAccessCounts], np.ndarray]:
+    """Batched femtojoule objective for :func:`~repro.mapping.batch_search.batch_search`.
+
+    Returns a batch cost function that lowers the population's access
+    counts to per-action counts and scores them against the macro's
+    cached per-action energies in one GEMM
+    (:meth:`~repro.core.batch.BatchEvaluator.score_action_matrix`).
+    ``cache`` is a :class:`~repro.core.fast_pipeline.PerActionEnergyCache`
+    shared across searches (per-action energies derive once per (config,
+    layer)); ``per_action`` overrides the cache entirely — e.g. for
+    nominal (fixed-energy) evaluation, whose energies must not enter a
+    default-profiled cache.  Costs are in joules; lower is better.
+    """
+    from repro.core.batch import BatchEvaluator
+
+    evaluator = BatchEvaluator(macro, cache=cache)
+    lowering = lowering_for(macro, layer.einsum)
+
+    def cost(counts: BatchAccessCounts) -> np.ndarray:
+        matrix = action_counts_matrix(lowering, counts)
+        return evaluator.score_action_matrix(
+            layer, matrix, distributions=distributions, per_action=per_action
+        )
+
+    return cost
+
+
+def scalar_energy_cost(
+    macro,
+    layer,
+    cache=None,
+    distributions=None,
+    per_action: Optional[Mapping[str, float]] = None,
+) -> Callable[[AccessCounts], float]:
+    """Per-candidate femtojoule objective for the scalar mapper (the oracle).
+
+    Same lowering, same cached per-action energy vector, evaluated one
+    candidate at a time — the reference
+    :func:`~repro.mapping.batch_search.batch_search` +
+    :func:`energy_cost` must match on best mapping and total joules.
+    """
+    from repro.architecture.macro import per_action_energy_vector
+    from repro.core.fast_pipeline import PerActionEnergyCache
+
+    if per_action is None:
+        cache = cache if cache is not None else PerActionEnergyCache()
+        per_action = cache.get(macro, layer, distributions)
+    energy_vector = per_action_energy_vector(per_action, include_programming=True)
+    misc_scale = 1.0 + macro.config.misc_energy_fraction
+    lowering = lowering_for(macro, layer.einsum)
+
+    def cost(counts: AccessCounts) -> float:
+        vector = mapping_action_counts(lowering, counts)
+        return float(vector @ energy_vector) * misc_scale
+
+    return cost

@@ -16,6 +16,28 @@ oracle, while :func:`repro.mapping.batch_search.batch_search` scores the
 whole population as NumPy arrays.  Because generation is shared, equal
 seeds give both engines the identical population — and therefore the
 identical best mapping.
+
+Cost functions
+--------------
+Both engines take a pluggable objective; two are provided:
+
+* **Access-count proxy** (:func:`default_cost` here, its bitwise twin
+  :func:`~repro.mapping.batch_search.batch_default_cost` on the batch
+  engine) — per-level access totals weighted ``10 ** level``.  Cheap and
+  architecture-free, but only a stand-in for energy: it is "exact" only
+  in the sense that the scalar and batched evaluations agree bitwise.
+* **Per-action energy** (:func:`repro.mapping.energy.scalar_energy_cost`
+  here, :func:`repro.mapping.energy.energy_cost` on the batch engine) —
+  candidates are lowered to macro action counts and scored in joules
+  against the :class:`~repro.core.fast_pipeline.PerActionEnergyCache`'s
+  amortised per-action energies.  This is the objective the paper's
+  figures rank by; it is exact w.r.t. the macro energy model under the
+  lowering documented in :mod:`repro.mapping.energy` (canonical
+  compute/array/backing hierarchy), and the two engines agree on the
+  argmin with joules equal to float rounding.
+
+Use the proxy for architecture-free tiling studies and quick smoke
+tests; use the energy objective whenever results feed an energy figure.
 """
 
 from __future__ import annotations

@@ -46,6 +46,17 @@ SPACES = {
         level_names=("compute", "array", "buffer", "dram"),
         capacities={1: 512, 2: 4096},
     ),
+    "matmul_spatial": MapSpace(
+        einsum=MATMUL,
+        level_names=("compute", "buffer", "dram"),
+        spatial_limits={1: 4, 2: 2},
+    ),
+    "conv_spatial": MapSpace(
+        einsum=CONV,
+        level_names=("compute", "array", "backing"),
+        capacities={1: 4096},
+        spatial_limits={1: 16},
+    ),
 }
 
 
@@ -146,6 +157,110 @@ def test_custom_batch_cost_function():
         space, cost_function=lambda c: float(c.level_total(1)), num_mappings=40, seed=2
     )
     assert result.best_mapping == scalar.best_mapping
+
+
+# ----------------------------------------------------------------------
+# Spatial-factor populations
+# ----------------------------------------------------------------------
+class TestSpatialPopulations:
+    def test_population_respects_spatial_limits(self):
+        space = SPACES["conv_spatial"]
+        population = generate_mapping_population(space, 60, seed=4)
+        fanout = np.prod(population.spatial[:, 1, :], axis=1)
+        assert (fanout <= 16).all()
+        assert (fanout > 1).any()  # the budget is actually exercised
+        for index in range(len(population)):
+            assert _respects_constraints(space, population.mapping(index))
+
+    def test_temporal_only_spaces_have_unit_spatial(self):
+        population = generate_mapping_population(SPACES["matmul"], 30, seed=0)
+        assert (population.spatial == 1).all()
+
+    def test_spatial_subsplit_preserves_combined_factors(self):
+        """Spatial sampling splits a level's factor, never changes it, so
+        every dimension's factors still multiply to its extent."""
+        space = SPACES["matmul_spatial"]
+        population = generate_mapping_population(space, 40, seed=2)
+        totals = np.prod(population.factors, axis=1)
+        for d, dim in enumerate(population.dims):
+            assert (totals[:, d] == space.einsum.extent(dim)).all()
+        assert (population.factors % population.spatial == 0).all()
+
+    def test_spatial_batch_analyze_matches_scalar_counts_exactly(self):
+        space = SPACES["conv_spatial"]
+        population = generate_mapping_population(space, 25, seed=7)
+        assert (np.prod(population.spatial[:, 1, :], axis=1) > 1).any()
+        batch = batch_analyze(
+            space.einsum, population.dims, population.factors,
+            spatial=population.spatial,
+        )
+        for index in range(len(population)):
+            counts = analyze_mapping(population.mapping(index))
+            for level in range(counts.mapping.num_levels):
+                for role in ALL_TENSORS:
+                    scalar_acc = counts.at(level, role)
+                    assert batch.reads[role][index, level] == scalar_acc.reads
+                    assert batch.writes[role][index, level] == scalar_acc.writes
+                    assert batch.updates[role][index, level] == scalar_acc.updates
+                    assert batch.tile_elements[role][index, level] == scalar_acc.tile_elements
+
+    def test_spatial_reuse_subset_matches_scalar(self):
+        """A non-default spatial_reuse map (only inputs multicast) divides
+        the same reads in both engines."""
+        space = SPACES["conv_spatial"]
+        population = generate_mapping_population(space, 15, seed=11)
+        reuse = {1: (ALL_TENSORS[0],), 2: ()}
+        batch = batch_analyze(
+            space.einsum, population.dims, population.factors,
+            spatial=population.spatial, spatial_reuse=reuse,
+        )
+        for index in range(len(population)):
+            counts = analyze_mapping(population.mapping(index), spatial_reuse=reuse)
+            for level in range(counts.mapping.num_levels):
+                for role in ALL_TENSORS:
+                    scalar_acc = counts.at(level, role)
+                    assert batch.reads[role][index, level] == scalar_acc.reads
+                    assert batch.updates[role][index, level] == scalar_acc.updates
+
+    def test_zero_spatial_limit_rejects_everything(self):
+        space = MapSpace(
+            einsum=MATMUL, level_names=("compute", "buffer", "dram"),
+            spatial_limits={1: 0},
+        )
+        with pytest.raises(MappingError):
+            batch_search(space, num_mappings=5, seed=0)
+
+
+# ----------------------------------------------------------------------
+# int64 overflow guard
+# ----------------------------------------------------------------------
+class TestOverflowGuard:
+    PATHOLOGICAL = matmul_einsum("huge", m=2 ** 21, k=2 ** 21, n=2 ** 21)
+
+    def test_batched_engines_refuse_pathological_extents(self):
+        space = MapSpace(
+            einsum=self.PATHOLOGICAL, level_names=("compute", "buffer", "dram")
+        )
+        with pytest.raises(MappingError, match="int64"):
+            generate_mapping_population(space, 5, seed=0)
+        with pytest.raises(MappingError, match="int64"):
+            batch_analyze(
+                self.PATHOLOGICAL,
+                tuple(self.PATHOLOGICAL.dimensions),
+                np.ones((1, 3, 3), dtype=np.int64),
+            )
+        with pytest.raises(MappingError, match="int64"):
+            batch_search(space, num_mappings=5, seed=0)
+
+    def test_scalar_analysis_stays_exact_beyond_int64(self):
+        """Python-integer analysis of a hand-built mapping of the same
+        pathological einsum yields counts far beyond int64, exactly."""
+        from repro.mapping.loopnest import single_level_mapping
+
+        counts = analyze_mapping(single_level_mapping(self.PATHOLOGICAL))
+        total = self.PATHOLOGICAL.total_macs
+        assert total == 2 ** 63  # genuinely past the int64 boundary
+        assert counts.at(0, ALL_TENSORS[0]).reads == total
 
 
 # ----------------------------------------------------------------------

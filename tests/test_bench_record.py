@@ -1,0 +1,60 @@
+"""Tests for the per-commit benchmark history recorder (tools/bench_record.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import bench_record  # noqa: E402  (path set up above)
+
+
+def _snapshot(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestBenchRecord:
+    def test_appends_stamped_entries(self, tmp_path):
+        history = tmp_path / "BENCH_history.jsonl"
+        a = _snapshot(tmp_path, "BENCH_a.json", {"benchmark": "a", "speedup": 21.0})
+        b = _snapshot(tmp_path, "BENCH_b.json", {"benchmark": "b", "speedup": 12.5})
+        written = bench_record.append_history(
+            [a, b], history, sha="abc123", timestamp="2026-07-30T00:00:00+00:00"
+        )
+        assert written == 2
+        entries = [json.loads(line) for line in history.read_text().splitlines()]
+        assert [e["file"] for e in entries] == ["BENCH_a.json", "BENCH_b.json"]
+        assert all(e["git_sha"] == "abc123" for e in entries)
+        assert entries[0]["record"] == {"benchmark": "a", "speedup": 21.0}
+
+    def test_appends_accumulate_across_runs(self, tmp_path):
+        history = tmp_path / "BENCH_history.jsonl"
+        a = _snapshot(tmp_path, "BENCH_a.json", {"speedup": 1.0})
+        bench_record.append_history([a], history, sha="one")
+        bench_record.append_history([a], history, sha="two")
+        entries = [json.loads(line) for line in history.read_text().splitlines()]
+        assert [e["git_sha"] for e in entries] == ["one", "two"]
+
+    def test_missing_snapshot_is_skipped(self, tmp_path, capsys):
+        history = tmp_path / "BENCH_history.jsonl"
+        a = _snapshot(tmp_path, "BENCH_a.json", {"speedup": 2.0})
+        written = bench_record.append_history(
+            [tmp_path / "BENCH_missing.json", a], history, sha="x"
+        )
+        assert written == 1
+        assert "skipping missing" in capsys.readouterr().err
+
+    def test_main_returns_failure_when_nothing_recorded(self, tmp_path):
+        code = bench_record.main(
+            [str(tmp_path / "nope.json"), "--history", str(tmp_path / "h.jsonl")]
+        )
+        assert code == 1
+
+    def test_git_sha_stamped_from_repo(self, tmp_path):
+        history = REPO_ROOT / "does-not-matter"
+        sha = bench_record.git_sha(REPO_ROOT)
+        assert sha == "unknown" or len(sha) == 40
+        assert not history.exists()

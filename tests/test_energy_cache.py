@@ -1,0 +1,142 @@
+"""Persistence tests for the per-action energy caches.
+
+The disk-backed :class:`DiskEnergyCache` must round-trip energies across
+cache instances (zero derivations on a warm run), key on the full frozen
+config + layer fingerprint (any design change lands on a different
+entry), and recover from corrupted files by recomputing.  The
+worker-persistent process cache must keep serving repeated parallel runs
+without re-deriving.
+"""
+
+import json
+
+import pytest
+
+from repro.architecture.macro import CiMMacro
+from repro.core import batch
+from repro.core.batch import BatchRunner
+from repro.core.fast_pipeline import DiskEnergyCache, PerActionEnergyCache
+from repro.macros.definitions import base_macro, macro_b
+from repro.workloads.networks import matrix_vector_workload
+
+
+def _layer(repeats=2):
+    return matrix_vector_workload(32, 32, repeats=repeats).layers[0]
+
+
+class TestDiskEnergyCache:
+    def test_round_trip_is_derivation_free(self, tmp_path):
+        macro = CiMMacro(base_macro(rows=32, cols=32))
+        layer = _layer()
+        cold = PerActionEnergyCache(disk=DiskEnergyCache(tmp_path))
+        first = cold.get(macro, layer)
+        assert cold.derivations == 1 and cold.disk_hits == 0
+
+        warm = PerActionEnergyCache(disk=DiskEnergyCache(tmp_path))
+        second = warm.get(macro, layer)
+        assert warm.derivations == 0  # acceptance: zero derivations when warm
+        assert warm.disk_hits == 1 and warm.misses == 1
+        assert second == pytest.approx(first)
+        # And a repeat get is now a pure memory hit.
+        warm.get(macro, layer)
+        assert warm.hits == 1 and warm.derivations == 0
+
+    def test_config_change_invalidates_by_fingerprint(self, tmp_path):
+        layer = _layer()
+        first = PerActionEnergyCache(disk=DiskEnergyCache(tmp_path))
+        first.get(CiMMacro(base_macro(rows=32, cols=32)), layer)
+
+        changed = PerActionEnergyCache(disk=DiskEnergyCache(tmp_path))
+        changed.get(
+            CiMMacro(base_macro(rows=32, cols=32).with_updates(adc_resolution=6)),
+            layer,
+        )
+        assert changed.derivations == 1  # different config: not served stale
+        assert len(DiskEnergyCache(tmp_path)) == 2  # distinct entries on disk
+
+        relayered = PerActionEnergyCache(disk=DiskEnergyCache(tmp_path))
+        relayered.get(CiMMacro(base_macro(rows=32, cols=32)), _layer(repeats=3))
+        assert relayered.derivations == 1  # different layer fingerprint too
+
+    def test_corrupted_entry_falls_back_to_recompute(self, tmp_path):
+        macro = CiMMacro(base_macro(rows=32, cols=32))
+        layer = _layer()
+        disk = DiskEnergyCache(tmp_path)
+        seeded = PerActionEnergyCache(disk=disk)
+        original = seeded.get(macro, layer)
+
+        path = disk.path_for(PerActionEnergyCache.key_for(macro, layer))
+        path.write_text("{not json")
+        repaired = PerActionEnergyCache(disk=DiskEnergyCache(tmp_path))
+        energies = repaired.get(macro, layer)
+        assert repaired.derivations == 1  # corrupted entry: recomputed
+        assert repaired.disk.load_failures == 1
+        assert energies == pytest.approx(original)
+        # The recompute rewrote a valid entry for the next process.
+        assert json.loads(path.read_text())["energies"]
+
+    def test_version_and_key_mismatches_are_misses(self, tmp_path):
+        macro = CiMMacro(base_macro(rows=32, cols=32))
+        layer = _layer()
+        disk = DiskEnergyCache(tmp_path)
+        key = PerActionEnergyCache.key_for(macro, layer)
+        PerActionEnergyCache(disk=disk).get(macro, layer)
+
+        payload = json.loads(disk.path_for(key).read_text())
+        payload["version"] = 999
+        disk.path_for(key).write_text(json.dumps(payload))
+        assert DiskEnergyCache(tmp_path).load(key) is None
+
+        payload["version"] = DiskEnergyCache.VERSION
+        payload["key"] = "someone-else"
+        disk.path_for(key).write_text(json.dumps(payload))
+        assert DiskEnergyCache(tmp_path).load(key) is None
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_ENERGY_CACHE_DIR", raising=False)
+        assert DiskEnergyCache.from_env() is None
+        monkeypatch.setenv("REPRO_ENERGY_CACHE_DIR", str(tmp_path / "store"))
+        cache = DiskEnergyCache.from_env()
+        assert cache is not None and cache.directory.is_dir()
+
+
+class TestWorkerPersistentCache:
+    def test_repeated_mapping_search_derives_once(self):
+        """Default-profiled mapping searches resolve through the process
+        cache: the warm second run adds zero derivations."""
+        layer = _layer()
+        shared = batch.process_energy_cache()
+        runner = BatchRunner(workers=1)
+        runner.mapping_search(macro_b(), [layer], 4)
+        baseline = shared.derivations
+        runner.mapping_search(macro_b(), [layer], 4)
+        assert shared.derivations == baseline  # warm: zero new derivations
+
+    def test_repeated_grid_runs_derive_once(self):
+        """Macro-only grid cells share the process cache, so re-running the
+        same grid re-derives nothing."""
+        from repro.workloads.networks import Network
+
+        layer = _layer()
+        network = Network(name="single", layers=(layer,))
+        shared = batch.process_energy_cache()
+        configs = [macro_b(), macro_b().with_updates(adc_resolution=6)]
+        first = BatchRunner(workers=1).run_grid(configs, network)
+        baseline = shared.derivations
+        second = BatchRunner(workers=1).run_grid(configs, network)
+        assert shared.derivations == baseline
+        for a, b in zip(first, second):
+            assert a.total_energy == b.total_energy
+
+    def test_grid_cache_matches_uncached_model_path(self):
+        """The cached grid-cell fast path must equal CiMLoopModel's serial
+        evaluation bit for bit."""
+        from repro.core.model import CiMLoopModel
+        from repro.workloads.networks import Network
+
+        layer = _layer(repeats=3)
+        network = Network(name="single", layers=(layer,))
+        config = base_macro(rows=32, cols=32)
+        grid = BatchRunner(workers=1).run_grid([config], network)
+        expected = CiMLoopModel(config).evaluate(network)
+        assert grid[0].total_energy == expected.total_energy

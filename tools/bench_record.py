@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Append benchmark snapshot records to a per-commit history file.
+
+``make bench-json`` regenerates the ``BENCH_*.json`` snapshot files, but a
+snapshot only shows the latest commit's performance.  This tool appends
+each snapshot — stamped with the current git SHA and a UTC timestamp — as
+one line of ``BENCH_history.jsonl``, so the repo accumulates a perf
+trajectory that can be plotted across commits.  Missing snapshot files
+are skipped with a warning (a partial benchmark run still records what it
+produced), and malformed snapshots abort rather than polluting history.
+
+Usage::
+
+    python tools/bench_record.py BENCH_mapper.json BENCH_value_sim.json \\
+        BENCH_energy_search.json [--history BENCH_history.jsonl]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import List, Optional
+
+
+def git_sha(repo_root: Path) -> str:
+    """The current commit SHA, or "unknown" outside a usable git checkout."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip()
+        return output or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def append_history(
+    snapshots: List[Path],
+    history: Path,
+    sha: Optional[str] = None,
+    timestamp: Optional[str] = None,
+) -> int:
+    """Append one history line per readable snapshot; returns lines written."""
+    sha = sha if sha is not None else git_sha(history.parent)
+    timestamp = timestamp if timestamp is not None else (
+        datetime.now(timezone.utc).isoformat(timespec="seconds")
+    )
+    lines = []
+    for snapshot in snapshots:
+        try:
+            record = json.loads(snapshot.read_text())
+        except FileNotFoundError:
+            print(f"bench_record: skipping missing snapshot {snapshot}", file=sys.stderr)
+            continue
+        entry = {
+            "git_sha": sha,
+            "timestamp": timestamp,
+            "file": snapshot.name,
+            "record": record,
+        }
+        lines.append(json.dumps(entry, sort_keys=True))
+    if lines:
+        with history.open("a") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+    return len(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("snapshots", nargs="+", type=Path,
+                        help="BENCH_*.json snapshot files to record")
+    parser.add_argument("--history", type=Path,
+                        default=Path(__file__).resolve().parents[1] / "BENCH_history.jsonl",
+                        help="history file to append to (default: repo root)")
+    parser.add_argument("--sha", default=None, help="override the recorded git SHA")
+    args = parser.parse_args(argv)
+    written = append_history(args.snapshots, args.history, sha=args.sha)
+    print(f"bench_record: appended {written} record(s) to {args.history}")
+    return 0 if written else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
