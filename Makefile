@@ -5,7 +5,7 @@
 
 PYTHONPATH := src
 
-.PHONY: test test-all lint bench bench-smoke bench-json
+.PHONY: test test-all lint bench bench-smoke bench-json bench-plot
 
 # Unit tests only: benchmarks (with their timing assertions) live in the
 # separate bench targets so a loaded CI runner cannot flake the test gate.
@@ -23,17 +23,23 @@ bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
 		benchmarks/test_table2_speed.py benchmarks/test_ablation_amortization.py
 
-# Perf trajectory: mapper, energy-search, and value-sim throughput
-# benchmarks write BENCH_*.json snapshots (mappings/s, values/s, wall
-# time) at the repo root, then each snapshot is appended — stamped with
-# the git SHA — to BENCH_history.jsonl for the per-commit trend.
+# Perf trajectory: mapper, energy-search, value-sim, and config-derivation
+# throughput benchmarks write BENCH_*.json snapshots (mappings/s, values/s,
+# configs/s, wall time) at the repo root, then each snapshot is appended —
+# stamped with the git SHA — to BENCH_history.jsonl for the per-commit
+# trend.  `make bench-plot` renders that trend (text fallback without
+# matplotlib).
 bench-json:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
 		benchmarks/test_mapper_throughput.py \
 		benchmarks/test_energy_search_throughput.py \
-		benchmarks/test_value_sim_throughput.py
+		benchmarks/test_value_sim_throughput.py \
+		benchmarks/test_config_derivation.py
 	python tools/bench_record.py BENCH_mapper.json BENCH_energy_search.json \
-		BENCH_value_sim.json
+		BENCH_value_sim.json BENCH_config_derivation.json
+
+bench-plot:
+	python tools/bench_plot.py --text
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only benchmarks/

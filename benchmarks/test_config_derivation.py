@@ -1,0 +1,116 @@
+"""Benchmark: config-axis batched energy derivation vs the scalar cold-start.
+
+The batched deriver (:mod:`repro.core.config_batch`) emits a whole config
+family's ``(configs, actions)`` per-action energy matrix in a few NumPy
+passes; the scalar path builds a full :class:`CiMMacro` object graph and
+walks its circuit models once per config.  The benchmark derives a
+``>= 64``-config grid (ADC resolution x supply voltage x output width, the
+shape of a real DSE sweep) both ways, asserts the equivalence gate — max
+relative error <= 1e-9 against ``CiMMacro.per_action_energies`` for every
+config in the grid, identical action ordering — and writes a
+``BENCH_config_derivation.json`` perf record at the repo root.
+
+``CONFIG_DERIVATION_CONFIGS`` overrides the grid size (CI smoke runs use
+a small one so the path is exercised on every push).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.architecture.macro import CiMMacro
+from repro.core.config_batch import derive_config_batch, max_scalar_relative_error
+from repro.macros.definitions import base_macro
+from repro.workloads.distributions import profile_layer
+from repro.workloads.networks import matrix_vector_workload
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_CONFIGS = 96
+NUM_CONFIGS = int(os.environ.get("CONFIG_DERIVATION_CONFIGS", str(DEFAULT_CONFIGS)))
+#: Smoke runs exercise the path and the equivalence gate only: single-round
+#: timing ratios flake on loaded runners, and a small grid must not
+#: overwrite the committed full-size perf snapshot.
+FULL_SIZE = NUM_CONFIGS >= DEFAULT_CONFIGS
+
+
+def _config_grid(count: int):
+    """A DSE-shaped config family sharing one topology and encoding."""
+    seed = base_macro(rows=128, cols=128)
+    grid = []
+    for adc_resolution in range(4, 12):
+        for vdd in (0.8, 0.9, 1.0, 1.1):
+            for output_bits in (12, 16, 24):
+                grid.append(
+                    seed.with_updates(
+                        adc_resolution=adc_resolution,
+                        output_bits=output_bits,
+                        technology=seed.technology.with_vdd(vdd),
+                    )
+                )
+    while len(grid) < count:  # widen with value-aware variants if asked
+        grid.append(grid[len(grid) % 96].with_updates(value_aware_adc=True))
+    return grid[:count]
+
+
+def test_config_derivation_throughput(benchmark):
+    configs = _config_grid(NUM_CONFIGS)
+    layer = matrix_vector_workload(128, 128, repeats=8).layers[0]
+    distributions = profile_layer(layer)
+
+    def _batched():
+        start = time.perf_counter()
+        result = derive_config_batch(configs, layer, distributions)
+        return result, time.perf_counter() - start
+
+    result, batch_s = benchmark(_batched)
+
+    start = time.perf_counter()
+    scalar_tables = []
+    for config in configs:
+        macro = CiMMacro(config)
+        context = macro.operand_context(distributions)
+        scalar_tables.append(macro.per_action_energies(context))
+    scalar_s = time.perf_counter() - start
+
+    # Acceptance gate: every config's row matches the scalar oracle to
+    # <= 1e-9 relative error with identical action ordering (the helper
+    # re-derives scalar tables itself and raises on an ordering drift).
+    worst = max_scalar_relative_error(result, layer, distributions)
+    assert worst <= 1e-9
+    assert [tuple(table) for table in scalar_tables] == [result.actions] * len(configs)
+
+    batch_rate = len(configs) / batch_s
+    scalar_rate = len(configs) / scalar_s
+    speedup = batch_rate / scalar_rate
+    record = {
+        "benchmark": "config_derivation",
+        "workload": "matrix_vector_128x128",
+        "num_configs": len(configs),
+        "max_rel_error": worst,
+        "batch_configs_per_s": batch_rate,
+        "scalar_configs_per_s": scalar_rate,
+        "speedup": speedup,
+        "batch_wall_s": batch_s,
+        "scalar_wall_s": scalar_s,
+    }
+    if FULL_SIZE:
+        (REPO_ROOT / "BENCH_config_derivation.json").write_text(
+            json.dumps(record, indent=2) + "\n"
+        )
+    emit(
+        "Config-axis batched per-action energy derivation",
+        [
+            f"batched {batch_rate:12.0f} configs/s",
+            f"scalar  {scalar_rate:12.0f} configs/s",
+            f"speedup {speedup:12.1f}x over {len(configs)} configs",
+            f"max rel error {worst:.2e} (gate: 1e-9)",
+        ],
+    )
+    # Acceptance: >= 10x the per-config scalar path on a >= 64-config grid
+    # (asserted at full grid size only; see FULL_SIZE above).
+    if FULL_SIZE:
+        assert len(configs) >= 64
+        assert speedup >= 10.0

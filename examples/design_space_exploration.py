@@ -8,11 +8,15 @@ choice changes when the full system (DRAM + global buffer) is taken into
 account — the paper's central motivation (Fig. 2).
 
 The sweeps run on the batch evaluation path: operand distributions are
-profiled once per layer and shared by every sweep point, the joint
-(point x layer) grid fans out across the process-wide shared pool
-(``BatchRunner`` / ``shared_pool``), and mapping candidates are evaluated
-as one vectorized counts-matrix product per layer.  The loop-nest mapper
-demo scores its whole random-tiling population as NumPy factor arrays
+profiled once per layer and shared by every sweep point, per-action
+energy tables for the whole grid are derived up front in config-axis
+batched passes (``repro.core.config_batch`` — one NumPy pass per layer
+for all sweep points, published to live workers through the
+shared-memory cache tier), the joint (point x layer) grid fans out
+across the process-wide shared pool (``BatchRunner`` / ``shared_pool``),
+and mapping candidates are evaluated as one vectorized counts-matrix
+product per layer.  The loop-nest mapper demo scores its whole
+random-tiling population as NumPy factor arrays
 (``repro.mapping.batch_search``).
 
 Run with::
@@ -23,7 +27,7 @@ Run with::
 import time
 
 from repro import CiMLoopModel, SystemConfig
-from repro.core.batch import BatchRunner
+from repro.core.batch import BatchRunner, process_energy_cache
 from repro.macros import base_macro
 from repro.workloads import resnet18
 from repro.workloads.distributions import profile_network
@@ -40,7 +44,10 @@ def sweep_array_sizes(network: Network) -> None:
     macro_configs = [base_macro(rows=size, cols=size) for size in sizes]
     system_configs = [SystemConfig(macro=config) for config in macro_configs]
     # Profile once; both sweeps (eight points) share the same layer profiles
-    # and run concurrently in worker processes.
+    # and run concurrently in worker processes.  The macro sweep's energy
+    # tables are derived before fan-out in config-axis batched passes (one
+    # NumPy pass per layer for all four sizes) and reach live workers via
+    # the shared-memory cache tier.
     distributions = profile_network(network)
     runner = BatchRunner(workers=SWEEP_WORKERS)
     macro_results = runner.run_points(
@@ -49,6 +56,9 @@ def sweep_array_sizes(network: Network) -> None:
     system_results = runner.run_points(
         system_configs, network, distributions=distributions, default_profiled=True
     )
+    cache = process_energy_cache()
+    print(f"   ({cache.derivations} per-action tables derived once, "
+          f"{cache.hits} cache hits so far)")
     for size, macro_result, system_result in zip(sizes, macro_results, system_results):
         utilisation = sum(l.utilization * l.total_macs for l in macro_result.layers) / \
             macro_result.total_macs
@@ -90,27 +100,29 @@ def loop_nest_search_demo(network: Network) -> None:
     # The population is scored by *energy*: every candidate's access
     # counts are lowered to macro action counts and multiplied against
     # the cached per-action energy vector in one GEMM — the objective the
-    # paper's figures report, at batch speed.  Spatial factors at the
-    # array level let the mapper trade sequential passes for parallelism.
+    # paper's figures report, at batch speed.  The array level's spatial
+    # budget defaults to the macro's geometry (one compute group per
+    # independent output column group), so the mapper trades sequential
+    # passes for exactly the parallelism the hardware offers.
+    budget = model.macro.spatial_fanout_budget()
     start = time.perf_counter()
-    batched = model.search_layer_mappings(
-        layer, num_mappings=2000, seed=0, spatial_fanout=8
-    )
+    batched = model.search_layer_mappings(layer, num_mappings=2000, seed=0)
     batch_s = time.perf_counter() - start
     start = time.perf_counter()
     scalar = model.search_layer_mappings(
-        layer, num_mappings=2000, seed=0, engine="scalar", spatial_fanout=8
+        layer, num_mappings=2000, seed=0, engine="scalar"
     )
     scalar_s = time.perf_counter() - start
     assert batched.best_mapping == scalar.best_mapping  # shared population
     print(f"  {batched.mappings_evaluated} mappings scored "
-          f"({batched.mappings_rejected} rejected by the array capacity)")
+          f"({batched.mappings_rejected} rejected by the array capacity, "
+          f"geometry-derived spatial budget {budget})")
     print(f"  best mapping energy {batched.best_cost * 1e6:8.2f} uJ")
     print(f"  batched engine {2000 / batch_s:10.0f} mappings/s (one energy GEMM)")
     print(f"  scalar oracle  {2000 / scalar_s:10.0f} mappings/s "
           f"({scalar_s / batch_s:.0f}x slower, same best mapping)")
     proxy = model.search_layer_mappings(layer, num_mappings=2000, seed=0,
-                                        objective="proxy", spatial_fanout=8)
+                                        objective="proxy")
     if proxy.best_mapping != batched.best_mapping:
         print("  (the access-count proxy would have picked a different mapping)")
     print("  best loop nest:")

@@ -23,6 +23,7 @@ documented on :meth:`CiMMacro.map_layer`.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field, replace
 from enum import Enum
@@ -450,6 +451,21 @@ class CiMMacro:
             return self.config.output_reuse_columns
         return 1
 
+    def spatial_fanout_budget(self) -> int:
+        """Spatial-fanout budget implied by the macro's geometry.
+
+        The array offers one parallel compute group per column group that
+        produces an independent output — the same
+        ``cols // (cells_per_weight x reduction fold)`` arithmetic
+        :meth:`map_layer` uses for ``outputs_per_activation``.  This is
+        the default budget the loop-nest map space
+        (:meth:`repro.core.model.CiMLoopModel.layer_mapspace`) grants the
+        array level, so the mapper's spatial split is bounded by what the
+        hardware actually fans out instead of a caller-chosen constant.
+        """
+        columns_per_output = self.cells_per_weight * self.reduction_columns()
+        return max(self.config.cols // columns_per_output, 1)
+
     def slice_merge_factor(self) -> int:
         """Weight-slice conversions merged into one ADC read."""
         style = self.config.output_reuse_style
@@ -786,3 +802,17 @@ class CiMMacro:
             f"CiMMacro({cfg.name!r}, {cfg.rows}x{cfg.cols} {cfg.device}, "
             f"{cfg.technology.node_nm:g}nm)"
         )
+
+
+@functools.lru_cache(maxsize=256)
+def macro_for(config: CiMMacroConfig) -> CiMMacro:
+    """Process-wide memo of default-library :class:`CiMMacro` instances.
+
+    A macro is a pure function of its frozen config — component models
+    hold no mutable state — so instances can be shared freely.  Repeated
+    evaluations of the same design (grid cells, figure sweeps, breakdown
+    reports) skip rebuilding the component object graph.  Only valid for
+    the default cell library; callers with a custom library must
+    construct :class:`CiMMacro` directly.
+    """
+    return CiMMacro(config)

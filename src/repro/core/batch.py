@@ -28,7 +28,11 @@ candidates one at a time in Python.  This module removes that loop:
   worker count.  Layer-distribution profiles are profiled once and shared
   across all points (profiling is layer-only, paper Sec. III-D1), and
   per-action energies are derived once per (config, layer) in the parent
-  (:func:`process_energy_cache`) and shipped to workers instead of being
+  — in config-axis batched passes
+  (:meth:`~repro.core.fast_pipeline.PerActionEnergyCache.derive_many`) —
+  and reach workers via fork inheritance, the shared-memory cache tier
+  (:mod:`repro.core.shared_cache`, which also covers tables derived
+  *after* the pool forked), or the shipped payloads, instead of being
   re-derived per process.
 
 Cache-keying contract: every worker gets per-action energies through a
@@ -57,6 +61,7 @@ from repro.architecture.macro import (
     MacroLayerCounts,
     _action_table,
     action_component_matrix,
+    macro_for,
     per_action_energy_vector,
 )
 from repro.architecture.system import SystemConfig
@@ -66,6 +71,7 @@ from repro.core.fast_pipeline import (
     MappingEvaluation,
     PerActionEnergyCache,
 )
+from repro.core.shared_cache import SharedEnergyTier
 from repro.utils.errors import EvaluationError
 from repro.workloads.distributions import LayerDistributions
 from repro.workloads.layer import Layer
@@ -348,6 +354,11 @@ def shared_pool(workers: int) -> ProcessPoolExecutor:
         if _shared_pool is None:
             _shared_pool = ProcessPoolExecutor(max_workers=max(workers, _shared_pool_workers))
             _shared_pool_workers = max(workers, _shared_pool_workers)
+            # Workers now exist to read the shared-memory cache tier, so
+            # let parent-side derivations start publishing.  (A process
+            # that never pools never allocates a slab at all.)
+            if _process_energy_cache.shared is not None:
+                _process_energy_cache.shared.arm()
         return _shared_pool
 
 
@@ -368,10 +379,14 @@ atexit.register(shutdown_shared_pool)
 #: (callers with custom profiles pass their own cache).  The same module
 #: global exists inside every pool worker: entries present in the parent
 #: when the pool forks are inherited for free, later worker-side
-#: derivations persist across payloads for the worker's lifetime, and the
-#: optional disk backing (``REPRO_ENERGY_CACHE_DIR``) shares entries
-#: across processes and runs.
-_process_energy_cache = PerActionEnergyCache(disk=DiskEnergyCache.from_env())
+#: derivations persist across payloads for the worker's lifetime, tables
+#: the parent derives *after* the fork reach live workers through the
+#: shared-memory tier (:mod:`repro.core.shared_cache`), and the optional
+#: disk backing (``REPRO_ENERGY_CACHE_DIR``) shares entries across
+#: processes and runs.
+_process_energy_cache = PerActionEnergyCache(
+    disk=DiskEnergyCache.from_env(), shared=SharedEnergyTier.from_env()
+)
 
 
 def process_energy_cache() -> PerActionEnergyCache:
@@ -408,7 +423,7 @@ def _evaluate_grid_cell(payload):
         from repro.core.evaluation import LayerEvaluation
         from repro.workloads.distributions import profile_layer
 
-        macro = CiMMacro(config)
+        macro = macro_for(config)
         if distributions is None:
             distributions = profile_layer(layer)
         per_action = _process_energy_cache.get(macro, layer, distributions)
@@ -421,6 +436,29 @@ def _evaluate_grid_cell(payload):
     return model.evaluate_layer(
         layer, distributions=distributions, first_layer=first_layer, last_layer=last_layer
     )
+
+
+def _worker_cache_probe(payload):
+    """Worker: resolve one (config, layer) through the process cache and
+    report how it was served.
+
+    Diagnostic hook for the cache-tier regression tests: the returned
+    deltas say whether the worker hit its fork-inherited memory, the
+    shared-memory tier, the disk tier, or had to derive — plus the worker
+    PID so a test can tell which pool members answered.
+    """
+    config, layer = payload
+    cache = _process_energy_cache
+    before = (cache.hits, cache.shared_hits, cache.disk_hits, cache.derivations)
+    cache.get(macro_for(config), layer)
+    after = (cache.hits, cache.shared_hits, cache.disk_hits, cache.derivations)
+    return {
+        "pid": os.getpid(),
+        "memory_hits": after[0] - before[0],
+        "shared_hits": after[1] - before[1],
+        "disk_hits": after[2] - before[2],
+        "derivations": after[3] - before[3],
+    }
 
 
 def _evaluate_layer_mappings(payload):
@@ -436,7 +474,7 @@ def _evaluate_layer_mappings(payload):
     default-profiled runs.
     """
     config, layer, num_mappings, distributions, per_action, persistent = payload
-    macro = CiMMacro(config)
+    macro = macro_for(config)
     if persistent and distributions is None:
         cache = _process_energy_cache
     else:
@@ -507,11 +545,26 @@ class BatchRunner:
         re-runs derive nothing.  The flag defaults to False so callers
         shipping custom (salted) profiles are isolated from the shared
         cache unless they explicitly opt in.
+
+        Before fan-out, the parent derives every cacheable macro cell's
+        per-action energy table in **one config-axis batched pass per
+        layer** (:meth:`PerActionEnergyCache.derive_many`) instead of
+        letting each worker walk the scalar circuit models; the tables
+        reach workers through fork inheritance or, for pools that were
+        already live, the shared-memory cache tier.
         """
         from repro.core.model import CiMLoopModel
 
         layers = list(network)
         num_layers = len(layers)
+        if use_distributions and (default_profiled or distributions is None):
+            macro_configs = [
+                config for config in configs if isinstance(config, CiMMacroConfig)
+            ]
+            if macro_configs:
+                _process_energy_cache.derive_many(
+                    macro_configs, layers, distributions=distributions
+                )
         payloads = [
             (
                 config,
@@ -599,11 +652,12 @@ class BatchRunner:
         # process cache stay persistent worker-side too (entries outlive
         # the payload), while explicit caller caches keep their isolation.
         persistent = cache is _process_energy_cache
-        macro = CiMMacro(config)
+        # One config-axis batched pass fills every missing (config, layer)
+        # table instead of a scalar derivation per layer.
+        tables = cache.derive_many([config], layers, distributions=distributions)[0]
         payloads = []
-        for layer in layers:
+        for layer, per_action in zip(layers, tables):
             layer_distributions = distributions.get(layer.name) if distributions else None
-            per_action = cache.get(macro, layer, layer_distributions)
             payloads.append(
                 (config, layer, num_mappings, layer_distributions, per_action, persistent)
             )

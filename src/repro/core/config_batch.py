@@ -1,0 +1,454 @@
+"""Config-axis batched per-action energy derivation.
+
+The fast pipeline amortises per-action energies across *mappings*
+(paper Sec. III-D), and :mod:`repro.core.batch` vectorized everything
+downstream of an energy table — but deriving the table itself was still a
+scalar cold-start: every sweep point built a full :class:`CiMMacro`
+object graph and walked its circuit models one config at a time.  This
+module batches that derivation over the **config axis**: given a family
+of :class:`CiMMacroConfig` sharing one workload layer (and therefore one
+:class:`~repro.workloads.distributions.LayerDistributions`), it emits the
+whole ``(configs, actions)`` energy matrix in a few NumPy passes.
+
+How the batching wins
+---------------------
+* Operand statistics are deduplicated by *encoding subkey*: the input
+  stats depend only on ``(input_encoding, input_bits, dac_resolution)``
+  and the weight stats only on ``(weight_encoding, weight_bits,
+  bits_per_cell)``, so a 96-config grid that sweeps ADC resolution,
+  supply voltage, or calibration scales runs the expensive
+  encode-and-slice PMF propagation once, not 96 times.
+* Every circuit energy formula (ADC, DAC, cell array, drivers, analog
+  and digital post-processing, buffers) is evaluated as a NumPy
+  expression over a ``(configs,)`` leading axis instead of per-config
+  Python object construction and method dispatch.
+* Memory-cell device models stay pluggable: per unique ``(device,
+  bits_per_cell, technology)`` the cell is instantiated once through the
+  (possibly custom) :class:`~repro.devices.nvmexplorer.CellLibrary`, its
+  technology-scaled base energies are shared across the batch, and its
+  ``_data_dependence`` hook is honoured per config so subclasses with
+  custom data dependence (e.g. ReRAM conductance floors) stay exact.
+
+The scalar :meth:`CiMMacro.per_action_energies` remains the tested
+oracle: :func:`max_scalar_relative_error` is the equivalence gate used by
+the test suite and the ``bench-config-derivation`` benchmark (max
+relative error <= 1e-9, identical action ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.architecture.macro import CiMMacro, CiMMacroConfig
+from repro.circuits.adc import ADCModel
+from repro.circuits.analog import AnalogAccumulator, AnalogAdder, AnalogMACUnit
+from repro.circuits.buffers import SRAMBuffer
+from repro.circuits.dac import DACModel, DACType
+from repro.circuits.digital import DigitalAccumulator, DigitalMACUnit, ShiftAdd
+from repro.circuits.drivers import ColumnMux, RowDriver
+from repro.circuits.interface import OperandStats
+from repro.devices.nvmexplorer import CellLibrary, default_cell_library
+from repro.devices.technology import REFERENCE_NODE, scale_energy
+from repro.representation.encoding import get_encoding
+from repro.representation.slicing import encode_and_slice
+from repro.utils.errors import EvaluationError, ValidationError
+from repro.workloads.distributions import LayerDistributions, profile_layer
+from repro.workloads.einsum import TensorRole
+from repro.workloads.layer import Layer
+
+#: Per-action energy keys in the exact insertion order of the scalar
+#: :meth:`CiMMacro.per_action_energies` dict — the "identical action
+#: ordering" contract of the equivalence gate.
+DERIVED_ACTIONS: Tuple[str, ...] = (
+    "cell_compute",
+    "cell_write",
+    "dac_convert",
+    "adc_convert",
+    "row_drive",
+    "column_mux",
+    "analog_add",
+    "analog_accumulate",
+    "analog_mac",
+    "shift_add",
+    "digital_accumulate",
+    "digital_mac",
+    "input_buffer_read",
+    "input_buffer_write",
+    "output_buffer_update",
+    "output_buffer_read",
+)
+
+
+@dataclass(frozen=True)
+class ConfigBatchResult:
+    """The ``(configs, actions)`` per-action energy matrix of one family.
+
+    ``energies[i, k]`` is the average energy (J) of action
+    ``actions[k]`` on ``configs[i]`` for the family's layer; ``actions``
+    follows :data:`DERIVED_ACTIONS`, the scalar dict's insertion order.
+    """
+
+    configs: Tuple[CiMMacroConfig, ...]
+    actions: Tuple[str, ...]
+    energies: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def per_action(self, index: int) -> Dict[str, float]:
+        """One config's energies as the scalar-path per-action dict."""
+        row = self.energies[index]
+        return {action: float(row[k]) for k, action in enumerate(self.actions)}
+
+    def tables(self) -> List[Dict[str, float]]:
+        """Every config's per-action dict, in config order."""
+        return [self.per_action(index) for index in range(len(self))]
+
+
+# ----------------------------------------------------------------------
+# Operand statistics over the config axis
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _RoleStats:
+    """One tensor role's operand statistics as arrays over configs."""
+
+    mean: np.ndarray
+    mean_square: np.ndarray
+    density: np.ndarray
+    toggle: np.ndarray
+
+
+def _gather(stats: Sequence[OperandStats]) -> _RoleStats:
+    return _RoleStats(
+        mean=np.array([s.mean for s in stats], dtype=np.float64),
+        mean_square=np.array([s.mean_square for s in stats], dtype=np.float64),
+        density=np.array([s.density for s in stats], dtype=np.float64),
+        toggle=np.array([s.toggle_rate for s in stats], dtype=np.float64),
+    )
+
+
+def _batch_operand_stats(
+    configs: Sequence[CiMMacroConfig],
+    distributions: Optional[LayerDistributions],
+) -> Tuple[_RoleStats, _RoleStats, _RoleStats]:
+    """(inputs, weights, outputs) statistics arrays, one row per config.
+
+    Mirrors :meth:`CiMMacro.operand_context` exactly: without
+    distributions every role carries nominal statistics (fixed-energy
+    mode); with distributions the input/weight stats come from the
+    encode-and-slice propagation — computed once per unique encoding
+    subkey, not once per config — and the output stats follow the same
+    clipped product formula, vectorized.
+    """
+    n = len(configs)
+    if distributions is None:
+        nominal = [OperandStats.nominal()] * n
+        role = _gather(nominal)
+        return role, role, role
+
+    input_pmf = distributions.pmf(TensorRole.INPUTS)
+    weight_pmf = distributions.pmf(TensorRole.WEIGHTS)
+    input_cache: Dict[tuple, OperandStats] = {}
+    weight_cache: Dict[tuple, OperandStats] = {}
+    input_stats: List[OperandStats] = []
+    weight_stats: List[OperandStats] = []
+    for config in configs:
+        in_key = (config.input_encoding, config.input_bits, config.dac_resolution)
+        if in_key not in input_cache:
+            encoding = get_encoding(config.input_encoding, config.input_bits)
+            sliced = encode_and_slice(input_pmf, encoding, config.dac_resolution)
+            input_cache[in_key] = OperandStats.from_sliced(sliced)
+        input_stats.append(input_cache[in_key])
+        w_key = (config.weight_encoding, config.weight_bits, config.bits_per_cell)
+        if w_key not in weight_cache:
+            encoding = get_encoding(config.weight_encoding, config.weight_bits)
+            sliced = encode_and_slice(weight_pmf, encoding, config.bits_per_cell)
+            weight_cache[w_key] = OperandStats.from_sliced(sliced)
+        weight_stats.append(weight_cache[w_key])
+
+    inputs = _gather(input_stats)
+    weights = _gather(weight_stats)
+    out_mean = np.minimum(inputs.mean * weights.mean * 4.0, 1.0)
+    out_mean_sq = np.minimum(out_mean * out_mean * 1.5, 1.0)
+    out_density = np.minimum(inputs.density + 0.2, 1.0)
+    out_toggle = np.minimum(0.5 * (out_mean + inputs.density), 1.0)
+    outputs = _RoleStats(
+        mean=out_mean, mean_square=out_mean_sq, density=out_density, toggle=out_toggle
+    )
+    return inputs, weights, outputs
+
+
+# ----------------------------------------------------------------------
+# Derivation
+# ----------------------------------------------------------------------
+def _validate_family(configs: Sequence[CiMMacroConfig]) -> None:
+    """Reject configs the scalar macro constructor would reject.
+
+    :class:`CiMMacroConfig` validates its own fields, but a few limits
+    live on the component models and only surface when :class:`CiMMacro`
+    instantiates them; the batched path re-checks those so an invalid
+    config fails identically on both paths instead of silently producing
+    numbers here.
+    """
+    for config in configs:
+        if not isinstance(config, CiMMacroConfig):
+            raise EvaluationError(
+                f"config batch expects CiMMacroConfig entries, got {type(config).__name__}"
+            )
+        if not 1 <= config.adc_resolution <= 14:
+            raise ValidationError(
+                f"ADC resolution must be in [1, 14] bits, got {config.adc_resolution}"
+            )
+        if not 1 <= config.dac_resolution <= 12:
+            raise ValidationError(
+                f"DAC resolution must be in [1, 12] bits, got {config.dac_resolution}"
+            )
+        if not 1 <= config.weight_bits <= 16:
+            raise ValidationError("analog MAC weight bits must be in [1, 16]")
+        if config.input_buffer_kib < 1 or config.output_buffer_kib < 1:
+            raise ValidationError("buffer capacity must be positive")
+        for scale in ("adc_energy_scale", "dac_energy_scale", "digital_energy_scale"):
+            if getattr(config, scale) <= 0:
+                raise ValidationError("calibration scales must be positive")
+
+
+def derive_config_batch(
+    configs: Sequence[CiMMacroConfig],
+    layer: Layer,
+    distributions: Optional[LayerDistributions] = None,
+    use_distributions: bool = True,
+    cell_library: Optional[CellLibrary] = None,
+) -> ConfigBatchResult:
+    """Derive the per-action energies of a config family in batched passes.
+
+    Parameters mirror the scalar path: ``distributions=None`` with
+    ``use_distributions=True`` profiles the layer with the default
+    synthetic profile (exactly what :meth:`PerActionEnergyCache.get`
+    does); ``use_distributions=False`` is fixed-energy mode (nominal
+    operand statistics, matching ``CiMMacro.operand_context(None)``).
+
+    Returns the full ``(configs, actions)`` matrix; each row agrees with
+    ``CiMMacro(config).per_action_energies(...)`` to well within 1e-9
+    relative error, with the identical action ordering.
+    """
+    configs = tuple(configs)
+    if not configs:
+        raise EvaluationError("config batch needs at least one config")
+    _validate_family(configs)
+    if use_distributions and distributions is None:
+        distributions = profile_layer(layer)
+    inputs, weights, outputs = _batch_operand_stats(
+        configs, distributions if use_distributions else None
+    )
+
+    ref_factor = REFERENCE_NODE.energy_factor
+    energy_factor = np.array(
+        [c.technology.energy_factor for c in configs], dtype=np.float64
+    ) / ref_factor
+    vdd = np.array([c.technology.vdd for c in configs], dtype=np.float64)
+
+    def farray(attribute: str) -> np.ndarray:
+        return np.array([getattr(c, attribute) for c in configs], dtype=np.float64)
+
+    rows = farray("rows")
+    cols = farray("cols")
+    adc_bits = farray("adc_resolution")
+    dac_levels = np.array([1 << c.dac_resolution for c in configs], dtype=np.float64)
+    adc_levels = np.array([1 << c.adc_resolution for c in configs], dtype=np.float64)
+    weight_bits = farray("weight_bits")
+    output_bits = farray("output_bits")
+    adder_operands = np.maximum(farray("analog_adder_operands"), 1.0)
+    pulse_dac = np.array(
+        [c.dac_type is DACType.PULSE for c in configs], dtype=bool
+    )
+    value_aware = np.array([c.value_aware_adc for c in configs], dtype=bool)
+
+    cell_scale = farray("cell_energy_scale")
+    dac_scale = farray("dac_energy_scale")
+    adc_scale = farray("adc_energy_scale")
+    analog_scale = farray("analog_energy_scale")
+    digital_scale = farray("digital_energy_scale")
+    driver_scale = farray("driver_energy_scale")
+    buffer_scale = farray("buffer_energy_scale")
+
+    # -- memory cells: one instantiation per unique device point ---------
+    library = cell_library or default_cell_library()
+    cell_cache: Dict[tuple, tuple] = {}
+    compute_base = np.empty(len(configs), dtype=np.float64)
+    write_base = np.empty(len(configs), dtype=np.float64)
+    data_factor = np.empty(len(configs), dtype=np.float64)
+    for i, config in enumerate(configs):
+        cell_key = (config.device.lower(), config.bits_per_cell, config.technology)
+        if cell_key not in cell_cache:
+            cell = library.create(config.device, config.technology, config.bits_per_cell)
+            cell_cache[cell_key] = (
+                cell,
+                scale_energy(cell.base_compute_energy(), REFERENCE_NODE, config.technology),
+                scale_energy(cell.base_write_energy(), REFERENCE_NODE, config.technology),
+            )
+        cell, scaled_compute, scaled_write = cell_cache[cell_key]
+        compute_base[i] = scaled_compute
+        write_base[i] = scaled_write
+        # The data-dependence hook is a cheap pure function, called per
+        # config so cells with custom dependence models stay exact.
+        data_factor[i] = cell._data_dependence(
+            min(float(inputs.mean_square[i]), 1.0),
+            min(float(weights.mean[i]), 1.0),
+        )
+
+    cell_compute = compute_base * data_factor * cell_scale
+    cell_write = write_base * cell_scale
+
+    # -- DAC (repro.circuits.dac.DACModel.energy) ------------------------
+    dac_dynamic = DACModel._ENERGY_PER_LEVEL_FJ * dac_levels + np.where(
+        pulse_dac, DACModel._ENERGY_PER_LEVEL_SQ_FJ * dac_levels * dac_levels, 0.0
+    )
+    dac_static = np.where(
+        pulse_dac,
+        DACModel._ENERGY_STATIC_FJ * inputs.density,
+        DACModel._ENERGY_STATIC_FJ,
+    )
+    dac_value = np.where(pulse_dac, inputs.mean, 0.25 + 0.75 * inputs.toggle)
+    dac_convert = (dac_static + dac_dynamic * dac_value) * 1e-15 * dac_scale * energy_factor
+
+    # -- ADC (repro.circuits.adc.ADCModel.energy) ------------------------
+    adc_full = (
+        (ADCModel._ENERGY_PER_LEVEL_FJ * adc_levels + ADCModel._ENERGY_PER_BIT_FJ * adc_bits)
+        * 1e-15 * adc_scale * energy_factor
+    )
+    adc_convert = np.where(value_aware, adc_full * (0.3 + 0.7 * outputs.mean), adc_full)
+
+    # -- array drivers (repro.circuits.drivers) — no node scaling, the
+    # C * V^2 formula already carries the operating point ----------------
+    row_drive = (
+        (RowDriver._CAP_PER_CELL_FF * 1e-15 * cols)
+        * vdd * vdd
+        * (inputs.density * (0.3 + 0.7 * inputs.mean_square))
+        * driver_scale
+    )
+    column_mux = (
+        (ColumnMux._CAP_PER_ROW_FF * 1e-15 * rows)
+        * vdd * vdd
+        * (0.3 + 0.7 * outputs.mean_square)
+        * driver_scale
+    )
+
+    # -- analog post-processing (repro.circuits.analog) ------------------
+    signal_factor = 0.15 + (1.0 - 0.15) * outputs.mean_square
+    analog_add = (
+        (AnalogAdder._ENERGY_PER_OPERAND_FJ * adder_operands * analog_scale)
+        * 1e-15 * signal_factor * energy_factor
+    )
+    analog_accumulate = (
+        AnalogAccumulator._ENERGY_PER_ACCUMULATE_FJ * 1e-15
+        * analog_scale * signal_factor * energy_factor
+    )
+    mac_factor = 0.2 + (1.0 - 0.2) * inputs.mean * weights.mean
+    analog_mac = (
+        (AnalogMACUnit._ENERGY_PER_BIT_FJ * weight_bits * analog_scale)
+        * 1e-15 * mac_factor * energy_factor
+    )
+
+    # -- digital post-processing (repro.circuits.digital) ----------------
+    out_toggle_factor = 0.2 + (1.0 - 0.2) * outputs.toggle
+    shift_add = (
+        (ShiftAdd._ENERGY_PER_BIT_FJ * output_bits * digital_scale)
+        * 1e-15 * out_toggle_factor * energy_factor
+    )
+    digital_accumulate = (
+        (DigitalAccumulator._ENERGY_PER_BIT_FJ * output_bits * digital_scale)
+        * 1e-15 * out_toggle_factor * energy_factor
+    )
+    in_toggle_factor = 0.2 + (1.0 - 0.2) * inputs.toggle
+    w_toggle_factor = 0.2 + (1.0 - 0.2) * weights.toggle
+    digital_mac = (
+        (DigitalMACUnit._ENERGY_PER_BIT_FJ * weight_bits * digital_scale)
+        * 1e-15
+        * (0.5 * (in_toggle_factor + w_toggle_factor))
+        * energy_factor
+    )
+
+    # -- staging buffers (repro.circuits.buffers.SRAMBuffer) -------------
+    input_capacity = farray("input_buffer_kib") * 1024.0
+    output_capacity = farray("output_buffer_kib") * 1024.0
+    input_bits = farray("input_bits")
+    input_access = (
+        SRAMBuffer._REF_ACCESS_PJ
+        * np.sqrt(input_capacity / SRAMBuffer._REF_CAPACITY_BYTES)
+        * (input_bits / SRAMBuffer._REF_WIDTH_BITS)
+        * 1e-12
+        * buffer_scale
+        * energy_factor
+    )
+    output_access = (
+        SRAMBuffer._REF_ACCESS_PJ
+        * np.sqrt(output_capacity / SRAMBuffer._REF_CAPACITY_BYTES)
+        * (output_bits / SRAMBuffer._REF_WIDTH_BITS)
+        * 1e-12
+        * buffer_scale
+        * energy_factor
+    )
+
+    energies = np.stack(
+        [
+            cell_compute,
+            cell_write,
+            dac_convert,
+            adc_convert,
+            row_drive,
+            column_mux,
+            analog_add,
+            analog_accumulate,
+            analog_mac,
+            shift_add,
+            digital_accumulate,
+            digital_mac,
+            input_access,
+            input_access * 1.1,
+            output_access * 2.0,
+            output_access,
+        ],
+        axis=1,
+    )
+    return ConfigBatchResult(configs=configs, actions=DERIVED_ACTIONS, energies=energies)
+
+
+# ----------------------------------------------------------------------
+# Equivalence gate
+# ----------------------------------------------------------------------
+def max_scalar_relative_error(
+    result: ConfigBatchResult,
+    layer: Layer,
+    distributions: Optional[LayerDistributions] = None,
+    use_distributions: bool = True,
+    cell_library: Optional[CellLibrary] = None,
+) -> float:
+    """Worst relative error of a batch vs the scalar oracle, over all
+    configs and actions.
+
+    Re-derives every config's table through the scalar
+    :meth:`CiMMacro.per_action_energies` and compares element-wise (also
+    asserting the action *ordering* matches the scalar dict's).  The test
+    suite and the ``bench-config-derivation`` gate require the returned
+    value to be <= 1e-9.
+    """
+    if use_distributions and distributions is None:
+        distributions = profile_layer(layer)
+    worst = 0.0
+    for index, config in enumerate(result.configs):
+        macro = CiMMacro(config, cell_library=cell_library)
+        context = macro.operand_context(distributions if use_distributions else None)
+        expected = macro.per_action_energies(context)
+        if tuple(expected) != result.actions:
+            raise EvaluationError(
+                "batched action ordering diverged from the scalar oracle: "
+                f"{result.actions} vs {tuple(expected)}"
+            )
+        got = result.per_action(index)
+        for action, reference in expected.items():
+            scale = max(abs(reference), 1e-30)
+            worst = max(worst, abs(got[action] - reference) / scale)
+    return worst

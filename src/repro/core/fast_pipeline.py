@@ -17,6 +17,32 @@ amortised across a large mapping search.  The per-candidate arithmetic is
 vectorized by :mod:`repro.core.batch`; the scalar loop survives as
 :meth:`AmortizedEvaluator.evaluate_mappings_scalar`, the reference oracle
 the batch engine is tested against.
+
+Derivation batching & cache tiers
+---------------------------------
+Step 2 above — deriving the per-action energy table itself — is batched
+over the *config axis* by :mod:`repro.core.config_batch`: a family of
+configs sharing one layer resolves through
+:meth:`PerActionEnergyCache.derive_many`, which fills every missing entry
+of the grid in a few NumPy passes instead of one scalar macro walk per
+config (the scalar :meth:`CiMMacro.per_action_energies` stays as the
+tested oracle).  Around the derivation sit three cache tiers, consulted
+in order:
+
+1. **Process tier** — the in-memory map below, keyed by the full frozen
+   config + layer fingerprint.  Fork-inherited by pool workers, so
+   entries that exist when the shared pool forks are free.
+2. **Shared-memory tier** (:mod:`repro.core.shared_cache`) — a
+   single-writer ``multiprocessing.shared_memory`` slab.  Tables derived
+   in the parent *after* the pool forked are published here and observed
+   by already-live workers, closing the gap the fork-inherited tier
+   cannot cover (and without touching the disk).
+3. **Disk tier** (:class:`DiskEnergyCache`, opt-in via
+   ``REPRO_ENERGY_CACHE_DIR``) — cross-process *and* cross-run reuse,
+   with LRU size/entry bounds so the store cannot grow without limit.
+
+Only a miss in all three tiers derives; the result is written back
+through every enabled tier.
 """
 
 from __future__ import annotations
@@ -28,9 +54,10 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.architecture.macro import CiMMacro, CiMMacroConfig, MacroLayerCounts
+from repro.core.shared_cache import SharedEnergyTier, env_positive_int
 from repro.utils.errors import EvaluationError
 from repro.workloads.distributions import LayerDistributions, profile_layer
 from repro.workloads.layer import Layer
@@ -40,6 +67,22 @@ CacheKey = Tuple[CiMMacroConfig, tuple]
 
 #: Environment variable naming the directory of the opt-in disk cache.
 ENERGY_CACHE_DIR_ENV = "REPRO_ENERGY_CACHE_DIR"
+
+#: Environment variables bounding the disk cache (LRU eviction).
+ENERGY_CACHE_MAX_ENTRIES_ENV = "REPRO_ENERGY_CACHE_MAX_ENTRIES"
+ENERGY_CACHE_MAX_BYTES_ENV = "REPRO_ENERGY_CACHE_MAX_BYTES"
+
+
+def canonical_key(key: CacheKey) -> str:
+    """Deterministic string identity of a cache key.
+
+    Shared by every cache tier (disk file naming, shared-memory index),
+    so the tiers can never disagree about which design an entry belongs
+    to: the string embeds the full frozen config repr and the layer
+    fingerprint repr.
+    """
+    config, fingerprint = key
+    return f"{config!r}|{fingerprint!r}"
 
 
 class DiskEnergyCache:
@@ -60,6 +103,13 @@ class DiskEnergyCache:
     temporary file + ``os.replace`` so concurrent workers never observe a
     half-written entry.
 
+    Bounds: ``max_entries`` / ``max_bytes`` cap the store with LRU
+    eviction — every load refreshes its entry's mtime, and after each
+    store the oldest entries beyond either limit are unlinked (counted in
+    ``evictions``).  Unbounded by default; the environment variables
+    ``REPRO_ENERGY_CACHE_MAX_ENTRIES`` / ``REPRO_ENERGY_CACHE_MAX_BYTES``
+    bound the opt-in cache without code changes.
+
     Like the in-memory cache, entries assume default-profiled
     distributions; callers with custom profiles must use a separate
     directory (or no disk cache at all).
@@ -67,11 +117,23 @@ class DiskEnergyCache:
 
     VERSION = 1
 
-    def __init__(self, directory: Union[str, Path]):
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 (or None)")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1 (or None)")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.loads = 0
         self.load_failures = 0
+        self.evictions = 0
 
     @classmethod
     def from_env(cls, variable: str = ENERGY_CACHE_DIR_ENV) -> Optional["DiskEnergyCache"]:
@@ -86,7 +148,11 @@ class DiskEnergyCache:
         if not directory:
             return None
         try:
-            return cls(directory)
+            return cls(
+                directory,
+                max_entries=env_positive_int(ENERGY_CACHE_MAX_ENTRIES_ENV),
+                max_bytes=env_positive_int(ENERGY_CACHE_MAX_BYTES_ENV),
+            )
         except OSError as error:
             import sys
 
@@ -100,8 +166,7 @@ class DiskEnergyCache:
     @staticmethod
     def canonical_key(key: CacheKey) -> str:
         """Deterministic string identity of a cache key."""
-        config, fingerprint = key
-        return f"{config!r}|{fingerprint!r}"
+        return canonical_key(key)
 
     def path_for(self, key: CacheKey) -> Path:
         """The entry file a key maps to."""
@@ -127,6 +192,11 @@ class DiskEnergyCache:
             self.load_failures += 1
             return None
         self.loads += 1
+        if self.max_entries is not None or self.max_bytes is not None:
+            try:
+                os.utime(path)  # refresh recency so eviction is LRU, not FIFO
+            except OSError:
+                pass
         return energies
 
     def store(self, key: CacheKey, energies: Dict[str, float]) -> None:
@@ -167,6 +237,42 @@ class DiskEnergyCache:
                 f"({error}); continuing without it",
                 file=sys.stderr,
             )
+            return
+        self._evict()
+
+    def _evict(self) -> None:
+        """Unlink least-recently-used entries beyond the configured bounds.
+
+        Best-effort: a file that vanishes mid-scan (a concurrent evictor)
+        is simply skipped.  The newest entry is always kept, even when it
+        alone exceeds the byte budget — evicting the entry just written
+        would defeat the cache entirely.
+        """
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        entries = []
+        for path in self.directory.glob("energy-*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(reverse=True)  # newest first
+        total_bytes = 0
+        kept = 0
+        for mtime, size, path in entries:
+            kept += 1
+            total_bytes += size
+            over_entries = self.max_entries is not None and kept > self.max_entries
+            over_bytes = self.max_bytes is not None and total_bytes > self.max_bytes
+            if kept > 1 and (over_entries or over_bytes):
+                try:
+                    path.unlink()
+                    self.evictions += 1
+                except OSError:
+                    pass
+                kept -= 1
+                total_bytes -= size
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("energy-*.json"))
@@ -198,13 +304,16 @@ class PerActionEnergyCache:
 
     Persistence
     -----------
-    An optional :class:`DiskEnergyCache` backs the in-memory map: memory
-    misses consult the disk before deriving, and fresh derivations are
-    written through, so a second process (or a later run) reuses energies
-    without ever recomputing them.  ``derivations`` counts *actual*
-    energy-model computations — a fully warm memory or disk cache leaves
-    it at zero — while ``misses`` keeps counting memory misses whether or
-    not the disk served them (``disk_hits`` says how many it did).
+    Two optional tiers back the in-memory map, consulted in order on a
+    memory miss: the **shared-memory tier**
+    (:class:`~repro.core.shared_cache.SharedEnergyTier`) lets live pool
+    workers observe tables the parent derived after the pool forked, and
+    the **disk tier** (:class:`DiskEnergyCache`) persists entries across
+    processes and runs.  Fresh derivations are written through both.
+    ``derivations`` counts *actual* energy-model computations — a fully
+    warm tier stack leaves it at zero — while ``misses`` keeps counting
+    memory misses whether or not a backing tier served them
+    (``shared_hits`` / ``disk_hits`` say which one did).
     """
 
     _entries: Dict[CacheKey, Dict[str, float]] = field(default_factory=dict)
@@ -212,6 +321,8 @@ class PerActionEnergyCache:
     misses: int = 0
     disk: Optional[DiskEnergyCache] = None
     disk_hits: int = 0
+    shared: Optional[SharedEnergyTier] = None
+    shared_hits: int = 0
     derivations: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -233,21 +344,117 @@ class PerActionEnergyCache:
                 self.hits += 1
                 return self._entries[key]
             self.misses += 1
-            if self.disk is not None:
-                stored = self.disk.load(key)
-                if stored is not None:
-                    self.disk_hits += 1
-                    self._entries[key] = stored
-                    return stored
+            served = self._load_from_tiers(key)
+            if served is not None:
+                return served
             self.derivations += 1
             if distributions is None:
                 distributions = profile_layer(layer)
             context = macro.operand_context(distributions)
             energies = macro.per_action_energies(context)
-            self._entries[key] = energies
-            if self.disk is not None:
-                self.disk.store(key, energies)
+            self._store(key, energies)
             return energies
+
+    def _load_from_tiers(self, key: CacheKey) -> Optional[Dict[str, float]]:
+        """Resolve a memory miss through the shared then disk tiers."""
+        if self.shared is not None:
+            stored = self.shared.lookup(canonical_key(key))
+            if stored is not None:
+                self.shared_hits += 1
+                self._entries[key] = stored
+                return stored
+        if self.disk is not None:
+            stored = self.disk.load(key)
+            if stored is not None:
+                self.disk_hits += 1
+                self._entries[key] = stored
+                return stored
+        return None
+
+    def _store(self, key: CacheKey, energies: Dict[str, float]) -> None:
+        """Insert a fresh derivation and write it through every tier."""
+        self._entries[key] = energies
+        if self.shared is not None:
+            self.shared.publish(canonical_key(key), energies)
+        if self.disk is not None:
+            self.disk.store(key, energies)
+
+    def derive_many(
+        self,
+        configs: Sequence[CiMMacroConfig],
+        layers: Sequence[Layer],
+        distributions: Optional[Dict[str, LayerDistributions]] = None,
+        cell_library=None,
+    ) -> List[List[Dict[str, float]]]:
+        """Bulk-populate the cache for a ``configs x layers`` grid.
+
+        For each layer, entries already present count as ``hits``; the
+        remaining configs are derived in **one config-axis batched pass**
+        (:func:`repro.core.config_batch.derive_config_batch`) instead of
+        one scalar macro walk per config, then written through the shared
+        and disk tiers exactly like :meth:`get` derivations.  Accounting
+        matches the scalar path entry for entry: every returned table was
+        either a hit, a tier hit, or a derivation.
+
+        ``distributions`` maps layer names to profiles (as
+        ``profile_network`` produces); absent layers are profiled with
+        defaults, which is the contract a shared cache requires.  Returns
+        ``tables[config_index][layer_index]``, each table identical (to
+        well within 1e-9 relative error) to what :meth:`get` would have
+        derived.
+        """
+        from repro.core.config_batch import derive_config_batch
+
+        configs = list(configs)
+        layers = list(layers)
+        tables: List[List[Optional[Dict[str, float]]]] = [
+            [None] * len(layers) for _ in configs
+        ]
+        with self._lock:
+            for column, layer in enumerate(layers):
+                fingerprint = layer.fingerprint()
+                remaining: List[int] = []
+                pending: set = set()
+                for row, config in enumerate(configs):
+                    key = (config, fingerprint)
+                    if key in self._entries or config in pending:
+                        # Duplicate grid slots count as hits, exactly as a
+                        # sequential get() loop would record them.
+                        self.hits += 1
+                        if key in self._entries:
+                            tables[row][column] = self._entries[key]
+                        else:
+                            remaining.append(row)
+                        continue
+                    self.misses += 1
+                    served = self._load_from_tiers(key)
+                    if served is not None:
+                        tables[row][column] = served
+                    else:
+                        remaining.append(row)
+                        pending.add(config)
+                if not remaining:
+                    continue
+                layer_distributions = (
+                    distributions.get(layer.name) if distributions else None
+                )
+                # Duplicate configs in the grid derive once, not per slot.
+                unique: Dict[CiMMacroConfig, int] = {}
+                for row in remaining:
+                    unique.setdefault(configs[row], len(unique))
+                batch = derive_config_batch(
+                    list(unique),
+                    layer,
+                    distributions=layer_distributions,
+                    cell_library=cell_library,
+                )
+                self.derivations += len(unique)
+                derived = [batch.per_action(position) for position in range(len(unique))]
+                for config, position in unique.items():
+                    self._store((config, fingerprint), derived[position])
+                for row in remaining:
+                    tables[row][column] = derived[unique[configs[row]]]
+        return tables
 
     def seed(self, macro: CiMMacro, layer: Layer, energies: Dict[str, float]) -> None:
         """Pre-insert per-action energies computed elsewhere.
@@ -261,14 +468,15 @@ class PerActionEnergyCache:
             self._entries[key] = energies
 
     def invalidate(self) -> None:
-        """Drop every cached in-memory entry (disk entries are left alone:
-        their keys embed the full config, so they can never serve a
-        changed design)."""
+        """Drop every cached in-memory entry (shared-memory and disk
+        entries are left alone: their keys embed the full config, so they
+        can never serve a changed design)."""
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
             self.disk_hits = 0
+            self.shared_hits = 0
             self.derivations = 0
 
     def __len__(self) -> int:

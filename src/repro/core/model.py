@@ -175,7 +175,10 @@ class CiMLoopModel:
 
         Operand distributions are profiled once per layer and shared by
         every sweep point — profiling is layer-only (paper Sec. III-D1) and
-        independent of the swept hardware.  With ``workers > 1`` the joint
+        independent of the swept hardware — and the whole sweep's
+        per-action energy tables are derived up front in config-axis
+        batched passes (:mod:`repro.core.config_batch`), one pass per
+        layer for all points at once.  With ``workers > 1`` the joint
         ``(point x layer)`` product is fanned across the process-wide
         shared pool (:func:`repro.core.batch.shared_pool`): the pool is
         created once per process on first use, reused by every later
@@ -226,15 +229,21 @@ class CiMLoopModel:
 
         Three levels — compute, the CiM array (capacity limited to the
         weights the array can hold at once), and the outer backing store —
-        over the layer's einsum iteration space.  ``spatial_fanout``
-        optionally grants the array level a spatial-fanout budget (parallel
-        compute groups inside the macro), which lets the mapper trade
-        sequential passes for parallelism; by default the space is
-        temporal-only.
+        over the layer's einsum iteration space.  The array level's
+        spatial-fanout budget (parallel compute groups inside the macro)
+        defaults to the macro's *geometry*: one group per independent
+        output column group
+        (:meth:`~repro.architecture.macro.CiMMacro.spatial_fanout_budget`),
+        so the mapper's parallelism is bounded by what the hardware
+        actually fans out.  Pass an explicit ``spatial_fanout`` to
+        override the budget, or ``spatial_fanout=1`` for a temporal-only
+        space.
         """
         from repro.mapping import MapSpace
 
-        spatial_limits = {1: spatial_fanout} if spatial_fanout else {}
+        if spatial_fanout is None:
+            spatial_fanout = self.macro.spatial_fanout_budget()
+        spatial_limits = {1: spatial_fanout} if spatial_fanout > 1 else {}
         return MapSpace(
             einsum=layer.einsum,
             level_names=("compute", "array", "backing"),
@@ -265,6 +274,8 @@ class CiMLoopModel:
         :func:`repro.mapping.energy.energy_cost`; ``objective="proxy"``
         keeps the weighted access-count proxy.  ``best_cost`` is joules
         for the energy objective and a unitless score for the proxy.
+        ``spatial_fanout=None`` uses the geometry-derived array budget
+        (see :meth:`layer_mapspace`).
         """
         from repro.mapping import (
             batch_search,

@@ -1,0 +1,469 @@
+"""Shared-memory per-action energy store (parent writes, live workers read).
+
+The process-wide :class:`~repro.core.fast_pipeline.PerActionEnergyCache`
+is fork-inherited: entries present when the shared pool forks reach the
+workers for free, but a table derived in the *parent after pool creation*
+used to be invisible to already-live workers unless the disk cache was
+enabled.  This module closes that gap with a
+:mod:`multiprocessing.shared_memory` slab:
+
+* the creating (parent) process is the **single writer** — it appends raw
+  float64 energy vectors to the slab and keeps the authoritative index
+  ``{canonical key: (offset, count, actions)}`` on its side, republishing
+  a compact JSON snapshot of that index into the slab after each append;
+* any number of **readers** (pool workers) attach to the slab by its
+  deterministic name (derived from the parent PID, so post-fork discovery
+  needs no handshake) and refresh their view of the index under a
+  seqlock: an even generation counter brackets every consistent snapshot,
+  and committed vectors are immutable so vector reads need no lock at
+  all.
+
+The slab is bounded: when an append (vector + index snapshot) would
+overflow the fixed capacity, the store marks itself full and publishing
+degrades to a no-op — entries keep flowing through the process and disk
+tiers, nothing breaks.  All failure modes (no ``/dev/shm``, stale slabs
+from dead processes, torn reads) degrade to "no shared entries".
+
+Index snapshots are JSON, not pickle, so a hostile same-user process
+scribbling on the slab can at worst cause a cache miss, never code
+execution — the same trust level as the opt-in disk cache directory.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import struct
+import sys
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Header layout: magic, generation, index offset, index length, data used.
+_HEADER = struct.Struct("<5Q")
+_HEADER_BYTES = 64
+_MAGIC = 0x5245_5052_4E47_0001  # "REPR" "NG" v1
+
+#: Environment knobs: set the first to "0"/"off" to disable the tier, the
+#: second to resize the slab (bytes).
+SHARED_CACHE_ENV = "REPRO_SHARED_ENERGY_CACHE"
+SHARED_CACHE_BYTES_ENV = "REPRO_SHARED_ENERGY_CACHE_BYTES"
+DEFAULT_CAPACITY_BYTES = 1 << 20
+
+
+def env_positive_int(variable: str) -> Optional[int]:
+    """A positive integer from the environment, or None.
+
+    Unset/empty and non-positive values yield None; a non-integer value
+    is ignored with a warning instead of taking the run down.  Shared by
+    every cache tier's ``from_env`` so the knobs parse identically.
+    """
+    raw = os.environ.get(variable, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        print(f"warning: ignoring non-integer {variable}={raw!r}", file=sys.stderr)
+        return None
+    return value if value > 0 else None
+
+
+#: Slab-name prefix of the production tier; tests use private prefixes so
+#: their create/unlink cycles can never reclaim the live tier's slab.
+DEFAULT_PREFIX = "repro_energy"
+
+
+def slab_name(pid: int, prefix: str = DEFAULT_PREFIX) -> str:
+    """The deterministic slab name of the process with ``pid``."""
+    return f"{prefix}_{pid}"
+
+
+def reap_stale_slabs(prefix: str = DEFAULT_PREFIX) -> int:
+    """Unlink slabs whose owning process is dead; returns how many.
+
+    atexit cleanup cannot run for a SIGKILLed/OOM-killed owner, and the
+    in-create reclaim only fires when a later process draws the exact
+    same PID — so crashed runs would otherwise accumulate orphans in the
+    size-limited tmpfs.  Called whenever a new slab is created.  Linux
+    layout only (``/dev/shm``); elsewhere this is a silent no-op.
+    """
+    import re
+    from pathlib import Path
+
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return 0
+    pattern = re.compile(re.escape(prefix) + r"_(\d+)$")
+    reaped = 0
+    try:
+        candidates = list(shm_dir.iterdir())
+    except OSError:
+        return 0
+    for path in candidates:
+        match = pattern.match(path.name)
+        if not match:
+            continue
+        pid = int(match.group(1))
+        try:
+            os.kill(pid, 0)  # probe liveness, delivers no signal
+            continue  # owner alive: leave its slab alone
+        except ProcessLookupError:
+            pass
+        except OSError:
+            continue  # e.g. EPERM: alive under another uid
+        try:
+            path.unlink()
+            reaped += 1
+        except OSError:
+            pass
+    return reaped
+
+
+class SharedEnergyStore:
+    """One shared-memory slab: single writer, many lock-free readers."""
+
+    def __init__(self, shm, owner: bool, capacity: int):
+        self._shm = shm
+        self._owner = owner
+        self._capacity = capacity
+        # Writer-side authoritative state.
+        self._index: Dict[str, Tuple[int, int, Tuple[str, ...]]] = {}
+        self._data_used = 0
+        self._generation = 0
+        self._full = False
+        # Reader-side view of the last consistent snapshot.
+        self._view_generation = -1
+        self._view_index: Dict[str, Tuple[int, int, Tuple[str, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The slab's shared-memory name."""
+        return self._shm.name
+
+    @property
+    def is_owner(self) -> bool:
+        """True in the process that created (and may write) the slab."""
+        return self._owner
+
+    @property
+    def is_full(self) -> bool:
+        """True once an append overflowed the capacity (writes stopped)."""
+        return self._full
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        pid: Optional[int] = None,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        prefix: str = DEFAULT_PREFIX,
+    ) -> Optional["SharedEnergyStore"]:
+        """Create this process's slab, reclaiming a stale one if present.
+
+        Returns None when shared memory is unavailable on the platform
+        (the tier silently disables rather than failing the run).  The
+        stale-slab reclaim assumes one creator per (prefix, pid): only a
+        dead process's leftover can carry this process's name.
+        """
+        try:
+            from multiprocessing import shared_memory
+        except ImportError:  # pragma: no cover - platform without shm
+            return None
+        name = slab_name(pid if pid is not None else os.getpid(), prefix)
+        capacity = max(capacity_bytes, _HEADER_BYTES + 4096)
+        reap_stale_slabs(prefix)
+        try:
+            try:
+                shm = shared_memory.SharedMemory(name=name, create=True, size=capacity)
+            except FileExistsError:
+                # A previous process with our (recycled) PID died without
+                # cleanup; reclaim its slab.
+                stale = shared_memory.SharedMemory(name=name)
+                stale.close()
+                stale.unlink()
+                shm = shared_memory.SharedMemory(name=name, create=True, size=capacity)
+        except OSError:
+            return None
+        store = cls(shm, owner=True, capacity=capacity)
+        # Readers attaching early see a valid, empty index.
+        store._commit([(_HEADER_BYTES, b"{}")], _HEADER_BYTES, 2)
+        atexit.register(store.close)
+        return store
+
+    @classmethod
+    def attach(
+        cls, pid: int, prefix: str = DEFAULT_PREFIX
+    ) -> Optional["SharedEnergyStore"]:
+        """Attach read-only to the slab of ``pid``, or None if absent."""
+        try:
+            from multiprocessing import shared_memory
+        except ImportError:  # pragma: no cover - platform without shm
+            return None
+        # Python < 3.13 registers attached segments with the resource
+        # tracker as if this process owned them; the tracker then either
+        # warns about "leaked" memory at worker exit (per-worker tracker)
+        # or loses the creator's registration (fork-shared tracker).  The
+        # creator alone owns the slab, so suppress registration for the
+        # attach.  (3.13+ exposes track=False for exactly this.)
+        try:
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+        except ImportError:  # pragma: no cover - tracker always importable
+            resource_tracker = None
+        try:
+            shm = shared_memory.SharedMemory(name=slab_name(pid, prefix))
+        except (OSError, ValueError):
+            return None
+        finally:
+            if resource_tracker is not None:
+                resource_tracker.register = original_register
+        store = cls(shm, owner=False, capacity=shm.size)
+        magic = _HEADER.unpack_from(shm.buf, 0)[0]
+        if magic != _MAGIC:
+            store.close()
+            return None
+        atexit.register(store.close)
+        return store
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    def _commit(self, writes, index_offset: int, index_length: int) -> None:
+        """Apply region writes and publish the new snapshot (seqlock).
+
+        *Every* mutation of the slab — appended vectors included, since a
+        new vector lands where the previous index snapshot lives — happens
+        inside the odd-generation bracket, so a reader that observed an
+        even generation before and after copying the index can never have
+        seen a partially-overwritten snapshot.
+        """
+        buf = self._shm.buf
+        self._generation += 1  # odd: writes in progress
+        _HEADER.pack_into(buf, 0, _MAGIC, self._generation, 0, 0, self._data_used)
+        for offset, blob in writes:
+            buf[offset:offset + len(blob)] = blob
+        self._generation += 1  # even: consistent
+        _HEADER.pack_into(
+            buf, 0, _MAGIC, self._generation, index_offset, index_length,
+            self._data_used,
+        )
+
+    def put(self, key: str, energies: Dict[str, float]) -> bool:
+        """Append one entry and republish the index; False if not stored.
+
+        Only the owner writes; non-owners (forked children holding an
+        inherited handle) and full slabs no-op.  Entries are immutable:
+        re-putting an existing key succeeds without rewriting.
+        """
+        if not self._owner or self._full:
+            return False
+        if key in self._index:
+            return True
+        vector = np.asarray(list(energies.values()), dtype="<f8")
+        actions = tuple(energies.keys())
+        offset = _HEADER_BYTES + self._data_used
+        new_index = dict(self._index)
+        new_index[key] = (offset, int(vector.size), actions)
+        blob = json.dumps(
+            {k: [o, c, list(a)] for k, (o, c, a) in new_index.items()}
+        ).encode("utf-8")
+        if offset + vector.nbytes + len(blob) > self._capacity:
+            self._full = True
+            print(
+                f"warning: shared energy cache slab {self.name} is full "
+                f"({len(self._index)} entries); later entries use the "
+                "process and disk tiers only",
+                file=sys.stderr,
+            )
+            return False
+        self._data_used += vector.nbytes
+        self._index = new_index
+        index_offset = _HEADER_BYTES + self._data_used
+        self._commit(
+            [(offset, vector.tobytes()), (index_offset, blob)],
+            index_offset,
+            len(blob),
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        """Adopt the latest consistent index snapshot (seqlock retry)."""
+        buf = self._shm.buf
+        for _ in range(64):
+            _, generation, index_offset, index_length, _ = _HEADER.unpack_from(buf, 0)
+            if generation == self._view_generation:
+                return
+            if generation % 2 == 1:  # write in progress
+                continue
+            blob = bytes(buf[index_offset:index_offset + index_length])
+            generation_after = _HEADER.unpack_from(buf, 0)[1]
+            if generation_after != generation:
+                continue
+            try:
+                raw = json.loads(blob.decode("utf-8"))
+                index = {
+                    str(k): (int(o), int(c), tuple(str(a) for a in actions))
+                    for k, (o, c, actions) in raw.items()
+                }
+            except (ValueError, TypeError):
+                return  # torn/garbled snapshot: keep the previous view
+            self._view_index = index
+            self._view_generation = generation
+            return
+
+    def lookup(self, key: str) -> Optional[Dict[str, float]]:
+        """The stored energies of a key, or None when absent.
+
+        Committed vectors are immutable (appends never move or overwrite
+        them), so once a key appears in a consistent index snapshot its
+        bytes may be copied without further synchronisation.
+        """
+        index = self._index if self._owner else self._view_index
+        if not self._owner and key not in index:
+            self._refresh()
+            index = self._view_index
+        entry = index.get(key)
+        if entry is None:
+            return None
+        offset, count, actions = entry
+        raw = bytes(self._shm.buf[offset:offset + count * 8])
+        vector = np.frombuffer(raw, dtype="<f8")
+        return dict(zip(actions, vector.tolist()))
+
+    def __len__(self) -> int:
+        if self._owner:
+            return len(self._index)
+        self._refresh()
+        return len(self._view_index)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach; the owner also unlinks the slab from the system."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+            if self._owner:
+                shm.unlink()
+        except OSError:
+            pass
+
+
+class SharedEnergyTier:
+    """The cache-facing facade: lazy writer + lazy parent-slab reader.
+
+    One tier instance lives on the process-wide energy cache.  In the
+    process that created it (the pool parent) ``publish`` lazily creates
+    this process's slab and appends entries; in forked pool workers the
+    inherited tier refuses to write (single-writer contract) and
+    ``lookup`` instead attaches — lazily, by deterministic name — to the
+    origin process's slab, so tables derived in the parent after the pool
+    forked are still observed without the disk tier.
+
+    The tier starts *disarmed*: publishing is a no-op (and no slab is
+    ever allocated) until :meth:`arm` is called — which the shared pool
+    does when it forks its first workers.  A process that never fans out
+    therefore never touches ``/dev/shm``; entries derived before arming
+    reach workers through fork inheritance anyway.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        prefix: str = DEFAULT_PREFIX,
+    ):
+        self._capacity = capacity_bytes
+        self._prefix = prefix
+        self._origin_pid = os.getpid()
+        self._armed = False
+        self._writer: Optional[SharedEnergyStore] = None
+        self._writer_failed = False
+        self._reader: Optional[SharedEnergyStore] = None
+        self._reader_pid: Optional[int] = None
+
+    @classmethod
+    def from_env(cls) -> Optional["SharedEnergyTier"]:
+        """The default tier, or None when disabled via the environment."""
+        flag = os.environ.get(SHARED_CACHE_ENV, "").strip().lower()
+        if flag in {"0", "off", "no", "false"}:
+            return None
+        requested = env_positive_int(SHARED_CACHE_BYTES_ENV)
+        capacity = (
+            max(requested, _HEADER_BYTES + 4096)
+            if requested is not None
+            else DEFAULT_CAPACITY_BYTES
+        )
+        try:
+            return cls(capacity_bytes=capacity)
+        except Exception:  # pragma: no cover - defensive, constructor is trivial
+            return None
+
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Enable publishing (a worker pool now exists to read the slab)."""
+        if os.getpid() == self._origin_pid:
+            self._armed = True
+
+    def publish(self, key: str, energies: Dict[str, float]) -> bool:
+        """Expose one derived table to live (and future) pool workers.
+
+        Writes only in the tier's origin process — a forked worker
+        inheriting this object must not scribble on the parent's slab,
+        and creating per-worker slabs nobody reads would be waste — and
+        only once :meth:`arm` has declared a pool worth publishing for.
+        """
+        if not self._armed or os.getpid() != self._origin_pid:
+            return False
+        if self._writer is None and not self._writer_failed:
+            self._writer = SharedEnergyStore.create(
+                capacity_bytes=self._capacity, prefix=self._prefix
+            )
+            self._writer_failed = self._writer is None
+        if self._writer is None:
+            return False
+        return self._writer.put(key, energies)
+
+    def lookup(self, key: str) -> Optional[Dict[str, float]]:
+        """Resolve a key through the origin process's slab (workers only).
+
+        In the origin process every published entry is already in the
+        in-memory cache above this tier, so only forked children consult
+        shared memory.  The attach targets the tier's *recorded* origin
+        pid — not ``getppid()`` — so a grandchild of the slab owner (a
+        nested fork) still finds the right slab; and it is retried until
+        the owner has actually created it (the first table may be
+        published at any point in the pool's lifetime).
+        """
+        pid = os.getpid()
+        if pid == self._origin_pid:
+            return None
+        if self._reader_pid != pid:
+            self._reader = None
+            self._reader_pid = pid
+        if self._reader is None:
+            self._reader = SharedEnergyStore.attach(
+                self._origin_pid, prefix=self._prefix
+            )
+            if self._reader is None:
+                return None
+        return self._reader.lookup(key)
+
+    def close(self) -> None:
+        """Release the tier's stores (the owner's slab is unlinked)."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._writer_failed = False
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
+            self._reader_pid = None

@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.architecture.macro import CiMMacro, CiMMacroConfig
+from repro.architecture.macro import CiMMacroConfig, macro_for
+from repro.core.batch import process_energy_cache
 from repro.macros.definitions import macro_c, macro_d
 from repro.macros.reference_data import get_reference
 from repro.workloads.networks import matrix_vector_workload
@@ -59,10 +60,15 @@ class Fig9Row:
 
 def _grouped_breakdown(config: CiMMacroConfig, categories: Dict[str, str],
                        input_bits: int, weight_bits: int) -> Dict[str, float]:
-    macro = CiMMacro(config)
+    macro = macro_for(config)
     layer = matrix_vector_workload(config.rows, config.cols, repeats=64).layers[0]
     layer = layer.with_bits(input_bits=input_bits, weight_bits=weight_bits)
-    result = macro.evaluate_layer(layer)
+    # Per-action energies resolve through the process-wide cache's batched
+    # derivation path (default-profiled, so cacheable): repeated breakdown
+    # reports re-derive nothing, and a cold derivation runs the config-axis
+    # lowering instead of the scalar circuit-model walk.
+    [[table]] = process_energy_cache().derive_many([config], [layer])
+    result = macro.evaluate_layer(layer, per_action=table)
     grouped: Dict[str, float] = {}
     for component, energy in result.energy_breakdown.items():
         category = categories.get(component, "misc" if "misc" in categories.values() else "control")

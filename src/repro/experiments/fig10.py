@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.architecture.macro import CiMMacro
+from repro.architecture.macro import macro_for
 from repro.macros.definitions import macro_a, macro_b, macro_c, macro_d
 from repro.macros.reference_data import get_reference
 
@@ -87,7 +87,9 @@ def run_fig10() -> List[Fig10Row]:
     rows: List[Fig10Row] = []
     for name, factory in _FACTORIES.items():
         config = factory()
-        macro = CiMMacro(config)
+        # The shared macro memo skips rebuilding each macro's component
+        # object graph when fig. 9/10 reports run back to back.
+        macro = macro_for(config)
         breakdown = macro.area_breakdown_um2()
         categories = _CATEGORY_MAPS[name]
         grouped: Dict[str, float] = {}

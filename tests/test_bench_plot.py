@@ -1,0 +1,102 @@
+"""Tests for the perf-trajectory plotting tool (text path, CLI contract)."""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+
+import bench_plot  # noqa: E402  (tools/ is not a package)
+
+
+def _history_line(sha, benchmark, speedup, extra=None):
+    record = {"benchmark": benchmark, "speedup": speedup}
+    record.update(extra or {})
+    return json.dumps({
+        "git_sha": sha,
+        "timestamp": "2026-07-30T00:00:00+00:00",
+        "file": f"BENCH_{benchmark}.json",
+        "record": record,
+    })
+
+
+def _write_history(path, lines):
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestLoadAndSeries:
+    def test_malformed_lines_are_skipped(self, tmp_path, capsys):
+        history = _write_history(tmp_path / "h.jsonl", [
+            _history_line("a" * 40, "mapper", 10.0),
+            "{not json",
+            json.dumps({"git_sha": "b" * 40, "record": {}}),  # no benchmark
+            _history_line("c" * 40, "mapper", 20.0),
+        ])
+        entries = bench_plot.load_history(history)
+        assert len(entries) == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_missing_history_is_empty(self, tmp_path):
+        assert bench_plot.load_history(tmp_path / "absent.jsonl") == []
+
+    def test_series_grouped_per_benchmark_in_commit_order(self, tmp_path):
+        history = _write_history(tmp_path / "h.jsonl", [
+            _history_line("a" * 40, "mapper", 10.0),
+            _history_line("a" * 40, "value_sim", 5.0),
+            _history_line("b" * 40, "mapper", 30.0),
+        ])
+        series = bench_plot.build_series(bench_plot.load_history(history), "speedup")
+        assert series["mapper"] == [("a" * 8, 10.0), ("b" * 8, 30.0)]
+        assert series["value_sim"] == [("a" * 8, 5.0)]
+
+    def test_records_without_the_metric_are_skipped(self, tmp_path):
+        history = _write_history(tmp_path / "h.jsonl", [
+            _history_line("a" * 40, "mapper", 10.0),
+            json.dumps({"git_sha": "b" * 40,
+                        "record": {"benchmark": "other", "wall_s": 1.0}}),
+        ])
+        series = bench_plot.build_series(bench_plot.load_history(history), "speedup")
+        assert set(series) == {"mapper"}
+
+
+class TestRendering:
+    def test_text_rendering_shows_trend(self, tmp_path):
+        history = _write_history(tmp_path / "h.jsonl", [
+            _history_line("a" * 40, "mapper", 10.0),
+            _history_line("b" * 40, "mapper", 40.0),
+        ])
+        series = bench_plot.build_series(bench_plot.load_history(history), "speedup")
+        text = bench_plot.render_text(series, "speedup")
+        assert "mapper (speedup)" in text
+        assert "4.00x" in text  # 10 -> 40 trend
+        assert text.count("#") > 0
+
+    def test_empty_series_message(self):
+        assert "no history entries" in bench_plot.render_text({}, "speedup")
+
+
+class TestCli:
+    def test_text_mode_end_to_end(self, tmp_path, capsys):
+        history = _write_history(tmp_path / "h.jsonl", [
+            _history_line("a" * 40, "mapper", 10.0),
+        ])
+        assert bench_plot.main(["--history", str(history), "--text"]) == 0
+        assert "mapper (speedup)" in capsys.readouterr().out
+
+    def test_missing_metric_fails_cleanly(self, tmp_path, capsys):
+        history = _write_history(tmp_path / "h.jsonl", [
+            _history_line("a" * 40, "mapper", 10.0),
+        ])
+        assert bench_plot.main(
+            ["--history", str(history), "--metric", "nope", "--text"]
+        ) == 1
+        assert "nothing to plot" in capsys.readouterr().err
+
+    def test_real_history_file_parses(self):
+        """The committed repo history must stay plottable."""
+        history = Path(__file__).resolve().parents[1] / "BENCH_history.jsonl"
+        entries = bench_plot.load_history(history)
+        assert entries, "committed BENCH_history.jsonl should have records"
+        series = bench_plot.build_series(entries, "speedup")
+        assert series

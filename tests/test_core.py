@@ -186,3 +186,39 @@ class TestAccuracyMetrics:
     def test_series_correlation_constant_rejected(self):
         with pytest.raises(EvaluationError):
             series_correlation([1, 1, 1], [1, 2, 3])
+
+
+class TestGeometrySpatialBudget:
+    """The loop-nest map space derives its array fanout from the macro."""
+
+    def test_budget_follows_column_group_arithmetic(self):
+        macro = CiMMacro(base_macro(rows=256, cols=256))
+        columns_per_output = macro.cells_per_weight * macro.reduction_columns()
+        assert macro.spatial_fanout_budget() == 256 // columns_per_output
+        assert macro.spatial_fanout_budget() >= 1
+
+    def test_wire_reuse_shrinks_the_budget(self):
+        from repro.macros import macro_a
+
+        narrow = CiMMacro(macro_a(output_reuse_columns=1))
+        folded = CiMMacro(macro_a(output_reuse_columns=3))
+        assert folded.spatial_fanout_budget() * 3 == narrow.spatial_fanout_budget()
+
+    def test_layer_mapspace_defaults_to_the_derived_budget(self):
+        model = CiMLoopModel(base_macro(rows=256, cols=256))
+        layer = matrix_vector_workload(64, 64, repeats=2).layers[0]
+        space = model.layer_mapspace(layer)
+        assert space.spatial_limits == {1: model.macro.spatial_fanout_budget()}
+        # Explicit overrides and temporal-only spaces still work.
+        assert model.layer_mapspace(layer, spatial_fanout=4).spatial_limits == {1: 4}
+        assert model.layer_mapspace(layer, spatial_fanout=1).spatial_limits == {}
+
+    def test_search_engines_agree_under_the_derived_budget(self):
+        layer = matrix_vector_workload(64, 64, repeats=4).layers[0]
+        model = CiMLoopModel(base_macro(rows=64, cols=64))
+        batched = model.search_layer_mappings(layer, num_mappings=80, seed=2)
+        scalar = model.search_layer_mappings(
+            layer, num_mappings=80, seed=2, engine="scalar"
+        )
+        assert batched.best_mapping == scalar.best_mapping
+        assert batched.best_cost == pytest.approx(scalar.best_cost, rel=1e-12)

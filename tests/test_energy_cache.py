@@ -99,6 +99,79 @@ class TestDiskEnergyCache:
         cache = DiskEnergyCache.from_env()
         assert cache is not None and cache.directory.is_dir()
 
+    def test_from_env_reads_bounds(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ENERGY_CACHE_DIR", str(tmp_path / "store"))
+        monkeypatch.setenv("REPRO_ENERGY_CACHE_MAX_ENTRIES", "7")
+        monkeypatch.setenv("REPRO_ENERGY_CACHE_MAX_BYTES", "bogus")  # ignored
+        cache = DiskEnergyCache.from_env()
+        assert cache.max_entries == 7 and cache.max_bytes is None
+
+
+class TestDiskEnergyCacheEviction:
+    def _fill(self, disk, count):
+        """Store ``count`` distinct entries (distinct configs) in order."""
+        layer = _layer()
+        keys = []
+        for index in range(count):
+            macro = CiMMacro(base_macro(rows=32, cols=32).with_updates(
+                adc_resolution=4 + index
+            ))
+            PerActionEnergyCache(disk=disk).get(macro, layer)
+            keys.append(PerActionEnergyCache.key_for(macro, layer))
+        return keys
+
+    def test_entry_bound_evicts_least_recently_used(self, tmp_path):
+        disk = DiskEnergyCache(tmp_path, max_entries=2)
+        import time
+
+        layer = _layer()
+        keys = []
+        for index in range(2):
+            macro = CiMMacro(base_macro(rows=32, cols=32).with_updates(
+                adc_resolution=4 + index
+            ))
+            PerActionEnergyCache(disk=disk).get(macro, layer)
+            keys.append(PerActionEnergyCache.key_for(macro, layer))
+            time.sleep(0.01)  # keep mtimes ordered on coarse filesystems
+        # Touch the older entry so the *newer* one becomes the LRU victim.
+        assert disk.load(keys[0]) is not None
+        time.sleep(0.01)
+        third_macro = CiMMacro(base_macro(rows=32, cols=32).with_updates(
+            adc_resolution=9
+        ))
+        PerActionEnergyCache(disk=disk).get(third_macro, layer)
+
+        assert len(disk) == 2 and disk.evictions == 1
+        assert disk.load(keys[0]) is not None  # recently used: kept
+        assert disk.load(keys[1]) is None  # LRU: evicted
+        assert disk.load(PerActionEnergyCache.key_for(third_macro, layer)) is not None
+
+    def test_byte_bound_keeps_newest_entries(self, tmp_path):
+        probe = DiskEnergyCache(tmp_path / "probe")
+        self._fill(probe, 1)
+        entry_bytes = next(probe.directory.glob("energy-*.json")).stat().st_size
+
+        disk = DiskEnergyCache(tmp_path / "bounded", max_bytes=int(entry_bytes * 2.5))
+        self._fill(disk, 4)
+        assert len(disk) == 2  # 2.5 entries of budget -> 2 newest survive
+        assert disk.evictions == 2
+
+    def test_newest_entry_survives_an_impossible_byte_budget(self, tmp_path):
+        disk = DiskEnergyCache(tmp_path, max_bytes=1)
+        self._fill(disk, 2)
+        assert len(disk) == 1  # the just-written entry is never evicted
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        disk = DiskEnergyCache(tmp_path)
+        self._fill(disk, 3)
+        assert len(disk) == 3 and disk.evictions == 0
+
+    def test_invalid_bounds_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskEnergyCache(tmp_path, max_entries=0)
+        with pytest.raises(ValueError):
+            DiskEnergyCache(tmp_path, max_bytes=0)
+
 
 class TestWorkerPersistentCache:
     def test_repeated_mapping_search_derives_once(self):

@@ -1,0 +1,209 @@
+"""Lifecycle and post-fork visibility tests for the shared-memory tier.
+
+The store must round-trip entries between a creating writer and readers
+that attach by name, survive capacity overflow by degrading to a no-op,
+and clean up its slab on close.  The regression test at the bottom pins
+the tier's reason to exist: a table derived in the parent *after* the
+shared pool forked is observed by the already-live workers — with the
+disk tier disabled, so shared memory is the only possible route.
+"""
+
+import os
+
+import pytest
+
+from repro.architecture.macro import CiMMacro
+from repro.core import batch
+from repro.core.batch import (
+    _worker_cache_probe,
+    shared_pool,
+    shutdown_shared_pool,
+)
+from repro.core.shared_cache import SharedEnergyStore, SharedEnergyTier
+from repro.macros.definitions import base_macro
+from repro.workloads.networks import matrix_vector_workload
+
+
+#: Private slab namespace so test create/unlink cycles can never reclaim
+#: the production tier's slab in this same process.
+PREFIX = "repro_test_store"
+
+
+def _store_or_skip(**kwargs):
+    store = SharedEnergyStore.create(prefix=PREFIX, **kwargs)
+    if store is None:
+        pytest.skip("multiprocessing.shared_memory unavailable on this platform")
+    return store
+
+
+def _layer(size):
+    return matrix_vector_workload(size, size, repeats=2).layers[0]
+
+
+ENERGIES = {"cell_compute": 1.5e-15, "adc_convert": 2.25e-13, "dac_convert": 3e-16}
+
+
+class TestSharedEnergyStore:
+    def test_create_put_attach_lookup_round_trip(self):
+        store = _store_or_skip()
+        try:
+            assert store.is_owner and len(store) == 0
+            assert store.put("key-a", ENERGIES)
+            assert store.lookup("key-a") == ENERGIES  # writer-side view
+
+            reader = SharedEnergyStore.attach(os.getpid(), prefix=PREFIX)
+            assert reader is not None and not reader.is_owner
+            try:
+                assert reader.lookup("key-a") == ENERGIES
+                assert reader.lookup("absent") is None
+                assert len(reader) == 1
+                # Entries published after the reader attached are visible:
+                # the reader refreshes its index under the seqlock.
+                assert store.put("key-b", {"cell_compute": 7e-15})
+                assert reader.lookup("key-b") == {"cell_compute": 7e-15}
+            finally:
+                reader.close()
+        finally:
+            store.close()
+
+    def test_reput_is_idempotent(self):
+        store = _store_or_skip()
+        try:
+            assert store.put("key", ENERGIES)
+            assert store.put("key", ENERGIES)  # immutable entries: still True
+            assert len(store) == 1
+        finally:
+            store.close()
+
+    def test_capacity_overflow_degrades_to_noop(self):
+        store = _store_or_skip(capacity_bytes=1)  # clamped to the minimum slab
+        try:
+            big = {f"action_{i}": float(i) for i in range(64)}
+            stored = 0
+            while stored < 10_000 and store.put(f"key-{stored}", big):
+                stored += 1
+            assert store.is_full and stored > 0
+            assert not store.put("one-more", big)  # full: no-op, no raise
+            # Entries committed before the overflow stay readable.
+            assert store.lookup("key-0") == big
+        finally:
+            store.close()
+
+    def test_close_unlinks_the_slab(self):
+        store = _store_or_skip()
+        pid = os.getpid()
+        store.put("key", ENERGIES)
+        store.close()
+        # Slab gone from the system.
+        assert SharedEnergyStore.attach(pid, prefix=PREFIX) is None
+
+    def test_attach_without_slab_returns_none(self):
+        assert SharedEnergyStore.attach(2**30 + os.getpid(), prefix=PREFIX) is None
+
+    def test_stale_slab_of_a_dead_process_is_reaped(self):
+        """A slab whose owner was SIGKILLed (no atexit ran) is unlinked the
+        next time any process creates a slab with the same prefix."""
+        from pathlib import Path
+
+        from repro.core.shared_cache import reap_stale_slabs, slab_name
+
+        if not Path("/dev/shm").is_dir():
+            pytest.skip("no /dev/shm on this platform")
+        dead_pid = 2**22 + 1234  # beyond pid_max: guaranteed not running
+        orphan = _store_or_skip(pid=dead_pid)
+        try:
+            orphan._owner = False  # simulate the owner dying without cleanup
+            orphan.close()
+            assert (Path("/dev/shm") / slab_name(dead_pid, PREFIX)).exists()
+            assert reap_stale_slabs(PREFIX) >= 1
+            assert SharedEnergyStore.attach(dead_pid, prefix=PREFIX) is None
+        finally:
+            try:
+                (Path("/dev/shm") / slab_name(dead_pid, PREFIX)).unlink()
+            except OSError:
+                pass
+
+
+class TestSharedEnergyTier:
+    def test_disarmed_tier_never_allocates_a_slab(self):
+        """Until a pool exists (arm()), publishing is a no-op and /dev/shm
+        is never touched — single-process runs stay slab-free."""
+        tier = SharedEnergyTier(prefix="repro_test_unarmed")
+        try:
+            assert not tier.publish("key", ENERGIES)
+            assert SharedEnergyStore.attach(
+                os.getpid(), prefix="repro_test_unarmed"
+            ) is None
+        finally:
+            tier.close()
+
+    def test_origin_publish_and_worker_guard(self):
+        tier = SharedEnergyTier(prefix="repro_test_tier")
+        tier.arm()
+        try:
+            if not tier.publish("key", ENERGIES):
+                pytest.skip("shared memory unavailable")
+            # In the origin process every published entry already lives in
+            # the in-memory cache above this tier, so lookups defer.
+            assert tier.lookup("key") is None
+            reader = SharedEnergyStore.attach(os.getpid(), prefix="repro_test_tier")
+            assert reader is not None
+            try:
+                assert reader.lookup("key") == ENERGIES
+            finally:
+                reader.close()
+        finally:
+            tier.close()
+
+    def test_from_env_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARED_ENERGY_CACHE", "0")
+        assert SharedEnergyTier.from_env() is None
+        monkeypatch.delenv("REPRO_SHARED_ENERGY_CACHE")
+        monkeypatch.setenv("REPRO_SHARED_ENERGY_CACHE_BYTES", "65536")
+        tier = SharedEnergyTier.from_env()
+        assert tier is not None
+        tier.close()
+
+
+class TestPostForkVisibility:
+    def test_parent_table_reaches_live_workers_without_disk(self):
+        """Acceptance: a table derived in the parent after pool start is
+        observed by already-live workers through the shared-memory cache
+        (no disk cache enabled)."""
+        cache = batch.process_energy_cache()
+        if cache.shared is None:
+            pytest.skip("shared energy tier disabled in this environment")
+        saved_disk, cache.disk = cache.disk, None  # shared memory or bust
+        try:
+            # Fork the pool *before* the probed entry exists anywhere.
+            shutdown_shared_pool()
+            pool = shared_pool(2)
+            warm_payload = (
+                base_macro(rows=24, cols=24).with_updates(cycle_time_ns=17.0),
+                _layer(24),
+            )
+            list(pool.map(_worker_cache_probe, [warm_payload] * 4))
+
+            # Only now does the parent derive (and publish) the table.
+            # cycle_time_ns=19 keeps this (config, layer) unique to this
+            # test: an earlier suite member deriving it pre-fork would let
+            # workers inherit the entry and bypass the shared tier.
+            config = base_macro(rows=48, cols=48).with_updates(cycle_time_ns=19.0)
+            layer = _layer(48)
+            cache.get(CiMMacro(config), layer)
+
+            probes = list(pool.map(_worker_cache_probe, [(config, layer)] * 6))
+            worker_pids = {probe["pid"] for probe in probes}
+            assert os.getpid() not in worker_pids  # really ran in workers
+            assert all(probe["derivations"] == 0 for probe in probes)
+            assert all(probe["disk_hits"] == 0 for probe in probes)
+            # Each worker's first probe comes through shared memory and
+            # the rest from its now-warm process cache (at least one
+            # worker must have taken the shared route; a worker respawned
+            # after the derivation would inherit by fork instead).
+            shared_total = sum(probe["shared_hits"] for probe in probes)
+            assert 1 <= shared_total <= len(worker_pids)
+            assert any(probe["memory_hits"] > 0 for probe in probes)
+        finally:
+            cache.disk = saved_disk
+            shutdown_shared_pool()

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Plot per-benchmark speedup trajectories from ``BENCH_history.jsonl``.
+
+``tools/bench_record.py`` appends one git-SHA-stamped record per
+``BENCH_*.json`` snapshot to the history file; this tool turns that
+history into a trend view: one series per benchmark, ordered by
+appearance (append order == commit order), plotting the chosen metric —
+``speedup`` by default, the number every perf benchmark records.
+
+With matplotlib installed (and ``--output`` not set to ``-``) a PNG is
+written; without it — or with ``--text`` — an ASCII table with bar
+sparklines is printed, so the tool works in the minimal CI container.
+
+Usage::
+
+    python tools/bench_plot.py [--history BENCH_history.jsonl]
+        [--metric speedup] [--output bench_speedups.png] [--text]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: A series point: (short git SHA, metric value).
+Point = Tuple[str, float]
+
+
+def load_history(history: Path) -> List[dict]:
+    """Parse the history file; malformed lines are skipped with a warning."""
+    entries: List[dict] = []
+    try:
+        lines = history.read_text().splitlines()
+    except FileNotFoundError:
+        return entries
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+            entry["record"]["benchmark"]  # shape check
+        except (ValueError, KeyError, TypeError):
+            print(
+                f"bench_plot: skipping malformed history line {number}",
+                file=sys.stderr,
+            )
+            continue
+        entries.append(entry)
+    return entries
+
+
+def build_series(entries: List[dict], metric: str) -> Dict[str, List[Point]]:
+    """Group history entries into per-benchmark series of (sha, value).
+
+    Entries whose record lacks the metric (or holds a non-numeric value)
+    are skipped; a benchmark with no usable entries gets no series.
+    """
+    series: Dict[str, List[Point]] = {}
+    for entry in entries:
+        record = entry["record"]
+        value = record.get(metric)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        sha = str(entry.get("git_sha", "unknown"))[:8]
+        series.setdefault(str(record["benchmark"]), []).append((sha, float(value)))
+    return series
+
+
+def render_text(series: Dict[str, List[Point]], metric: str, width: int = 40) -> str:
+    """ASCII fallback: one table per benchmark with bar sparklines."""
+    if not series:
+        return f"no history entries carry the metric {metric!r}\n"
+    blocks: List[str] = []
+    for benchmark in sorted(series):
+        points = series[benchmark]
+        peak = max(value for _, value in points)
+        scale = width / peak if peak > 0 else 0.0
+        lines = [f"{benchmark} ({metric})"]
+        for sha, value in points:
+            bar = "#" * max(int(round(value * scale)), 1 if value > 0 else 0)
+            lines.append(f"  {sha:>8s} {value:12.2f} {bar}")
+        first, last = points[0][1], points[-1][1]
+        if first > 0:
+            lines.append(f"  trend: {first:.2f} -> {last:.2f} ({last / first:.2f}x)")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"
+
+
+def sha_order(series: Dict[str, List[Point]]) -> List[str]:
+    """All SHAs across all series, in first-appearance (commit) order.
+
+    Within one series points are already in history order; merging keeps
+    a SHA's position stable so every series aligns on the same x axis.
+    """
+    order: Dict[str, None] = {}
+    for points in series.values():
+        for sha, _ in points:
+            order.setdefault(sha, None)
+    return list(order)
+
+
+def render_png(
+    series: Dict[str, List[Point]], metric: str, output: Path
+) -> bool:
+    """Write one chart with a line per benchmark; False without matplotlib."""
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return False
+    figure, axes = plt.subplots(figsize=(9, 5))
+    # Series align by commit, not by index: a benchmark first recorded at
+    # a later SHA starts mid-axis instead of being mislabeled from x=0.
+    order = sha_order(series)
+    position = {sha: index for index, sha in enumerate(order)}
+    for benchmark in sorted(series):
+        points = series[benchmark]
+        xs = [position[sha] for sha, _ in points]
+        values = [value for _, value in points]
+        axes.plot(xs, values, marker="o", label=benchmark)
+    axes.set_xticks(range(len(order)))
+    axes.set_xticklabels(order, rotation=45, ha="right")
+    axes.set_xlabel("commit (history order)")
+    axes.set_ylabel(metric)
+    axes.set_title(f"benchmark {metric} trajectory")
+    axes.legend()
+    figure.tight_layout()
+    figure.savefig(output, dpi=120)
+    plt.close(figure)
+    return True
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    repo_root = Path(__file__).resolve().parents[1]
+    parser.add_argument("--history", type=Path,
+                        default=repo_root / "BENCH_history.jsonl",
+                        help="history file to read (default: repo root)")
+    parser.add_argument("--metric", default="speedup",
+                        help="record field to plot (default: speedup)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="PNG path, or '-' for text to stdout "
+                             "(default: <history dir>/bench_speedups.png)")
+    parser.add_argument("--text", action="store_true",
+                        help="force the text rendering even with matplotlib")
+    args = parser.parse_args(argv)
+
+    series = build_series(load_history(args.history), args.metric)
+    if not series:
+        print(f"bench_plot: nothing to plot from {args.history}", file=sys.stderr)
+        return 1
+    if args.output == Path("-"):
+        args.text = True
+    if not args.text:
+        output = args.output or args.history.parent / "bench_speedups.png"
+        if render_png(series, args.metric, output):
+            total = sum(len(points) for points in series.values())
+            print(f"bench_plot: wrote {output} ({len(series)} series, {total} points)")
+            return 0
+        print("bench_plot: matplotlib unavailable, falling back to text",
+              file=sys.stderr)
+    print(render_text(series, args.metric), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
