@@ -5,7 +5,7 @@
 
 PYTHONPATH := src
 
-.PHONY: test test-all lint bench bench-smoke bench-json bench-plot
+.PHONY: test test-all lint bench bench-smoke bench-json bench-service bench-plot
 
 # Unit tests only: benchmarks (with their timing assertions) live in the
 # separate bench targets so a loaded CI runner cannot flake the test gate.
@@ -37,6 +37,16 @@ bench-json:
 		benchmarks/test_config_derivation.py
 	python tools/bench_record.py BENCH_mapper.json BENCH_energy_search.json \
 		BENCH_value_sim.json BENCH_config_derivation.json
+
+# Service replay: a 1k-request trace (>= 60% duplicates, 3 config
+# families) through the coalescing scheduler vs serial per-request
+# evaluation; asserts >= 5x and identical energies, writes
+# BENCH_service.json, and appends the git-SHA-stamped snapshot to
+# BENCH_history.jsonl.
+bench-service:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
+		benchmarks/test_service_replay.py
+	python tools/bench_record.py BENCH_service.json
 
 bench-plot:
 	python tools/bench_plot.py --text

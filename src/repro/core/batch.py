@@ -580,22 +580,34 @@ class BatchRunner:
         ]
         cells = self._map(_evaluate_grid_cell, payloads)
 
+        from repro.core.config_batch import area_config_batch
         from repro.core.evaluation import EvaluationResult
+
+        # Macro-only points get their area breakdowns from one config-axis
+        # batched pass (duplicate configs share a row) instead of a full
+        # per-point macro construction; system points keep the scalar path
+        # (their area includes the memory hierarchy).
+        macro_rows: Dict[CiMMacroConfig, int] = {}
+        for config in configs:
+            if isinstance(config, CiMMacroConfig) and config not in macro_rows:
+                macro_rows[config] = len(macro_rows)
+        area_batch = area_config_batch(list(macro_rows)) if macro_rows else None
 
         results = []
         for point, config in enumerate(configs):
-            model = CiMLoopModel(config, use_distributions=use_distributions)
-            target = (
-                f"system({model.macro_config.name})"
-                if model.is_full_system
-                else model.macro_config.name
-            )
+            if isinstance(config, CiMMacroConfig):
+                target = config.name
+                area = area_batch.breakdown(macro_rows[config])
+            else:
+                model = CiMLoopModel(config, use_distributions=use_distributions)
+                target = f"system({model.macro_config.name})"
+                area = model.area_breakdown_um2()
             results.append(
                 EvaluationResult(
                     workload_name=network.name,
                     target_name=target,
                     layers=cells[point * num_layers:(point + 1) * num_layers],
-                    area_breakdown_um2=model.area_breakdown_um2(),
+                    area_breakdown_um2=area,
                 )
             )
         return results

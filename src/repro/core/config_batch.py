@@ -417,6 +417,211 @@ def derive_config_batch(
 
 
 # ----------------------------------------------------------------------
+# Config-axis batched area model
+# ----------------------------------------------------------------------
+#: Breakdown component keys in the exact insertion order of the scalar
+#: :meth:`CiMMacro.area_breakdown_um2` dict.
+AREA_COMPONENTS: Tuple[str, ...] = (
+    "array",
+    "dac",
+    "adc",
+    "row_drivers",
+    "column_mux",
+    "analog_adder",
+    "analog_accumulator",
+    "analog_mac",
+    "digital_mac",
+    "digital_postprocessing",
+    "input_buffer",
+    "output_buffer",
+    "misc",
+)
+
+
+@dataclass(frozen=True)
+class AreaBatchResult:
+    """The ``(configs, components)`` area matrix of one config family.
+
+    ``areas[i, k]`` is the area (um^2) of component ``components[k]`` on
+    ``configs[i]``; ``components`` follows :data:`AREA_COMPONENTS`, the
+    scalar dict's insertion order.  Unlike the energy batch, area needs no
+    layer or distributions: it is a pure function of the config.
+    """
+
+    configs: Tuple[CiMMacroConfig, ...]
+    components: Tuple[str, ...]
+    areas: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def breakdown(self, index: int) -> Dict[str, float]:
+        """One config's areas as the scalar-path breakdown dict."""
+        row = self.areas[index]
+        return {name: float(row[k]) for k, name in enumerate(self.components)}
+
+    def totals_um2(self) -> np.ndarray:
+        """Per-config total area (um^2), shape ``(configs,)``."""
+        return self.areas.sum(axis=1)
+
+
+def area_config_batch(
+    configs: Sequence[CiMMacroConfig],
+    cell_library: Optional[CellLibrary] = None,
+) -> AreaBatchResult:
+    """Derive the area breakdowns of a config family in batched passes.
+
+    Vectorized twin of :meth:`CiMMacro.area_breakdown_um2`: every circuit
+    area formula is evaluated as a NumPy expression over a ``(configs,)``
+    leading axis, and memory-cell devices are instantiated once per unique
+    ``(device, bits_per_cell, technology)`` point — so fig10-style area
+    sweeps and service requests with ``objective="area"`` never construct
+    a per-config macro object graph.  Each row agrees with the scalar
+    breakdown to well within 1e-9 relative error with identical component
+    ordering (:func:`max_scalar_area_relative_error` is the gate).
+    """
+    configs = tuple(configs)
+    if not configs:
+        raise EvaluationError("area batch needs at least one config")
+    _validate_family(configs)
+    from repro.circuits.digital import DigitalAccumulator as _Acc
+    from repro.circuits.digital import DigitalMACUnit as _Mac
+    from repro.circuits.digital import ShiftAdd as _Shift
+    from repro.architecture.macro import OutputReuseStyle
+
+    ref_area = REFERENCE_NODE.area_factor
+    area_factor = np.array(
+        [c.technology.area_factor for c in configs], dtype=np.float64
+    ) / ref_area
+
+    def farray(attribute: str) -> np.ndarray:
+        return np.array([getattr(c, attribute) for c in configs], dtype=np.float64)
+
+    def style_is(style: "OutputReuseStyle") -> np.ndarray:
+        return np.array(
+            [c.output_reuse_style is style for c in configs], dtype=np.float64
+        )
+
+    rows = farray("rows")
+    cols = farray("cols")
+    adc_columns = np.maximum(
+        np.array([c.cols // c.columns_per_adc for c in configs], dtype=np.float64), 1.0
+    )
+    dac_levels = np.array([1 << c.dac_resolution for c in configs], dtype=np.float64)
+    adc_levels = np.array([1 << c.adc_resolution for c in configs], dtype=np.float64)
+    weight_bits = farray("weight_bits")
+    output_bits = farray("output_bits")
+    digital = style_is(OutputReuseStyle.DIGITAL)
+
+    # -- memory cells: one instantiation per unique device point ---------
+    library = cell_library or default_cell_library()
+    cell_cache: Dict[tuple, float] = {}
+    cell_area = np.empty(len(configs), dtype=np.float64)
+    for i, config in enumerate(configs):
+        cell_key = (config.device.lower(), config.bits_per_cell, config.technology)
+        if cell_key not in cell_cache:
+            cell = library.create(config.device, config.technology, config.bits_per_cell)
+            cell_cache[cell_key] = cell.area_um2()
+        cell_area[i] = cell_cache[cell_key]
+    array = cell_area * rows * cols
+
+    # -- converters (repro.circuits.dac / adc) ---------------------------
+    dac = (DACModel._AREA_BASE_UM2 + DACModel._AREA_PER_LEVEL_UM2 * dac_levels) \
+        * area_factor * rows
+    throughput_msps = 1e3 / farray("cycle_time_ns")
+    speed_factor = np.sqrt(np.maximum(throughput_msps / 100.0, 1.0))
+    adc = (
+        (ADCModel._AREA_BASE_UM2 + ADCModel._AREA_PER_LEVEL_UM2 * adc_levels)
+        * speed_factor * area_factor * adc_columns
+    ) * (1.0 - digital)  # digital CiM has no ADC at all
+
+    # -- array peripherals (repro.circuits.drivers) ----------------------
+    row_drivers = (
+        (RowDriver._DRIVER_AREA_UM2 + RowDriver._AREA_PER_CELL_UM2 * cols)
+        * area_factor * rows
+    )
+    column_mux = (
+        ColumnMux._AREA_PER_WAY_UM2 * farray("columns_per_adc")
+        * area_factor * adc_columns
+    )
+
+    # -- style-gated analog/digital compute (repro.circuits.analog/digital)
+    analog_adder = (
+        (
+            AnalogAdder._AREA_BASE_UM2
+            + AnalogAdder._AREA_PER_OPERAND_UM2 * np.maximum(farray("analog_adder_operands"), 1.0)
+        )
+        * area_factor * adc_columns
+    ) * style_is(OutputReuseStyle.ANALOG_ADDER)
+    analog_accumulator = (
+        AnalogAccumulator._AREA_UM2 * area_factor * adc_columns
+    ) * style_is(OutputReuseStyle.ANALOG_ACCUMULATOR)
+    analog_mac = (
+        (AnalogMACUnit._AREA_BASE_UM2 + AnalogMACUnit._AREA_PER_BIT_UM2 * weight_bits)
+        * area_factor * adc_columns
+    ) * style_is(OutputReuseStyle.ANALOG_MAC)
+    digital_mac = (_Mac._AREA_PER_BIT_UM2 * weight_bits * area_factor * cols) * digital
+    digital_postprocessing = (
+        _Shift._AREA_PER_BIT_UM2 + _Acc._AREA_PER_BIT_UM2
+    ) * output_bits * area_factor * adc_columns
+
+    # -- staging buffers (repro.circuits.buffers.SRAMBuffer) -------------
+    def buffer_area(capacity_kib: np.ndarray) -> np.ndarray:
+        bits = capacity_kib * 1024.0 * 8.0
+        return bits * SRAMBuffer._AREA_PER_BIT_UM2 * SRAMBuffer._PERIPHERY_FACTOR \
+            * area_factor
+
+    input_buffer = buffer_area(farray("input_buffer_kib"))
+    output_buffer = buffer_area(farray("output_buffer_kib"))
+
+    columns = [
+        array,
+        dac,
+        adc,
+        row_drivers,
+        column_mux,
+        analog_adder,
+        analog_accumulator,
+        analog_mac,
+        digital_mac,
+        digital_postprocessing,
+        input_buffer,
+        output_buffer,
+    ]
+    subtotal = np.sum(columns, axis=0)
+    misc = subtotal * farray("misc_area_fraction")
+    areas = np.stack(columns + [misc], axis=1) * farray("area_scale")[:, None]
+    return AreaBatchResult(configs=configs, components=AREA_COMPONENTS, areas=areas)
+
+
+def max_scalar_area_relative_error(
+    result: AreaBatchResult,
+    cell_library: Optional[CellLibrary] = None,
+) -> float:
+    """Worst relative error of an area batch vs the scalar oracle.
+
+    Re-derives every config's breakdown through the scalar
+    :meth:`CiMMacro.area_breakdown_um2` and compares element-wise, also
+    asserting the component *ordering* matches the scalar dict's.  The
+    test suite requires the returned value to be <= 1e-9.
+    """
+    worst = 0.0
+    for index, config in enumerate(result.configs):
+        macro = CiMMacro(config, cell_library=cell_library)
+        expected = macro.area_breakdown_um2()
+        if tuple(expected) != result.components:
+            raise EvaluationError(
+                "batched area component ordering diverged from the scalar oracle: "
+                f"{result.components} vs {tuple(expected)}"
+            )
+        got = result.breakdown(index)
+        for component, reference in expected.items():
+            scale = max(abs(reference), 1e-30)
+            worst = max(worst, abs(got[component] - reference) / scale)
+    return worst
+
+
+# ----------------------------------------------------------------------
 # Equivalence gate
 # ----------------------------------------------------------------------
 def max_scalar_relative_error(

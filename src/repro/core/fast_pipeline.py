@@ -58,6 +58,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.architecture.macro import CiMMacro, CiMMacroConfig, MacroLayerCounts
 from repro.core.shared_cache import SharedEnergyTier, env_positive_int
+from repro.utils.diskstore import atomic_write_json, evict_lru_files
 from repro.utils.errors import EvaluationError
 from repro.workloads.distributions import LayerDistributions, profile_layer
 from repro.workloads.layer import Layer
@@ -202,77 +203,26 @@ class DiskEnergyCache:
     def store(self, key: CacheKey, energies: Dict[str, float]) -> None:
         """Atomically persist one entry (last writer wins).
 
-        Disk trouble (full volume, directory removed, permissions) only
-        costs the persistence, never the run: the caller already holds
-        the energies in memory, so write failures degrade to a warning —
-        the same treat-disk-problems-as-misses contract ``load`` follows.
+        Disk trouble only costs the persistence, never the run — the
+        caller already holds the energies in memory (see
+        :func:`repro.utils.diskstore.atomic_write_json`, shared with the
+        service result store).
         """
-        import tempfile
-
         path = self.path_for(key)
         payload = {
             "version": self.VERSION,
             "key": self.canonical_key(key),
             "energies": dict(energies),
         }
-        try:
-            handle, scratch = tempfile.mkstemp(
-                prefix=path.name, suffix=".tmp", dir=self.directory
-            )
-            try:
-                with os.fdopen(handle, "w") as stream:
-                    stream.write(json.dumps(payload, indent=1) + "\n")
-                os.replace(scratch, path)
-            except BaseException:
-                try:
-                    os.unlink(scratch)
-                except OSError:
-                    pass
-                raise
-        except OSError as error:
-            import sys
-
-            print(
-                f"warning: could not persist energy cache entry {path.name} "
-                f"({error}); continuing without it",
-                file=sys.stderr,
-            )
-            return
-        self._evict()
+        if atomic_write_json(path, payload, "energy cache entry"):
+            self._evict()
 
     def _evict(self) -> None:
-        """Unlink least-recently-used entries beyond the configured bounds.
-
-        Best-effort: a file that vanishes mid-scan (a concurrent evictor)
-        is simply skipped.  The newest entry is always kept, even when it
-        alone exceeds the byte budget — evicting the entry just written
-        would defeat the cache entirely.
-        """
-        if self.max_entries is None and self.max_bytes is None:
-            return
-        entries = []
-        for path in self.directory.glob("energy-*.json"):
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((stat.st_mtime, stat.st_size, path))
-        entries.sort(reverse=True)  # newest first
-        total_bytes = 0
-        kept = 0
-        for mtime, size, path in entries:
-            kept += 1
-            total_bytes += size
-            over_entries = self.max_entries is not None and kept > self.max_entries
-            over_bytes = self.max_bytes is not None and total_bytes > self.max_bytes
-            if kept > 1 and (over_entries or over_bytes):
-                try:
-                    path.unlink()
-                    self.evictions += 1
-                except OSError:
-                    pass
-                kept -= 1
-                total_bytes -= size
+        """LRU-unlink entries beyond the configured bounds (newest kept;
+        see :func:`repro.utils.diskstore.evict_lru_files`)."""
+        self.evictions += evict_lru_files(
+            self.directory, "energy-*.json", self.max_entries, self.max_bytes
+        )
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("energy-*.json"))
@@ -466,6 +416,34 @@ class PerActionEnergyCache:
         key = self.key_for(macro, layer)
         with self._lock:
             self._entries[key] = energies
+
+    def stats(self) -> Dict[str, object]:
+        """Counters of the whole tier stack, for health/observability.
+
+        Includes the shared-memory slab's overflow counters
+        (:meth:`~repro.core.shared_cache.SharedEnergyTier.stats`) so a
+        degraded slab is visible to monitoring — this is what the service
+        ``/healthz`` endpoint reports.
+        """
+        with self._lock:
+            payload: Dict[str, object] = {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "shared_hits": self.shared_hits,
+                "disk_hits": self.disk_hits,
+                "derivations": self.derivations,
+                "shared_tier": self.shared.stats() if self.shared is not None else None,
+                "disk_tier": None,
+            }
+            if self.disk is not None:
+                payload["disk_tier"] = {
+                    "directory": str(self.disk.directory),
+                    "loads": self.disk.loads,
+                    "load_failures": self.disk.load_failures,
+                    "evictions": self.disk.evictions,
+                }
+            return payload
 
     def invalidate(self) -> None:
         """Drop every cached in-memory entry (shared-memory and disk

@@ -133,6 +133,7 @@ class SharedEnergyStore:
         self._data_used = 0
         self._generation = 0
         self._full = False
+        self._rejected_puts = 0
         # Reader-side view of the last consistent snapshot.
         self._view_generation = -1
         self._view_index: Dict[str, Tuple[int, int, Tuple[str, ...]]] = {}
@@ -152,6 +153,24 @@ class SharedEnergyStore:
     def is_full(self) -> bool:
         """True once an append overflowed the capacity (writes stopped)."""
         return self._full
+
+    def stats(self) -> Dict[str, object]:
+        """Observability counters of the slab (writer-side view).
+
+        ``rejected_puts`` counts the entries that could *not* be published
+        after the slab filled up — the quantity the single overflow
+        warning summarises and the service ``/healthz`` endpoint reports,
+        so a long-lived parent that outgrew its slab is visible without
+        scraping stderr.
+        """
+        return {
+            "name": self.name,
+            "entries": len(self._index) if self._owner else len(self),
+            "capacity_bytes": self._capacity,
+            "data_bytes_used": self._data_used,
+            "full": self._full,
+            "rejected_puts": self._rejected_puts,
+        }
 
     # ------------------------------------------------------------------
     @classmethod
@@ -257,10 +276,14 @@ class SharedEnergyStore:
         """Append one entry and republish the index; False if not stored.
 
         Only the owner writes; non-owners (forked children holding an
-        inherited handle) and full slabs no-op.  Entries are immutable:
-        re-putting an existing key succeeds without rewriting.
+        inherited handle) and full slabs no-op (counted in
+        ``rejected_puts``).  Entries are immutable: re-putting an existing
+        key succeeds without rewriting.
         """
-        if not self._owner or self._full:
+        if not self._owner:
+            return False
+        if self._full:
+            self._rejected_puts += 1
             return False
         if key in self._index:
             return True
@@ -273,7 +296,11 @@ class SharedEnergyStore:
             {k: [o, c, list(a)] for k, (o, c, a) in new_index.items()}
         ).encode("utf-8")
         if offset + vector.nbytes + len(blob) > self._capacity:
+            # Degrade to a no-op exactly once: the transition emits one
+            # warning, later rejected publishes only bump the counter
+            # surfaced through stats() (and the service /healthz report).
             self._full = True
+            self._rejected_puts += 1
             print(
                 f"warning: shared energy cache slab {self.name} is full "
                 f"({len(self._index)} entries); later entries use the "
@@ -456,6 +483,24 @@ class SharedEnergyTier:
             if self._reader is None:
                 return None
         return self._reader.lookup(key)
+
+    def stats(self) -> Dict[str, object]:
+        """Observability counters of the tier for health reporting.
+
+        Always returns a dict (even before arming or when shared memory is
+        unavailable), so callers can embed it in a health payload without
+        special cases; ``slab`` is the writer slab's
+        :meth:`SharedEnergyStore.stats` once one exists.
+        """
+        payload: Dict[str, object] = {
+            "armed": self._armed,
+            "origin_pid": self._origin_pid,
+            "writer_failed": self._writer_failed,
+            "slab": None,
+        }
+        if self._writer is not None:
+            payload["slab"] = self._writer.stats()
+        return payload
 
     def close(self) -> None:
         """Release the tier's stores (the owner's slab is unlinked)."""

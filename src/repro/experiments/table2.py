@@ -191,13 +191,51 @@ def run_energy_search_speed(
     )
 
 
+def run_service_speed(
+    num_requests: int = 200,
+    duplicate_fraction: float = 0.6,
+    families: int = 3,
+    seed: int = 0,
+) -> Table2Row:
+    """Measure served throughput: a request trace through the coalescing
+    evaluation service.
+
+    A synthetic trace with the statistical shape of service traffic
+    (``duplicate_fraction`` repeated hashes over ``families`` config
+    families of single-layer workloads) is replayed through
+    :func:`repro.service.replay.replay_coalesced`: duplicates collapse
+    onto the result store / in-flight slots and each arrival window
+    dispatches one batched ``run_grid`` per family.  The row's
+    ``layers`` field counts the requests served (each request evaluates
+    one single-layer workload at one mapping), so the shared throughput
+    metric reads as *requests per second*.
+    """
+    from repro.service.replay import generate_trace, replay_coalesced
+
+    trace = generate_trace(
+        num_requests=num_requests,
+        duplicate_fraction=duplicate_fraction,
+        families=families,
+        seed=seed,
+    )
+    _, elapsed, _ = replay_coalesced(trace)
+    return Table2Row(
+        model="service",
+        workers=1,
+        mappings=1,
+        layers=num_requests,
+        elapsed_s=elapsed,
+    )
+
+
 def run_table2(
     max_layers: int = 4,
     many_mappings: int = 5000,
     workers: int = 1,
 ) -> List[Table2Row]:
     """The rows of Table II (value-level, CiMLoop x1, CiMLoop xN) plus the
-    energy-scored loop-nest mapper at the same mapping count."""
+    energy-scored loop-nest mapper at the same mapping count and the
+    coalescing service's served-request throughput."""
     layers = list(resnet18())[:max_layers]
     distributions = _profile_layers(layers, None)
     energy_cache = PerActionEnergyCache()  # shared by the x1 and x5000 rows
@@ -215,5 +253,6 @@ def run_table2(
             num_mappings=many_mappings, max_layers=max_layers,
             energy_cache=energy_cache, distributions=distributions,
         ),
+        run_service_speed(),
     ]
     return rows

@@ -56,6 +56,7 @@ hand-constructed mappings.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -98,6 +99,7 @@ def _check_count_range(einsum: EinsumOp) -> None:
 # ----------------------------------------------------------------------
 # Vectorized tiling generation
 # ----------------------------------------------------------------------
+@functools.lru_cache(maxsize=512)
 def _divisor_tables(extent: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Lookup tables for vectorized divisor-chain sampling.
 
@@ -107,6 +109,11 @@ def _divisor_tables(extent: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     Every intermediate "remaining" extent during a split of ``extent`` is
     one of ``values``, so the chain can be advanced for a whole batch with
     two table gathers per position.
+
+    Memoized per extent (callers only read the arrays): the joint
+    spatial sub-split sampler consults these tables once per (dimension,
+    rejection round), so rebuilding them per call would dominate
+    population generation.
     """
     values = np.asarray(divisors(extent), dtype=np.int64)
     per_value = [divisors(int(v)) for v in values]
@@ -167,6 +174,69 @@ def _sample_bounded_divisors(
     allowed = admissible.sum(axis=1)
     choice = rng.integers(0, allowed)
     return table[row_index, choice]
+
+
+#: Rejection rounds of the joint spatial sub-split sampler.  Each round
+#: redraws only the rows whose joint product still exceeds the fanout
+#: limit; rows unresolved after the budget fall back to a fanout of 1
+#: (always admissible), which in practice is a vanishing fraction.
+_SPATIAL_JOINT_ROUNDS = 16
+
+
+def _sample_joint_subsplit(
+    extents: Tuple[int, ...],
+    factors: np.ndarray,
+    limit: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample each row's spatial sub-split *jointly* over dimensions.
+
+    ``factors`` is the ``(rows, dims)`` slice of one level's combined loop
+    factors (``factors[:, d]`` divides ``extents[d]``).  Returns a
+    same-shaped array of spatial parts whose per-row product is <= the
+    fanout ``limit`` and whose entry ``d`` divides ``factors[:, d]``.
+
+    The draw is symmetric across dimensions: every dimension's spatial
+    part is drawn uniformly from its admissible divisors (those <=
+    ``limit``), and rows whose joint product exceeds the limit are redrawn
+    — i.e. the result is uniform over the admissible *joint* set.  The
+    previous sampler walked dimensions in declaration order with a
+    shrinking per-row cap, so earlier dimensions systematically grabbed
+    the fanout budget first; the rejection form removes that bias.
+
+    Rows still unresolved after :data:`_SPATIAL_JOINT_ROUNDS` rounds
+    (possible for many-dimensional levels with tight limits, where the
+    joint acceptance rate is low) fall back to the shrinking-cap greedy
+    walk over a *randomly permuted* dimension order — always admissible,
+    still spends the fanout budget, and the random order keeps the
+    residual unbiased across dimensions in expectation.
+    """
+    rows, dims = factors.shape
+    chosen = np.ones_like(factors)
+    cap = np.full(rows, limit, dtype=np.int64)
+    unresolved = np.arange(rows)
+    for _ in range(_SPATIAL_JOINT_ROUNDS):
+        if unresolved.size == 0:
+            break
+        draw = np.empty((unresolved.size, dims), dtype=np.int64)
+        for d in range(dims):
+            draw[:, d] = _sample_bounded_divisors(
+                extents[d], factors[unresolved, d], cap[: unresolved.size], rng
+            )
+        accepted = np.prod(draw, axis=1) <= limit
+        chosen[unresolved[accepted]] = draw[accepted]
+        unresolved = unresolved[~accepted]
+    if unresolved.size:
+        fallback = np.ones((unresolved.size, dims), dtype=np.int64)
+        remaining_cap = np.full(unresolved.size, limit, dtype=np.int64)
+        for d in rng.permutation(dims):
+            part = _sample_bounded_divisors(
+                extents[d], factors[unresolved, d], remaining_cap, rng
+            )
+            fallback[:, d] = part
+            remaining_cap //= part
+        chosen[unresolved] = fallback
+    return chosen
 
 
 def _pinned_by_dimension(space) -> Dict[str, Dict[int, int]]:
@@ -280,11 +350,13 @@ def generate_mapping_population(
 
     Levels listed in ``space.spatial_limits`` (with a limit >= 2) receive
     *spatial* factors: each such level's sampled factor is sub-split into
-    a spatial part — drawn uniformly from the divisors that keep the
-    level's running fanout within the limit, dimension by dimension — and
-    a temporal remainder.  The sub-split never changes the combined
-    per-level factor, so capacities and pinned factors are unaffected,
-    and the level's fanout respects its limit by construction.
+    a spatial part — drawn jointly over all dimensions, uniform over the
+    divisor combinations whose product respects the level's fanout limit
+    (:func:`_sample_joint_subsplit`) — and a temporal remainder.  The
+    sub-split never changes the combined per-level factor, so capacities
+    and pinned factors are unaffected, and the level's fanout respects
+    its limit by construction.  Both search engines draw from this one
+    generator, so equal seeds still yield identical populations.
     """
     rng = np.random.default_rng(seed)
     dims = tuple(space.einsum.dimensions)
@@ -337,17 +409,19 @@ def generate_mapping_population(
                     split_extent, len(free_levels), chunk, rng
                 )
         # Sub-split levels with a fanout budget into spatial x temporal.
-        # Dimensions are visited in order with a shrinking per-row cap, so
-        # every sampled row satisfies its spatial limit by construction.
+        # The sub-split is sampled *jointly* over dimensions (uniform over
+        # the admissible joint set, via rejection) so no dimension grabs
+        # the fanout budget first; every row satisfies its spatial limit
+        # by construction (unresolved rows keep fanout 1).
         spatial_block = np.ones_like(block)
+        extents = tuple(space.einsum.extent(dim) for dim, _, _, _ in plans)
         for level_index in spatial_levels:
-            cap = np.full(chunk, space.spatial_limits[level_index], dtype=np.int64)
-            for d, (dim, _, _, _) in enumerate(plans):
-                chosen = _sample_bounded_divisors(
-                    space.einsum.extent(dim), block[:, level_index, d], cap, rng
-                )
-                spatial_block[:, level_index, d] = chosen
-                cap //= chosen
+            spatial_block[:, level_index, :] = _sample_joint_subsplit(
+                extents,
+                block[:, level_index, :],
+                space.spatial_limits[level_index],
+                rng,
+            )
         # Truncate the final chunk so the stream never exceeds the
         # attempt budget (keeps parity with the scalar attempt counter).
         block = block[: max_attempts - sampled]

@@ -1,0 +1,216 @@
+"""Command-line front end: ``python -m repro.service <command>``.
+
+Commands
+--------
+``serve``
+    Run the HTTP evaluation service (``--host``, ``--port``,
+    ``--workers``; ``--port 0`` picks an ephemeral port and prints it).
+``submit``
+    Send one request to a running service (``--url``) or evaluate it
+    in-process (``--local``).  The request comes from ``--file`` (JSON,
+    ``-`` for stdin) or is assembled from ``--macro`` / ``--workload`` /
+    ``--objective`` / ``--override key=value`` flags.
+``trace``
+    Synthesise a replay trace (JSONL) with a target duplicate fraction
+    and family count.
+``replay``
+    Replay a trace in-process through the coalescing scheduler (default)
+    or serially per request (``--serial``), printing throughput and
+    coalescing statistics as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.service.requests import EvaluationRequest, ServiceError
+
+
+def _parse_override(raw: str):
+    """``key=value`` with value coerced to bool/int/float when possible."""
+    if "=" not in raw:
+        raise argparse.ArgumentTypeError(f"override must be key=value, got {raw!r}")
+    key, value = raw.split("=", 1)
+    lowered = value.strip().lower()
+    if lowered in ("true", "false"):
+        return key, lowered == "true"
+    for caster in (int, float):
+        try:
+            return key, caster(value)
+        except ValueError:
+            continue
+    return key, value
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Coalescing CiM evaluation service",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="run the HTTP service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="process-pool workers behind the scheduler")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
+
+    submit = commands.add_parser("submit", help="submit one request")
+    submit.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="service base URL")
+    submit.add_argument("--local", action="store_true",
+                        help="evaluate in-process instead of over HTTP")
+    submit.add_argument("--file", help="request JSON file ('-' for stdin)")
+    submit.add_argument("--macro", default="base_macro")
+    submit.add_argument("--workload", default=None)
+    submit.add_argument("--objective", default="energy")
+    submit.add_argument("--num-mappings", type=int, default=1000)
+    submit.add_argument("--override", action="append", type=_parse_override,
+                        default=[], metavar="KEY=VALUE")
+
+    trace = commands.add_parser("trace", help="synthesise a replay trace")
+    trace.add_argument("--out", required=True, help="JSONL output path")
+    trace.add_argument("--requests", type=int, default=1000)
+    trace.add_argument("--duplicate-fraction", type=float, default=0.6)
+    trace.add_argument("--families", type=int, default=3)
+    trace.add_argument("--seed", type=int, default=0)
+
+    replay = commands.add_parser("replay", help="replay a trace in-process")
+    replay.add_argument("--trace", required=True, help="JSONL trace path")
+    replay.add_argument("--serial", action="store_true",
+                        help="per-request baseline instead of coalescing")
+    replay.add_argument("--workers", type=int, default=1)
+    replay.add_argument("--window", type=int, default=128,
+                        help="requests per arrival window (coalesced mode)")
+    return parser
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.http import EvaluationServiceHandler, serve
+    from repro.service.scheduler import EvaluationScheduler
+
+    EvaluationServiceHandler.verbose = args.verbose
+    scheduler = EvaluationScheduler(workers=args.workers)
+    server = serve(args.host, args.port, scheduler=scheduler)
+    host, port = server.server_address[:2]
+    print(f"repro.service listening on http://{host}:{port} "
+          f"(workers={args.workers})", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        scheduler.close()
+    return 0
+
+
+def _load_request(args) -> EvaluationRequest:
+    if args.file:
+        text = sys.stdin.read() if args.file == "-" else open(args.file).read()
+        return EvaluationRequest.from_json(text)
+    return EvaluationRequest(
+        macro=args.macro,
+        workload=args.workload,
+        objective=args.objective,
+        num_mappings=args.num_mappings,
+        overrides=dict(args.override),
+    )
+
+
+def _cmd_submit(args) -> int:
+    request = _load_request(args)
+    if args.local:
+        from repro.service.scheduler import EvaluationScheduler
+
+        result = EvaluationScheduler().evaluate(request)
+    else:
+        import urllib.error
+        import urllib.request
+
+        http_request = urllib.request.Request(
+            args.url.rstrip("/") + "/evaluate",
+            data=request.canonical_json().encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(http_request) as response:
+                result = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            # Surface the server's JSON error envelope, not a traceback.
+            body = error.read().decode("utf-8", errors="replace")
+            try:
+                envelope = json.loads(body)
+            except ValueError:
+                envelope = {"error": {"type": "HTTPError", "message": body.strip()}}
+            print(json.dumps(envelope, indent=2, sort_keys=True), file=sys.stderr)
+            return 2
+        except urllib.error.URLError as error:
+            print(f"error: cannot reach {args.url}: {error.reason}", file=sys.stderr)
+            return 2
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.service.replay import generate_trace, trace_profile
+
+    trace = generate_trace(
+        num_requests=args.requests,
+        duplicate_fraction=args.duplicate_fraction,
+        families=args.families,
+        seed=args.seed,
+        path=args.out,
+    )
+    print(json.dumps(trace_profile(trace), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.service.replay import (
+        load_trace,
+        replay_coalesced,
+        replay_serial,
+        trace_profile,
+    )
+
+    trace = load_trace(args.trace)
+    report = dict(trace_profile(trace))
+    if args.serial:
+        _, elapsed = replay_serial(trace)
+        report.update(mode="serial", wall_s=elapsed,
+                      requests_per_s=len(trace) / elapsed if elapsed else 0.0)
+    else:
+        _, elapsed, scheduler = replay_coalesced(
+            trace, workers=args.workers, window=args.window
+        )
+        report.update(mode="coalesced", wall_s=elapsed,
+                      requests_per_s=len(trace) / elapsed if elapsed else 0.0,
+                      scheduler=scheduler.stats.as_dict())
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return {
+            "serve": _cmd_serve,
+            "submit": _cmd_submit,
+            "trace": _cmd_trace,
+            "replay": _cmd_replay,
+        }[args.command](args)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""Stdlib HTTP front end of the evaluation service.
+
+A :class:`~http.server.ThreadingHTTPServer` whose handler threads submit
+into the shared :class:`~repro.service.scheduler.EvaluationScheduler` and
+block on the returned future — so concurrent HTTP requests coalesce into
+the scheduler's batched dispatch ticks instead of each running its own
+evaluation.  Routes:
+
+* ``POST /evaluate`` — body is one request object; responds with the
+  result JSON.
+* ``POST /evaluate/batch`` — body is ``{"requests": [...]}``; responds
+  with ``{"results": [...]}`` in request order (per-request failures are
+  inline error envelopes, the batch itself still returns 200).
+* ``GET /result/<hash>`` — content-addressed store lookup; 404 when the
+  hash has never been computed.
+* ``GET /healthz`` — scheduler/store/energy-cache counters, including
+  the shared-memory slab's overflow stats.
+
+Every error response is a JSON envelope
+``{"error": {"type": ..., "message": ...}}`` — validation problems map
+to 400, unknown routes to 404, evaluation failures to 500.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.service.requests import EvaluationRequest, ServiceError
+from repro.service.scheduler import EvaluationScheduler
+
+#: Largest accepted request body (1 MiB): far beyond any legal request,
+#: small enough that a misdirected upload cannot balloon memory.
+MAX_BODY_BYTES = 1 << 20
+
+
+def error_envelope(error: BaseException) -> Dict[str, object]:
+    """The JSON error envelope of an exception."""
+    return {"error": {"type": type(error).__name__, "message": str(error)}}
+
+
+class EvaluationServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP traffic into the shared scheduler."""
+
+    #: Quieten the default per-request stderr logging; the CLI enables it.
+    verbose = False
+
+    @property
+    def scheduler(self) -> EvaluationScheduler:
+        return self.server.scheduler  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send(200, self.scheduler.health())
+            return
+        if self.path.startswith("/result/"):
+            request_hash = self.path[len("/result/"):]
+            # A content hash is exactly 64 hex chars; reject anything else
+            # before it reaches the store (whose disk tier builds a file
+            # path from it — no traversal via crafted URLs).
+            if len(request_hash) != 64 or any(
+                c not in "0123456789abcdef" for c in request_hash
+            ):
+                self._send(404, error_envelope(
+                    ServiceError(f"{request_hash!r} is not a request hash")
+                ))
+                return
+            result = self.scheduler.store.get(request_hash)
+            if result is None:
+                self._send(404, error_envelope(
+                    ServiceError(f"no stored result for hash {request_hash!r}")
+                ))
+            else:
+                self._send(200, result)
+            return
+        self._send(404, error_envelope(ServiceError(f"unknown route {self.path!r}")))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path not in ("/evaluate", "/evaluate/batch"):
+            self._send(404, error_envelope(ServiceError(f"unknown route {self.path!r}")))
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            if self.path == "/evaluate":
+                request = EvaluationRequest.from_json(body)
+                self._send(200, self.scheduler.evaluate(request))
+                return
+            payload = json.loads(body)
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("requests"), list
+            ):
+                raise ServiceError('batch body must be {"requests": [...]}')
+            requests = [EvaluationRequest.from_dict(entry)
+                        for entry in payload["requests"]]
+            futures = [self.scheduler.submit(request) for request in requests]
+            if not self.scheduler.dispatching:
+                self.scheduler.run_pending()
+            results = []
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except Exception as error:  # noqa: BLE001 - inline envelope
+                    results.append(error_envelope(error))
+            self._send(200, {"results": results})
+        except ServiceError as error:
+            self._send(400, error_envelope(error))
+        except ValueError as error:
+            self._send(400, error_envelope(ServiceError(f"invalid JSON: {error}")))
+        except Exception as error:  # noqa: BLE001 - never crash the handler
+            self._send(500, error_envelope(error))
+
+    # ------------------------------------------------------------------
+    def _read_body(self) -> Optional[str]:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._send(400, error_envelope(
+                ServiceError(f"request body must be 0..{MAX_BODY_BYTES} bytes")
+            ))
+            return None
+        return self.rfile.read(length).decode("utf-8", errors="replace")
+
+    def _send(self, status: int, payload: Dict) -> None:
+        blob = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.verbose:
+            super().log_message(format, *args)
+
+
+class EvaluationServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one scheduler."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], scheduler: EvaluationScheduler):
+        super().__init__(address, EvaluationServiceHandler)
+        self.scheduler = scheduler
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    scheduler: Optional[EvaluationScheduler] = None,
+) -> EvaluationServer:
+    """Bind an evaluation server (``port=0`` picks an ephemeral port).
+
+    The scheduler's background dispatcher is started so concurrent
+    handler threads coalesce; the caller owns the serve loop — call
+    ``serve_forever()`` (the CLI does), or drive it from a thread in
+    tests and examples, and ``shutdown()`` + ``scheduler.close()`` when
+    done.
+    """
+    scheduler = scheduler if scheduler is not None else EvaluationScheduler()
+    scheduler.start()
+    return EvaluationServer((host, port), scheduler)

@@ -1,0 +1,194 @@
+"""Trace generation and replay drivers for the evaluation service.
+
+A *trace* is a JSONL file of request payloads — the service's unit of
+offline benchmarking.  :func:`generate_trace` synthesises one with the
+statistical shape of real service traffic (a bounded pool of unique
+requests sampled with heavy repetition, spread over several config
+families); :func:`replay_coalesced` pushes a trace through the
+coalescing scheduler in arrival windows, and :func:`replay_serial` is
+the baseline it is measured against: the pre-service workflow of
+importing the library and evaluating each request independently, with
+nothing shared between requests.
+
+Both replays return per-request result payloads in trace order, so a
+benchmark can assert the coalesced path returns the same energies as
+the serial one while being several times faster (``BENCH_service.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.service.requests import EvaluationRequest
+from repro.service.scheduler import EvaluationScheduler
+from repro.service.store import ResultStore
+
+#: Workloads the synthetic trace spreads its families over (distinct
+#: single-layer MVM geometries -> distinct scheduler families).
+_TRACE_WORKLOADS = ("mvm_48x48", "mvm_64x64", "mvm_96x96", "mvm_64x128")
+
+#: Config-override axes of the synthetic trace's unique-request pool
+#: (their product, times the family count, bounds the pool size).
+_TRACE_ADC_BITS = (4, 5, 6, 7, 8)
+_TRACE_VDD = (0.9, 1.0, 1.1)
+_TRACE_COLUMNS_PER_ADC = (4, 8, 16)
+_TRACE_INPUT_BITS = (8, 6, 4)
+
+
+def generate_trace(
+    num_requests: int = 1000,
+    duplicate_fraction: float = 0.6,
+    families: int = 3,
+    seed: int = 0,
+    path: Optional[Union[str, Path]] = None,
+) -> List[Dict]:
+    """Synthesise a service trace: repetitive requests over few families.
+
+    The trace holds ``num_requests`` payloads drawn from a unique pool of
+    ``~num_requests * (1 - duplicate_fraction)`` requests spread
+    round-robin over ``families`` config families (distinct workloads),
+    each family sweeping ADC resolution x supply voltage.  Every unique
+    request appears at least once, so the duplicate fraction is exact by
+    construction; the arrival order is shuffled.  When ``path`` is given
+    the trace is also written as JSONL (one request object per line).
+    """
+    if not 1 <= families <= len(_TRACE_WORKLOADS):
+        raise ValueError(f"families must be in [1, {len(_TRACE_WORKLOADS)}]")
+    if not 0.0 <= duplicate_fraction < 1.0:
+        raise ValueError("duplicate_fraction must be in [0, 1)")
+    unique_count = max(int(num_requests * (1.0 - duplicate_fraction)), 1)
+    unique: List[Dict] = []
+    # Walk the override grid family-round-robin so every family gets its
+    # share of the pool; the pool is genuinely duplicate-free, so the
+    # requested duplicate fraction is met exactly (or exceeded when the
+    # grid is smaller than the requested pool).
+    grid = [
+        (workload_index, adc, vdd, ways, bits)
+        for bits in _TRACE_INPUT_BITS
+        for ways in _TRACE_COLUMNS_PER_ADC
+        for vdd in _TRACE_VDD
+        for adc in _TRACE_ADC_BITS
+        for workload_index in range(families)
+    ]
+    for workload_index, adc, vdd, ways, bits in grid[:unique_count]:
+        request = EvaluationRequest(
+            macro="base_macro",
+            overrides={
+                "adc_resolution": adc,
+                "vdd": vdd,
+                "columns_per_adc": ways,
+                "input_bits": bits,
+            },
+            workload=_TRACE_WORKLOADS[workload_index],
+            objective="energy",
+        )
+        unique.append(request.to_dict())
+    rng = random.Random(seed)
+    trace = list(unique)
+    while len(trace) < num_requests:
+        trace.append(rng.choice(unique))
+    rng.shuffle(trace)
+    trace = trace[:num_requests]
+    if path is not None:
+        Path(path).write_text(
+            "".join(json.dumps(entry, sort_keys=True) + "\n" for entry in trace)
+        )
+    return trace
+
+
+def load_trace(path: Union[str, Path]) -> List[Dict]:
+    """Read a JSONL trace back into request payloads."""
+    return [
+        json.loads(line)
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def trace_profile(trace: Sequence[Dict]) -> Dict[str, object]:
+    """Shape statistics of a trace (duplication, family spread)."""
+    requests = [EvaluationRequest.from_dict(entry) for entry in trace]
+    hashes = [request.content_hash() for request in requests]
+    families = {request.family_key() for request in requests}
+    unique = len(set(hashes))
+    return {
+        "requests": len(requests),
+        "unique_requests": unique,
+        "duplicate_fraction": 1.0 - unique / max(len(requests), 1),
+        "families": len(families),
+    }
+
+
+def replay_coalesced(
+    trace: Sequence[Dict],
+    workers: int = 1,
+    window: int = 128,
+    store: Optional[ResultStore] = None,
+) -> Tuple[List[Dict], float, EvaluationScheduler]:
+    """Replay a trace through the coalescing scheduler.
+
+    Requests arrive in windows of ``window`` (modelling concurrent
+    in-flight traffic): duplicates inside a window coalesce onto one
+    pending slot, duplicates across windows hit the result store, and
+    each window's survivors dispatch in one family-batched tick.
+    Returns ``(results in trace order, elapsed seconds, scheduler)``.
+    """
+    scheduler = EvaluationScheduler(store=store, workers=workers)
+    requests = [EvaluationRequest.from_dict(entry) for entry in trace]
+    start = time.perf_counter()
+    results: List[Dict] = []
+    for begin in range(0, len(requests), max(window, 1)):
+        chunk = requests[begin:begin + max(window, 1)]
+        futures = [scheduler.submit(request) for request in chunk]
+        scheduler.run_pending()
+        results.extend(future.result() for future in futures)
+    elapsed = time.perf_counter() - start
+    return results, elapsed, scheduler
+
+
+def evaluate_serial(request: EvaluationRequest) -> Dict:
+    """Evaluate one request the pre-service way: a fresh model, no sharing.
+
+    This is the baseline the coalescing scheduler is measured against —
+    exactly what "import the library and call it" costs per request,
+    with no result store, no in-flight dedup, no config-axis batching,
+    and no cache reuse across requests.  Payload shapes match the
+    scheduler's dispatchers so results are directly comparable.
+    """
+    from repro.core.model import CiMLoopModel
+    from repro.service.scheduler import (
+        area_payload,
+        energy_payload,
+        mappings_payload,
+    )
+
+    config = request.config()
+    request_hash = request.content_hash()
+    model = CiMLoopModel(config, use_distributions=request.use_distributions)
+    if request.objective == "area":
+        return area_payload(request_hash, config.name, model.area_breakdown_um2())
+    network = request.network()
+    if request.objective == "mappings":
+        search = model.search_layer_mappings(
+            network.layers[0],
+            num_mappings=request.num_mappings,
+            seed=request.seed,
+            objective="energy",
+        )
+        return mappings_payload(
+            request_hash, config.name, network.layers[0].name, search
+        )
+    return energy_payload(request_hash, model.evaluate(network))
+
+
+def replay_serial(trace: Sequence[Dict]) -> Tuple[List[Dict], float]:
+    """Replay a trace one request at a time with no sharing at all."""
+    requests = [EvaluationRequest.from_dict(entry) for entry in trace]
+    start = time.perf_counter()
+    results = [evaluate_serial(request) for request in requests]
+    elapsed = time.perf_counter() - start
+    return results, elapsed

@@ -1,0 +1,355 @@
+"""The evaluation service's request schema.
+
+An :class:`EvaluationRequest` is the JSON-serializable unit of work the
+service accepts: which macro (by registry name, plus config-field
+overrides), which workload (by registry name, or one inline layer), what
+to compute (an objective), and how hard to try (a mapping budget).  The
+schema is *versioned* and *canonically hashable*:
+
+* :meth:`EvaluationRequest.from_dict` validates an incoming payload —
+  unknown fields, unknown macros/objectives, and non-serializable
+  override values are rejected with a :class:`ServiceError` carrying a
+  human-readable message (the HTTP front end maps these to 400s).
+* :meth:`EvaluationRequest.canonical_json` re-serialises the request with
+  sorted keys, no whitespace, and all defaults materialised, so two
+  requests that differ only in key order, whitespace, or omitted-default
+  fields produce byte-identical canonical forms.
+* :meth:`EvaluationRequest.content_hash` is the SHA-256 of that canonical
+  form — the identity used by the result store (content addressing), the
+  scheduler (in-flight coalescing), and the ``GET /result/<hash>`` route.
+
+Resolution helpers (:meth:`config`, :meth:`network`) turn the validated
+request into the core model's native objects; :meth:`family_key` is the
+grouping identity the coalescing scheduler batches by — requests in one
+family share a workload and an objective and therefore lower onto one
+config-axis batched dispatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.architecture.macro import CiMMacroConfig, OutputReuseStyle
+from repro.circuits.dac import DACType
+from repro.devices.technology import TechnologyNode
+from repro.macros.definitions import (
+    base_macro,
+    digital_cim_macro,
+    macro_a,
+    macro_b,
+    macro_c,
+    macro_d,
+)
+from repro.utils.errors import CiMLoopError, ValidationError, WorkloadError
+from repro.workloads.layer import ActivationStyle, Layer, conv2d_layer, matmul_layer
+from repro.workloads.networks import Network, load_network
+
+#: Schema version accepted by this build of the service.
+REQUEST_VERSION = 1
+
+#: Macro registry: request ``macro`` names -> config factories.
+MACRO_REGISTRY = {
+    "base_macro": base_macro,
+    "macro_a": macro_a,
+    "macro_b": macro_b,
+    "macro_c": macro_c,
+    "macro_d": macro_d,
+    "digital_cim": digital_cim_macro,
+}
+
+#: What a request may ask the service to compute.
+OBJECTIVES = ("energy", "area", "mappings")
+
+#: Config-field overrides resolved outside the dataclass: the technology
+#: node is a nested object, so requests override it with plain numbers.
+_TECHNOLOGY_OVERRIDES = ("node_nm", "vdd")
+
+_CONFIG_FIELDS = {f.name for f in dataclass_fields(CiMMacroConfig)}
+
+#: Inline-layer spec fields shared by both layer kinds.
+_LAYER_COMMON = ("input_bits", "weight_bits", "activation_style")
+
+
+class ServiceError(CiMLoopError):
+    """A malformed or unserviceable request (maps to HTTP 400)."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ServiceError(message)
+
+
+def _canonical_number(value):
+    """Normalise numbers so 2 and 2.0 hash identically."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+@dataclass(frozen=True)
+class EvaluationRequest:
+    """One versioned, content-addressable evaluation request.
+
+    Attributes
+    ----------
+    macro:
+        Name of a registered macro (:data:`MACRO_REGISTRY`).
+    overrides:
+        :class:`CiMMacroConfig` field overrides applied on top of the
+        registered macro's config, plus the technology shorthands
+        ``node_nm`` / ``vdd``.
+    workload:
+        Name of a registered workload (``resnet18``, ``mvm_64x64``, ...).
+        Exactly one of ``workload`` / ``layer`` must be given, except for
+        the ``area`` objective (a pure function of the config).
+    layer:
+        An inline single-layer workload:
+        ``{"kind": "matmul", "name": ..., "m": ..., "k": ..., "n": ...}``
+        or ``{"kind": "conv2d", "name": ..., "in_channels": ...,
+        "out_channels": ..., "height": ..., "width": ..., "kernel": ...}``
+        plus optional precision / activation-style fields.
+    objective:
+        ``energy`` (evaluate the workload's energy/latency), ``area``
+        (area breakdown of the configured macro), or ``mappings``
+        (energy-scored loop-nest mapping search of a single layer).
+    num_mappings:
+        Mapping budget for the ``mappings`` objective.
+    seed:
+        RNG seed of the mapping search.
+    use_distributions:
+        Data-value-dependent statistical pipeline on/off.
+    """
+
+    macro: str = "base_macro"
+    overrides: Mapping[str, object] = field(default_factory=dict)
+    workload: Optional[str] = None
+    layer: Optional[Mapping[str, object]] = None
+    objective: str = "energy"
+    num_mappings: int = 1000
+    seed: int = 0
+    use_distributions: bool = True
+    version: int = REQUEST_VERSION
+
+    # ------------------------------------------------------------------
+    # Validation / serialisation
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        _require(self.version == REQUEST_VERSION,
+                 f"unsupported request version {self.version!r} "
+                 f"(this service speaks version {REQUEST_VERSION})")
+        _require(self.macro in MACRO_REGISTRY,
+                 f"unknown macro {self.macro!r}; "
+                 f"available: {', '.join(sorted(MACRO_REGISTRY))}")
+        _require(self.objective in OBJECTIVES,
+                 f"unknown objective {self.objective!r}; "
+                 f"available: {', '.join(OBJECTIVES)}")
+        _require(isinstance(self.overrides, Mapping),
+                 "overrides must be an object of config-field values")
+        for key, value in self.overrides.items():
+            _require(
+                key in _CONFIG_FIELDS or key in _TECHNOLOGY_OVERRIDES,
+                f"unknown config override {key!r}",
+            )
+            _require(
+                isinstance(value, (int, float, str, bool)),
+                f"override {key!r} must be a JSON scalar, got {type(value).__name__}",
+            )
+        _require(not (self.workload and self.layer),
+                 "give either a workload name or an inline layer, not both")
+        if self.objective != "area":
+            _require(bool(self.workload) or self.layer is not None,
+                     f"objective {self.objective!r} needs a workload or inline layer")
+        if self.layer is not None:
+            _require(isinstance(self.layer, Mapping), "inline layer must be an object")
+            kind = self.layer.get("kind")
+            _require(kind in ("matmul", "conv2d"),
+                     f"inline layer kind must be 'matmul' or 'conv2d', got {kind!r}")
+            required = ("name", "m", "k", "n") if kind == "matmul" else (
+                "name", "in_channels", "out_channels", "height", "width", "kernel")
+            for spec_field in required:
+                _require(spec_field in self.layer,
+                         f"inline {kind} layer is missing {spec_field!r}")
+            allowed = set(required) | set(_LAYER_COMMON) | {"kind", "batch"}
+            for spec_field in self.layer:
+                _require(spec_field in allowed,
+                         f"unknown inline layer field {spec_field!r}")
+        _require(self.num_mappings >= 1, "num_mappings must be at least 1")
+        # Resolve the config and workload once, at submission time: bad
+        # requests surface as 400s (not dispatch-time 500s), and dispatch
+        # reuses the resolved objects instead of rebuilding them.
+        object.__setattr__(self, "_config", self._resolve_config())
+        object.__setattr__(self, "_network", None)
+        if self.objective != "area":
+            object.__setattr__(self, "_network", self._resolve_network())
+            if self.objective == "mappings":
+                _require(len(self._network) == 1,
+                         "the mappings objective needs a single-layer workload")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "EvaluationRequest":
+        """Validate and build a request from a decoded JSON object."""
+        _require(isinstance(payload, Mapping), "request body must be a JSON object")
+        known = {f.name for f in dataclass_fields(cls)}
+        for key in payload:
+            _require(key in known, f"unknown request field {key!r}")
+        try:
+            return cls(**payload)
+        except TypeError as error:
+            raise ServiceError(f"malformed request: {error}") from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "EvaluationRequest":
+        """Validate and build a request from raw JSON text."""
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise ServiceError(f"request is not valid JSON: {error}") from None
+        return cls.from_dict(payload)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The request as a plain JSON-ready canonical dict.
+
+        Defaults are materialised and *objective-irrelevant fields are
+        normalised away*: the mapping budget and seed do not affect an
+        ``energy``/``area`` evaluation, and ``area`` is a pure function
+        of the config, so those fields are dropped from the canonical
+        form — two requests that mean the same thing hash (and therefore
+        store/coalesce) the same.  Round-tripping through
+        :meth:`from_dict` preserves the canonical form.
+        """
+        payload: Dict[str, object] = {
+            "version": self.version,
+            "macro": self.macro,
+            "overrides": {
+                key: _canonical_number(value)
+                for key, value in sorted(self.overrides.items())
+            },
+            "objective": self.objective,
+        }
+        if self.objective != "area":
+            payload["workload"] = self.workload
+            payload["layer"] = (
+                {key: _canonical_number(value)
+                 for key, value in sorted(self.layer.items())}
+                if self.layer is not None else None
+            )
+            payload["use_distributions"] = self.use_distributions
+        if self.objective == "mappings":
+            payload["num_mappings"] = self.num_mappings
+            payload["seed"] = self.seed
+        return payload
+
+    def canonical_json(self) -> str:
+        """Byte-stable serialisation: sorted keys, no whitespace.
+
+        Key order, insignificant whitespace, omitted-default fields, and
+        integral floats all collapse to one canonical form, so requests
+        that *mean* the same thing hash the same.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical form: the request's service-wide identity."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Resolution onto the core model
+    # ------------------------------------------------------------------
+    def config(self) -> CiMMacroConfig:
+        """The fully-resolved macro config this request evaluates."""
+        return self._config
+
+    def network(self) -> Network:
+        """The resolved workload (registry lookup, or the inline layer)."""
+        if self._network is None:
+            return self._resolve_network()
+        return self._network
+
+    def _resolve_config(self) -> CiMMacroConfig:
+        config = MACRO_REGISTRY[self.macro]()
+        # Canonicalise numeric values exactly as the content hash does
+        # (6.0 -> 6): a JSON client sending integral floats must get the
+        # same evaluation as one sending ints, not a dispatch-time
+        # TypeError from an integer-typed config field.
+        overrides = {
+            key: _canonical_number(value) for key, value in self.overrides.items()
+        }
+        node_nm = overrides.pop("node_nm", None)
+        vdd = overrides.pop("vdd", None)
+        if node_nm is not None or vdd is not None:
+            technology = TechnologyNode(
+                float(node_nm) if node_nm is not None else config.technology.node_nm,
+                float(vdd) if vdd is not None else 0.0,
+            )
+            overrides["technology"] = technology
+        if "output_reuse_style" in overrides:
+            overrides["output_reuse_style"] = OutputReuseStyle(
+                overrides["output_reuse_style"]
+            )
+        if "dac_type" in overrides:
+            overrides["dac_type"] = DACType(overrides["dac_type"])
+        try:
+            return config.with_updates(**overrides)
+        except (ValidationError, ValueError) as error:
+            raise ServiceError(f"invalid config overrides: {error}") from None
+
+    def _resolve_network(self) -> Network:
+        if self.layer is not None:
+            return Network(name=str(self.layer["name"]), layers=(self._inline_layer(),))
+        try:
+            return load_network(self.workload)
+        except WorkloadError as error:
+            raise ServiceError(str(error)) from None
+
+    def _inline_layer(self) -> Layer:
+        spec = dict(self.layer)
+        kind = spec.pop("kind")
+        common = {}
+        for spec_field in _LAYER_COMMON:
+            if spec_field in spec:
+                value = spec.pop(spec_field)
+                common[spec_field] = (
+                    ActivationStyle(value) if spec_field == "activation_style"
+                    else int(value)
+                )
+        try:
+            if kind == "matmul":
+                return matmul_layer(
+                    str(spec["name"]), m=int(spec["m"]), k=int(spec["k"]),
+                    n=int(spec["n"]), **common,
+                )
+            return conv2d_layer(
+                str(spec["name"]), int(spec["in_channels"]), int(spec["out_channels"]),
+                int(spec["height"]), int(spec["width"]), int(spec["kernel"]),
+                int(spec.get("batch", 1)), **common,
+            )
+        except (WorkloadError, ValueError) as error:
+            raise ServiceError(f"invalid inline layer: {error}") from None
+
+    def family_key(self) -> Tuple:
+        """The coalescing scheduler's grouping identity.
+
+        Requests in one family differ only in their macro config, so the
+        scheduler can lower a whole family onto one config-axis batched
+        dispatch: an ``area`` family needs no workload at all, and
+        ``energy`` / ``mappings`` families share a workload, objective,
+        and evaluation-mode flags.
+        """
+        if self.objective == "area":
+            return ("area",)
+        workload_key = (
+            ("inline",) + tuple(sorted(
+                (k, _canonical_number(v)) for k, v in self.layer.items()
+            ))
+            if self.layer is not None
+            else ("named", self.workload)
+        )
+        if self.objective == "mappings":
+            return ("mappings", workload_key, self.use_distributions,
+                    self.num_mappings, self.seed)
+        return ("energy", workload_key, self.use_distributions)

@@ -1,0 +1,459 @@
+"""Coalescing batch scheduler: many small requests, few batched dispatches.
+
+The service's traffic is many small, highly redundant evaluation requests.
+This scheduler turns that stream back into the shapes the batched core is
+fast at:
+
+1. **Store short-circuit** — a request whose content hash is already in
+   the :class:`~repro.service.store.ResultStore` resolves immediately;
+   nothing is recomputed.
+2. **In-flight coalescing** — concurrent requests with the same hash
+   attach to one pending slot; N duplicates cost one evaluation and the
+   result fans out to every waiter's future.
+3. **Family batching** — each tick drains the pending set, groups it by
+   :meth:`~repro.service.requests.EvaluationRequest.family_key` (same
+   workload + objective, configs differ), and dispatches **one batched
+   call per family**: ``energy`` families go through one
+   :meth:`~repro.core.batch.BatchRunner.run_grid` (whose parent-side
+   :meth:`~repro.core.fast_pipeline.PerActionEnergyCache.derive_many`
+   pass derives the whole config family's energy tables at once),
+   ``area`` families through one
+   :func:`~repro.core.config_batch.area_config_batch` pass, and
+   ``mappings`` families warm their per-action energies with one
+   ``derive_many`` before searching.
+
+Two consumption styles share the machinery: :meth:`submit` +
+:meth:`run_pending` give explicit control (the replay driver and tests
+tick by hand), while :meth:`start` runs a background dispatcher thread
+with a small coalescing window — the HTTP front end submits from handler
+threads and blocks on the returned future.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.batch import BatchRunner, process_energy_cache
+from repro.service.requests import EvaluationRequest
+from repro.service.store import ResultStore
+
+#: Seconds the background dispatcher waits after the first pending request
+#: so concurrent arrivals coalesce into the same tick.
+DEFAULT_COALESCE_WINDOW_S = 0.005
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing how much work coalescing saved.
+
+    ``submitted`` counts every request seen; of those, ``store_hits``
+    were answered from the result store, ``coalesced`` attached to an
+    already-pending duplicate, and ``dispatched_requests`` were actually
+    evaluated — in ``dispatched_batches`` family-batched calls over
+    ``ticks`` scheduler ticks.  ``submitted == store_hits + coalesced +
+    dispatched_requests`` once the queue is drained.
+    """
+
+    submitted: int = 0
+    store_hits: int = 0
+    coalesced: int = 0
+    dispatched_requests: int = 0
+    dispatched_batches: int = 0
+    ticks: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "store_hits": self.store_hits,
+            "coalesced": self.coalesced,
+            "dispatched_requests": self.dispatched_requests,
+            "dispatched_batches": self.dispatched_batches,
+            "ticks": self.ticks,
+            "errors": self.errors,
+        }
+
+
+@dataclass
+class _Pending:
+    """One unique in-flight request and everyone waiting on it."""
+
+    request: EvaluationRequest
+    request_hash: str
+    futures: List[Future] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Result payload formats — shared by the batched dispatchers here and the
+# serial baseline (:func:`repro.service.replay.evaluate_serial`), so the
+# two paths can never drift apart field-by-field.
+# ----------------------------------------------------------------------
+def energy_payload(request_hash: str, evaluation) -> Dict:
+    """The ``energy`` objective's result payload."""
+    return {
+        "objective": "energy",
+        "request_hash": request_hash,
+        "macro": evaluation.target_name,
+        "workload": evaluation.workload_name,
+        "summary": evaluation.summary(),
+        "energy_breakdown_j": evaluation.energy_breakdown(),
+        "per_layer_energy_j": evaluation.per_layer_energy(),
+    }
+
+
+def area_payload(request_hash: str, macro_name: str, breakdown: Dict[str, float]) -> Dict:
+    """The ``area`` objective's result payload."""
+    return {
+        "objective": "area",
+        "request_hash": request_hash,
+        "macro": macro_name,
+        "area_breakdown_um2": dict(breakdown),
+        "total_area_mm2": sum(breakdown.values()) / 1e6,
+    }
+
+
+def mappings_payload(request_hash: str, macro_name: str, layer_name: str, search) -> Dict:
+    """The ``mappings`` objective's result payload."""
+    return {
+        "objective": "mappings",
+        "request_hash": request_hash,
+        "macro": macro_name,
+        "workload": layer_name,
+        "best_energy_j": search.best_cost,
+        "mappings_evaluated": search.mappings_evaluated,
+        "mappings_attempted": search.mappings_attempted,
+        "best_mapping": repr(search.best_mapping),
+    }
+
+
+class EvaluationScheduler:
+    """Dedup, coalesce, and batch-dispatch evaluation requests."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 1,
+        coalesce_window_s: float = DEFAULT_COALESCE_WINDOW_S,
+    ):
+        # The default store honours the REPRO_RESULT_STORE_* environment
+        # knobs (disk tier, LRU bound), so `python -m repro.service serve`
+        # gets the documented persistence without extra wiring.
+        self.store = store if store is not None else ResultStore.from_env()
+        self.runner = BatchRunner(workers=workers)
+        self.stats = SchedulerStats()
+        self.coalesce_window_s = coalesce_window_s
+        self._pending: "Dict[str, _Pending]" = {}
+        # Slots drained from _pending but not yet completed: duplicates
+        # arriving while their twin is *being evaluated* attach here, so
+        # the one-evaluation-per-hash contract holds across the whole
+        # evaluation, not just until the tick drains the queue.
+        self._inflight: "Dict[str, _Pending]" = {}
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        # Operand-distribution memo keyed by layer fingerprint: profiling
+        # is layer-only (paper Sec. III-D1) and by far the most expensive
+        # per-cell step, so one profile serves every config, dispatch, and
+        # request that ever touches the layer.
+        self._profiles: Dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: EvaluationRequest) -> "Future":
+        """Enqueue one request; the future resolves to its result dict.
+
+        Store hits resolve immediately; duplicate hashes attach to the
+        existing slot whether it is still queued or already being
+        evaluated (coalescing); everything else joins the pending set for
+        the next tick.
+        """
+        request_hash = request.content_hash()
+        future: Future = Future()
+
+        def _attach_if_known() -> bool:
+            """Under the lock: join an existing queued/in-flight slot."""
+            slot = self._pending.get(request_hash) or self._inflight.get(request_hash)
+            if slot is None:
+                return False
+            self.stats.coalesced += 1
+            slot.futures.append(future)
+            return True
+
+        with self._lock:
+            self.stats.submitted += 1
+            if _attach_if_known():
+                return future
+        cached = self.store.get(request_hash)
+        with self._lock:
+            if cached is not None:
+                self.stats.store_hits += 1
+                future.set_result(cached)
+                return future
+            # Re-check: the hash may have been queued (or drained into
+            # evaluation) while the store was consulted outside the lock.
+            if _attach_if_known():
+                return future
+            slot = _Pending(request=request, request_hash=request_hash)
+            slot.futures.append(future)
+            self._pending[request_hash] = slot
+            self._wakeup.notify_all()
+        return future
+
+    @property
+    def dispatching(self) -> bool:
+        """True while the background dispatcher thread is running."""
+        return self._thread is not None
+
+    def evaluate(self, request: EvaluationRequest) -> Dict:
+        """Submit one request and block for its result (inline dispatch
+        when no background dispatcher is running)."""
+        future = self.submit(request)
+        if not self.dispatching:
+            self.run_pending()
+        return future.result()
+
+    def evaluate_batch(self, requests: Sequence[EvaluationRequest]) -> List[Dict]:
+        """Submit a whole batch, dispatch, and return results in order."""
+        futures = [self.submit(request) for request in requests]
+        if not self.dispatching:
+            self.run_pending()
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def run_pending(self) -> int:
+        """One tick: drain the pending set in family-batched dispatches.
+
+        Returns the number of unique requests evaluated.  Safe to call
+        from any thread; the pending set is drained atomically, so
+        concurrent tickers never evaluate a slot twice.
+        """
+        with self._lock:
+            batch = list(self._pending.values())
+            self._pending.clear()
+            # Keep drained slots discoverable until completion so late
+            # duplicates attach instead of re-evaluating.
+            for slot in batch:
+                self._inflight[slot.request_hash] = slot
+            if batch:
+                self.stats.ticks += 1
+        if not batch:
+            return 0
+
+        families: "Dict[Tuple, List[_Pending]]" = {}
+        for slot in batch:
+            families.setdefault(slot.request.family_key(), []).append(slot)
+
+        evaluated = 0
+        for family in families.values():
+            try:
+                results = self._dispatch_family(family)
+            except Exception as error:  # noqa: BLE001 - fan the failure out
+                with self._lock:
+                    self.stats.errors += len(family)
+                for slot in family:
+                    self._complete(slot, error=error)
+                continue
+            with self._lock:
+                self.stats.dispatched_requests += len(family)
+                self.stats.dispatched_batches += 1
+            for slot, result in zip(family, results):
+                self._complete(slot, result=result)
+            evaluated += len(family)
+        return evaluated
+
+    def _complete(self, slot: _Pending, result=None, error=None) -> None:
+        """Store one slot's outcome and resolve every attached future.
+
+        A store failure (e.g. an unserialisable value or a dying disk)
+        must cost the persistence, never the request — and never the
+        dispatcher thread.  The slot is removed from the in-flight map
+        *under the lock, after the store write*, so a concurrent submit
+        either sees the stored result or attaches to the slot; the
+        futures snapshot taken at removal therefore includes every waiter.
+        """
+        if error is None:
+            try:
+                self.store.put(slot.request_hash, result)
+            except Exception as store_error:  # noqa: BLE001 - degrade to warning
+                import sys
+
+                print(
+                    f"warning: could not store result {slot.request_hash[:12]} "
+                    f"({store_error}); serving it uncached",
+                    file=sys.stderr,
+                )
+        with self._lock:
+            self._inflight.pop(slot.request_hash, None)
+            futures = list(slot.futures)
+        for future in futures:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+
+    def _dispatch_family(self, family: List[_Pending]) -> List[Dict]:
+        """Evaluate one family with a single batched core call."""
+        objective = family[0].request.objective
+        if objective == "area":
+            return self._dispatch_area(family)
+        if objective == "mappings":
+            return self._dispatch_mappings(family)
+        return self._dispatch_energy(family)
+
+    def _profile(self, layer):
+        """Memoized default operand profile of one layer."""
+        from repro.workloads.distributions import profile_layer
+
+        key = layer.fingerprint()
+        with self._lock:
+            cached = self._profiles.get(key)
+        if cached is None:
+            cached = profile_layer(layer)
+            with self._lock:
+                self._profiles.setdefault(key, cached)
+        return cached
+
+    def _dispatch_energy(self, family: List[_Pending]) -> List[Dict]:
+        """One ``run_grid`` over the family's (config x layer) product.
+
+        Layers are profiled once through the scheduler-wide memo and
+        shipped as ``default_profiled`` distributions, so grid cells do
+        no profiling and resolve their per-action energies through the
+        worker-persistent cache (the same contract as
+        :meth:`CiMLoopModel.sweep`).
+        """
+        first = family[0].request
+        network = first.network()
+        configs = [slot.request.config() for slot in family]
+        distributions = (
+            {layer.name: self._profile(layer) for layer in network}
+            if first.use_distributions else None
+        )
+        evaluations = self.runner.run_grid(
+            configs, network, distributions=distributions,
+            use_distributions=first.use_distributions,
+            default_profiled=True,
+        )
+        return [
+            energy_payload(slot.request_hash, evaluation)
+            for slot, evaluation in zip(family, evaluations)
+        ]
+
+    def _dispatch_area(self, family: List[_Pending]) -> List[Dict]:
+        """One config-axis batched area pass for the whole family."""
+        from repro.core.config_batch import area_config_batch
+
+        configs = [slot.request.config() for slot in family]
+        batch = area_config_batch(configs)
+        return [
+            area_payload(slot.request_hash, configs[index].name, batch.breakdown(index))
+            for index, slot in enumerate(family)
+        ]
+
+    def _dispatch_mappings(self, family: List[_Pending]) -> List[Dict]:
+        """Warm the family's energy tables in one pass, then search.
+
+        The per-action energies of every config in the family are derived
+        (or tier-served) through the process-wide cache in one
+        ``derive_many`` call before any search runs, so N configs cost one
+        config-axis batched derivation, and the searches themselves score
+        whole populations against cached vectors.
+        """
+        from repro.core.model import CiMLoopModel
+
+        first = family[0].request
+        layer = first.network().layers[0]
+        configs = [slot.request.config() for slot in family]
+        cache = process_energy_cache()
+        if first.use_distributions:
+            cache.derive_many(
+                configs, [layer], distributions={layer.name: self._profile(layer)}
+            )
+        results = []
+        for slot, config in zip(family, configs):
+            model = CiMLoopModel(config, use_distributions=first.use_distributions)
+            model.energy_cache = cache
+            search = model.search_layer_mappings(
+                layer,
+                num_mappings=slot.request.num_mappings,
+                seed=slot.request.seed,
+                objective="energy",
+            )
+            results.append(
+                mappings_payload(slot.request_hash, config.name, layer.name, search)
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Background dispatcher
+    # ------------------------------------------------------------------
+    def start(self) -> "EvaluationScheduler":
+        """Run the dispatcher loop in a daemon thread (HTTP serving mode)."""
+        if self._thread is None:
+            self._closed = False
+            self._thread = threading.Thread(
+                target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._pending and not self._closed:
+                    self._wakeup.wait()
+                if self._closed and not self._pending:
+                    return
+            # Let concurrent arrivals pile into the same tick.
+            if self.coalesce_window_s > 0:
+                time.sleep(self.coalesce_window_s)
+            try:
+                self.run_pending()
+            except Exception as error:  # noqa: BLE001 - keep the daemon alive
+                # Per-family and per-slot failures are already contained;
+                # anything escaping here is a scheduler bug, but dying
+                # silently would wedge every future client on an
+                # undrained queue.  Log and keep serving.
+                import sys
+                import traceback
+
+                print(
+                    f"warning: service dispatch tick failed ({error}); "
+                    "dispatcher continues",
+                    file=sys.stderr,
+                )
+                traceback.print_exc()
+
+    def close(self) -> None:
+        """Stop the dispatcher after draining any remaining requests."""
+        thread = self._thread
+        with self._lock:
+            self._closed = True
+            self._wakeup.notify_all()
+        if thread is not None:
+            thread.join(timeout=30.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """The health payload served by ``GET /healthz``."""
+        with self._lock:
+            pending = len(self._pending)
+            inflight = len(self._inflight)
+            stats = self.stats.as_dict()
+        return {
+            "status": "ok",
+            "pending": pending,
+            "inflight": inflight,
+            "scheduler": stats,
+            "store": self.store.stats(),
+            "energy_cache": process_energy_cache().stats(),
+        }

@@ -1,0 +1,217 @@
+"""Content-addressed result store: identical requests never recompute.
+
+Results are keyed by the request's :meth:`~repro.service.requests.
+EvaluationRequest.content_hash`, so the store is *content-addressed*: any
+two requests with the same canonical form share one entry, across key
+order, whitespace, and omitted defaults.  Two tiers:
+
+* an **in-memory LRU** (bounded by ``max_entries``, gets refresh recency)
+  serving the hot working set of a live service process, and
+* an optional **disk tier** reusing the
+  :class:`~repro.core.fast_pipeline.DiskEnergyCache` patterns — entries
+  are JSON files named by the content hash, written atomically
+  (tempfile + ``os.replace``), verified against their stored key on
+  load, treated as misses when corrupt, LRU-evicted beyond
+  ``disk_max_entries`` / ``disk_max_bytes`` with loads refreshing mtime —
+  so results survive restarts and are shared by co-located service
+  processes.
+
+Environment knobs (mirroring the energy-cache tiers):
+``REPRO_RESULT_STORE_DIR`` enables the disk tier,
+``REPRO_RESULT_STORE_MAX_ENTRIES`` bounds the in-memory LRU, and
+``REPRO_RESULT_STORE_DISK_MAX_ENTRIES`` / ``..._DISK_MAX_BYTES`` bound
+the disk tier.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.shared_cache import env_positive_int
+from repro.utils.diskstore import atomic_write_json, evict_lru_files
+
+RESULT_STORE_DIR_ENV = "REPRO_RESULT_STORE_DIR"
+RESULT_STORE_MAX_ENTRIES_ENV = "REPRO_RESULT_STORE_MAX_ENTRIES"
+RESULT_STORE_DISK_MAX_ENTRIES_ENV = "REPRO_RESULT_STORE_DISK_MAX_ENTRIES"
+RESULT_STORE_DISK_MAX_BYTES_ENV = "REPRO_RESULT_STORE_DISK_MAX_BYTES"
+
+DEFAULT_MAX_ENTRIES = 4096
+
+
+class ResultStore:
+    """In-memory LRU + optional disk tier of evaluation results."""
+
+    VERSION = 1
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        directory: Optional[Union[str, Path]] = None,
+        disk_max_entries: Optional[int] = None,
+        disk_max_bytes: Optional[int] = None,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.disk_max_entries = disk_max_entries
+        self.disk_max_bytes = disk_max_bytes
+        self._entries: "OrderedDict[str, Dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.puts = 0
+        self.evictions = 0
+        self.disk_evictions = 0
+        self.load_failures = 0
+
+    @classmethod
+    def from_env(cls) -> "ResultStore":
+        """The store configured by the environment (disk tier opt-in)."""
+        directory = os.environ.get(RESULT_STORE_DIR_ENV, "").strip() or None
+        max_entries = env_positive_int(RESULT_STORE_MAX_ENTRIES_ENV)
+        try:
+            return cls(
+                max_entries=max_entries or DEFAULT_MAX_ENTRIES,
+                directory=directory,
+                disk_max_entries=env_positive_int(RESULT_STORE_DISK_MAX_ENTRIES_ENV),
+                disk_max_bytes=env_positive_int(RESULT_STORE_DISK_MAX_BYTES_ENV),
+            )
+        except OSError as error:
+            import sys
+
+            print(
+                f"warning: {RESULT_STORE_DIR_ENV}={directory!r} is unusable "
+                f"({error}); result store disk tier disabled",
+                file=sys.stderr,
+            )
+            return cls(max_entries=max_entries or DEFAULT_MAX_ENTRIES)
+
+    # ------------------------------------------------------------------
+    def path_for(self, request_hash: str) -> Optional[Path]:
+        """The disk entry a hash maps to (None without a disk tier)."""
+        if self.directory is None:
+            return None
+        return self.directory / f"result-{request_hash}.json"
+
+    def get(self, request_hash: str) -> Optional[Dict]:
+        """The stored result of a request hash, or None on a miss.
+
+        The disk-tier read happens *outside* the memory lock — a
+        cold-start miss must never stall concurrent in-memory hits (the
+        hot path of duplicate-heavy traffic).  Two threads racing the
+        same cold hash at worst both read the file and insert identical
+        content.
+        """
+        with self._lock:
+            entry = self._entries.get(request_hash)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(request_hash)
+                return entry
+            self.misses += 1
+            if self.directory is None:
+                return None
+        loaded = self._load_from_disk(request_hash)
+        if loaded is not None:
+            with self._lock:
+                self.disk_hits += 1
+                self._insert(request_hash, loaded)
+        return loaded
+
+    def put(self, request_hash: str, result: Dict) -> None:
+        """Insert one result and write it through the disk tier.
+
+        The disk write (and its eviction scan) happens *outside* the
+        memory lock: concurrent handler threads doing pure in-memory
+        lookups must never serialise behind another request's disk I/O.
+        Writes are content-addressed and atomic, so concurrent writers of
+        the same hash are last-writer-wins with identical content.
+        """
+        with self._lock:
+            self.puts += 1
+            self._insert(request_hash, result)
+        self._store_to_disk(request_hash, result)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for the service health report."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "puts": self.puts,
+                "evictions": self.evictions,
+                "disk_evictions": self.disk_evictions,
+                "load_failures": self.load_failures,
+                "disk_directory": str(self.directory) if self.directory else None,
+            }
+
+    # ------------------------------------------------------------------
+    # Internals (_insert requires the lock; the disk helpers take it
+    # themselves only to update counters)
+    # ------------------------------------------------------------------
+    def _insert(self, request_hash: str, result: Dict) -> None:
+        self._entries[request_hash] = result
+        self._entries.move_to_end(request_hash)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def _load_from_disk(self, request_hash: str) -> Optional[Dict]:
+        path = self.path_for(request_hash)
+        if path is None:
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload["version"] != self.VERSION:
+                raise ValueError(f"version {payload['version']}")
+            if payload["key"] != request_hash:
+                raise ValueError("key mismatch")
+            result = dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            with self._lock:
+                self.load_failures += 1
+            return None
+        if self.disk_max_entries is not None or self.disk_max_bytes is not None:
+            try:
+                os.utime(path)  # refresh recency so eviction is LRU
+            except OSError:
+                pass
+        return result
+
+    def _store_to_disk(self, request_hash: str, result: Dict) -> None:
+        path = self.path_for(request_hash)
+        if path is None:
+            return
+        payload = {"version": self.VERSION, "key": request_hash, "result": result}
+        if atomic_write_json(path, payload, "service result"):
+            self._evict_disk()
+
+    def _evict_disk(self) -> None:
+        """LRU-unlink disk entries beyond the configured bounds.
+
+        Runs outside the memory lock (see :meth:`put`); only the counter
+        update re-takes it, so a concurrent evictor at worst double-scans.
+        """
+        evicted = evict_lru_files(
+            self.directory, "result-*.json", self.disk_max_entries, self.disk_max_bytes
+        )
+        if evicted:
+            with self._lock:
+                self.disk_evictions += evicted

@@ -1,0 +1,96 @@
+"""Shared disk-store primitives for the JSON-file cache tiers.
+
+Both disk tiers — the per-action energy cache
+(:class:`repro.core.fast_pipeline.DiskEnergyCache`) and the service
+result store (:class:`repro.service.store.ResultStore`) — follow the same
+contract: entries are JSON files written atomically (tempfile +
+``os.replace``, so a concurrent reader never observes a half-written
+entry), disk trouble degrades to a stderr warning rather than failing the
+run (the caller still holds the data in memory), and the directory is
+bounded by LRU eviction where loads refresh mtime and the newest entry is
+never evicted.  This module holds the two primitives so the tiers cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+
+def atomic_write_json(path: Path, payload, label: str) -> bool:
+    """Atomically persist one JSON entry (last writer wins).
+
+    Returns True on success.  Disk trouble (full volume, directory
+    removed, permissions) only costs the persistence, never the run:
+    write failures degrade to a warning naming ``label`` and return
+    False.
+    """
+    try:
+        handle, scratch = tempfile.mkstemp(
+            prefix=path.name, suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                stream.write(json.dumps(payload, indent=1) + "\n")
+            os.replace(scratch, path)
+        except BaseException:
+            try:
+                os.unlink(scratch)
+            except OSError:
+                pass
+            raise
+    except OSError as error:
+        print(
+            f"warning: could not persist {label} {path.name} "
+            f"({error}); continuing without it",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
+def evict_lru_files(
+    directory: Path,
+    pattern: str,
+    max_entries: Optional[int],
+    max_bytes: Optional[int],
+) -> int:
+    """Unlink least-recently-used entries beyond the configured bounds.
+
+    Best-effort: a file that vanishes mid-scan (a concurrent evictor) is
+    simply skipped.  The newest entry is always kept, even when it alone
+    exceeds the byte budget — evicting the entry just written would
+    defeat the cache entirely.  Returns how many files were unlinked.
+    """
+    if max_entries is None and max_bytes is None:
+        return 0
+    entries = []
+    for path in directory.glob(pattern):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, stat.st_size, path))
+    entries.sort(reverse=True)  # newest first
+    total_bytes = 0
+    kept = 0
+    evicted = 0
+    for _, size, path in entries:
+        kept += 1
+        total_bytes += size
+        over_entries = max_entries is not None and kept > max_entries
+        over_bytes = max_bytes is not None and total_bytes > max_bytes
+        if kept > 1 and (over_entries or over_bytes):
+            try:
+                path.unlink()
+                evicted += 1
+            except OSError:
+                continue
+            kept -= 1
+            total_bytes -= size
+    return evicted

@@ -274,11 +274,26 @@ def list_networks() -> List[str]:
 
 
 def load_network(name: str) -> Network:
-    """Instantiate a built-in network by name."""
+    """Instantiate a built-in network by name.
+
+    Besides the fixed registry, parameterised synthetic workloads resolve
+    by pattern: ``mvm_<rows>x<cols>`` (optionally ``..._x<repeats>``) is
+    the maximum-utilisation matrix-vector workload at that geometry.  This
+    is the lookup the evaluation service uses to resolve request workloads
+    by name, so a request can ask for any array-matched MVM without the
+    service shipping layer shapes inline.
+    """
     try:
         factory = _NETWORKS[name]
-    except KeyError as exc:
+    except KeyError:
+        import re
+
+        match = re.fullmatch(r"mvm_(\d+)x(\d+)(?:_x(\d+))?", name)
+        if match:
+            rows, cols, repeats = (int(g) if g else 1 for g in match.groups())
+            return matrix_vector_workload(rows, cols, repeats=repeats)
         raise WorkloadError(
-            f"unknown network {name!r}; available: {', '.join(list_networks())}"
-        ) from exc
+            f"unknown network {name!r}; available: {', '.join(list_networks())} "
+            "or mvm_<rows>x<cols>[_x<repeats>]"
+        ) from None
     return factory()

@@ -222,6 +222,40 @@ class TestSpatialPopulations:
                     assert batch.reads[role][index, level] == scalar_acc.reads
                     assert batch.updates[role][index, level] == scalar_acc.updates
 
+    def test_joint_subsplit_is_symmetric_across_dimensions(self):
+        """The spatial sub-split must not favour earlier dimensions.
+
+        For a square matmul the M and N dimensions are statistically
+        interchangeable, so their mean spatial factors over a large
+        population must agree closely.  The old sampler walked dimensions
+        in declaration order with a shrinking cap, so M (first) grabbed
+        most of the fanout budget and N (last) got the leftovers — under
+        that scheme this ratio exceeds 2x.
+        """
+        space = MapSpace(
+            einsum=matmul_einsum("sq", m=32, k=32, n=32),
+            level_names=("compute", "array", "backing"),
+            spatial_limits={1: 8},
+        )
+        population = generate_mapping_population(space, 2000, seed=0)
+        dims = {dim: d for d, dim in enumerate(population.dims)}
+        mean_m = population.spatial[:, 1, dims["M"]].mean()
+        mean_n = population.spatial[:, 1, dims["N"]].mean()
+        assert mean_m == pytest.approx(mean_n, rel=0.15)
+        assert mean_m > 1.0  # the budget is actually used
+
+    def test_joint_subsplit_stays_within_the_limit(self):
+        """Rejection sampling (and its fanout-1 fallback) never emits a
+        row whose joint spatial product exceeds the level limit."""
+        space = MapSpace(
+            einsum=CONV,
+            level_names=("compute", "array", "backing"),
+            spatial_limits={1: 3},  # tight limit: exercises the fallback
+        )
+        population = generate_mapping_population(space, 200, seed=9)
+        fanout = np.prod(population.spatial[:, 1, :], axis=1)
+        assert (fanout <= 3).all()
+
     def test_zero_spatial_limit_rejects_everything(self):
         space = MapSpace(
             einsum=MATMUL, level_names=("compute", "buffer", "dram"),

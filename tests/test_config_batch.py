@@ -11,8 +11,11 @@ import pytest
 
 from repro.architecture.macro import CiMMacro
 from repro.core.config_batch import (
+    AREA_COMPONENTS,
     DERIVED_ACTIONS,
+    area_config_batch,
     derive_config_batch,
+    max_scalar_area_relative_error,
     max_scalar_relative_error,
 )
 from repro.core.fast_pipeline import DiskEnergyCache, PerActionEnergyCache
@@ -201,3 +204,56 @@ class TestDeriveMany:
         [[table]] = cache.derive_many([macro_d()], [layer])
         assert cache.get(CiMMacro(macro_d()), layer) is table
         assert cache.hits == 1 and cache.derivations == 1
+
+
+class TestAreaBatch:
+    def test_published_macros_match_scalar_area_oracle(self):
+        """One heterogeneous family spanning every Table III macro — every
+        reuse style (and therefore every style-gated component) — agrees
+        with the scalar area breakdown on every component."""
+        result = area_config_batch(tuple(PUBLISHED.values()))
+        assert result.components == AREA_COMPONENTS
+        assert max_scalar_area_relative_error(result) <= GATE
+
+    def test_fig10_style_sweep_matches_scalar(self):
+        """A DSE-shaped grid (array geometry x ADC resolution x node)
+        sharing one seed config matches the scalar oracle per config."""
+        seed = base_macro()
+        grid = [
+            seed.with_updates(
+                rows=rows, cols=rows, adc_resolution=adc,
+                technology=seed.technology.with_vdd(vdd),
+            )
+            for rows in (64, 128, 256)
+            for adc in (4, 6, 8)
+            for vdd in (0.9, 1.0)
+        ]
+        result = area_config_batch(grid)
+        assert max_scalar_area_relative_error(result) <= GATE
+        totals = result.totals_um2()
+        for index, config in enumerate(grid):
+            assert totals[index] == pytest.approx(
+                sum(CiMMacro(config).area_breakdown_um2().values()), rel=GATE
+            )
+
+    def test_empty_family_is_rejected(self):
+        with pytest.raises(EvaluationError):
+            area_config_batch([])
+
+    def test_run_grid_reports_batched_areas(self):
+        """The sweep runner's per-point area breakdowns come from the
+        batched pass and equal the scalar model's."""
+        from repro.core.batch import BatchRunner
+        from repro.core.model import CiMLoopModel
+
+        network = matrix_vector_workload(32, 32, repeats=2)
+        configs = [base_macro(rows=64, cols=64), macro_b()]
+        results = BatchRunner(workers=1).run_grid(configs, network)
+        for result, config in zip(results, configs):
+            expected = CiMLoopModel(config).area_breakdown_um2()
+            assert result.target_name == config.name
+            assert set(result.area_breakdown_um2) == set(expected)
+            for component, reference in expected.items():
+                assert result.area_breakdown_um2[component] == pytest.approx(
+                    reference, rel=GATE
+                )

@@ -93,6 +93,10 @@ class TestTable2:
         assert cimloop_one.mappings_layers_per_second > value_sim.mappings_layers_per_second * 10
         # Amortisation: per-mapping throughput improves by >10x with many mappings.
         assert cimloop_many.mappings_layers_per_second > cimloop_one.mappings_layers_per_second * 10
+        # The served-throughput row reads as requests/s and must be live.
+        service = by_model[("service", 1)]
+        assert service.layers == 200
+        assert service.mappings_layers_per_second > 0
 
 
 class TestValidationFigures:

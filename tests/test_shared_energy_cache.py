@@ -89,6 +89,53 @@ class TestSharedEnergyStore:
         finally:
             store.close()
 
+    def test_overflow_is_counted_and_warned_once(self, capsys):
+        """The full-slab transition warns exactly once; every later
+        rejected publish only bumps the stats() counter."""
+        store = _store_or_skip(capacity_bytes=1)
+        try:
+            big = {f"action_{i}": float(i) for i in range(64)}
+            stored = 0
+            while store.put(f"key-{stored}", big):
+                stored += 1
+            for extra in range(5):
+                assert not store.put(f"late-{extra}", big)
+            stats = store.stats()
+            assert stats["full"] is True
+            assert stats["rejected_puts"] == 6  # the overflowing put + 5 late
+            assert stats["entries"] == stored
+            assert stats["data_bytes_used"] > 0
+            warnings = capsys.readouterr().err
+            assert warnings.count("is full") == 1
+        finally:
+            store.close()
+
+    def test_tier_stats_always_report(self):
+        """Tier stats are well-formed before arming, after publishing,
+        and flow through PerActionEnergyCache.stats()."""
+        from repro.core.fast_pipeline import PerActionEnergyCache
+
+        tier = SharedEnergyTier(prefix="repro_test_stats")
+        try:
+            assert tier.stats() == {
+                "armed": False,
+                "origin_pid": os.getpid(),
+                "writer_failed": False,
+                "slab": None,
+            }
+            tier.arm()
+            tier.publish("key", ENERGIES)
+            stats = tier.stats()
+            assert stats["armed"] is True
+            if stats["slab"] is not None:  # shm available on this platform
+                assert stats["slab"]["entries"] == 1
+                assert stats["slab"]["rejected_puts"] == 0
+            cache = PerActionEnergyCache(shared=tier)
+            assert cache.stats()["shared_tier"]["armed"] is True
+            assert cache.stats()["derivations"] == 0
+        finally:
+            tier.close()
+
     def test_close_unlinks_the_slab(self):
         store = _store_or_skip()
         pid = os.getpid()
