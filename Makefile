@@ -5,7 +5,8 @@
 
 PYTHONPATH := src
 
-.PHONY: test test-all lint bench bench-smoke bench-json bench-service bench-plot
+.PHONY: test test-all lint bench bench-smoke bench-json bench-service \
+	bench-config-derivation bench-plot
 
 # Unit tests only: benchmarks (with their timing assertions) live in the
 # separate bench targets so a loaded CI runner cannot flake the test gate.
@@ -36,7 +37,20 @@ bench-json:
 		benchmarks/test_value_sim_throughput.py \
 		benchmarks/test_config_derivation.py
 	python tools/bench_record.py BENCH_mapper.json BENCH_energy_search.json \
-		BENCH_value_sim.json BENCH_config_derivation.json
+		BENCH_value_sim.json BENCH_config_derivation.json \
+		BENCH_config_derivation_warm.json
+
+# Config-axis derivation only: the cold DSE-grid throughput benchmark and
+# the warm near-duplicate-family scenario (a one-axis-perturbed family
+# against a primed term cache must re-derive only the changed terms and
+# land >= 5x faster than cold, bitwise identical).  Writes
+# BENCH_config_derivation.json + BENCH_config_derivation_warm.json and
+# appends the git-SHA-stamped snapshots to BENCH_history.jsonl.
+bench-config-derivation:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
+		benchmarks/test_config_derivation.py
+	python tools/bench_record.py BENCH_config_derivation.json \
+		BENCH_config_derivation_warm.json
 
 # Service replay: a 1k-request trace (>= 60% duplicates, 3 config
 # families) through the coalescing scheduler vs serial per-request

@@ -10,8 +10,16 @@ relative error <= 1e-9 against ``CiMMacro.per_action_energies`` for every
 config in the grid, identical action ordering — and writes a
 ``BENCH_config_derivation.json`` perf record at the repo root.
 
+The warm scenario models the service's steady state: a near-duplicate
+family (the same grid with one axis perturbed) derived against a primed
+term cache must re-derive *only* the terms the perturbed axis actually
+changed — everything else assembles from cached component terms — and
+land ``>= 5x`` faster than a cold derivation of the same family, bitwise
+identical.  It writes ``BENCH_config_derivation_warm.json``.
+
 ``CONFIG_DERIVATION_CONFIGS`` overrides the grid size (CI smoke runs use
-a small one so the path is exercised on every push).
+a small one so the path is exercised on every push; the
+derives-only-changed-terms gate holds at every size).
 """
 
 import json
@@ -19,10 +27,18 @@ import os
 import time
 from pathlib import Path
 
+import numpy as np
 from conftest import emit
 
 from repro.architecture.macro import CiMMacro
-from repro.core.config_batch import derive_config_batch, max_scalar_relative_error
+from repro.core.config_batch import (
+    DERIVED_ACTIONS,
+    area_config_batch,
+    derive_config_batch,
+    max_scalar_area_relative_error,
+    max_scalar_relative_error,
+)
+from repro.core.terms import ENERGY_TERMS, TermCache, term_key
 from repro.macros.definitions import base_macro
 from repro.workloads.distributions import profile_layer
 from repro.workloads.networks import matrix_vector_workload
@@ -114,3 +130,90 @@ def test_config_derivation_throughput(benchmark):
     if FULL_SIZE:
         assert len(configs) >= 64
         assert speedup >= 10.0
+
+
+def test_warm_near_duplicate_family(benchmark):
+    """Warm derivation of a one-axis-perturbed family via the term cache.
+
+    Primes a term cache with the DSE grid (energy + area), perturbs one
+    axis (``adc_energy_scale``) across the whole family, and derives the
+    perturbed family warm.  Gates, at every grid size: the warm pass
+    performs exactly one term derivation per *unique changed sub-tuple*
+    (here: the ADC term's keys) and zero area derivations, the scalar
+    equivalence gates hold, and the warm table is bitwise identical to a
+    cold derivation of the same family.  The >= 5x warm speedup is
+    asserted at full grid size only (single-round timing; see FULL_SIZE).
+    """
+    configs = _config_grid(NUM_CONFIGS)
+    perturbed = [c.with_updates(adc_energy_scale=1.25) for c in configs]
+    layer = matrix_vector_workload(128, 128, repeats=8).layers[0]
+    distributions = profile_layer(layer)
+
+    cache = TermCache()
+    derive_config_batch(configs, layer, distributions, term_cache=cache)
+    area_config_batch(configs, term_cache=cache)
+    primed = cache.derivations
+
+    # Cold reference: the perturbed family against an empty cache.
+    start = time.perf_counter()
+    cold = derive_config_batch(
+        perturbed, layer, distributions, term_cache=TermCache()
+    )
+    cold_s = time.perf_counter() - start
+
+    def _warm():
+        start = time.perf_counter()
+        result = derive_config_batch(
+            perturbed, layer, distributions, term_cache=cache
+        )
+        return result, time.perf_counter() - start
+
+    warm, warm_s = benchmark(_warm)
+    energy_derivations = cache.derivations - primed
+
+    area_warm = area_config_batch(perturbed, term_cache=cache)
+    area_derivations = cache.derivations - primed - energy_derivations
+
+    # Only the ADC term reads the perturbed axis: the warm pass derives
+    # exactly its unique sub-tuples, and no area term moves at all.
+    adc_spec = next(spec for spec in ENERGY_TERMS if spec.name == "adc")
+    changed_terms = len({term_key(adc_spec, config) for config in perturbed})
+    assert energy_derivations == changed_terms
+    assert area_derivations == 0
+
+    worst = max_scalar_relative_error(warm, layer, distributions)
+    worst_area = max_scalar_area_relative_error(area_warm)
+    assert worst <= 1e-9 and worst_area <= 1e-9
+    assert warm.actions == DERIVED_ACTIONS == cold.actions
+    assert np.array_equal(warm.energies, cold.energies)
+
+    speedup = cold_s / warm_s
+    record = {
+        "benchmark": "config_derivation_warm",
+        "workload": "matrix_vector_128x128",
+        "num_configs": len(perturbed),
+        "perturbed_axis": "adc_energy_scale",
+        "unique_changed_terms": changed_terms,
+        "warm_term_derivations": energy_derivations,
+        "max_rel_error": worst,
+        "max_area_rel_error": worst_area,
+        "cold_wall_s": cold_s,
+        "warm_wall_s": warm_s,
+        "warm_speedup": speedup,
+    }
+    if FULL_SIZE:
+        (REPO_ROOT / "BENCH_config_derivation_warm.json").write_text(
+            json.dumps(record, indent=2) + "\n"
+        )
+    emit(
+        "Warm near-duplicate-family derivation (term cache)",
+        [
+            f"cold  {cold_s * 1e3:10.2f} ms over {len(perturbed)} configs",
+            f"warm  {warm_s * 1e3:10.2f} ms ({speedup:.1f}x)",
+            f"terms re-derived {energy_derivations} "
+            f"(= {changed_terms} unique changed sub-tuples), area 0",
+            f"max rel error {worst:.2e} energy / {worst_area:.2e} area",
+        ],
+    )
+    if FULL_SIZE:
+        assert speedup >= 5.0

@@ -61,6 +61,15 @@ class ADCModel(ComponentEnergyModel):
 
     component_class = "adc"
 
+    #: Config fields the conversion-energy formula reads (term-key protocol).
+    TERM_CONFIG_FIELDS = (
+        "adc_resolution",
+        "value_aware_adc",
+        "adc_energy_scale",
+        "technology",
+    )
+    TERM_STAT_ROLES = (TensorRole.OUTPUTS,)
+
     # Regression constants (65 nm reference).  The exponential term models
     # comparator + CDAC energy, the linear term models SAR logic.
     _ENERGY_PER_LEVEL_FJ = 0.75   # fJ per quantisation level (2^bits)

@@ -56,6 +56,10 @@ class AnalogAdder(ComponentEnergyModel):
 
     component_class = "analog_adder"
 
+    #: Config fields the add-energy formula reads (term-key protocol).
+    TERM_CONFIG_FIELDS = ("analog_adder_operands", "analog_energy_scale", "technology")
+    TERM_STAT_ROLES = (TensorRole.OUTPUTS,)
+
     _ENERGY_PER_OPERAND_FJ = 2.5
     _AREA_PER_OPERAND_UM2 = 35.0
     _AREA_BASE_UM2 = 20.0
@@ -98,6 +102,10 @@ class AnalogAccumulator(ComponentEnergyModel):
 
     component_class = "analog_accumulator"
 
+    #: Config fields the accumulate-energy formula reads (term-key protocol).
+    TERM_CONFIG_FIELDS = ("analog_energy_scale", "technology")
+    TERM_STAT_ROLES = (TensorRole.OUTPUTS,)
+
     _ENERGY_PER_ACCUMULATE_FJ = 4.0
     _AREA_UM2 = 90.0
 
@@ -137,6 +145,10 @@ class AnalogMACUnit(ComponentEnergyModel):
     area_scale: float = 1.0
 
     component_class = "analog_mac"
+
+    #: Config fields the MAC-energy formula reads (term-key protocol).
+    TERM_CONFIG_FIELDS = ("weight_bits", "analog_energy_scale", "technology")
+    TERM_STAT_ROLES = (TensorRole.INPUTS, TensorRole.WEIGHTS)
 
     _ENERGY_PER_BIT_FJ = 1.2
     _AREA_PER_BIT_UM2 = 28.0

@@ -41,6 +41,24 @@ class SRAMBuffer(ComponentEnergyModel):
 
     component_class = "sram_buffer"
 
+    #: Term-key protocol: a macro instantiates this model twice, so the
+    #: declared config sub-tuples are per-side.  Access energy is a pure
+    #: function of capacity, access width, scale, and node — the operand
+    #: statistics never enter, which is why TERM_STAT_ROLES stays empty
+    #: and buffer terms are reusable across layers and modes.
+    TERM_CONFIG_FIELDS_INPUT = (
+        "input_buffer_kib",
+        "input_bits",
+        "buffer_energy_scale",
+        "technology",
+    )
+    TERM_CONFIG_FIELDS_OUTPUT = (
+        "output_buffer_kib",
+        "output_bits",
+        "buffer_energy_scale",
+        "technology",
+    )
+
     # Reference constants at 65 nm: a 64 KiB, 64-bit-wide SRAM costs about
     # 20 pJ per access; area is ~0.5 um^2 per bit plus 20% periphery.
     _REF_CAPACITY_BYTES = 64 * 1024

@@ -56,6 +56,15 @@ class DACModel(ComponentEnergyModel):
 
     component_class = "dac"
 
+    #: Config fields the conversion-energy formula reads (term-key protocol).
+    TERM_CONFIG_FIELDS = (
+        "dac_resolution",
+        "dac_type",
+        "dac_energy_scale",
+        "technology",
+    )
+    TERM_STAT_ROLES = (TensorRole.INPUTS,)
+
     _ENERGY_PER_LEVEL_FJ = 0.10       # fJ per DAC level (2^bits) at full switching
     _ENERGY_PER_LEVEL_SQ_FJ = 0.012   # fJ per squared level: settling accuracy and
     #                                   cap-array growth make high-resolution DACs

@@ -84,6 +84,9 @@ class DigitalAccumulator(_DigitalComponent):
     """An adder + register accumulating partial sums across activations."""
 
     component_class = "digital_accumulator"
+    #: In a macro the accumulator is ``output_bits`` wide (term-key protocol).
+    TERM_CONFIG_FIELDS = ("output_bits", "digital_energy_scale", "technology")
+    TERM_STAT_ROLES = (TensorRole.OUTPUTS,)
     _ENERGY_PER_BIT_FJ = 2.0
     _AREA_PER_BIT_UM2 = 10.0
     _ACTION = Action.ACCUMULATE
@@ -99,6 +102,9 @@ class ShiftAdd(_DigitalComponent):
     """
 
     component_class = "shift_add"
+    #: In a macro the shift-add datapath is ``output_bits`` wide.
+    TERM_CONFIG_FIELDS = ("output_bits", "digital_energy_scale", "technology")
+    TERM_STAT_ROLES = (TensorRole.OUTPUTS,)
     _ENERGY_PER_BIT_FJ = 1.6
     _AREA_PER_BIT_UM2 = 8.0
     _ACTION = Action.ACCUMULATE
@@ -109,6 +115,9 @@ class DigitalMACUnit(_DigitalComponent):
     """A full digital multiply-accumulate unit (Digital CiM macro, Fig. 3)."""
 
     component_class = "digital_mac"
+    #: In a macro the multiplier is ``weight_bits`` wide.
+    TERM_CONFIG_FIELDS = ("weight_bits", "digital_energy_scale", "technology")
+    TERM_STAT_ROLES = (TensorRole.INPUTS, TensorRole.WEIGHTS)
     _ENERGY_PER_BIT_FJ = 6.0
     _AREA_PER_BIT_UM2 = 30.0
     _ACTION = Action.COMPUTE

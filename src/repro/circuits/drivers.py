@@ -36,6 +36,12 @@ class RowDriver(ComponentEnergyModel):
 
     component_class = "row_driver"
 
+    #: Config fields the drive-energy formula reads (term-key protocol).
+    #: The row capacitance spans the *columns* of the array, and the
+    #: C * V^2 formula reads the supply voltage straight off the node.
+    TERM_CONFIG_FIELDS = ("cols", "driver_energy_scale", "technology")
+    TERM_STAT_ROLES = (TensorRole.INPUTS,)
+
     _CAP_PER_CELL_FF = 0.12      # wire + gate capacitance per cell on the row
     _DRIVER_AREA_UM2 = 3.0       # per driven row
     _AREA_PER_CELL_UM2 = 0.002   # wire pitch contribution
@@ -79,6 +85,10 @@ class ColumnMux(ComponentEnergyModel):
     area_scale: float = 1.0
 
     component_class = "column_mux"
+
+    #: Config fields the transfer-energy formula reads (term-key protocol).
+    TERM_CONFIG_FIELDS = ("rows", "driver_energy_scale", "technology")
+    TERM_STAT_ROLES = (TensorRole.OUTPUTS,)
 
     _CAP_PER_ROW_FF = 0.10
     _AREA_PER_WAY_UM2 = 2.0

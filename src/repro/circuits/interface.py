@@ -122,16 +122,58 @@ class Action:
     LEAK = "leak"
 
 
+def term_config_key(config, fields: Tuple[str, ...]) -> tuple:
+    """The sub-tuple of ``config`` a component's energy formula reads.
+
+    This is the identity the term-factored derivation
+    (:mod:`repro.core.terms`) keys per-component energy terms on: two
+    configs with equal sub-tuples are guaranteed to produce bitwise-equal
+    term values, so the term derives once and broadcasts.  ``device`` is
+    case-normalised because the cell library resolves devices
+    case-insensitively (``"ReRAM"`` and ``"reram"`` are the same cell).
+    """
+    values = []
+    for name in fields:
+        value = getattr(config, name)
+        if name == "device":
+            value = value.lower()
+        values.append(value)
+    return tuple(values)
+
+
 class ComponentEnergyModel(ABC):
     """Abstract base class of every circuit component model.
 
     A component model is a pure function of its construction attributes and
     the operand context: it holds no mutable state, so one instance can be
     shared across mappings and layers (the fast pipeline relies on this).
+
+    Term-key protocol
+    -----------------
+    Each concrete model declares the :class:`CiMMacroConfig` fields its
+    energy formula reads (``TERM_CONFIG_FIELDS``) and the operand roles
+    whose statistics it consumes (``TERM_STAT_ROLES``).  Together they
+    bound the model's energy: perturbing any config field *outside* the
+    declared set (and outside the fields that shape the declared roles'
+    statistics) must not change the model's per-action energy.  The
+    declarations are validated against the scalar oracle by perturbation
+    testing in CI and drive the term-granular derivation cache
+    (:mod:`repro.core.terms`).
     """
 
     #: Human-readable component class name, set by subclasses.
     component_class: str = "component"
+
+    #: Config fields of :class:`CiMMacroConfig` the energy formula reads.
+    TERM_CONFIG_FIELDS: Tuple[str, ...] = ()
+
+    #: Operand roles whose statistics enter the energy formula.
+    TERM_STAT_ROLES: Tuple[TensorRole, ...] = ()
+
+    @classmethod
+    def term_key(cls, config) -> tuple:
+        """The declared config sub-tuple evaluated on one config."""
+        return term_config_key(config, cls.TERM_CONFIG_FIELDS)
 
     @abstractmethod
     def actions(self) -> Tuple[str, ...]:

@@ -72,6 +72,7 @@ from repro.core.fast_pipeline import (
     PerActionEnergyCache,
 )
 from repro.core.shared_cache import SharedEnergyTier
+from repro.core.terms import TermCache
 from repro.utils.errors import EvaluationError
 from repro.workloads.distributions import LayerDistributions
 from repro.workloads.layer import Layer
@@ -384,8 +385,15 @@ atexit.register(shutdown_shared_pool)
 #: shared-memory tier (:mod:`repro.core.shared_cache`), and the optional
 #: disk backing (``REPRO_ENERGY_CACHE_DIR``) shares entries across
 #: processes and runs.
+_process_disk_tier = DiskEnergyCache.from_env()
+_process_shared_tier = SharedEnergyTier.from_env()
 _process_energy_cache = PerActionEnergyCache(
-    disk=DiskEnergyCache.from_env(), shared=SharedEnergyTier.from_env()
+    disk=_process_disk_tier,
+    shared=_process_shared_tier,
+    # Term-granular entries ride the same shared slab and disk directory
+    # as the full tables (distinct key prefixes), so one pair of env
+    # knobs configures both granularities; REPRO_TERM_CACHE=0 opts out.
+    terms=TermCache.from_env(shared=_process_shared_tier, disk=_process_disk_tier),
 )
 
 

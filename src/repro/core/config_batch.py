@@ -29,6 +29,22 @@ How the batching wins
   ``_data_dependence`` hook is honoured per config so subclasses with
   custom data dependence (e.g. ReRAM conductance floors) stay exact.
 
+Term-factored derivation
+------------------------
+Each energy/area formula above reads only a small *sub-tuple* of the
+config — the fields its component model declares through the term-key
+protocol (:mod:`repro.core.terms`).  When a :class:`TermCache` is passed,
+both derivers factor the work around those terms: every unique
+``(term, sub-tuple)`` in the family is resolved through the cache, the
+formula battery runs only on a set of *representative* configs (the first
+occurrence of each unresolved sub-tuple), and the ``(configs, actions)``
+matrix is assembled by broadcasting term values back over the family.
+Because every formula is elementwise over the config axis, the
+representative-row evaluation is bitwise identical to the full-batch
+evaluation — the term path changes how many rows the formulas see, never
+what they compute.  A warm near-duplicate family (one axis perturbed)
+therefore derives only the terms that axis actually touches.
+
 The scalar :meth:`CiMMacro.per_action_energies` remains the tested
 oracle: :func:`max_scalar_relative_error` is the equivalence gate used by
 the test suite and the ``bench-config-derivation`` benchmark (max
@@ -50,6 +66,14 @@ from repro.circuits.dac import DACModel, DACType
 from repro.circuits.digital import DigitalAccumulator, DigitalMACUnit, ShiftAdd
 from repro.circuits.drivers import ColumnMux, RowDriver
 from repro.circuits.interface import OperandStats
+from repro.core.terms import (
+    AREA_TERMS,
+    ENERGY_TERMS,
+    TermCache,
+    TermSpec,
+    area_term_cache_key,
+    energy_term_cache_key,
+)
 from repro.devices.nvmexplorer import CellLibrary, default_cell_library
 from repro.devices.technology import REFERENCE_NODE, scale_energy
 from repro.representation.encoding import get_encoding
@@ -133,6 +157,8 @@ def _gather(stats: Sequence[OperandStats]) -> _RoleStats:
 def _batch_operand_stats(
     configs: Sequence[CiMMacroConfig],
     distributions: Optional[LayerDistributions],
+    input_cache: Optional[Dict[tuple, OperandStats]] = None,
+    weight_cache: Optional[Dict[tuple, OperandStats]] = None,
 ) -> Tuple[_RoleStats, _RoleStats, _RoleStats]:
     """(inputs, weights, outputs) statistics arrays, one row per config.
 
@@ -142,6 +168,11 @@ def _batch_operand_stats(
     encode-and-slice propagation — computed once per unique encoding
     subkey, not once per config — and the output stats follow the same
     clipped product formula, vectorized.
+
+    ``input_cache`` / ``weight_cache`` optionally carry the per-subkey
+    memo across calls (the term-cached path hands in per-fingerprint
+    memos so warm families skip the encode-and-slice entirely); by
+    default the memo lives and dies with one family.
     """
     n = len(configs)
     if distributions is None:
@@ -151,8 +182,8 @@ def _batch_operand_stats(
 
     input_pmf = distributions.pmf(TensorRole.INPUTS)
     weight_pmf = distributions.pmf(TensorRole.WEIGHTS)
-    input_cache: Dict[tuple, OperandStats] = {}
-    weight_cache: Dict[tuple, OperandStats] = {}
+    input_cache = {} if input_cache is None else input_cache
+    weight_cache = {} if weight_cache is None else weight_cache
     input_stats: List[OperandStats] = []
     weight_stats: List[OperandStats] = []
     for config in configs:
@@ -215,35 +246,22 @@ def _validate_family(configs: Sequence[CiMMacroConfig]) -> None:
                 raise ValidationError("calibration scales must be positive")
 
 
-def derive_config_batch(
-    configs: Sequence[CiMMacroConfig],
-    layer: Layer,
-    distributions: Optional[LayerDistributions] = None,
-    use_distributions: bool = True,
-    cell_library: Optional[CellLibrary] = None,
-) -> ConfigBatchResult:
-    """Derive the per-action energies of a config family in batched passes.
+def _energy_action_columns(
+    configs: Tuple[CiMMacroConfig, ...],
+    inputs: _RoleStats,
+    weights: _RoleStats,
+    outputs: _RoleStats,
+    cell_library: Optional[CellLibrary],
+) -> Dict[str, np.ndarray]:
+    """The formula battery: every derived action's energy column.
 
-    Parameters mirror the scalar path: ``distributions=None`` with
-    ``use_distributions=True`` profiles the layer with the default
-    synthetic profile (exactly what :meth:`PerActionEnergyCache.get`
-    does); ``use_distributions=False`` is fixed-energy mode (nominal
-    operand statistics, matching ``CiMMacro.operand_context(None)``).
-
-    Returns the full ``(configs, actions)`` matrix; each row agrees with
-    ``CiMMacro(config).per_action_energies(...)`` to well within 1e-9
-    relative error, with the identical action ordering.
+    Evaluates each component formula as a NumPy expression over the
+    ``(configs,)`` leading axis and returns ``{action: column}`` for all
+    of :data:`DERIVED_ACTIONS`.  Every formula is elementwise over the
+    config axis, so evaluating a sub-sequence of configs yields bitwise
+    the same values those rows get in a full-family evaluation — the
+    property the term-factored path relies on.
     """
-    configs = tuple(configs)
-    if not configs:
-        raise EvaluationError("config batch needs at least one config")
-    _validate_family(configs)
-    if use_distributions and distributions is None:
-        distributions = profile_layer(layer)
-    inputs, weights, outputs = _batch_operand_stats(
-        configs, distributions if use_distributions else None
-    )
-
     ref_factor = REFERENCE_NODE.energy_factor
     energy_factor = np.array(
         [c.technology.energy_factor for c in configs], dtype=np.float64
@@ -392,26 +410,192 @@ def derive_config_batch(
         * energy_factor
     )
 
-    energies = np.stack(
-        [
-            cell_compute,
-            cell_write,
-            dac_convert,
-            adc_convert,
-            row_drive,
-            column_mux,
-            analog_add,
-            analog_accumulate,
-            analog_mac,
-            shift_add,
-            digital_accumulate,
-            digital_mac,
-            input_access,
-            input_access * 1.1,
-            output_access * 2.0,
-            output_access,
-        ],
-        axis=1,
+    return {
+        "cell_compute": cell_compute,
+        "cell_write": cell_write,
+        "dac_convert": dac_convert,
+        "adc_convert": adc_convert,
+        "row_drive": row_drive,
+        "column_mux": column_mux,
+        "analog_add": analog_add,
+        "analog_accumulate": analog_accumulate,
+        "analog_mac": analog_mac,
+        "shift_add": shift_add,
+        "digital_accumulate": digital_accumulate,
+        "digital_mac": digital_mac,
+        "input_buffer_read": input_access,
+        "input_buffer_write": input_access * 1.1,
+        "output_buffer_update": output_access * 2.0,
+        "output_buffer_read": output_access,
+    }
+
+
+def _family_term_keys(
+    configs: Tuple[CiMMacroConfig, ...],
+    specs: Tuple[TermSpec, ...],
+    cache_key,
+) -> List[List[str]]:
+    """Per-spec canonical cache-key strings, one per config.
+
+    ``cache_key(spec, sub_tuple)`` builds the canonical string; the
+    sub-tuple -> string rendering is memoised per spec because families
+    repeat sub-tuples heavily (that repetition is the whole point).
+    Field values are read once per family and shared across the specs
+    that declare them, mirroring :func:`term_config_key` (including its
+    ``device`` case-normalisation) column-wise instead of config-wise.
+    """
+    columns: Dict[str, list] = {}
+
+    def column(field: str) -> list:
+        values = columns.get(field)
+        if values is None:
+            values = [getattr(config, field) for config in configs]
+            if field == "device":
+                values = [value.lower() for value in values]
+            columns[field] = values
+        return values
+
+    per_spec: List[List[str]] = []
+    for spec in specs:
+        spec_columns = [column(field) for field in spec.effective_fields()]
+        rendered: Dict[tuple, str] = {}
+        keys: List[str] = []
+        for row in range(len(configs)):
+            sub = tuple(values[row] for values in spec_columns)
+            key = rendered.get(sub)
+            if key is None:
+                key = cache_key(spec, sub)
+                rendered[sub] = key
+            keys.append(key)
+        per_spec.append(keys)
+    return per_spec
+
+
+def _resolve_terms(
+    term_cache: TermCache,
+    specs: Tuple[TermSpec, ...],
+    spec_keys: List[List[str]],
+    derive_columns,
+) -> Dict[str, Dict[str, float]]:
+    """Resolve every unique term entry of a family through the cache.
+
+    Unresolved entries are derived by running ``derive_columns`` on the
+    *representative rows* — the first config row where each missing
+    sub-tuple occurs — and the fresh values are stored back through the
+    cache (and its tiers).  Returns ``{cache key: {action: value}}``
+    covering every key in ``spec_keys``.
+    """
+    resolved: Dict[str, Dict[str, float]] = {}
+    pending: Dict[str, Tuple[TermSpec, int]] = {}
+    for spec, keys in zip(specs, spec_keys):
+        for row, key in enumerate(keys):
+            if key in resolved or key in pending:
+                continue
+            values = term_cache.lookup(key)
+            if values is not None:
+                resolved[key] = values
+            else:
+                pending[key] = (spec, row)
+    if pending:
+        rep_rows = sorted({row for _, row in pending.values()})
+        position = {row: p for p, row in enumerate(rep_rows)}
+        columns = derive_columns(rep_rows)
+        for key, (spec, row) in pending.items():
+            p = position[row]
+            values = {action: float(columns[action][p]) for action in spec.actions}
+            resolved[key] = values
+            term_cache.store(key, values)
+        term_cache.record_derivations(len(pending))
+    return resolved
+
+
+def _assemble_matrix(
+    actions: Tuple[str, ...],
+    specs: Tuple[TermSpec, ...],
+    spec_keys: List[List[str]],
+    resolved: Dict[str, Dict[str, float]],
+    num_configs: int,
+) -> np.ndarray:
+    """Broadcast resolved term values into the ``(configs, actions)`` matrix."""
+    matrix = np.empty((num_configs, len(actions)), dtype=np.float64)
+    action_col = {action: k for k, action in enumerate(actions)}
+    for spec, keys in zip(specs, spec_keys):
+        columns = [action_col[action] for action in spec.actions]
+        for row in range(num_configs):
+            values = resolved[keys[row]]
+            for action, col in zip(spec.actions, columns):
+                matrix[row, col] = values[action]
+    return matrix
+
+
+def derive_config_batch(
+    configs: Sequence[CiMMacroConfig],
+    layer: Layer,
+    distributions: Optional[LayerDistributions] = None,
+    use_distributions: bool = True,
+    cell_library: Optional[CellLibrary] = None,
+    term_cache: Optional[TermCache] = None,
+) -> ConfigBatchResult:
+    """Derive the per-action energies of a config family in batched passes.
+
+    Parameters mirror the scalar path: ``distributions=None`` with
+    ``use_distributions=True`` profiles the layer with the default
+    synthetic profile (exactly what :meth:`PerActionEnergyCache.get`
+    does); ``use_distributions=False`` is fixed-energy mode (nominal
+    operand statistics, matching ``CiMMacro.operand_context(None)``).
+
+    With a ``term_cache`` the derivation is term-factored: each unique
+    ``(component term, config sub-tuple)`` is resolved through the cache
+    and the formula battery runs only on the representative rows of the
+    still-missing terms, so warm near-duplicate families assemble their
+    matrices almost entirely from cached terms.  The cache contract
+    matches the full-table tiers: entries assume the default cell library
+    (a custom ``cell_library`` bypasses the cache) and default-profiled
+    distributions (callers supplying genuinely non-default
+    ``distributions`` must use a separate cache or none).
+
+    Returns the full ``(configs, actions)`` matrix; each row agrees with
+    ``CiMMacro(config).per_action_energies(...)`` to well within 1e-9
+    relative error, with the identical action ordering.
+    """
+    configs = tuple(configs)
+    if not configs:
+        raise EvaluationError("config batch needs at least one config")
+    _validate_family(configs)
+    if cell_library is not None:
+        term_cache = None  # cache entries assume the default cell library
+    if use_distributions and distributions is None:
+        distributions = profile_layer(layer)
+    active = distributions if use_distributions else None
+
+    if term_cache is None:
+        inputs, weights, outputs = _batch_operand_stats(configs, active)
+        columns = _energy_action_columns(configs, inputs, weights, outputs, cell_library)
+        energies = np.stack([columns[action] for action in DERIVED_ACTIONS], axis=1)
+        return ConfigBatchResult(
+            configs=configs, actions=DERIVED_ACTIONS, energies=energies
+        )
+
+    fingerprint = layer.fingerprint() if use_distributions else None
+    spec_keys = _family_term_keys(
+        configs,
+        ENERGY_TERMS,
+        lambda spec, sub: energy_term_cache_key(spec, sub, use_distributions, fingerprint),
+    )
+
+    def derive_columns(rep_rows: List[int]) -> Dict[str, np.ndarray]:
+        reps = tuple(configs[row] for row in rep_rows)
+        inputs, weights, outputs = _batch_operand_stats(
+            reps,
+            active,
+            input_cache=term_cache.operand_stats_memo(fingerprint, "inputs"),
+            weight_cache=term_cache.operand_stats_memo(fingerprint, "weights"),
+        )
+        return _energy_action_columns(reps, inputs, weights, outputs, cell_library)
+
+    resolved = _resolve_terms(term_cache, ENERGY_TERMS, spec_keys, derive_columns)
+    energies = _assemble_matrix(
+        DERIVED_ACTIONS, ENERGY_TERMS, spec_keys, resolved, len(configs)
     )
     return ConfigBatchResult(configs=configs, actions=DERIVED_ACTIONS, energies=energies)
 
@@ -465,25 +649,17 @@ class AreaBatchResult:
         return self.areas.sum(axis=1)
 
 
-def area_config_batch(
-    configs: Sequence[CiMMacroConfig],
-    cell_library: Optional[CellLibrary] = None,
-) -> AreaBatchResult:
-    """Derive the area breakdowns of a config family in batched passes.
+def _area_component_columns(
+    configs: Tuple[CiMMacroConfig, ...],
+    cell_library: Optional[CellLibrary],
+) -> Dict[str, np.ndarray]:
+    """The area formula battery: every component's pre-scale area column.
 
-    Vectorized twin of :meth:`CiMMacro.area_breakdown_um2`: every circuit
-    area formula is evaluated as a NumPy expression over a ``(configs,)``
-    leading axis, and memory-cell devices are instantiated once per unique
-    ``(device, bits_per_cell, technology)`` point — so fig10-style area
-    sweeps and service requests with ``objective="area"`` never construct
-    a per-config macro object graph.  Each row agrees with the scalar
-    breakdown to well within 1e-9 relative error with identical component
-    ordering (:func:`max_scalar_area_relative_error` is the gate).
+    Returns ``{component: column}`` for the first twelve
+    :data:`AREA_COMPONENTS` (``misc`` and the global ``area_scale`` are
+    per-config assembly steps, not component terms).  Elementwise over the
+    config axis, like :func:`_energy_action_columns`.
     """
-    configs = tuple(configs)
-    if not configs:
-        raise EvaluationError("area batch needs at least one config")
-    _validate_family(configs)
     from repro.circuits.digital import DigitalAccumulator as _Acc
     from repro.circuits.digital import DigitalMACUnit as _Mac
     from repro.circuits.digital import ShiftAdd as _Shift
@@ -574,23 +750,85 @@ def area_config_batch(
     input_buffer = buffer_area(farray("input_buffer_kib"))
     output_buffer = buffer_area(farray("output_buffer_kib"))
 
-    columns = [
-        array,
-        dac,
-        adc,
-        row_drivers,
-        column_mux,
-        analog_adder,
-        analog_accumulator,
-        analog_mac,
-        digital_mac,
-        digital_postprocessing,
-        input_buffer,
-        output_buffer,
-    ]
+    return {
+        "array": array,
+        "dac": dac,
+        "adc": adc,
+        "row_drivers": row_drivers,
+        "column_mux": column_mux,
+        "analog_adder": analog_adder,
+        "analog_accumulator": analog_accumulator,
+        "analog_mac": analog_mac,
+        "digital_mac": digital_mac,
+        "digital_postprocessing": digital_postprocessing,
+        "input_buffer": input_buffer,
+        "output_buffer": output_buffer,
+    }
+
+
+def _assemble_areas(
+    configs: Tuple[CiMMacroConfig, ...],
+    columns: List[np.ndarray],
+) -> np.ndarray:
+    """Append the derived ``misc`` column and apply the global area scale.
+
+    Shared by the cold and term-factored paths so both produce the exact
+    same summation order (and therefore bitwise-identical matrices for
+    identical component columns).
+    """
     subtotal = np.sum(columns, axis=0)
-    misc = subtotal * farray("misc_area_fraction")
-    areas = np.stack(columns + [misc], axis=1) * farray("area_scale")[:, None]
+    misc = subtotal * np.array(
+        [c.misc_area_fraction for c in configs], dtype=np.float64
+    )
+    area_scale = np.array([c.area_scale for c in configs], dtype=np.float64)
+    return np.stack(columns + [misc], axis=1) * area_scale[:, None]
+
+
+def area_config_batch(
+    configs: Sequence[CiMMacroConfig],
+    cell_library: Optional[CellLibrary] = None,
+    term_cache: Optional[TermCache] = None,
+) -> AreaBatchResult:
+    """Derive the area breakdowns of a config family in batched passes.
+
+    Vectorized twin of :meth:`CiMMacro.area_breakdown_um2`: every circuit
+    area formula is evaluated as a NumPy expression over a ``(configs,)``
+    leading axis, and memory-cell devices are instantiated once per unique
+    ``(device, bits_per_cell, technology)`` point — so fig10-style area
+    sweeps and service requests with ``objective="area"`` never construct
+    a per-config macro object graph.  With a ``term_cache`` the
+    component columns are term-factored exactly like the energy batch
+    (area terms are pure functions of the config, so they are reusable
+    across every family and run); a custom ``cell_library`` bypasses the
+    cache.  Each row agrees with the scalar breakdown to well within
+    1e-9 relative error with identical component ordering
+    (:func:`max_scalar_area_relative_error` is the gate).
+    """
+    configs = tuple(configs)
+    if not configs:
+        raise EvaluationError("area batch needs at least one config")
+    _validate_family(configs)
+    if cell_library is not None:
+        term_cache = None  # cache entries assume the default cell library
+
+    if term_cache is None:
+        columns = _area_component_columns(configs, cell_library)
+        areas = _assemble_areas(
+            configs, [columns[name] for name in AREA_COMPONENTS[:-1]]
+        )
+        return AreaBatchResult(configs=configs, components=AREA_COMPONENTS, areas=areas)
+
+    spec_keys = _family_term_keys(configs, AREA_TERMS, area_term_cache_key)
+
+    def derive_columns(rep_rows: List[int]) -> Dict[str, np.ndarray]:
+        reps = tuple(configs[row] for row in rep_rows)
+        return _area_component_columns(reps, cell_library)
+
+    resolved = _resolve_terms(term_cache, AREA_TERMS, spec_keys, derive_columns)
+    matrix = _assemble_matrix(
+        AREA_COMPONENTS[:-1], AREA_TERMS, spec_keys, resolved, len(configs)
+    )
+    areas = _assemble_areas(configs, [matrix[:, k] for k in range(matrix.shape[1])])
     return AreaBatchResult(configs=configs, components=AREA_COMPONENTS, areas=areas)
 
 

@@ -43,6 +43,21 @@ in order:
 
 Only a miss in all three tiers derives; the result is written back
 through every enabled tier.
+
+Alongside the full-table entries, the same tiers carry **term-granular
+entries** (:mod:`repro.core.terms`): each component term — one circuit
+formula's value, keyed by the config *sub-tuple* that formula actually
+reads instead of the full frozen config — is cached by the
+:class:`~repro.core.terms.TermCache` attached to the process cache
+(``terms``), published to the same shared-memory slab, and persisted as
+``energy-*.json`` files in the same disk directory (term keys start with
+``term|``/``areaterm|``, so the two entry kinds can never collide).
+A cold *full-config* miss in every tier then rarely pays full price:
+:meth:`PerActionEnergyCache.derive_many` hands the term cache to the
+config-axis deriver, which re-derives only the terms the new configs
+actually changed and assembles the rest from cached terms.  The
+``REPRO_TERM_CACHE`` env knob (default on; ``0``/``false`` disables)
+gates term granularity without touching the full-table tiers.
 """
 
 from __future__ import annotations
@@ -58,6 +73,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.architecture.macro import CiMMacro, CiMMacroConfig, MacroLayerCounts
 from repro.core.shared_cache import SharedEnergyTier, env_positive_int
+from repro.core.terms import TermCache
 from repro.utils.diskstore import atomic_write_json, evict_lru_files
 from repro.utils.errors import EvaluationError
 from repro.workloads.distributions import LayerDistributions, profile_layer
@@ -171,17 +187,31 @@ class DiskEnergyCache:
 
     def path_for(self, key: CacheKey) -> Path:
         """The entry file a key maps to."""
-        digest = hashlib.sha256(self.canonical_key(key).encode("utf-8")).hexdigest()
+        return self._path_for_string(self.canonical_key(key))
+
+    def _path_for_string(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
         return self.directory / f"energy-{digest}.json"
 
     def load(self, key: CacheKey) -> Optional[Dict[str, float]]:
         """The stored energies of a key, or None on any kind of miss."""
-        path = self.path_for(key)
+        return self.load_canonical(self.canonical_key(key))
+
+    def load_canonical(self, key: str) -> Optional[Dict[str, float]]:
+        """Load an entry by its canonical key string.
+
+        The string-keyed face of the store, used directly by the
+        term-granular cache (:class:`repro.core.terms.TermCache`), whose
+        keys are canonical strings rather than ``(config, fingerprint)``
+        pairs; term and full-table entries share the directory, the LRU
+        bounds, and the robustness guarantees.
+        """
+        path = self._path_for_string(key)
         try:
             payload = json.loads(path.read_text())
             if payload["version"] != self.VERSION:
                 raise ValueError(f"version {payload['version']}")
-            if payload["key"] != self.canonical_key(key):
+            if payload["key"] != key:
                 raise ValueError("key mismatch")
             energies = {
                 str(action): float(value)
@@ -208,10 +238,14 @@ class DiskEnergyCache:
         :func:`repro.utils.diskstore.atomic_write_json`, shared with the
         service result store).
         """
-        path = self.path_for(key)
+        self.store_canonical(self.canonical_key(key), energies)
+
+    def store_canonical(self, key: str, energies: Dict[str, float]) -> None:
+        """Atomically persist one entry by its canonical key string."""
+        path = self._path_for_string(key)
         payload = {
             "version": self.VERSION,
-            "key": self.canonical_key(key),
+            "key": key,
             "energies": dict(energies),
         }
         if atomic_write_json(path, payload, "energy cache entry"):
@@ -264,6 +298,12 @@ class PerActionEnergyCache:
     warm tier stack leaves it at zero — while ``misses`` keeps counting
     memory misses whether or not a backing tier served them
     (``shared_hits`` / ``disk_hits`` say which one did).
+
+    When a term-granular cache (``terms``) is attached, bulk derivations
+    that miss every full-table tier still reuse per-component terms
+    across configs, families, and runs: :meth:`derive_many` hands the
+    term cache to the config-axis deriver, which re-derives only the
+    terms the missing configs actually changed.
     """
 
     _entries: Dict[CacheKey, Dict[str, float]] = field(default_factory=dict)
@@ -274,6 +314,7 @@ class PerActionEnergyCache:
     shared: Optional[SharedEnergyTier] = None
     shared_hits: int = 0
     derivations: int = 0
+    terms: Optional[TermCache] = None
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     @staticmethod
@@ -397,6 +438,7 @@ class PerActionEnergyCache:
                     layer,
                     distributions=layer_distributions,
                     cell_library=cell_library,
+                    term_cache=self.terms,
                 )
                 self.derivations += len(unique)
                 derived = [batch.per_action(position) for position in range(len(unique))]
@@ -434,6 +476,7 @@ class PerActionEnergyCache:
                 "disk_hits": self.disk_hits,
                 "derivations": self.derivations,
                 "shared_tier": self.shared.stats() if self.shared is not None else None,
+                "term_tier": self.terms.stats() if self.terms is not None else None,
                 "disk_tier": None,
             }
             if self.disk is not None:
@@ -456,6 +499,8 @@ class PerActionEnergyCache:
             self.disk_hits = 0
             self.shared_hits = 0
             self.derivations = 0
+            if self.terms is not None:
+                self.terms.invalidate()
 
     def __len__(self) -> int:
         return len(self._entries)

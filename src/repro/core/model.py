@@ -224,7 +224,12 @@ class CiMLoopModel:
         dists = self._layer_distributions(layer, distributions)
         return evaluator.evaluate_mappings(layer, num_mappings, distributions=dists)
 
-    def layer_mapspace(self, layer: Layer, spatial_fanout: Optional[int] = None):
+    def layer_mapspace(
+        self,
+        layer: Layer,
+        spatial_fanout: Optional[int] = None,
+        backing_levels: int = 1,
+    ):
         """The loop-nest map space of a layer on this hardware.
 
         Three levels — compute, the CiM array (capacity limited to the
@@ -238,15 +243,25 @@ class CiMLoopModel:
         actually fans out.  Pass an explicit ``spatial_fanout`` to
         override the budget, or ``spatial_fanout=1`` for a temporal-only
         space.
+
+        ``backing_levels > 1`` inserts intermediate staging levels
+        (``stage1``, ``stage2``, ...) between the array and the outermost
+        backing store, modelling a deeper buffer hierarchy.  The energy
+        lowering charges traffic at those levels at the macro's buffer
+        action energies (see :mod:`repro.mapping.energy`), so deeper
+        hierarchies stay searchable by the same batched GEMM objective.
         """
         from repro.mapping import MapSpace
 
+        if backing_levels < 1:
+            raise EvaluationError("a map space needs at least one backing level")
         if spatial_fanout is None:
             spatial_fanout = self.macro.spatial_fanout_budget()
         spatial_limits = {1: spatial_fanout} if spatial_fanout > 1 else {}
+        stages = tuple(f"stage{index}" for index in range(1, backing_levels))
         return MapSpace(
             einsum=layer.einsum,
-            level_names=("compute", "array", "backing"),
+            level_names=("compute", "array") + stages + ("backing",),
             capacities={1: self.macro.weight_capacity()},
             spatial_limits=spatial_limits,
         )
@@ -259,6 +274,7 @@ class CiMLoopModel:
         engine: str = "batch",
         objective: str = "energy",
         spatial_fanout: Optional[int] = None,
+        backing_levels: int = 1,
     ):
         """Random-search loop-nest mappings of a layer onto this hardware.
 
@@ -274,8 +290,9 @@ class CiMLoopModel:
         :func:`repro.mapping.energy.energy_cost`; ``objective="proxy"``
         keeps the weighted access-count proxy.  ``best_cost`` is joules
         for the energy objective and a unitless score for the proxy.
-        ``spatial_fanout=None`` uses the geometry-derived array budget
-        (see :meth:`layer_mapspace`).
+        ``spatial_fanout=None`` uses the geometry-derived array budget,
+        and ``backing_levels`` deepens the storage hierarchy above the
+        array (see :meth:`layer_mapspace`).
         """
         from repro.mapping import (
             batch_search,
@@ -284,7 +301,9 @@ class CiMLoopModel:
             search_mappings,
         )
 
-        space = self.layer_mapspace(layer, spatial_fanout=spatial_fanout)
+        space = self.layer_mapspace(
+            layer, spatial_fanout=spatial_fanout, backing_levels=backing_levels
+        )
         if objective == "proxy":
             batch_cost = scalar_cost = None
         elif objective == "energy":

@@ -39,6 +39,14 @@ class MemoryCell(ABC):
     technology: TechnologyNode = field(default_factory=lambda: REFERENCE_NODE)
     bits_per_cell: int = 1
 
+    #: Term-key protocol (mirrors :class:`repro.circuits.interface
+    #: .ComponentEnergyModel`): the config fields that select and scale
+    #: the cell, shared by the compute and write terms.  Compute energy is
+    #: additionally data-value-dependent via :meth:`_data_dependence`
+    #: (input mean-square x weight mean), so the compute term consumes the
+    #: input and weight operand statistics; write energy consumes none.
+    TERM_CONFIG_FIELDS = ("device", "bits_per_cell", "technology", "cell_energy_scale")
+
     def __post_init__(self) -> None:
         if self.bits_per_cell < 1 or self.bits_per_cell > 8:
             raise ValidationError("bits_per_cell must be in [1, 8]")

@@ -42,6 +42,13 @@ the same per-conversion relationships as
 :meth:`repro.architecture.macro.CiMMacro.map_layer`; ``cell_ops`` and the
 final ``output_buffer_reads`` are mapping-invariant.
 
+Hierarchies deeper than the canonical three levels (``backing_levels > 1``
+in :meth:`~repro.core.model.CiMLoopModel.layer_mapspace`) lower the same
+way, with one addition: input reads/writes and output updates/reads at
+every level *above* the first backing level are charged at the macro's
+buffer action energies, summed over those levels — per-level buffer
+energy for the extra staging traffic a deeper hierarchy introduces.
+
 Exactness
 ---------
 :func:`energy_cost` (batched) and :func:`scalar_energy_cost` (per
@@ -115,13 +122,27 @@ def _action_columns(
     in_writes: np.ndarray,
     weight_fills: np.ndarray,
     out_drains: np.ndarray,
+    extra_in_reads: Optional[np.ndarray] = None,
+    extra_in_writes: Optional[np.ndarray] = None,
+    extra_out_updates: Optional[np.ndarray] = None,
+    extra_out_reads: Optional[np.ndarray] = None,
 ) -> Dict[str, np.ndarray]:
     """Per-action count columns (float64, one entry per candidate).
 
-    The four inputs are the mapping-dependent access counts described in
-    the module docstring; the returned dict is keyed by
+    The four leading inputs are the mapping-dependent access counts
+    described in the module docstring; the returned dict is keyed by
     :class:`~repro.architecture.macro.MacroLayerCounts` field names so the
     matrix can be assembled in canonical ``ACTION_TABLE`` order.
+
+    The ``extra_*`` columns carry the summed input/output traffic of
+    hierarchy levels *above* the first backing level (>3-level map
+    spaces).  The macro's action vocabulary has one input and one output
+    buffer, so those levels' accesses are charged at the corresponding
+    buffer action energies — per level, additively — which keeps deeper
+    hierarchies rankable by the same GEMM without growing the action
+    table.  Both the batched and the scalar lowering route through this
+    builder, so the equivalence contract extends to deep hierarchies by
+    construction.
     """
     from repro.architecture.macro import OutputReuseStyle
 
@@ -147,10 +168,14 @@ def _action_columns(
         if style is OutputReuseStyle.ANALOG_ACCUMULATOR else zeros,
         "analog_mac_ops": out_drains * float(lowering.input_steps)
         if style is OutputReuseStyle.ANALOG_MAC else zeros,
-        "input_buffer_reads": in_reads.astype(np.float64),
-        "input_buffer_writes": in_writes.astype(np.float64),
-        "output_buffer_updates": out_drains.astype(np.float64),
-        "output_buffer_reads": np.full(count, float(lowering.output_elements)),
+        "input_buffer_reads": in_reads.astype(np.float64)
+        + (extra_in_reads if extra_in_reads is not None else 0.0),
+        "input_buffer_writes": in_writes.astype(np.float64)
+        + (extra_in_writes if extra_in_writes is not None else 0.0),
+        "output_buffer_updates": out_drains.astype(np.float64)
+        + (extra_out_updates if extra_out_updates is not None else 0.0),
+        "output_buffer_reads": np.full(count, float(lowering.output_elements))
+        + (extra_out_reads if extra_out_reads is not None else 0.0),
         "cell_writes": weight_fills * float(lowering.cells_per_weight),
     }
     if style is OutputReuseStyle.DIGITAL:
@@ -194,12 +219,31 @@ def action_counts_matrix(
     turns into joules with one matrix-vector product.
     """
     _require_canonical(counts.num_levels)
+    extra: Dict[str, Optional[np.ndarray]] = {
+        "extra_in_reads": None,
+        "extra_in_writes": None,
+        "extra_out_updates": None,
+        "extra_out_reads": None,
+    }
+    if counts.num_levels > BACKING_LEVEL + 1:
+        upper = slice(BACKING_LEVEL + 1, counts.num_levels)
+        extra = {
+            "extra_in_reads": counts.reads[TensorRole.INPUTS][:, upper]
+            .sum(axis=1).astype(np.float64),
+            "extra_in_writes": counts.writes[TensorRole.INPUTS][:, upper]
+            .sum(axis=1).astype(np.float64),
+            "extra_out_updates": counts.updates[TensorRole.OUTPUTS][:, upper]
+            .sum(axis=1).astype(np.float64),
+            "extra_out_reads": counts.reads[TensorRole.OUTPUTS][:, upper]
+            .sum(axis=1).astype(np.float64),
+        }
     columns = _action_columns(
         lowering,
         counts.reads[TensorRole.INPUTS][:, ARRAY_LEVEL].astype(np.float64),
         counts.writes[TensorRole.INPUTS][:, ARRAY_LEVEL].astype(np.float64),
         counts.writes[TensorRole.WEIGHTS][:, ARRAY_LEVEL].astype(np.float64),
         counts.updates[TensorRole.OUTPUTS][:, BACKING_LEVEL].astype(np.float64),
+        **extra,
     )
     return _assemble(columns, include_programming)
 
@@ -215,13 +259,41 @@ def mapping_action_counts(
     :func:`action_counts_matrix` (a batch of one), so the scalar oracle
     and the batched engine compute identical per-action counts.
     """
-    _require_canonical(len(counts.level_names))
+    num_levels = len(counts.level_names)
+    _require_canonical(num_levels)
+    extra: Dict[str, Optional[np.ndarray]] = {
+        "extra_in_reads": None,
+        "extra_in_writes": None,
+        "extra_out_updates": None,
+        "extra_out_reads": None,
+    }
+    if num_levels > BACKING_LEVEL + 1:
+        upper = range(BACKING_LEVEL + 1, num_levels)
+        extra = {
+            "extra_in_reads": np.array(
+                [sum(counts.at(level, TensorRole.INPUTS).reads for level in upper)],
+                dtype=np.float64,
+            ),
+            "extra_in_writes": np.array(
+                [sum(counts.at(level, TensorRole.INPUTS).writes for level in upper)],
+                dtype=np.float64,
+            ),
+            "extra_out_updates": np.array(
+                [sum(counts.at(level, TensorRole.OUTPUTS).updates for level in upper)],
+                dtype=np.float64,
+            ),
+            "extra_out_reads": np.array(
+                [sum(counts.at(level, TensorRole.OUTPUTS).reads for level in upper)],
+                dtype=np.float64,
+            ),
+        }
     columns = _action_columns(
         lowering,
         np.array([counts.at(ARRAY_LEVEL, TensorRole.INPUTS).reads], dtype=np.float64),
         np.array([counts.at(ARRAY_LEVEL, TensorRole.INPUTS).writes], dtype=np.float64),
         np.array([counts.at(ARRAY_LEVEL, TensorRole.WEIGHTS).writes], dtype=np.float64),
         np.array([counts.at(BACKING_LEVEL, TensorRole.OUTPUTS).updates], dtype=np.float64),
+        **extra,
     )
     return _assemble(columns, include_programming)[0]
 

@@ -104,9 +104,12 @@ class EvaluationRequest:
         registered macro's config, plus the technology shorthands
         ``node_nm`` / ``vdd``.
     workload:
-        Name of a registered workload (``resnet18``, ``mvm_64x64``, ...).
-        Exactly one of ``workload`` / ``layer`` must be given, except for
-        the ``area`` objective (a pure function of the config).
+        Name of a registered workload (``resnet18``, ``mvm_64x64``, ...)
+        or a parameterised pattern such as
+        ``conv_<h>x<w>x<c>[_k<kernel>][_f<filters>]`` — anything
+        :func:`repro.workloads.networks.load_network` resolves.  Exactly
+        one of ``workload`` / ``layer`` must be given, except for the
+        ``area`` objective (a pure function of the config).
     layer:
         An inline single-layer workload:
         ``{"kind": "matmul", "name": ..., "m": ..., "k": ..., "n": ...}``

@@ -35,7 +35,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.batch import BatchRunner, process_energy_cache
 from repro.service.requests import EvaluationRequest
@@ -56,6 +56,13 @@ class SchedulerStats:
     evaluated — in ``dispatched_batches`` family-batched calls over
     ``ticks`` scheduler ticks.  ``submitted == store_hits + coalesced +
     dispatched_requests`` once the queue is drained.
+
+    ``term_hits`` / ``term_misses`` / ``term_derivations`` attribute the
+    process-wide term cache's traffic (:mod:`repro.core.terms`) to
+    scheduler dispatches: how many per-component term lookups the ticks'
+    family batches resolved from cache versus had to derive.  A fleet of
+    near-duplicate families shows a high ``term_hit_ratio`` even when
+    every full-config key was cold.
     """
 
     submitted: int = 0
@@ -65,8 +72,16 @@ class SchedulerStats:
     dispatched_batches: int = 0
     ticks: int = 0
     errors: int = 0
+    term_hits: int = 0
+    term_misses: int = 0
+    term_derivations: int = 0
 
-    def as_dict(self) -> Dict[str, int]:
+    @property
+    def term_hit_ratio(self) -> float:
+        lookups = self.term_hits + self.term_misses
+        return (self.term_hits / lookups) if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
         return {
             "submitted": self.submitted,
             "store_hits": self.store_hits,
@@ -75,7 +90,24 @@ class SchedulerStats:
             "dispatched_batches": self.dispatched_batches,
             "ticks": self.ticks,
             "errors": self.errors,
+            "term_hits": self.term_hits,
+            "term_misses": self.term_misses,
+            "term_derivations": self.term_derivations,
+            "term_hit_ratio": self.term_hit_ratio,
         }
+
+
+def _term_counters() -> Tuple[int, int, int]:
+    """(hits, misses, derivations) of the process-wide term cache.
+
+    Snapshotted around each family dispatch so the scheduler can
+    attribute term-cache traffic to its own batches; zeros when term
+    granularity is disabled (``REPRO_TERM_CACHE=0``).
+    """
+    terms = process_energy_cache().terms
+    if terms is None:
+        return (0, 0, 0)
+    return (terms.hits, terms.misses, terms.derivations)
 
 
 @dataclass
@@ -253,6 +285,7 @@ class EvaluationScheduler:
 
         evaluated = 0
         for family in families.values():
+            before = _term_counters()
             try:
                 results = self._dispatch_family(family)
             except Exception as error:  # noqa: BLE001 - fan the failure out
@@ -261,9 +294,13 @@ class EvaluationScheduler:
                 for slot in family:
                     self._complete(slot, error=error)
                 continue
+            after = _term_counters()
             with self._lock:
                 self.stats.dispatched_requests += len(family)
                 self.stats.dispatched_batches += 1
+                self.stats.term_hits += after[0] - before[0]
+                self.stats.term_misses += after[1] - before[1]
+                self.stats.term_derivations += after[2] - before[2]
             for slot, result in zip(family, results):
                 self._complete(slot, result=result)
             evaluated += len(family)
@@ -348,11 +385,17 @@ class EvaluationScheduler:
         ]
 
     def _dispatch_area(self, family: List[_Pending]) -> List[Dict]:
-        """One config-axis batched area pass for the whole family."""
+        """One config-axis batched area pass for the whole family.
+
+        Area terms are pure functions of the config, so the family's
+        breakdowns assemble from the process-wide term cache — a request
+        whose config differs from an earlier one on a single axis
+        re-derives only the components that axis touches.
+        """
         from repro.core.config_batch import area_config_batch
 
         configs = [slot.request.config() for slot in family]
-        batch = area_config_batch(configs)
+        batch = area_config_batch(configs, term_cache=process_energy_cache().terms)
         return [
             area_payload(slot.request_hash, configs[index].name, batch.breakdown(index))
             for index, slot in enumerate(family)

@@ -21,6 +21,7 @@ from repro.workloads.einsum import EinsumOp, TensorRole
 from repro.workloads.layer import Layer, conv2d_layer, depthwise_conv2d_layer, matmul_layer
 from repro.workloads.networks import (
     Network,
+    conv_workload,
     gpt2_small,
     list_networks,
     load_network,
@@ -43,6 +44,7 @@ __all__ = [
     "mobilenet_v3_small",
     "gpt2_small",
     "matrix_vector_workload",
+    "conv_workload",
     "load_network",
     "list_networks",
     "DistributionProfile",

@@ -240,6 +240,41 @@ def gpt2_small(sequence_length: int = 1024, blocks: int = 12) -> Network:
 # ----------------------------------------------------------------------
 # Synthetic maximum-utilisation workload.
 # ----------------------------------------------------------------------
+def conv_workload(
+    height: int,
+    width: int,
+    channels: int,
+    kernel: int = 3,
+    filters: int = 0,
+    batch: int = 1,
+) -> Network:
+    """A single-convolution workload at an arbitrary feature-map geometry.
+
+    The convolution maps ``channels`` input channels to ``filters`` output
+    channels (defaulting to ``channels``) over a ``height x width`` output
+    feature map with a ``kernel x kernel`` window — a one-layer probe for
+    sizing CiM macros against convolutional tensor shapes without pulling
+    in a whole network.  Resolvable by name through :func:`load_network`
+    (``conv_<h>x<w>x<c>[_k<kernel>][_f<filters>]``), which is how service
+    requests reach it.
+    """
+    if height < 1 or width < 1 or channels < 1:
+        raise WorkloadError("conv workload needs positive feature-map dimensions")
+    if kernel < 1:
+        raise WorkloadError("conv workload needs a positive kernel size")
+    filters = filters or channels
+    name = f"conv_{height}x{width}x{channels}"
+    if kernel != 3:
+        name += f"_k{kernel}"
+    if filters != channels:
+        name += f"_f{filters}"
+    layer = conv2d_layer(
+        name, channels, filters, height, width, kernel, batch,
+        activation_style=ActivationStyle.CNN_SPARSE_UNSIGNED,
+    )
+    return Network(name=name, layers=(layer,))
+
+
 def matrix_vector_workload(rows: int, cols: int, repeats: int = 1) -> Network:
     """A matrix-vector multiply whose dimensions exactly match a CiM array.
 
@@ -278,9 +313,12 @@ def load_network(name: str) -> Network:
 
     Besides the fixed registry, parameterised synthetic workloads resolve
     by pattern: ``mvm_<rows>x<cols>`` (optionally ``..._x<repeats>``) is
-    the maximum-utilisation matrix-vector workload at that geometry.  This
-    is the lookup the evaluation service uses to resolve request workloads
-    by name, so a request can ask for any array-matched MVM without the
+    the maximum-utilisation matrix-vector workload at that geometry, and
+    ``conv_<h>x<w>x<c>`` (optionally ``..._k<kernel>`` and/or
+    ``..._f<filters>``) is a single convolution over an ``h x w`` output
+    feature map with ``c`` input channels.  This is the lookup the
+    evaluation service uses to resolve request workloads by name, so a
+    request can ask for any array-matched MVM or conv probe without the
     service shipping layer shapes inline.
     """
     try:
@@ -292,8 +330,19 @@ def load_network(name: str) -> Network:
         if match:
             rows, cols, repeats = (int(g) if g else 1 for g in match.groups())
             return matrix_vector_workload(rows, cols, repeats=repeats)
+        match = re.fullmatch(
+            r"conv_(\d+)x(\d+)x(\d+)(?:_k(\d+))?(?:_f(\d+))?", name
+        )
+        if match:
+            height, width, channels = (int(g) for g in match.groups()[:3])
+            kernel = int(match.group(4)) if match.group(4) else 3
+            filters = int(match.group(5)) if match.group(5) else 0
+            return conv_workload(
+                height, width, channels, kernel=kernel, filters=filters
+            )
         raise WorkloadError(
-            f"unknown network {name!r}; available: {', '.join(list_networks())} "
-            "or mvm_<rows>x<cols>[_x<repeats>]"
+            f"unknown network {name!r}; available: {', '.join(list_networks())}, "
+            "mvm_<rows>x<cols>[_x<repeats>], or "
+            "conv_<h>x<w>x<c>[_k<kernel>][_f<filters>]"
         ) from None
     return factory()

@@ -10,12 +10,15 @@ without re-deriving.
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.architecture.macro import CiMMacro
 from repro.core import batch
 from repro.core.batch import BatchRunner
+from repro.core.config_batch import area_config_batch, derive_config_batch
 from repro.core.fast_pipeline import DiskEnergyCache, PerActionEnergyCache
+from repro.core.terms import ENERGY_TERMS, TermCache, term_key
 from repro.macros.definitions import base_macro, macro_b
 from repro.workloads.networks import matrix_vector_workload
 
@@ -171,6 +174,96 @@ class TestDiskEnergyCacheEviction:
             DiskEnergyCache(tmp_path, max_entries=0)
         with pytest.raises(ValueError):
             DiskEnergyCache(tmp_path, max_bytes=0)
+
+
+class TestTermTier:
+    """The term-granular cache: per-component terms keyed by config
+    sub-tuples, reused across families, shared with the area model, and
+    persisted through the disk tier."""
+
+    def _grid(self, bits=(4, 5, 6)):
+        return [
+            base_macro(rows=32, cols=32).with_updates(adc_resolution=b)
+            for b in bits
+        ]
+
+    def test_warm_identical_family_derives_nothing(self):
+        layer = _layer()
+        cache = TermCache()
+        configs = self._grid()
+        cold = derive_config_batch(configs, layer, term_cache=cache)
+        derivations = cache.derivations
+        assert derivations > 0
+        warm = derive_config_batch(configs, layer, term_cache=cache)
+        assert cache.derivations == derivations  # warm: zero new terms
+        assert np.array_equal(warm.energies, cold.energies)
+
+    def test_perturbed_family_derives_only_changed_terms(self):
+        """One axis perturbed: only the terms whose declared sub-tuple the
+        axis touches re-derive; the result stays scalar-path identical."""
+        layer = _layer()
+        cache = TermCache()
+        configs = self._grid()
+        derive_config_batch(configs, layer, term_cache=cache)
+        perturbed = [c.with_updates(adc_energy_scale=1.5) for c in configs]
+        adc_spec = next(spec for spec in ENERGY_TERMS if spec.name == "adc")
+        changed = len({term_key(adc_spec, config) for config in perturbed})
+        before = cache.derivations
+        warm = derive_config_batch(perturbed, layer, term_cache=cache)
+        assert cache.derivations - before == changed
+        reference = derive_config_batch(perturbed, layer, term_cache=None)
+        assert np.array_equal(warm.energies, reference.energies)
+
+    def test_disk_tier_round_trips_terms(self, tmp_path):
+        layer = _layer()
+        configs = self._grid()
+        cold_cache = TermCache(disk=DiskEnergyCache(tmp_path))
+        cold = derive_config_batch(configs, layer, term_cache=cold_cache)
+        assert cold_cache.derivations > 0
+
+        fresh = TermCache(disk=DiskEnergyCache(tmp_path))
+        warm = derive_config_batch(configs, layer, term_cache=fresh)
+        assert fresh.derivations == 0  # every term served from disk
+        assert fresh.disk_hits > 0
+        assert np.array_equal(warm.energies, cold.energies)
+
+    def test_area_terms_share_the_cache(self):
+        cache = TermCache()
+        configs = self._grid()
+        cold = area_config_batch(configs, term_cache=cache)
+        derivations = cache.derivations
+        assert derivations > 0
+        warm = area_config_batch(configs, term_cache=cache)
+        assert cache.derivations == derivations
+        assert np.array_equal(warm.areas, cold.areas)
+
+    def test_from_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TERM_CACHE", "0")
+        assert TermCache.from_env() is None
+        monkeypatch.delenv("REPRO_TERM_CACHE", raising=False)
+        assert TermCache.from_env() is not None
+
+    def test_custom_cell_library_bypasses_the_term_cache(self):
+        """Term entries assume the default cell library; an explicit
+        library must leave the cache untouched."""
+        from repro.devices.nvmexplorer import default_cell_library
+
+        cache = TermCache()
+        derive_config_batch(
+            self._grid(), _layer(),
+            cell_library=default_cell_library(), term_cache=cache,
+        )
+        assert len(cache) == 0 and cache.derivations == 0
+
+    def test_cache_stats_surface_the_term_tier(self):
+        cache = PerActionEnergyCache(terms=TermCache())
+        cache.derive_many(self._grid(), [_layer()])
+        stats = cache.stats()
+        assert stats["term_tier"] is not None
+        assert stats["term_tier"]["entries"] > 0
+        assert stats["term_tier"]["derivations"] > 0
+        cache.invalidate()
+        assert cache.stats()["term_tier"]["entries"] == 0
 
 
 class TestWorkerPersistentCache:

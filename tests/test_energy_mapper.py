@@ -36,7 +36,7 @@ from repro.mapping.energy import (
     mapping_action_counts,
     scalar_energy_cost,
 )
-from repro.utils.errors import MappingError
+from repro.utils.errors import EvaluationError, MappingError
 from repro.workloads.einsum import TensorRole, matmul_einsum
 from repro.workloads.networks import matrix_vector_workload
 
@@ -119,6 +119,71 @@ class TestEnergyEquivalence:
         result = model.search_layer_mappings(layer, num_mappings=50, seed=0)
         assert result.best_cost > 0
         assert len(model.energy_cache) == 0
+
+
+class TestDeepHierarchies:
+    """>3-level map spaces: the extra staging levels' traffic is charged
+    at the macro's buffer action energies, and the scalar/batched
+    equivalence contract extends to the deeper lowering."""
+
+    def test_per_candidate_energies_match_elementwise_deep(self):
+        """Every candidate's batched row equals the scalar lowering of its
+        own analyzed counts at 4 and 5 hierarchy levels."""
+        layer = matrix_vector_workload(64, 64, repeats=8).layers[0]
+        model = CiMLoopModel(base_macro(rows=64, cols=64))
+        lowering = lowering_for(model.macro, layer.einsum)
+        for backing_levels in (2, 3):
+            space = model.layer_mapspace(
+                layer, spatial_fanout=8, backing_levels=backing_levels
+            )
+            assert len(space.level_names) == 2 + backing_levels
+            population = generate_mapping_population(space, 40, seed=5)
+            counts = batch_analyze(
+                space.einsum, population.dims, population.factors,
+                spatial=population.spatial,
+            )
+            matrix = action_counts_matrix(lowering, counts)
+            for index in range(len(population)):
+                scalar_counts = analyze_mapping(population.mapping(index))
+                vector = mapping_action_counts(lowering, scalar_counts)
+                assert np.array_equal(matrix[index], vector)
+
+    def test_model_entry_point_deep_hierarchy(self):
+        """The batched and scalar engines agree end to end through
+        search_layer_mappings at backing_levels=3."""
+        layer = matrix_vector_workload(64, 64, repeats=4).layers[0]
+        model = CiMLoopModel(base_macro(rows=64, cols=64))
+        batched = model.search_layer_mappings(
+            layer, num_mappings=120, seed=1, spatial_fanout=4, backing_levels=3
+        )
+        scalar = model.search_layer_mappings(
+            layer, num_mappings=120, seed=1, engine="scalar",
+            spatial_fanout=4, backing_levels=3,
+        )
+        assert batched.best_mapping == scalar.best_mapping
+        assert batched.best_cost == pytest.approx(scalar.best_cost, rel=1e-12)
+        assert batched.best_cost > 0
+
+    def test_deeper_hierarchies_cost_more_buffer_energy(self):
+        """Staging levels only add traffic: the best achievable energy is
+        non-decreasing as backing levels are inserted."""
+        layer = matrix_vector_workload(64, 64, repeats=4).layers[0]
+        model = CiMLoopModel(base_macro(rows=64, cols=64))
+        costs = [
+            model.search_layer_mappings(
+                layer, num_mappings=200, seed=0, spatial_fanout=4,
+                backing_levels=levels,
+            ).best_cost
+            for levels in (1, 2, 3)
+        ]
+        assert costs[0] <= costs[1] <= costs[2]
+        assert costs[2] > costs[0]  # the extra buffer traffic is charged
+
+    def test_backing_levels_must_be_positive(self):
+        layer = matrix_vector_workload(64, 64, repeats=4).layers[0]
+        model = CiMLoopModel(base_macro(rows=64, cols=64))
+        with pytest.raises(EvaluationError):
+            model.layer_mapspace(layer, backing_levels=0)
 
 
 class TestLoweringPhysics:

@@ -318,6 +318,48 @@ class TestSchedulerCoalescing:
         finally:
             scheduler.close()
 
+    def test_conv_workloads_resolve_through_the_request_schema(self):
+        """Parameterised conv_<h>x<w>x<c>[_k..][_f..] names are service
+        workloads like any registry entry, and the coalesced result
+        matches the serial library path."""
+        scheduler = EvaluationScheduler()
+        request = _request(workload="conv_8x8x16_k3_f32")
+        result = scheduler.evaluate(request)
+        serial = evaluate_serial(request)
+        assert result["summary"]["total_energy_j"] == pytest.approx(
+            serial["summary"]["total_energy_j"], rel=1e-9
+        )
+        # Different conv parameters are different request identities.
+        assert request.content_hash() != _request(
+            workload="conv_8x8x16_k1_f32"
+        ).content_hash()
+
+    def test_term_cache_reuse_across_near_duplicate_families(self):
+        """A second family differing from the first along one axis
+        resolves most of its per-component terms from the term cache,
+        and the stats surface the reuse."""
+        scheduler = EvaluationScheduler()
+        first = [
+            _request(workload="mvm_48x48", overrides={"adc_resolution": bits})
+            for bits in (4, 5, 6)
+        ]
+        scheduler.evaluate_batch(first)
+        hits_after_first = scheduler.stats.term_hits
+        second = [
+            _request(
+                workload="mvm_48x48",
+                overrides={"adc_resolution": bits, "adc_energy_scale": 1.25},
+            )
+            for bits in (4, 5, 6)
+        ]
+        scheduler.evaluate_batch(second)
+        stats = scheduler.stats
+        assert stats.term_hits > hits_after_first  # unchanged terms reused
+        assert 0 < stats.term_hit_ratio <= 1
+        reported = stats.as_dict()
+        assert reported["term_hits"] == stats.term_hits
+        assert reported["term_hit_ratio"] == stats.term_hit_ratio
+
     def test_area_results_match_the_scalar_breakdown(self):
         from repro.core.model import CiMLoopModel
 

@@ -1,0 +1,284 @@
+"""Term-key soundness: perturbation testing against the scalar oracle.
+
+The term-factored deriver (:mod:`repro.core.config_batch`) is exact only
+if every component declares the *complete* config sub-tuple its formula
+reads (the ``TERM_CONFIG_FIELDS`` / ``TERM_STAT_ROLES`` protocol of
+:mod:`repro.circuits.interface`, collected into
+:data:`repro.core.terms.ENERGY_TERMS` / :data:`~repro.core.terms.AREA_TERMS`).
+These tests validate the declarations against the scalar oracle by
+perturbation: every :class:`CiMMacroConfig` field is changed on every
+published Table III macro, in both distribution and nominal modes, and
+
+* a per-action energy (:meth:`CiMMacro.per_action_energies`) may change
+  only if the field is in the producing term's *effective* sub-tuple
+  (declared fields plus the consumed roles' statistic subkeys);
+* an area component (:meth:`CiMMacro.area_breakdown_um2`) may change only
+  if the field is in the area term's sub-tuple or is one of the assembly
+  fields (``area_scale`` scales every component, ``misc_area_fraction``
+  shapes only the derived ``misc`` entry);
+* a term key changes *iff* the field is in the term's effective
+  sub-tuple — an undeclared field can never split cache entries, a
+  declared field always does.
+
+An undeclared-but-read field would surface here as an energy change
+without a key change (a stale-cache-entry bug); an over-declared field
+surfaces as a key change without any energy change on any macro (a
+cache-fragmentation smell, asserted structurally for the fields known to
+be derivation-irrelevant).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.architecture.macro import CiMMacro, CiMMacroConfig, OutputReuseStyle
+from repro.circuits.dac import DACType
+from repro.core.config_batch import AREA_COMPONENTS, DERIVED_ACTIONS
+from repro.core.terms import (
+    ACTION_TERMS,
+    AREA_TERMS,
+    ENERGY_TERMS,
+    term_key,
+)
+from repro.macros.definitions import (
+    base_macro,
+    digital_cim_macro,
+    macro_a,
+    macro_b,
+    macro_c,
+    macro_d,
+)
+from repro.workloads.distributions import profile_layer
+from repro.workloads.networks import matrix_vector_workload
+
+#: Every published macro of the paper's Table III plus the digital CiM.
+PUBLISHED = {
+    "base_macro": base_macro(),
+    "macro_a": macro_a(),
+    "macro_b": macro_b(),
+    "macro_c": macro_c(),
+    "macro_d": macro_d(),
+    "digital_cim": digital_cim_macro(),
+}
+
+#: area component name -> the term producing it (``misc`` is assembled).
+AREA_COMPONENT_TERMS = {spec.actions[0]: spec for spec in AREA_TERMS}
+
+#: Fields applied at table-assembly time rather than inside a term.
+AREA_ASSEMBLY_FIELDS = {"area_scale", "misc_area_fraction"}
+
+#: Fields no energy or area formula reads: mapping/counting knobs (how
+#: many actions happen, never how much one action costs) and labels.
+DERIVATION_IRRELEVANT_FIELDS = {
+    "name",
+    "output_reuse_columns",
+    "temporal_accumulation_cycles",
+    "rows_active_per_cycle",
+    "misc_energy_fraction",
+}
+
+
+def _flip_style(config):
+    if config.output_reuse_style is OutputReuseStyle.WIRE:
+        return OutputReuseStyle.NONE
+    return OutputReuseStyle.WIRE
+
+
+#: One validity-aware perturbation per config field.  Each entry maps the
+#: field to a new value differing from the macro's current one while
+#: respecting the config's validation envelope (``dac_resolution`` within
+#: ``[1, input_bits]``, ``bits_per_cell`` within ``[1, 8]``, ...).
+PERTURBATIONS = {
+    "name": lambda c: c.name + "_perturbed",
+    "technology": lambda c: c.technology.with_vdd(c.technology.vdd * 1.1),
+    "rows": lambda c: c.rows * 2,
+    "cols": lambda c: c.cols * 2,
+    "device": lambda c: "reram" if c.device != "reram" else "sram",
+    "bits_per_cell": lambda c: c.bits_per_cell + 1 if c.bits_per_cell < 8 else 7,
+    "input_bits": lambda c: c.input_bits + 1,
+    "weight_bits": lambda c: c.weight_bits + 1,
+    "output_bits": lambda c: c.output_bits + 1,
+    "input_encoding": lambda c: (
+        "twos_complement" if c.input_encoding != "twos_complement" else "unsigned"
+    ),
+    "weight_encoding": lambda c: (
+        "twos_complement" if c.weight_encoding != "twos_complement" else "offset"
+    ),
+    "dac_resolution": lambda c: (
+        c.dac_resolution + 1 if c.dac_resolution < c.input_bits else c.dac_resolution - 1
+    ),
+    "dac_type": lambda c: (
+        DACType.PULSE if c.dac_type != DACType.PULSE else DACType.CAPACITIVE
+    ),
+    "adc_resolution": lambda c: (
+        c.adc_resolution + 1 if c.adc_resolution < 12 else c.adc_resolution - 1
+    ),
+    "value_aware_adc": lambda c: not c.value_aware_adc,
+    "columns_per_adc": lambda c: c.columns_per_adc * 2,
+    "output_reuse_style": _flip_style,
+    "output_reuse_columns": lambda c: c.output_reuse_columns + 1,
+    "analog_adder_operands": lambda c: c.analog_adder_operands + 1,
+    "temporal_accumulation_cycles": lambda c: c.temporal_accumulation_cycles + 1,
+    "rows_active_per_cycle": lambda c: (
+        max(c.rows // 2, 1)
+        if c.rows_active_per_cycle is None
+        else (c.rows_active_per_cycle // 2 or 2)
+    ),
+    "cycle_time_ns": lambda c: c.cycle_time_ns * 2.0,
+    "input_buffer_kib": lambda c: c.input_buffer_kib * 2,
+    "output_buffer_kib": lambda c: c.output_buffer_kib * 2,
+    "cell_energy_scale": lambda c: c.cell_energy_scale * 1.5,
+    "dac_energy_scale": lambda c: c.dac_energy_scale * 1.5,
+    "adc_energy_scale": lambda c: c.adc_energy_scale * 1.5,
+    "analog_energy_scale": lambda c: c.analog_energy_scale * 1.5,
+    "digital_energy_scale": lambda c: c.digital_energy_scale * 1.5,
+    "driver_energy_scale": lambda c: c.driver_energy_scale * 1.5,
+    "buffer_energy_scale": lambda c: c.buffer_energy_scale * 1.5,
+    "area_scale": lambda c: c.area_scale * 1.5,
+    "misc_energy_fraction": lambda c: c.misc_energy_fraction + 0.01,
+    "misc_area_fraction": lambda c: c.misc_area_fraction + 0.01,
+}
+
+
+@pytest.fixture(scope="module")
+def layer():
+    return matrix_vector_workload(64, 64, repeats=4).layers[0]
+
+
+@pytest.fixture(scope="module")
+def distributions(layer):
+    return profile_layer(layer)
+
+
+def _perturbed(config, field_name):
+    """A valid config differing from ``config`` only in ``field_name``."""
+    value = PERTURBATIONS[field_name](config)
+    assert value != getattr(config, field_name), (
+        f"perturbation of {field_name} produced an identical value"
+    )
+    return config.with_updates(**{field_name: value})
+
+
+def _scalar_energies(config, distributions):
+    macro = CiMMacro(config)
+    return macro.per_action_energies(macro.operand_context(distributions))
+
+
+class TestProtocolStructure:
+    def test_perturbations_cover_every_config_field(self):
+        """A new CiMMacroConfig field must get a perturbation entry (and
+        therefore a declaration review) before it can ship."""
+        fields = {f.name for f in dataclasses.fields(CiMMacroConfig)}
+        assert fields == set(PERTURBATIONS)
+
+    def test_every_derived_action_has_exactly_one_term(self):
+        assert set(ACTION_TERMS) == set(DERIVED_ACTIONS)
+        spec_actions = [a for spec in ENERGY_TERMS for a in spec.actions]
+        assert len(spec_actions) == len(set(spec_actions))
+
+    def test_area_terms_cover_components_in_order(self):
+        """One term per area component, in table order; ``misc`` is
+        assembled from the subtotal, not derived."""
+        assert tuple(s.actions[0] for s in AREA_TERMS) == AREA_COMPONENTS[:-1]
+
+    def test_effective_fields_extend_declared_fields(self):
+        for spec in ENERGY_TERMS + AREA_TERMS:
+            effective = spec.effective_fields()
+            assert effective[: len(spec.fields)] == spec.fields
+            assert len(effective) == len(set(effective))
+
+
+class TestTermKeySoundness:
+    """A term key changes iff the perturbed field is in the sub-tuple."""
+
+    @pytest.mark.parametrize("macro_name", sorted(PUBLISHED))
+    def test_energy_term_keys(self, macro_name):
+        config = PUBLISHED[macro_name]
+        for field_name in PERTURBATIONS:
+            perturbed = _perturbed(config, field_name)
+            for spec in ENERGY_TERMS:
+                changed = term_key(spec, perturbed) != term_key(spec, config)
+                declared = field_name in spec.effective_fields()
+                assert changed == declared, (
+                    f"{macro_name}: term {spec.name!r} key "
+                    f"{'changed' if changed else 'held'} under {field_name!r} "
+                    f"but the field is {'' if declared else 'not '}declared"
+                )
+
+    @pytest.mark.parametrize("macro_name", sorted(PUBLISHED))
+    def test_area_term_keys(self, macro_name):
+        config = PUBLISHED[macro_name]
+        for field_name in PERTURBATIONS:
+            perturbed = _perturbed(config, field_name)
+            for spec in AREA_TERMS:
+                changed = term_key(spec, perturbed) != term_key(spec, config)
+                assert changed == (field_name in spec.effective_fields())
+
+
+class TestScalarPerturbation:
+    """Energies/areas move only when the term's sub-tuple does.
+
+    Together with the key-soundness tests above this closes the loop:
+    value changed => field declared => key changed => no stale reuse.
+    """
+
+    @pytest.mark.parametrize("macro_name", sorted(PUBLISHED))
+    @pytest.mark.parametrize("mode", ["distributions", "nominal"])
+    def test_energy_changes_imply_declared_fields(
+        self, macro_name, mode, layer, distributions
+    ):
+        config = PUBLISHED[macro_name]
+        dists = distributions if mode == "distributions" else None
+        baseline = _scalar_energies(config, dists)
+        assert tuple(baseline) == DERIVED_ACTIONS
+        for field_name in PERTURBATIONS:
+            after = _scalar_energies(_perturbed(config, field_name), dists)
+            for action in DERIVED_ACTIONS:
+                if after[action] == baseline[action]:
+                    continue
+                effective = ACTION_TERMS[action].effective_fields()
+                assert field_name in effective, (
+                    f"{macro_name}/{mode}: {action!r} moved "
+                    f"{baseline[action]:.3e} -> {after[action]:.3e} under "
+                    f"{field_name!r}, which term "
+                    f"{ACTION_TERMS[action].name!r} does not declare"
+                )
+
+    @pytest.mark.parametrize("macro_name", sorted(PUBLISHED))
+    def test_area_changes_imply_declared_fields(self, macro_name):
+        config = PUBLISHED[macro_name]
+        baseline = CiMMacro(config).area_breakdown_um2()
+        for field_name in PERTURBATIONS:
+            after = CiMMacro(_perturbed(config, field_name)).area_breakdown_um2()
+            assert set(after) == set(baseline)
+            component_moved = False
+            for component, spec in AREA_COMPONENT_TERMS.items():
+                if after[component] == baseline[component]:
+                    continue
+                component_moved = True
+                assert field_name in spec.effective_fields() or field_name == "area_scale", (
+                    f"{macro_name}: area component {component!r} moved under "
+                    f"undeclared field {field_name!r}"
+                )
+            if after["misc"] != baseline["misc"]:
+                assert component_moved or field_name in AREA_ASSEMBLY_FIELDS, (
+                    f"{macro_name}: misc area moved under {field_name!r} with "
+                    "no component change"
+                )
+
+    @pytest.mark.parametrize("macro_name", sorted(PUBLISHED))
+    def test_irrelevant_fields_hold_everything_fixed(
+        self, macro_name, layer, distributions
+    ):
+        """Mapping knobs and labels change no per-action energy, no area
+        component, and no term key — warm families sweeping them assemble
+        entirely from cache."""
+        config = PUBLISHED[macro_name]
+        energies = _scalar_energies(config, distributions)
+        areas = CiMMacro(config).area_breakdown_um2()
+        for field_name in sorted(DERIVATION_IRRELEVANT_FIELDS):
+            perturbed = _perturbed(config, field_name)
+            assert _scalar_energies(perturbed, distributions) == energies
+            assert CiMMacro(perturbed).area_breakdown_um2() == areas
+            for spec in ENERGY_TERMS + AREA_TERMS:
+                assert term_key(spec, perturbed) == term_key(spec, config)

@@ -10,6 +10,7 @@ from repro.workloads import (
     Layer,
     TensorRole,
     conv2d_layer,
+    conv_workload,
     depthwise_conv2d_layer,
     gpt2_small,
     list_networks,
@@ -163,6 +164,46 @@ class TestNetworks:
     def test_scaled_batch(self):
         net = resnet18().scaled_batch(4)
         assert net.total_macs == pytest.approx(resnet18().total_macs * 4, rel=0.01)
+
+    def test_conv_workload_macs_match_formula(self):
+        net = conv_workload(14, 14, 64, kernel=3, filters=128)
+        assert len(net) == 1
+        assert net.total_macs == 14 * 14 * 128 * 64 * 3 * 3
+
+    def test_conv_workload_defaults(self):
+        """Kernel defaults to 3, filters default to the channel count, and
+        the generated name round-trips through the registry pattern."""
+        net = conv_workload(8, 8, 16)
+        assert net.name == "conv_8x8x16"
+        assert net.total_macs == 8 * 8 * 16 * 16 * 3 * 3
+        assert load_network(net.name).total_macs == net.total_macs
+
+    def test_conv_workload_rejects_bad_dims(self):
+        with pytest.raises(WorkloadError):
+            conv_workload(0, 8, 16)
+        with pytest.raises(WorkloadError):
+            conv_workload(8, 8, 16, kernel=0)
+
+    def test_conv_registry_pattern_parses_suffixes(self):
+        """conv_<h>x<w>x<c>[_k<kernel>][_f<filters>] resolves by name with
+        every suffix combination."""
+        assert load_network("conv_14x14x64").total_macs == (
+            conv_workload(14, 14, 64).total_macs
+        )
+        assert load_network("conv_14x14x64_k5").total_macs == (
+            conv_workload(14, 14, 64, kernel=5).total_macs
+        )
+        assert load_network("conv_14x14x64_f128").total_macs == (
+            conv_workload(14, 14, 64, filters=128).total_macs
+        )
+        assert load_network("conv_7x7x32_k1_f256").total_macs == (
+            conv_workload(7, 7, 32, kernel=1, filters=256).total_macs
+        )
+
+    def test_conv_registry_pattern_rejects_malformed_names(self):
+        for bad in ("conv_14x14", "conv_0x8x16", "conv_14x14x64_q2"):
+            with pytest.raises(WorkloadError):
+                load_network(bad)
 
 
 # ----------------------------------------------------------------------
