@@ -6,7 +6,7 @@
 PYTHONPATH := src
 
 .PHONY: test test-all lint bench bench-smoke bench-json bench-service \
-	bench-config-derivation bench-plot
+	bench-service-chaos bench-config-derivation bench-plot
 
 # Unit tests only: benchmarks (with their timing assertions) live in the
 # separate bench targets so a loaded CI runner cannot flake the test gate.
@@ -61,6 +61,17 @@ bench-service:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
 		benchmarks/test_service_replay.py
 	python tools/bench_record.py BENCH_service.json
+
+# Service chaos replay: the same 1k-request trace under the standard
+# fault-injection preset (worker kills, transient dispatch failures,
+# corrupted store entries, slow dispatches); asserts 100% correct results,
+# no hung futures, and <= 1.5x retry amplification.  Writes
+# BENCH_service_chaos.json and appends the git-SHA-stamped snapshot to
+# BENCH_history.jsonl.
+bench-service-chaos:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
+		benchmarks/test_service_chaos.py
+	python tools/bench_record.py BENCH_service_chaos.json
 
 bench-plot:
 	python tools/bench_plot.py --text

@@ -329,6 +329,9 @@ class BatchEvaluator:
 _pool_lock = threading.Lock()
 _shared_pool: Optional[ProcessPoolExecutor] = None
 _shared_pool_workers = 0
+#: How many times a broken pool (killed/OOMed workers) was replaced by a
+#: fresh one — the service surfaces this in /healthz as `pool_rebuilds`.
+_pool_rebuilds = 0
 
 
 def shared_pool(workers: int) -> ProcessPoolExecutor:
@@ -344,11 +347,13 @@ def shared_pool(workers: int) -> ProcessPoolExecutor:
     rather than handed out broken.  Call :func:`shutdown_shared_pool` to
     release the workers explicitly (also registered at interpreter exit).
     """
-    global _shared_pool, _shared_pool_workers
+    global _shared_pool, _shared_pool_workers, _pool_rebuilds
     if workers < 1:
         raise EvaluationError("a process pool needs at least one worker")
     with _pool_lock:
         broken = _shared_pool is not None and getattr(_shared_pool, "_broken", False)
+        if broken:
+            _pool_rebuilds += 1
         if _shared_pool is not None and (broken or workers > _shared_pool_workers):
             _shared_pool.shutdown(wait=True)
             _shared_pool = None
@@ -371,6 +376,23 @@ def shutdown_shared_pool() -> None:
             _shared_pool.shutdown(wait=True)
             _shared_pool = None
             _shared_pool_workers = 0
+
+
+def pool_rebuilds() -> int:
+    """How many broken shared pools have been replaced in this process."""
+    with _pool_lock:
+        return _pool_rebuilds
+
+
+def live_worker_pids() -> List[int]:
+    """PIDs of the shared pool's currently-live workers (empty without a
+    pool).  Observability/chaos helper: the fault injector picks its
+    SIGKILL victim here, and a supervisor can watch worker churn."""
+    with _pool_lock:
+        if _shared_pool is None:
+            return []
+        processes = getattr(_shared_pool, "_processes", None) or {}
+        return [pid for pid, process in processes.items() if process.is_alive()]
 
 
 atexit.register(shutdown_shared_pool)
@@ -524,7 +546,13 @@ class BatchRunner:
             return list(shared_pool(width).map(function, payloads))
         except BrokenProcessPool:
             # A worker died (OOM kill, segfault).  Drop the broken pool
-            # and retry once on a fresh one before giving up.
+            # and retry once on a fresh one before giving up; a second
+            # BrokenProcessPool propagates to the caller, where the
+            # service's retry/fallback policy takes over (it is
+            # classified retryable by repro.service.faults).
+            global _pool_rebuilds
+            with _pool_lock:
+                _pool_rebuilds += 1
             shutdown_shared_pool()
             return list(shared_pool(width).map(function, payloads))
 

@@ -116,7 +116,10 @@ class DiskEnergyCache:
 
     Robustness: a missing, truncated, corrupted, version-skewed, or
     mismatched file is treated as a miss (counted in ``load_failures``)
-    and the energies are recomputed and rewritten.  Writes go through a
+    and the energies are recomputed and rewritten; genuinely corrupt
+    entries are additionally quarantined — renamed to ``*.corrupt`` on
+    the first failed parse (counted in ``quarantined``), so every later
+    lookup of the key is a clean miss.  Writes go through a
     temporary file + ``os.replace`` so concurrent workers never observe a
     half-written entry.
 
@@ -150,6 +153,7 @@ class DiskEnergyCache:
         self.max_bytes = max_bytes
         self.loads = 0
         self.load_failures = 0
+        self.quarantined = 0
         self.evictions = 0
 
     @classmethod
@@ -219,8 +223,17 @@ class DiskEnergyCache:
             }
         except FileNotFoundError:
             return None
-        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+        except OSError:
+            # I/O trouble (permissions, dying disk) says nothing about
+            # the entry's content; treat as a plain miss.
             self.load_failures += 1
+            return None
+        except (ValueError, KeyError, TypeError, AttributeError):
+            # The entry itself is corrupt and stays corrupt: quarantine
+            # it once so later hits on this key miss cleanly instead of
+            # re-attempting the parse on every lookup.
+            self.load_failures += 1
+            self._quarantine(path)
             return None
         self.loads += 1
         if self.max_entries is not None or self.max_bytes is not None:
@@ -229,6 +242,20 @@ class DiskEnergyCache:
             except OSError:
                 pass
         return energies
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry out of the ``energy-*.json`` namespace.
+
+        Renamed to ``energy-<digest>.corrupt`` so loads, eviction scans,
+        and entry counts no longer see it, while the bytes stay around
+        for post-mortems.  Losing a rename race to a concurrent reader
+        is harmless — the entry is gone either way.
+        """
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            return
+        self.quarantined += 1
 
     def store(self, key: CacheKey, energies: Dict[str, float]) -> None:
         """Atomically persist one entry (last writer wins).
@@ -484,6 +511,7 @@ class PerActionEnergyCache:
                     "directory": str(self.disk.directory),
                     "loads": self.disk.loads,
                     "load_failures": self.disk.load_failures,
+                    "quarantined": self.disk.quarantined,
                     "evictions": self.disk.evictions,
                 }
             return payload

@@ -134,6 +134,7 @@ class SharedEnergyStore:
         self._generation = 0
         self._full = False
         self._rejected_puts = 0
+        self._lookup_failures = 0
         # Reader-side view of the last consistent snapshot.
         self._view_generation = -1
         self._view_index: Dict[str, Tuple[int, int, Tuple[str, ...]]] = {}
@@ -170,6 +171,7 @@ class SharedEnergyStore:
             "data_bytes_used": self._data_used,
             "full": self._full,
             "rejected_puts": self._rejected_puts,
+            "lookup_failures": self._lookup_failures,
         }
 
     # ------------------------------------------------------------------
@@ -361,8 +363,20 @@ class SharedEnergyStore:
         if entry is None:
             return None
         offset, count, actions = entry
-        raw = bytes(self._shm.buf[offset:offset + count * 8])
-        vector = np.frombuffer(raw, dtype="<f8")
+        # Graceful degradation: a scribbled-on or truncated slab (bad
+        # offsets, wrong vector length, non-finite energies) must read
+        # as a *miss* — the caller re-derives — never as an exception or
+        # a silently-wrong table.
+        try:
+            raw = bytes(self._shm.buf[offset:offset + count * 8])
+            vector = np.frombuffer(raw, dtype="<f8")
+            if vector.size != count or len(actions) != count:
+                raise ValueError("entry length mismatch")
+            if not np.all(np.isfinite(vector)):
+                raise ValueError("non-finite energies")
+        except (ValueError, TypeError, IndexError):
+            self._lookup_failures += 1
+            return None
         return dict(zip(actions, vector.tolist()))
 
     def __len__(self) -> int:

@@ -19,7 +19,12 @@ Layers (one module each):
 * :mod:`repro.service.http` — the stdlib HTTP front end
   (``POST /evaluate``, ``POST /evaluate/batch``, ``GET /result/<hash>``,
   ``GET /healthz``).
-* :mod:`repro.service.replay` — trace synthesis and replay drivers.
+* :mod:`repro.service.faults` — the failure taxonomy
+  (retryable vs. permanent), retry backoff, and the circuit breaker.
+* :mod:`repro.service.chaos` — deterministic, seedable fault injection
+  (worker kills, corrupt store entries, transient dispatch failures).
+* :mod:`repro.service.replay` — trace synthesis and replay drivers
+  (including ``--chaos`` replays).
 * :mod:`repro.service.cli` — ``python -m repro.service``
   serve / submit / trace / replay.
 
@@ -34,6 +39,18 @@ Quickstart::
     print(result["summary"]["energy_per_mac_fj"])
 """
 
+from repro.service.chaos import ChaosConfig, ChaosInjector
+from repro.service.faults import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceeded,
+    FaultError,
+    PermanentError,
+    QueueFullError,
+    RetryableError,
+    ShutdownError,
+    is_retryable,
+)
 from repro.service.requests import (
     MACRO_REGISTRY,
     OBJECTIVES,
@@ -50,6 +67,17 @@ __all__ = [
     "SchedulerStats",
     "ResultStore",
     "ServiceError",
+    "FaultError",
+    "RetryableError",
+    "PermanentError",
+    "DeadlineExceeded",
+    "ShutdownError",
+    "QueueFullError",
+    "CircuitOpenError",
+    "CircuitBreaker",
+    "ChaosConfig",
+    "ChaosInjector",
+    "is_retryable",
     "MACRO_REGISTRY",
     "OBJECTIVES",
     "REQUEST_VERSION",

@@ -1,0 +1,200 @@
+"""Deterministic fault injection for the evaluation service.
+
+A :class:`ChaosInjector` sits on the scheduler's dispatch path and, with
+seeded-RNG probabilities, injects the failures the fault-tolerance layer
+claims to survive:
+
+* **worker kill** — SIGKILL one live process-pool worker just before a
+  dispatch, so the dispatch (or the pool's next use) trips
+  ``BrokenProcessPool`` and exercises the supervised rebuild path;
+* **transient dispatch exception** — raise a :class:`ChaosError`
+  (retryable), exercising backoff-and-retry;
+* **corrupt store entry** — after a result is stored, scribble over its
+  disk-tier file and drop the in-memory copy, so a later duplicate of
+  the same hash walks into the corruption-quarantine path and recomputes;
+* **slow dispatch** — sleep before dispatching, modelling a straggler.
+
+All decisions come from one ``random.Random(seed)`` stream, so a chaos
+replay is reproducible: the same trace, seed, and probabilities inject
+the same faults at the same points.  The injector is wired in three
+ways: passed to :class:`~repro.service.scheduler.EvaluationScheduler`
+directly, via ``replay --chaos`` on the CLI, or ambiently through the
+``REPRO_CHAOS*`` environment knobs (``REPRO_CHAOS=1`` enables injection
+in any scheduler that wasn't given an explicit injector — the fleet-wide
+"chaos monkey" switch).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.service.faults import RetryableError, env_positive_float
+
+CHAOS_ENV = "REPRO_CHAOS"
+CHAOS_SEED_ENV = "REPRO_CHAOS_SEED"
+CHAOS_WORKER_KILL_ENV = "REPRO_CHAOS_WORKER_KILL"
+CHAOS_TRANSIENT_ENV = "REPRO_CHAOS_TRANSIENT"
+CHAOS_CORRUPT_ENTRY_ENV = "REPRO_CHAOS_CORRUPT_ENTRY"
+CHAOS_SLOW_DISPATCH_ENV = "REPRO_CHAOS_SLOW_DISPATCH"
+CHAOS_SLOW_DISPATCH_S_ENV = "REPRO_CHAOS_SLOW_DISPATCH_S"
+
+
+class ChaosError(RetryableError):
+    """The injected transient dispatch failure (retryable by design)."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Injection probabilities (per dispatch / per store write) + seed."""
+
+    seed: int = 0
+    worker_kill: float = 0.0
+    transient: float = 0.0
+    corrupt_entry: float = 0.0
+    slow_dispatch: float = 0.0
+    slow_dispatch_s: float = 0.02
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            p > 0.0
+            for p in (
+                self.worker_kill, self.transient,
+                self.corrupt_entry, self.slow_dispatch,
+            )
+        )
+
+    @classmethod
+    def preset(cls, seed: int = 0) -> "ChaosConfig":
+        """The standard mixed-fault profile used by ``replay --chaos``
+        and the chaos benchmark: every injector enabled at rates that
+        fire many times over a 1k-request trace."""
+        return cls(
+            seed=seed,
+            worker_kill=0.05,
+            transient=0.08,
+            corrupt_entry=0.15,
+            slow_dispatch=0.05,
+            slow_dispatch_s=0.002,
+        )
+
+    @classmethod
+    def from_env(cls) -> Optional["ChaosConfig"]:
+        """The ambient chaos profile, or None unless ``REPRO_CHAOS`` is on.
+
+        With ``REPRO_CHAOS=1`` and no per-injector knobs set, the
+        :meth:`preset` profile applies; each ``REPRO_CHAOS_*`` knob
+        overrides its probability individually.
+        """
+        flag = os.environ.get(CHAOS_ENV, "").strip().lower()
+        if flag not in {"1", "on", "yes", "true"}:
+            return None
+        base = cls.preset(seed=int(os.environ.get(CHAOS_SEED_ENV, "0") or 0))
+        return cls(
+            seed=base.seed,
+            worker_kill=_env_probability(CHAOS_WORKER_KILL_ENV, base.worker_kill),
+            transient=_env_probability(CHAOS_TRANSIENT_ENV, base.transient),
+            corrupt_entry=_env_probability(CHAOS_CORRUPT_ENTRY_ENV, base.corrupt_entry),
+            slow_dispatch=_env_probability(CHAOS_SLOW_DISPATCH_ENV, base.slow_dispatch),
+            slow_dispatch_s=(
+                env_positive_float(CHAOS_SLOW_DISPATCH_S_ENV) or base.slow_dispatch_s
+            ),
+        )
+
+
+def _env_probability(variable: str, default: float) -> float:
+    raw = os.environ.get(variable, "").strip()
+    if not raw:
+        return default
+    try:
+        return min(max(float(raw), 0.0), 1.0)
+    except ValueError:
+        return default
+
+
+class ChaosInjector:
+    """Seeded fault injector hooked into the scheduler's dispatch path."""
+
+    def __init__(self, config: ChaosConfig):
+        import random
+
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self.injected_worker_kills = 0
+        self.injected_transients = 0
+        self.injected_corruptions = 0
+        self.injected_slow_dispatches = 0
+
+    @classmethod
+    def from_env(cls) -> Optional["ChaosInjector"]:
+        config = ChaosConfig.from_env()
+        return cls(config) if config is not None else None
+
+    # ------------------------------------------------------------------
+    # Hooks (called by the scheduler)
+    # ------------------------------------------------------------------
+    def before_dispatch(self, family_size: int) -> None:
+        """Runs before every family dispatch; may delay, kill a pool
+        worker, or raise an injected transient."""
+        if self.config.slow_dispatch > 0.0:
+            if self._rng.random() < self.config.slow_dispatch:
+                self.injected_slow_dispatches += 1
+                time.sleep(self.config.slow_dispatch_s)
+        if self.config.worker_kill > 0.0:
+            if self._rng.random() < self.config.worker_kill:
+                self._kill_one_worker()
+        if self.config.transient > 0.0:
+            if self._rng.random() < self.config.transient:
+                self.injected_transients += 1
+                raise ChaosError(
+                    f"injected transient dispatch failure "
+                    f"#{self.injected_transients} (chaos)"
+                )
+
+    def after_store(self, store, request_hash: str) -> None:
+        """Runs after a result is written to the store; may corrupt it.
+
+        Drops the in-memory entry and scribbles over the disk-tier file
+        (when one exists), so the *next* request with this hash misses
+        memory, hits the corrupt file, quarantines it, and recomputes —
+        the full degradation path, not just a cache miss.
+        """
+        if self.config.corrupt_entry <= 0.0:
+            return
+        if self._rng.random() >= self.config.corrupt_entry:
+            return
+        self.injected_corruptions += 1
+        store.forget(request_hash)
+        path = store.path_for(request_hash)
+        if path is not None:
+            try:
+                path.write_text('{"chaos": "this is not a stored result')
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def _kill_one_worker(self) -> None:
+        """SIGKILL one live shared-pool worker (no-op without a pool)."""
+        from repro.core.batch import live_worker_pids
+
+        pids = live_worker_pids()
+        if not pids:
+            return
+        victim = pids[self._rng.randrange(len(pids))]
+        try:
+            os.kill(victim, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            return
+        self.injected_worker_kills += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "injected_worker_kills": self.injected_worker_kills,
+            "injected_transients": self.injected_transients,
+            "injected_corruptions": self.injected_corruptions,
+            "injected_slow_dispatches": self.injected_slow_dispatches,
+        }

@@ -16,7 +16,9 @@ Commands
 ``replay``
     Replay a trace in-process through the coalescing scheduler (default)
     or serially per request (``--serial``), printing throughput and
-    coalescing statistics as JSON.
+    coalescing statistics as JSON.  ``--chaos`` replays under the
+    deterministic fault-injection preset (``--chaos-seed``) and adds the
+    injector's counters to the report — results must be unaffected.
 """
 
 from __future__ import annotations
@@ -57,6 +59,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--workers", type=int, default=1,
                        help="process-pool workers behind the scheduler")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       help="bound the pending queue; excess requests are "
+                            "shed with HTTP 429 + Retry-After "
+                            "(default: REPRO_SERVICE_MAX_PENDING, else unbounded)")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request to stderr")
 
@@ -87,24 +93,43 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--workers", type=int, default=1)
     replay.add_argument("--window", type=int, default=128,
                         help="requests per arrival window (coalesced mode)")
+    replay.add_argument("--chaos", action="store_true",
+                        help="replay under deterministic fault injection "
+                             "(worker kills, corrupt store entries, transient "
+                             "dispatch failures, slow dispatches)")
+    replay.add_argument("--chaos-seed", type=int, default=0,
+                        help="seed of the chaos injector's RNG")
     return parser
 
 
 def _cmd_serve(args) -> int:
+    import signal
+
     from repro.service.http import EvaluationServiceHandler, serve
     from repro.service.scheduler import EvaluationScheduler
 
     EvaluationServiceHandler.verbose = args.verbose
-    scheduler = EvaluationScheduler(workers=args.workers)
+    scheduler = EvaluationScheduler(workers=args.workers, max_pending=args.max_pending)
     server = serve(args.host, args.port, scheduler=scheduler)
     host, port = server.server_address[:2]
     print(f"repro.service listening on http://{host}:{port} "
           f"(workers={args.workers})", file=sys.stderr)
+
+    # Graceful drain on SIGTERM (the fleet's stop signal): exit the serve
+    # loop like Ctrl-C does, then the shutdown path below stops accepting
+    # connections, lets the scheduler finish its queue, and fails any
+    # leftover waiter with ShutdownError instead of hanging it.
+    def _drain(signum, frame):  # noqa: ARG001 - signal API
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _drain)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        print("repro.service: shutdown signal received; draining in-flight "
+              "requests", file=sys.stderr)
     finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
         server.shutdown()
         server.server_close()
         scheduler.close()
@@ -188,12 +213,19 @@ def _cmd_replay(args) -> int:
         report.update(mode="serial", wall_s=elapsed,
                       requests_per_s=len(trace) / elapsed if elapsed else 0.0)
     else:
+        chaos = None
+        if args.chaos:
+            from repro.service.chaos import ChaosConfig, ChaosInjector
+
+            chaos = ChaosInjector(ChaosConfig.preset(seed=args.chaos_seed))
         _, elapsed, scheduler = replay_coalesced(
-            trace, workers=args.workers, window=args.window
+            trace, workers=args.workers, window=args.window, chaos=chaos
         )
         report.update(mode="coalesced", wall_s=elapsed,
                       requests_per_s=len(trace) / elapsed if elapsed else 0.0,
                       scheduler=scheduler.stats.as_dict())
+        if chaos is not None:
+            report["chaos"] = chaos.stats()
     print(json.dumps(report, indent=2, sort_keys=True))
     return 0
 

@@ -18,15 +18,26 @@ evaluation.  Routes:
 
 Every error response is a JSON envelope
 ``{"error": {"type": ..., "message": ...}}`` — validation problems map
-to 400, unknown routes to 404, evaluation failures to 500.
+to 400, unknown routes to 404, evaluation failures to 500, and the
+fault taxonomy (:mod:`repro.service.faults`) to backpressure statuses:
+a shed queue to **429**, shutdown and open circuit breakers to **503**
+(both with a ``Retry-After`` header), and a missed deadline to **504**.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
+from repro.service.faults import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    FaultError,
+    QueueFullError,
+    ShutdownError,
+)
 from repro.service.requests import EvaluationRequest, ServiceError
 from repro.service.scheduler import EvaluationScheduler
 
@@ -36,8 +47,37 @@ MAX_BODY_BYTES = 1 << 20
 
 
 def error_envelope(error: BaseException) -> Dict[str, object]:
-    """The JSON error envelope of an exception."""
-    return {"error": {"type": type(error).__name__, "message": str(error)}}
+    """The JSON error envelope of an exception.
+
+    Faults carrying a backpressure hint (``retry_after_s``) expose it in
+    the envelope too, so batch-inline errors (which have no headers of
+    their own) still tell the client when to come back.
+    """
+    envelope: Dict[str, object] = {
+        "error": {"type": type(error).__name__, "message": str(error)}
+    }
+    retry_after = getattr(error, "retry_after_s", None)
+    if retry_after is not None:
+        envelope["error"]["retry_after_s"] = retry_after
+    return envelope
+
+
+def fault_status(error: FaultError) -> int:
+    """The HTTP status a service fault maps to."""
+    if isinstance(error, QueueFullError):
+        return 429
+    if isinstance(error, DeadlineExceeded):
+        return 504
+    if isinstance(error, (ShutdownError, CircuitOpenError)):
+        return 503
+    return 500
+
+
+def _retry_after_headers(error: BaseException) -> Optional[Dict[str, str]]:
+    retry_after = getattr(error, "retry_after_s", None)
+    if retry_after is None:
+        return None
+    return {"Retry-After": str(max(int(math.ceil(retry_after)), 1))}
 
 
 class EvaluationServiceHandler(BaseHTTPRequestHandler):
@@ -96,16 +136,32 @@ class EvaluationServiceHandler(BaseHTTPRequestHandler):
                 raise ServiceError('batch body must be {"requests": [...]}')
             requests = [EvaluationRequest.from_dict(entry)
                         for entry in payload["requests"]]
-            futures = [self.scheduler.submit(request) for request in requests]
+            # Per-request faults (a shed slot when the queue fills
+            # mid-batch, a failed evaluation) become inline envelopes;
+            # the batch itself still returns 200 with the survivors.
+            futures = []
+            for request in requests:
+                try:
+                    futures.append(self.scheduler.submit(request))
+                except FaultError as error:
+                    futures.append(error)
             if not self.scheduler.dispatching:
                 self.scheduler.run_pending()
             results = []
             for future in futures:
+                if isinstance(future, BaseException):
+                    results.append(error_envelope(future))
+                    continue
                 try:
                     results.append(future.result())
                 except Exception as error:  # noqa: BLE001 - inline envelope
                     results.append(error_envelope(error))
             self._send(200, {"results": results})
+        except FaultError as error:
+            self._send(
+                fault_status(error), error_envelope(error),
+                headers=_retry_after_headers(error),
+            )
         except ServiceError as error:
             self._send(400, error_envelope(error))
         except ValueError as error:
@@ -126,11 +182,15 @@ class EvaluationServiceHandler(BaseHTTPRequestHandler):
             return None
         return self.rfile.read(length).decode("utf-8", errors="replace")
 
-    def _send(self, status: int, payload: Dict) -> None:
+    def _send(
+        self, status: int, payload: Dict, headers: Optional[Dict[str, str]] = None
+    ) -> None:
         blob = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(blob)
 

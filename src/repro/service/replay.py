@@ -128,6 +128,7 @@ def replay_coalesced(
     workers: int = 1,
     window: int = 128,
     store: Optional[ResultStore] = None,
+    chaos=None,
 ) -> Tuple[List[Dict], float, EvaluationScheduler]:
     """Replay a trace through the coalescing scheduler.
 
@@ -135,9 +136,13 @@ def replay_coalesced(
     in-flight traffic): duplicates inside a window coalesce onto one
     pending slot, duplicates across windows hit the result store, and
     each window's survivors dispatch in one family-batched tick.
+    ``chaos`` (a :class:`~repro.service.chaos.ChaosConfig` or
+    :class:`~repro.service.chaos.ChaosInjector`) replays the trace under
+    deterministic fault injection — the results must still be correct,
+    which is exactly what the chaos benchmark asserts.
     Returns ``(results in trace order, elapsed seconds, scheduler)``.
     """
-    scheduler = EvaluationScheduler(store=store, workers=workers)
+    scheduler = EvaluationScheduler(store=store, workers=workers, chaos=chaos)
     requests = [EvaluationRequest.from_dict(entry) for entry in trace]
     start = time.perf_counter()
     results: List[Dict] = []
@@ -156,33 +161,14 @@ def evaluate_serial(request: EvaluationRequest) -> Dict:
     This is the baseline the coalescing scheduler is measured against —
     exactly what "import the library and call it" costs per request,
     with no result store, no in-flight dedup, no config-axis batching,
-    and no cache reuse across requests.  Payload shapes match the
-    scheduler's dispatchers so results are directly comparable.
+    and no cache reuse across requests.  The implementation lives in the
+    scheduler module (:func:`~repro.service.scheduler.evaluate_scalar`)
+    because the same oracle path doubles as the scheduler's last-resort
+    per-request fallback; this alias keeps the replay-facing name.
     """
-    from repro.core.model import CiMLoopModel
-    from repro.service.scheduler import (
-        area_payload,
-        energy_payload,
-        mappings_payload,
-    )
+    from repro.service.scheduler import evaluate_scalar
 
-    config = request.config()
-    request_hash = request.content_hash()
-    model = CiMLoopModel(config, use_distributions=request.use_distributions)
-    if request.objective == "area":
-        return area_payload(request_hash, config.name, model.area_breakdown_um2())
-    network = request.network()
-    if request.objective == "mappings":
-        search = model.search_layer_mappings(
-            network.layers[0],
-            num_mappings=request.num_mappings,
-            seed=request.seed,
-            objective="energy",
-        )
-        return mappings_payload(
-            request_hash, config.name, network.layers[0].name, search
-        )
-    return energy_payload(request_hash, model.evaluate(network))
+    return evaluate_scalar(request)
 
 
 def replay_serial(trace: Sequence[Dict]) -> Tuple[List[Dict], float]:

@@ -50,6 +50,12 @@ from repro.workloads.networks import Network, load_network
 #: Schema version accepted by this build of the service.
 REQUEST_VERSION = 1
 
+#: Default retry budget of a request whose dispatch fails retryably.
+DEFAULT_MAX_RETRIES = 2
+
+#: Retry budgets beyond this are rejected (runaway amplification guard).
+MAX_RETRIES_LIMIT = 16
+
 #: Macro registry: request ``macro`` names -> config factories.
 MACRO_REGISTRY = {
     "base_macro": base_macro,
@@ -126,6 +132,18 @@ class EvaluationRequest:
         RNG seed of the mapping search.
     use_distributions:
         Data-value-dependent statistical pipeline on/off.
+    deadline_ms:
+        Optional completion deadline in milliseconds from submission.
+        An *execution hint*: it shapes scheduling (requests past their
+        deadline fail fast with
+        :class:`~repro.service.faults.DeadlineExceeded`), not the
+        result, so it is excluded from the canonical form — two requests
+        differing only in deadline share one hash, store entry, and
+        in-flight slot.
+    max_retries:
+        How many times a retryable dispatch failure may be retried
+        (default :data:`DEFAULT_MAX_RETRIES`).  Also an execution hint,
+        excluded from the canonical form.
     """
 
     macro: str = "base_macro"
@@ -136,6 +154,8 @@ class EvaluationRequest:
     num_mappings: int = 1000
     seed: int = 0
     use_distributions: bool = True
+    deadline_ms: Optional[float] = None
+    max_retries: int = DEFAULT_MAX_RETRIES
     version: int = REQUEST_VERSION
 
     # ------------------------------------------------------------------
@@ -182,6 +202,24 @@ class EvaluationRequest:
                 _require(spec_field in allowed,
                          f"unknown inline layer field {spec_field!r}")
         _require(self.num_mappings >= 1, "num_mappings must be at least 1")
+        if self.deadline_ms is not None:
+            _require(
+                isinstance(self.deadline_ms, (int, float))
+                and not isinstance(self.deadline_ms, bool)
+                and self.deadline_ms > 0,
+                "deadline_ms must be a positive number of milliseconds",
+            )
+            object.__setattr__(self, "deadline_ms", float(self.deadline_ms))
+        retries = self.max_retries
+        if isinstance(retries, float) and retries.is_integer():
+            retries = int(retries)
+            object.__setattr__(self, "max_retries", retries)
+        _require(
+            isinstance(retries, int)
+            and not isinstance(retries, bool)
+            and 0 <= retries <= MAX_RETRIES_LIMIT,
+            f"max_retries must be an integer in [0, {MAX_RETRIES_LIMIT}]",
+        )
         # Resolve the config and workload once, at submission time: bad
         # requests surface as 400s (not dispatch-time 500s), and dispatch
         # reuses the resolved objects instead of rebuilding them.
@@ -222,7 +260,11 @@ class EvaluationRequest:
         ``energy``/``area`` evaluation, and ``area`` is a pure function
         of the config, so those fields are dropped from the canonical
         form — two requests that mean the same thing hash (and therefore
-        store/coalesce) the same.  Round-tripping through
+        store/coalesce) the same.  Execution hints (``deadline_ms``,
+        ``max_retries``) shape *how* the request is scheduled, never
+        *what* it computes, so they too are excluded: a deadline-bearing
+        retry of an earlier request coalesces with (and is served from
+        the store entry of) the original.  Round-tripping through
         :meth:`from_dict` preserves the canonical form.
         """
         payload: Dict[str, object] = {

@@ -22,22 +22,70 @@ fast at:
    ``mappings`` families warm their per-action energies with one
    ``derive_many`` before searching.
 
+Failure handling follows the taxonomy in :mod:`repro.service.faults`:
+
+* A **retryable** dispatch failure (killed pool worker, injected
+  transient) is retried with jittered exponential backoff, up to the
+  family's smallest per-request ``max_retries`` budget.
+* A failure that survives retries triggers **per-request isolation**:
+  each member of the family is re-dispatched *alone through the same
+  batched machinery* — config-axis derivation is elementwise per
+  config, so a healthy member's solo result is bitwise-identical to its
+  row in the family result — and a member that still fails falls back
+  to the **scalar oracle** (:func:`evaluate_scalar`) before its future
+  is failed.  One poisoned request therefore fails alone; its siblings
+  complete.
+* Requests carry optional **deadlines** (``deadline_ms``, hash-invariant)
+  — a slot past its deadline fails fast with
+  :class:`~repro.service.faults.DeadlineExceeded` instead of occupying a
+  dispatch.
+* A bounded pending queue (``max_pending``) sheds load at submission
+  with :class:`~repro.service.faults.QueueFullError` (HTTP 429), and a
+  per-family :class:`~repro.service.faults.CircuitBreaker` short-circuits
+  repeatedly-failing families to fast
+  :class:`~repro.service.faults.CircuitOpenError` responses.
+
 Two consumption styles share the machinery: :meth:`submit` +
 :meth:`run_pending` give explicit control (the replay driver and tests
 tick by hand), while :meth:`start` runs a background dispatcher thread
 with a small coalescing window — the HTTP front end submits from handler
-threads and blocks on the returned future.
+threads and blocks on the returned future.  :meth:`close` drains the
+dispatcher and fails any still-unresolved future with
+:class:`~repro.service.faults.ShutdownError`; no waiter is ever left
+blocked.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.batch import BatchRunner, process_energy_cache
+from repro.core.batch import BatchRunner, pool_rebuilds, process_energy_cache
+from repro.service.chaos import ChaosConfig, ChaosInjector
+from repro.service.faults import (
+    BACKOFF_BASE_ENV,
+    BACKOFF_CAP_ENV,
+    BREAKER_COOLDOWN_ENV,
+    BREAKER_THRESHOLD_ENV,
+    DEFAULT_BACKOFF_BASE_S,
+    DEFAULT_BACKOFF_CAP_S,
+    DEFAULT_BREAKER_COOLDOWN_S,
+    DEFAULT_BREAKER_THRESHOLD,
+    MAX_PENDING_ENV,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceeded,
+    QueueFullError,
+    ShutdownError,
+    backoff_s,
+    env_positive_float,
+    is_retryable,
+)
+from repro.core.shared_cache import env_positive_int
 from repro.service.requests import EvaluationRequest
 from repro.service.store import ResultStore
 
@@ -48,14 +96,24 @@ DEFAULT_COALESCE_WINDOW_S = 0.005
 
 @dataclass
 class SchedulerStats:
-    """Counters describing how much work coalescing saved.
+    """Counters describing how much work coalescing saved — and how much
+    fault handling cost.
 
     ``submitted`` counts every request seen; of those, ``store_hits``
     were answered from the result store, ``coalesced`` attached to an
-    already-pending duplicate, and ``dispatched_requests`` were actually
-    evaluated — in ``dispatched_batches`` family-batched calls over
-    ``ticks`` scheduler ticks.  ``submitted == store_hits + coalesced +
-    dispatched_requests`` once the queue is drained.
+    already-pending duplicate, ``queue_sheds`` were rejected by the
+    bounded queue, and ``dispatched_requests`` were actually evaluated —
+    in ``dispatched_batches`` family-batched calls over ``ticks``
+    scheduler ticks.
+
+    Failure-path counters: ``retries`` counts request-slots re-attempted
+    after a retryable dispatch failure, ``fallbacks`` counts slots
+    isolated into solo batched dispatches after their family failed,
+    ``scalar_fallbacks`` counts slots rescued (or attempted) on the
+    scalar oracle, ``deadline_expired`` counts slots failed for missing
+    their deadline, ``breaker_trips`` / ``breaker_short_circuits`` count
+    circuit-breaker opens and the requests they rejected, and ``errors``
+    counts slots whose futures ultimately resolved with an exception.
 
     ``term_hits`` / ``term_misses`` / ``term_derivations`` attribute the
     process-wide term cache's traffic (:mod:`repro.core.terms`) to
@@ -72,6 +130,13 @@ class SchedulerStats:
     dispatched_batches: int = 0
     ticks: int = 0
     errors: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+    scalar_fallbacks: int = 0
+    deadline_expired: int = 0
+    queue_sheds: int = 0
+    breaker_trips: int = 0
+    breaker_short_circuits: int = 0
     term_hits: int = 0
     term_misses: int = 0
     term_derivations: int = 0
@@ -90,6 +155,16 @@ class SchedulerStats:
             "dispatched_batches": self.dispatched_batches,
             "ticks": self.ticks,
             "errors": self.errors,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "scalar_fallbacks": self.scalar_fallbacks,
+            "deadline_expired": self.deadline_expired,
+            "queue_sheds": self.queue_sheds,
+            "breaker_trips": self.breaker_trips,
+            "breaker_short_circuits": self.breaker_short_circuits,
+            # Supervised-pool rebuilds are process-wide (the pool is
+            # shared), surfaced here so /healthz shows worker churn.
+            "pool_rebuilds": pool_rebuilds(),
             "term_hits": self.term_hits,
             "term_misses": self.term_misses,
             "term_derivations": self.term_derivations,
@@ -112,17 +187,38 @@ def _term_counters() -> Tuple[int, int, int]:
 
 @dataclass
 class _Pending:
-    """One unique in-flight request and everyone waiting on it."""
+    """One unique in-flight request and everyone waiting on it.
+
+    ``deadline`` is the most permissive (latest, or None for unbounded)
+    monotonic deadline of every coalesced waiter; ``max_retries`` is
+    likewise the largest attached retry budget — a duplicate must never
+    make the shared evaluation *stricter* than an earlier waiter asked.
+    ``completed`` makes completion exactly-once under races between a
+    dispatching thread and :meth:`EvaluationScheduler.close`.
+    """
 
     request: EvaluationRequest
     request_hash: str
     futures: List[Future] = field(default_factory=list)
+    deadline: Optional[float] = None
+    max_retries: int = 0
+    completed: bool = False
+
+    def merge_hints(self, request: EvaluationRequest) -> None:
+        """Fold a coalescing duplicate's execution hints into the slot."""
+        if request.deadline_ms is None:
+            self.deadline = None
+        elif self.deadline is not None:
+            self.deadline = max(
+                self.deadline, time.monotonic() + request.deadline_ms / 1000.0
+            )
+        self.max_retries = max(self.max_retries, request.max_retries)
 
 
 # ----------------------------------------------------------------------
 # Result payload formats — shared by the batched dispatchers here and the
-# serial baseline (:func:`repro.service.replay.evaluate_serial`), so the
-# two paths can never drift apart field-by-field.
+# scalar oracle (:func:`evaluate_scalar`), so the two paths can never
+# drift apart field-by-field.
 # ----------------------------------------------------------------------
 def energy_payload(request_hash: str, evaluation) -> Dict:
     """The ``energy`` objective's result payload."""
@@ -162,6 +258,38 @@ def mappings_payload(request_hash: str, macro_name: str, layer_name: str, search
     }
 
 
+def evaluate_scalar(request: EvaluationRequest) -> Dict:
+    """Evaluate one request the pre-service way: a fresh model, no sharing.
+
+    This is both the serial baseline the coalescing scheduler is measured
+    against (see :func:`repro.service.replay.evaluate_serial`) and the
+    scheduler's *last-resort per-request fallback*: when a request's
+    batched dispatch fails even in isolation, this oracle path — no
+    process pool, no batched derivation — gets one chance to serve it
+    before the failure is surfaced.  Payload shapes match the batched
+    dispatchers so results are directly comparable.
+    """
+    from repro.core.model import CiMLoopModel
+
+    config = request.config()
+    request_hash = request.content_hash()
+    model = CiMLoopModel(config, use_distributions=request.use_distributions)
+    if request.objective == "area":
+        return area_payload(request_hash, config.name, model.area_breakdown_um2())
+    network = request.network()
+    if request.objective == "mappings":
+        search = model.search_layer_mappings(
+            network.layers[0],
+            num_mappings=request.num_mappings,
+            seed=request.seed,
+            objective="energy",
+        )
+        return mappings_payload(
+            request_hash, config.name, network.layers[0].name, search
+        )
+    return energy_payload(request_hash, model.evaluate(network))
+
+
 class EvaluationScheduler:
     """Dedup, coalesce, and batch-dispatch evaluation requests."""
 
@@ -170,6 +298,12 @@ class EvaluationScheduler:
         store: Optional[ResultStore] = None,
         workers: int = 1,
         coalesce_window_s: float = DEFAULT_COALESCE_WINDOW_S,
+        max_pending: Optional[int] = None,
+        backoff_base_s: Optional[float] = None,
+        backoff_cap_s: Optional[float] = None,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown_s: Optional[float] = None,
+        chaos: Optional[object] = None,
     ):
         # The default store honours the REPRO_RESULT_STORE_* environment
         # knobs (disk tier, LRU bound), so `python -m repro.service serve`
@@ -178,6 +312,41 @@ class EvaluationScheduler:
         self.runner = BatchRunner(workers=workers)
         self.stats = SchedulerStats()
         self.coalesce_window_s = coalesce_window_s
+        # Fault-handling policy: explicit arguments win, then the
+        # REPRO_SERVICE_* environment knobs, then the defaults.
+        self.max_pending = (
+            max_pending if max_pending is not None else env_positive_int(MAX_PENDING_ENV)
+        )
+        self.backoff_base_s = (
+            backoff_base_s
+            if backoff_base_s is not None
+            else (env_positive_float(BACKOFF_BASE_ENV) or DEFAULT_BACKOFF_BASE_S)
+        )
+        self.backoff_cap_s = (
+            backoff_cap_s
+            if backoff_cap_s is not None
+            else (env_positive_float(BACKOFF_CAP_ENV) or DEFAULT_BACKOFF_CAP_S)
+        )
+        self.breaker_threshold = (
+            breaker_threshold
+            if breaker_threshold is not None
+            else (env_positive_int(BREAKER_THRESHOLD_ENV) or DEFAULT_BREAKER_THRESHOLD)
+        )
+        self.breaker_cooldown_s = (
+            breaker_cooldown_s
+            if breaker_cooldown_s is not None
+            else (env_positive_float(BREAKER_COOLDOWN_ENV) or DEFAULT_BREAKER_COOLDOWN_S)
+        )
+        # The last-resort per-request rescue path; an instance attribute
+        # so tests (and future shards) can substitute their own oracle.
+        self.scalar_fallback = evaluate_scalar
+        if chaos is None:
+            chaos = ChaosInjector.from_env()
+        elif isinstance(chaos, ChaosConfig):
+            chaos = ChaosInjector(chaos)
+        self.chaos: Optional[ChaosInjector] = chaos
+        self._rng = random.Random(0)  # jitter stream; seeded for replay
+        self._breakers: Dict[Tuple, CircuitBreaker] = {}
         self._pending: "Dict[str, _Pending]" = {}
         # Slots drained from _pending but not yet completed: duplicates
         # arriving while their twin is *being evaluated* attach here, so
@@ -203,7 +372,11 @@ class EvaluationScheduler:
         Store hits resolve immediately; duplicate hashes attach to the
         existing slot whether it is still queued or already being
         evaluated (coalescing); everything else joins the pending set for
-        the next tick.
+        the next tick.  Raises :class:`ShutdownError` after
+        :meth:`close`, and :class:`QueueFullError` (with a
+        ``retry_after_s`` hint) when the bounded pending queue is full —
+        store hits and coalescing duplicates are *never* shed, because
+        they cost no evaluation.
         """
         request_hash = request.content_hash()
         future: Future = Future()
@@ -215,10 +388,13 @@ class EvaluationScheduler:
                 return False
             self.stats.coalesced += 1
             slot.futures.append(future)
+            slot.merge_hints(request)
             return True
 
         with self._lock:
             self.stats.submitted += 1
+            if self._closed:
+                raise ShutdownError("scheduler is shut down; request not accepted")
             if _attach_if_known():
                 return future
         cached = self.store.get(request_hash)
@@ -231,7 +407,24 @@ class EvaluationScheduler:
             # evaluation) while the store was consulted outside the lock.
             if _attach_if_known():
                 return future
-            slot = _Pending(request=request, request_hash=request_hash)
+            if self._closed:
+                raise ShutdownError("scheduler is shut down; request not accepted")
+            if self.max_pending is not None and len(self._pending) >= self.max_pending:
+                self.stats.queue_sheds += 1
+                raise QueueFullError(
+                    f"pending queue is full ({self.max_pending} unique requests); "
+                    "retry shortly",
+                    retry_after_s=max(self.coalesce_window_s * 10, 0.05),
+                )
+            slot = _Pending(
+                request=request,
+                request_hash=request_hash,
+                deadline=(
+                    time.monotonic() + request.deadline_ms / 1000.0
+                    if request.deadline_ms is not None else None
+                ),
+                max_retries=request.max_retries,
+            )
             slot.futures.append(future)
             self._pending[request_hash] = slot
             self._wakeup.notify_all()
@@ -263,9 +456,10 @@ class EvaluationScheduler:
     def run_pending(self) -> int:
         """One tick: drain the pending set in family-batched dispatches.
 
-        Returns the number of unique requests evaluated.  Safe to call
-        from any thread; the pending set is drained atomically, so
-        concurrent tickers never evaluate a slot twice.
+        Returns the number of unique requests that completed with a
+        result.  Safe to call from any thread; the pending set is
+        drained atomically, so concurrent tickers never evaluate a slot
+        twice.
         """
         with self._lock:
             batch = list(self._pending.values())
@@ -283,38 +477,167 @@ class EvaluationScheduler:
         for slot in batch:
             families.setdefault(slot.request.family_key(), []).append(slot)
 
-        evaluated = 0
-        for family in families.values():
-            before = _term_counters()
-            try:
-                results = self._dispatch_family(family)
-            except Exception as error:  # noqa: BLE001 - fan the failure out
-                with self._lock:
-                    self.stats.errors += len(family)
-                for slot in family:
-                    self._complete(slot, error=error)
-                continue
-            after = _term_counters()
+        completed = 0
+        for family_key, family in families.items():
+            completed += self._run_family(family_key, family)
+        return completed
+
+    def _run_family(self, family_key: Tuple, family: List[_Pending]) -> int:
+        """Dispatch one family with retries, isolation, and breaker checks.
+
+        Returns how many of the family's slots completed with a result.
+        """
+        family = [slot for slot in family if not self._expire(slot)]
+        if not family:
+            return 0
+        with self._lock:
+            breaker = self._breakers.get(family_key)
+            if breaker is None:
+                breaker = CircuitBreaker(self.breaker_threshold, self.breaker_cooldown_s)
+                self._breakers[family_key] = breaker
+            allowed = breaker.allow()
+            if not allowed:
+                self.stats.breaker_short_circuits += len(family)
+        if not allowed:
+            error = CircuitOpenError(
+                f"family {family_key!r} is short-circuited after "
+                f"{breaker.consecutive_failures} consecutive failed dispatches",
+                retry_after_s=breaker.retry_after_s(),
+            )
+            for slot in family:
+                self._complete(slot, error=error)
+            return 0
+
+        family_error = self._try_batched(family)
+        if family_error is None:
             with self._lock:
-                self.stats.dispatched_requests += len(family)
-                self.stats.dispatched_batches += 1
-                self.stats.term_hits += after[0] - before[0]
-                self.stats.term_misses += after[1] - before[1]
-                self.stats.term_derivations += after[2] - before[2]
+                breaker.record_success()
+            return len(family)
+
+        # Failure isolation: the shared dispatch is dead, but its
+        # members stand alone from here.  A healthy member's solo
+        # batched dispatch reproduces its family-row result bit-for-bit
+        # (config-axis derivation is elementwise per config); a member
+        # that still fails gets one scalar-oracle attempt before its
+        # future is failed with the error that actually stopped it.
+        completed = 0
+        for slot in family:
+            if self._expire(slot):
+                continue
+            slot_error = family_error
+            if len(family) > 1:
+                with self._lock:
+                    self.stats.fallbacks += 1
+                slot_error = self._try_batched([slot])
+                if slot_error is None:
+                    completed += 1
+                    continue
+            if self._scalar_rescue(slot, slot_error):
+                completed += 1
+        with self._lock:
+            if completed:
+                breaker.record_success()
+            elif breaker.record_failure():
+                self.stats.breaker_trips += 1
+        return completed
+
+    def _try_batched(self, family: List[_Pending]) -> Optional[BaseException]:
+        """One batched dispatch with backoff-retries for retryable errors.
+
+        Completes every slot and returns None on success; returns the
+        final error (without completing anything) on failure, so the
+        caller decides between isolation, scalar rescue, and giving up.
+        The retry budget is the family's smallest slot budget — members
+        asking for fewer retries must not be held hostage by greedier
+        siblings; their remaining budget applies when they are isolated.
+        """
+        budget = min(slot.max_retries for slot in family)
+        attempt = 0
+        while True:
+            try:
+                results = self._dispatch_with_stats(family)
+            except Exception as error:  # noqa: BLE001 - classified below
+                if not is_retryable(error) or attempt >= budget or self._closed:
+                    return error
+                attempt += 1
+                delay = backoff_s(
+                    attempt, self.backoff_base_s, self.backoff_cap_s, self._rng
+                )
+                deadlines = [s.deadline for s in family if s.deadline is not None]
+                if deadlines:
+                    remaining = min(deadlines) - time.monotonic()
+                    if remaining <= 0:
+                        return error
+                    delay = min(delay, remaining)
+                with self._lock:
+                    self.stats.retries += len(family)
+                time.sleep(delay)
+                continue
             for slot, result in zip(family, results):
                 self._complete(slot, result=result)
-            evaluated += len(family)
-        return evaluated
+            return None
+
+    def _scalar_rescue(self, slot: _Pending, error: BaseException) -> bool:
+        """Last resort: serve one slot from the scalar oracle.
+
+        Shutdown/deadline/breaker failures are verdicts about the
+        *request*, not the batched engine, so they are surfaced as-is;
+        anything else gets one oracle attempt.  When the oracle also
+        fails, the slot is failed with the original dispatch error (the
+        more diagnostic of the two).
+        """
+        if isinstance(error, (ShutdownError, DeadlineExceeded, CircuitOpenError)):
+            self._complete(slot, error=error)
+            return False
+        with self._lock:
+            self.stats.scalar_fallbacks += 1
+        try:
+            result = self.scalar_fallback(slot.request)
+        except Exception:  # noqa: BLE001 - surface the original error
+            self._complete(slot, error=error)
+            return False
+        self._complete(slot, result=result)
+        return True
+
+    def _expire(self, slot: _Pending) -> bool:
+        """Fail a slot that has outlived its deadline; True when it did."""
+        if slot.deadline is None or time.monotonic() <= slot.deadline:
+            return False
+        with self._lock:
+            self.stats.deadline_expired += 1
+        self._complete(slot, error=DeadlineExceeded(
+            f"request {slot.request_hash[:12]} missed its deadline"
+        ))
+        return True
+
+    def _dispatch_with_stats(self, family: List[_Pending]) -> List[Dict]:
+        """One family dispatch plus its success-path accounting (and the
+        chaos injector's pre-dispatch hook, when one is armed)."""
+        if self.chaos is not None:
+            self.chaos.before_dispatch(len(family))
+        before = _term_counters()
+        results = self._dispatch_family(family)
+        after = _term_counters()
+        with self._lock:
+            self.stats.dispatched_requests += len(family)
+            self.stats.dispatched_batches += 1
+            self.stats.term_hits += after[0] - before[0]
+            self.stats.term_misses += after[1] - before[1]
+            self.stats.term_derivations += after[2] - before[2]
+        return results
 
     def _complete(self, slot: _Pending, result=None, error=None) -> None:
         """Store one slot's outcome and resolve every attached future.
 
-        A store failure (e.g. an unserialisable value or a dying disk)
-        must cost the persistence, never the request — and never the
-        dispatcher thread.  The slot is removed from the in-flight map
-        *under the lock, after the store write*, so a concurrent submit
-        either sees the stored result or attaches to the slot; the
-        futures snapshot taken at removal therefore includes every waiter.
+        Exactly-once under the ``completed`` flag: a dispatching thread
+        and :meth:`close` may race to complete the same slot, and the
+        loser must not touch the futures again.  A store failure (e.g.
+        an unserialisable value or a dying disk) must cost the
+        persistence, never the request — and never the dispatcher
+        thread.  The slot is removed from the in-flight map *under the
+        lock, after the store write*, so a concurrent submit either sees
+        the stored result or attaches to the slot; the futures snapshot
+        taken at removal therefore includes every waiter.
         """
         if error is None:
             try:
@@ -327,14 +650,26 @@ class EvaluationScheduler:
                     f"({store_error}); serving it uncached",
                     file=sys.stderr,
                 )
+            else:
+                if self.chaos is not None:
+                    self.chaos.after_store(self.store, slot.request_hash)
         with self._lock:
+            if slot.completed:
+                return
+            slot.completed = True
+            if error is not None:
+                self.stats.errors += 1
             self._inflight.pop(slot.request_hash, None)
+            self._pending.pop(slot.request_hash, None)
             futures = list(slot.futures)
         for future in futures:
-            if error is not None:
-                future.set_exception(error)
-            else:
-                future.set_result(result)
+            try:
+                if error is not None:
+                    future.set_exception(error)
+                else:
+                    future.set_result(result)
+            except InvalidStateError:  # pragma: no cover - defensive
+                pass
 
     def _dispatch_family(self, family: List[_Pending]) -> List[Dict]:
         """Evaluate one family with a single batched core call."""
@@ -476,7 +811,15 @@ class EvaluationScheduler:
                 traceback.print_exc()
 
     def close(self) -> None:
-        """Stop the dispatcher after draining any remaining requests."""
+        """Stop the dispatcher; no waiter is ever left blocked.
+
+        Pending requests are drained by the dispatcher's final tick when
+        one is running; any future still unresolved afterwards — queued
+        with no dispatcher, or orphaned by a dispatcher that could not
+        finish — is failed with :class:`ShutdownError` rather than left
+        hanging.  Later :meth:`submit` calls also raise
+        :class:`ShutdownError`.  Idempotent.
+        """
         thread = self._thread
         with self._lock:
             self._closed = True
@@ -484,6 +827,12 @@ class EvaluationScheduler:
         if thread is not None:
             thread.join(timeout=30.0)
             self._thread = None
+        with self._lock:
+            stranded = list(self._pending.values()) + list(self._inflight.values())
+            self._pending.clear()
+        error = ShutdownError("scheduler closed before the request completed")
+        for slot in stranded:
+            self._complete(slot, error=error)
 
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, object]:
@@ -492,11 +841,23 @@ class EvaluationScheduler:
             pending = len(self._pending)
             inflight = len(self._inflight)
             stats = self.stats.as_dict()
-        return {
+            breakers = {
+                repr(key): {
+                    "state": breaker.state,
+                    "consecutive_failures": breaker.consecutive_failures,
+                    "trips": breaker.trips,
+                }
+                for key, breaker in self._breakers.items()
+            }
+        payload: Dict[str, object] = {
             "status": "ok",
             "pending": pending,
             "inflight": inflight,
             "scheduler": stats,
+            "breakers": breakers,
             "store": self.store.stats(),
             "energy_cache": process_energy_cache().stats(),
         }
+        if self.chaos is not None:
+            payload["chaos"] = self.chaos.stats()
+        return payload

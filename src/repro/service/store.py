@@ -11,7 +11,9 @@ order, whitespace, and omitted defaults.  Two tiers:
   :class:`~repro.core.fast_pipeline.DiskEnergyCache` patterns — entries
   are JSON files named by the content hash, written atomically
   (tempfile + ``os.replace``), verified against their stored key on
-  load, treated as misses when corrupt, LRU-evicted beyond
+  load, quarantined (renamed to ``*.corrupt``, counted in
+  ``corrupt_entries``) on the first corrupt read so later hits miss
+  cleanly instead of re-parsing, LRU-evicted beyond
   ``disk_max_entries`` / ``disk_max_bytes`` with loads refreshing mtime —
   so results survive restarts and are shared by co-located service
   processes.
@@ -72,6 +74,7 @@ class ResultStore:
         self.evictions = 0
         self.disk_evictions = 0
         self.load_failures = 0
+        self.corrupt_entries = 0
 
     @classmethod
     def from_env(cls) -> "ResultStore":
@@ -141,6 +144,17 @@ class ResultStore:
             self._insert(request_hash, result)
         self._store_to_disk(request_hash, result)
 
+    def forget(self, request_hash: str) -> None:
+        """Drop one hash from the in-memory tier (disk is left alone).
+
+        Invalidation hook: the next :meth:`get` of the hash falls
+        through to disk (or misses outright).  Used by the chaos
+        injector to force the disk-corruption path, and safe for any
+        caller that wants a hash recomputed.
+        """
+        with self._lock:
+            self._entries.pop(request_hash, None)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -157,6 +171,7 @@ class ResultStore:
                 "evictions": self.evictions,
                 "disk_evictions": self.disk_evictions,
                 "load_failures": self.load_failures,
+                "corrupt_entries": self.corrupt_entries,
                 "disk_directory": str(self.directory) if self.directory else None,
             }
 
@@ -184,9 +199,19 @@ class ResultStore:
             result = dict(payload["result"])
         except FileNotFoundError:
             return None
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
+            # An I/O failure (permissions, dying disk) is not evidence
+            # the entry itself is bad; treat as a plain miss.
             with self._lock:
                 self.load_failures += 1
+            return None
+        except (ValueError, KeyError, TypeError):
+            # The entry is unreadable and will stay unreadable: move it
+            # aside once so every subsequent hit on this hash is a clean
+            # miss instead of a repeated parse attempt.
+            with self._lock:
+                self.load_failures += 1
+            self._quarantine(path)
             return None
         if self.disk_max_entries is not None or self.disk_max_bytes is not None:
             try:
@@ -194,6 +219,21 @@ class ResultStore:
             except OSError:
                 pass
         return result
+
+    def _quarantine(self, path: Path) -> None:
+        """Rename a corrupt disk entry to ``<name>.json.corrupt``.
+
+        The rename keeps the evidence for post-mortems while taking the
+        entry out of the ``result-*.json`` namespace (loads, eviction
+        scans).  A concurrent quarantiner losing the rename race is
+        harmless — the entry is gone either way.
+        """
+        try:
+            path.replace(path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            return
+        with self._lock:
+            self.corrupt_entries += 1
 
     def _store_to_disk(self, request_hash: str, result: Dict) -> None:
         path = self.path_for(request_hash)

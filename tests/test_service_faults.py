@@ -1,0 +1,626 @@
+"""Tests for the service's fault-tolerance layer (repro.service.faults).
+
+Covers the failure taxonomy and policies (retryable-vs-permanent
+classification, jittered backoff, the circuit breaker), hash invariance
+of the execution hints (``deadline_ms`` / ``max_retries``), scheduler
+failure isolation (a poisoned request fails alone, its family's healthy
+members complete bitwise-identically to a clean run), retries with
+backoff, the scalar-oracle rescue, deadlines, bounded-queue admission
+control, shutdown semantics of :meth:`EvaluationScheduler.close`,
+corruption quarantine in the result store and disk energy cache,
+graceful shared-slab degradation, the deterministic chaos injector, and
+the HTTP front end's fault-to-status mapping (429/503/504 +
+``Retry-After``).
+"""
+
+import json
+import struct
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.fast_pipeline import DiskEnergyCache
+from repro.service import (
+    ChaosConfig,
+    ChaosInjector,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceeded,
+    EvaluationRequest,
+    EvaluationScheduler,
+    PermanentError,
+    QueueFullError,
+    ResultStore,
+    RetryableError,
+    ServiceError,
+    ShutdownError,
+    is_retryable,
+)
+from repro.service.chaos import ChaosError
+from repro.service.faults import backoff_s
+
+
+def _request(**kwargs):
+    defaults = dict(macro="base_macro", workload="mvm_32x32", objective="energy")
+    defaults.update(kwargs)
+    return EvaluationRequest(**defaults)
+
+
+def _fast_scheduler(**kwargs):
+    """A scheduler with a near-zero backoff so retry tests stay quick."""
+    kwargs.setdefault("backoff_base_s", 0.001)
+    kwargs.setdefault("backoff_cap_s", 0.002)
+    return EvaluationScheduler(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Taxonomy and policies
+# ----------------------------------------------------------------------
+class TestTaxonomy:
+    def test_classification(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        assert is_retryable(RetryableError("flaky"))
+        assert is_retryable(QueueFullError("full"))
+        assert is_retryable(ChaosError("injected"))
+        assert is_retryable(BrokenProcessPool("worker died"))
+        assert not is_retryable(PermanentError("no"))
+        assert not is_retryable(ShutdownError("closing"))
+        assert not is_retryable(DeadlineExceeded("late"))
+        assert not is_retryable(CircuitOpenError("open"))
+        # Unknown exceptions default to permanent: evaluation is
+        # deterministic, so they would simply repeat.
+        assert not is_retryable(RuntimeError("model bug"))
+        assert not is_retryable(ValueError("bad value"))
+
+    def test_backoff_is_bounded_exponential_with_jitter(self):
+        import random
+
+        rng = random.Random(7)
+        delays = [backoff_s(a, base_s=0.1, cap_s=1.0, rng=rng) for a in range(1, 8)]
+        for attempt, delay in enumerate(delays, start=1):
+            ceiling = min(1.0, 0.1 * 2 ** (attempt - 1))
+            assert ceiling / 2 <= delay <= ceiling
+        # Deterministic under an equal seed.
+        rng2 = random.Random(7)
+        assert delays == [
+            backoff_s(a, base_s=0.1, cap_s=1.0, rng=rng2) for a in range(1, 8)
+        ]
+        with pytest.raises(ValueError):
+            backoff_s(0)
+
+    def test_circuit_breaker_cycle(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=0.05)
+        assert breaker.state == "closed" and breaker.allow()
+        assert not breaker.record_failure()
+        assert breaker.allow()
+        assert breaker.record_failure()  # trips
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.retry_after_s() > 0
+        time.sleep(0.06)
+        assert breaker.state == "half_open" and breaker.allow()
+        # A failed probe re-opens for a full cooldown.
+        assert breaker.record_failure()
+        assert breaker.state == "open" and breaker.trips == 2
+        time.sleep(0.06)
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.consecutive_failures == 0
+
+
+# ----------------------------------------------------------------------
+# Execution hints are hash-invariant
+# ----------------------------------------------------------------------
+class TestExecutionHints:
+    def test_deadline_and_retries_do_not_change_the_hash(self):
+        plain = _request()
+        hinted = _request(deadline_ms=250.0, max_retries=5)
+        assert plain.content_hash() == hinted.content_hash()
+        assert plain.canonical_json() == hinted.canonical_json()
+        assert "deadline_ms" not in hinted.to_dict()
+        assert "max_retries" not in hinted.to_dict()
+
+    def test_hints_round_trip_from_dict(self):
+        request = EvaluationRequest.from_dict(
+            {"workload": "mvm_32x32", "deadline_ms": 100, "max_retries": 3.0}
+        )
+        assert request.deadline_ms == 100.0
+        assert request.max_retries == 3  # integral float coerced
+
+    def test_hint_validation(self):
+        with pytest.raises(ServiceError):
+            _request(deadline_ms=0)
+        with pytest.raises(ServiceError):
+            _request(deadline_ms=-5)
+        with pytest.raises(ServiceError):
+            _request(max_retries=-1)
+        with pytest.raises(ServiceError):
+            _request(max_retries=99)
+        with pytest.raises(ServiceError):
+            _request(max_retries=1.5)
+
+
+# ----------------------------------------------------------------------
+# Failure isolation: one poisoned request fails alone
+# ----------------------------------------------------------------------
+class TestFailureIsolation:
+    ADC_VALUES = (4, 5, 6, 7)
+    POISON_ADC = 6
+
+    def _family(self):
+        return [
+            _request(overrides={"adc_resolution": adc}) for adc in self.ADC_VALUES
+        ]
+
+    def test_poisoned_request_fails_alone_healthy_results_bitwise_identical(self):
+        # Reference: the same family through an unpoisoned scheduler.
+        clean = EvaluationScheduler()
+        clean_results = {
+            result["request_hash"]: result
+            for result in clean.evaluate_batch(self._family())
+        }
+
+        scheduler = EvaluationScheduler()
+        real_run_grid = scheduler.runner.run_grid
+
+        def poisoned_run_grid(configs, network, **kwargs):
+            if any(c.adc_resolution == self.POISON_ADC for c in configs):
+                raise RuntimeError("poisoned request")
+            return real_run_grid(configs, network, **kwargs)
+
+        scheduler.runner.run_grid = poisoned_run_grid
+
+        def broken_oracle(request):
+            raise RuntimeError("oracle poisoned too")
+
+        scheduler.scalar_fallback = broken_oracle
+
+        requests = self._family()
+        futures = [scheduler.submit(request) for request in requests]
+        scheduler.run_pending()
+
+        poisoned_index = self.ADC_VALUES.index(self.POISON_ADC)
+        for index, (request, future) in enumerate(zip(requests, futures)):
+            if index == poisoned_index:
+                with pytest.raises(RuntimeError, match="poisoned request"):
+                    future.result()
+            else:
+                # Healthy members complete — and their payloads are
+                # *bitwise-identical* to the clean-family run, because
+                # isolation re-dispatches them through the same batched
+                # machinery, not the scalar oracle.
+                assert future.result() == clean_results[request.content_hash()]
+        assert scheduler.stats.errors == 1
+        assert scheduler.stats.fallbacks == len(requests)
+        assert scheduler.stats.scalar_fallbacks == 1  # attempted, failed
+
+    def test_duplicate_waiters_receive_the_same_exception(self):
+        scheduler = EvaluationScheduler()
+
+        def explode(family):
+            raise PermanentError("family is broken")
+
+        scheduler._dispatch_family = explode
+        scheduler.scalar_fallback = lambda request: (_ for _ in ()).throw(
+            PermanentError("oracle broken")
+        )
+        request = _request(overrides={"adc_resolution": 5})
+        first = scheduler.submit(request)
+        second = scheduler.submit(request)  # coalesces onto the same slot
+        assert scheduler.stats.coalesced == 1
+        scheduler.run_pending()
+        with pytest.raises(PermanentError):
+            first.result()
+        with pytest.raises(PermanentError):
+            second.result()
+        assert first.exception() is second.exception()
+        # One slot failed -> one error, regardless of waiter count.
+        assert scheduler.stats.errors == 1
+
+
+# ----------------------------------------------------------------------
+# Retries, backoff, and the scalar-oracle rescue
+# ----------------------------------------------------------------------
+class TestRetriesAndRescue:
+    def test_transient_failures_are_retried_to_success(self):
+        scheduler = _fast_scheduler()
+        real_run_grid = scheduler.runner.run_grid
+        failures = {"left": 2}
+
+        def flaky_run_grid(configs, network, **kwargs):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RetryableError("transient glitch")
+            return real_run_grid(configs, network, **kwargs)
+
+        scheduler.runner.run_grid = flaky_run_grid
+        result = scheduler.evaluate(_request())  # default max_retries=2
+        assert result["summary"]["total_energy_j"] > 0
+        assert scheduler.stats.retries == 2
+        assert scheduler.stats.errors == 0
+        assert scheduler.stats.scalar_fallbacks == 0
+
+    def test_permanent_failure_is_not_retried_but_oracle_rescues(self):
+        scheduler = _fast_scheduler()
+        calls = {"run_grid": 0}
+
+        def broken_run_grid(configs, network, **kwargs):
+            calls["run_grid"] += 1
+            raise RuntimeError("batched engine down")
+
+        scheduler.runner.run_grid = broken_run_grid
+        result = scheduler.evaluate(_request(max_retries=5))
+        # Permanent error: a single dispatch attempt, then the oracle.
+        assert calls["run_grid"] == 1
+        assert scheduler.stats.retries == 0
+        assert scheduler.stats.scalar_fallbacks == 1
+        assert scheduler.stats.errors == 0
+        reference = EvaluationScheduler().evaluate(_request())
+        assert result["summary"]["total_energy_j"] == pytest.approx(
+            reference["summary"]["total_energy_j"], rel=1e-9
+        )
+
+    def test_retry_budget_is_respected_then_oracle_rescues(self):
+        scheduler = _fast_scheduler()
+        calls = {"run_grid": 0}
+
+        def always_flaky(configs, network, **kwargs):
+            calls["run_grid"] += 1
+            raise RetryableError("still flaky")
+
+        scheduler.runner.run_grid = always_flaky
+        result = scheduler.evaluate(_request(max_retries=1))
+        assert calls["run_grid"] == 2  # initial + one retry
+        assert scheduler.stats.retries == 1
+        assert scheduler.stats.scalar_fallbacks == 1
+        assert result["summary"]["total_energy_j"] > 0
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+class TestDeadlines:
+    def test_expired_request_fails_fast_with_deadline_exceeded(self):
+        scheduler = EvaluationScheduler()
+        future = scheduler.submit(_request(deadline_ms=1.0))
+        time.sleep(0.01)
+        scheduler.run_pending()
+        with pytest.raises(DeadlineExceeded):
+            future.result()
+        assert scheduler.stats.deadline_expired == 1
+        assert scheduler.stats.dispatched_requests == 0
+
+    def test_generous_deadline_completes_normally(self):
+        scheduler = EvaluationScheduler()
+        result = scheduler.evaluate(_request(deadline_ms=60_000))
+        assert result["summary"]["total_energy_j"] > 0
+        assert scheduler.stats.deadline_expired == 0
+
+
+# ----------------------------------------------------------------------
+# Admission control (bounded pending queue)
+# ----------------------------------------------------------------------
+class TestAdmissionControl:
+    def test_queue_full_sheds_new_requests_but_not_duplicates(self):
+        scheduler = EvaluationScheduler(max_pending=2)
+        first = _request(overrides={"adc_resolution": 4})
+        futures = [
+            scheduler.submit(first),
+            scheduler.submit(_request(overrides={"adc_resolution": 5})),
+        ]
+        with pytest.raises(QueueFullError) as excinfo:
+            scheduler.submit(_request(overrides={"adc_resolution": 6}))
+        assert excinfo.value.retry_after_s > 0
+        assert scheduler.stats.queue_sheds == 1
+        # Duplicates coalesce (no new slot), so they are never shed.
+        duplicate = scheduler.submit(first)
+        assert scheduler.stats.coalesced == 1
+        scheduler.run_pending()
+        assert all(f.result()["summary"]["total_energy_j"] > 0 for f in futures)
+        assert duplicate.result() == futures[0].result()
+        # Once drained (and stored), the shed request is accepted — and
+        # store hits bypass the bound entirely.
+        assert scheduler.submit(first).result() == futures[0].result()
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker at the scheduler level
+# ----------------------------------------------------------------------
+class TestSchedulerBreaker:
+    def test_repeated_family_failures_trip_the_breaker_then_recover(self):
+        scheduler = _fast_scheduler(breaker_threshold=2, breaker_cooldown_s=0.05)
+        calls = {"dispatch": 0}
+        real_dispatch = scheduler._dispatch_family
+
+        def broken_dispatch(family):
+            calls["dispatch"] += 1
+            raise PermanentError("family engine down")
+
+        scheduler._dispatch_family = broken_dispatch
+        scheduler.scalar_fallback = lambda request: (_ for _ in ()).throw(
+            PermanentError("oracle down too")
+        )
+        for adc in (4, 5):
+            with pytest.raises(PermanentError):
+                scheduler.evaluate(_request(overrides={"adc_resolution": adc}))
+        assert scheduler.stats.breaker_trips == 1
+        dispatches_before = calls["dispatch"]
+        # Open breaker: short-circuited without touching the dispatcher.
+        with pytest.raises(CircuitOpenError) as excinfo:
+            scheduler.evaluate(_request(overrides={"adc_resolution": 6}))
+        assert calls["dispatch"] == dispatches_before
+        assert excinfo.value.retry_after_s > 0
+        assert scheduler.stats.breaker_short_circuits == 1
+        # After the cooldown the half-open probe goes through; a healthy
+        # dispatch closes the breaker again.
+        time.sleep(0.06)
+        scheduler._dispatch_family = real_dispatch
+        result = scheduler.evaluate(_request(overrides={"adc_resolution": 7}))
+        assert result["summary"]["total_energy_j"] > 0
+        health = scheduler.health()
+        states = {entry["state"] for entry in health["breakers"].values()}
+        assert states == {"closed"}
+
+
+# ----------------------------------------------------------------------
+# Shutdown semantics
+# ----------------------------------------------------------------------
+class TestClose:
+    def test_close_fails_stranded_futures_instead_of_hanging(self):
+        scheduler = EvaluationScheduler()  # no dispatcher thread
+        futures = [
+            scheduler.submit(_request(overrides={"adc_resolution": adc}))
+            for adc in (4, 5)
+        ]
+        scheduler.close()
+        for future in futures:
+            assert future.done()
+            with pytest.raises(ShutdownError):
+                future.result()
+        with pytest.raises(ShutdownError):
+            scheduler.submit(_request())
+        assert scheduler.stats.errors == 2
+
+    def test_close_drains_the_background_dispatcher_first(self):
+        scheduler = EvaluationScheduler(coalesce_window_s=0.001).start()
+        future = scheduler.submit(_request(overrides={"adc_resolution": 7}))
+        scheduler.close()
+        # The dispatcher's final tick served the queued request.
+        assert future.result(timeout=1)["summary"]["total_energy_j"] > 0
+        with pytest.raises(ShutdownError):
+            scheduler.submit(_request())
+
+    def test_close_is_idempotent(self):
+        scheduler = EvaluationScheduler()
+        scheduler.close()
+        scheduler.close()
+
+
+# ----------------------------------------------------------------------
+# Corruption quarantine
+# ----------------------------------------------------------------------
+class TestQuarantine:
+    def test_result_store_quarantines_corrupt_disk_entries(self, tmp_path):
+        writer = ResultStore(directory=tmp_path)
+        writer.put("a" * 64, {"objective": "energy", "value": 1.0})
+        path = writer.path_for("a" * 64)
+        path.write_text("{definitely not json")
+
+        reader = ResultStore(directory=tmp_path)
+        assert reader.get("a" * 64) is None
+        assert reader.corrupt_entries == 1
+        assert reader.stats()["corrupt_entries"] == 1
+        assert not path.exists()
+        quarantined = path.with_suffix(path.suffix + ".corrupt")
+        assert quarantined.exists()
+        # The second miss is clean: no re-parse, counters stay put.
+        failures = reader.load_failures
+        assert reader.get("a" * 64) is None
+        assert reader.load_failures == failures
+        # A fresh put re-creates the entry alongside the quarantined one.
+        reader.put("a" * 64, {"objective": "energy", "value": 2.0})
+        fresh = ResultStore(directory=tmp_path)
+        assert fresh.get("a" * 64) == {"objective": "energy", "value": 2.0}
+
+    def test_disk_energy_cache_quarantines_corrupt_entries(self, tmp_path):
+        cache = DiskEnergyCache(tmp_path)
+        cache.store_canonical("some|key", {"read": 1.0, "write": 2.0})
+        path = cache._path_for_string("some|key")
+        path.write_text("garbage{{{{")
+        assert cache.load_canonical("some|key") is None
+        assert cache.load_failures == 1
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        assert cache.load_canonical("some|key") is None
+        assert cache.load_failures == 1  # clean miss, not a re-parse
+
+    def test_shared_slab_scribbles_degrade_to_misses(self):
+        from repro.core.shared_cache import SharedEnergyStore
+
+        store = SharedEnergyStore.create(prefix="test_faults_slab")
+        if store is None:
+            pytest.skip("shared memory unavailable on this platform")
+        try:
+            assert store.put("k", {"read": 1.0, "write": 2.0})
+            assert store.lookup("k") == {"read": 1.0, "write": 2.0}
+            offset = store._index["k"][0]
+            store._shm.buf[offset:offset + 8] = struct.pack("<d", float("nan"))
+            assert store.lookup("k") is None  # re-derive, don't serve NaN
+            assert store.stats()["lookup_failures"] == 1
+        finally:
+            store.close()
+
+
+# ----------------------------------------------------------------------
+# Chaos injection
+# ----------------------------------------------------------------------
+class TestChaos:
+    def test_injector_is_deterministic_under_a_seed(self):
+        config = ChaosConfig(seed=42, transient=0.3)
+
+        def decision_stream(injector, rolls=60):
+            pattern = []
+            for _ in range(rolls):
+                try:
+                    injector.before_dispatch(1)
+                    pattern.append(False)
+                except ChaosError:
+                    pattern.append(True)
+            return pattern
+
+        first = decision_stream(ChaosInjector(config))
+        second = decision_stream(ChaosInjector(config))
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_from_env_requires_the_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert ChaosInjector.from_env() is None
+        monkeypatch.setenv("REPRO_CHAOS", "1")
+        monkeypatch.setenv("REPRO_CHAOS_TRANSIENT", "0.5")
+        injector = ChaosInjector.from_env()
+        assert injector is not None
+        assert injector.config.transient == 0.5
+
+    def test_corrupt_entry_injection_exercises_quarantine_and_recompute(
+        self, tmp_path
+    ):
+        store = ResultStore(directory=tmp_path)
+        chaos = ChaosConfig(seed=0, corrupt_entry=1.0)
+        scheduler = EvaluationScheduler(store=store, chaos=chaos)
+        request = _request(overrides={"adc_resolution": 5})
+        first = scheduler.evaluate(request)
+        # The injector dropped the memory entry and corrupted the disk
+        # file, so the duplicate walks the quarantine-and-recompute path.
+        second = scheduler.evaluate(request)
+        assert first == second
+        assert scheduler.chaos.injected_corruptions >= 1
+        assert store.corrupt_entries >= 1
+        assert scheduler.stats.store_hits == 0
+        assert scheduler.stats.dispatched_requests == 2
+
+    def test_chaos_replay_returns_correct_results(self, tmp_path):
+        from repro.service.replay import generate_trace, replay_coalesced
+
+        trace = generate_trace(num_requests=40, duplicate_fraction=0.5,
+                               families=2, seed=3)
+        clean_results, _, _ = replay_coalesced(trace, window=16)
+        chaos = ChaosInjector(ChaosConfig(
+            seed=1, transient=0.25, corrupt_entry=0.3,
+            slow_dispatch=0.1, slow_dispatch_s=0.001,
+        ))
+        store = ResultStore(directory=tmp_path)
+        chaos_results, _, scheduler = replay_coalesced(
+            trace, window=16, store=store, chaos=chaos,
+        )
+        assert chaos_results == clean_results
+        assert scheduler.stats.errors == 0
+        injected = chaos.stats()
+        assert injected["injected_transients"] > 0
+
+
+# ----------------------------------------------------------------------
+# HTTP fault mapping
+# ----------------------------------------------------------------------
+class TestHTTPFaultMapping:
+    @pytest.fixture()
+    def server(self):
+        from repro.service.http import serve
+
+        scheduler = EvaluationScheduler(coalesce_window_s=0.001)
+        server = serve("127.0.0.1", 0, scheduler=scheduler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        scheduler.close()
+
+    def _post(self, server, path, payload):
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=120) as response:
+                return response.status, dict(response.headers), \
+                    json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), json.loads(error.read())
+
+    def test_queue_full_maps_to_429_with_retry_after(self, server):
+        def shed(request):
+            raise QueueFullError("queue full", retry_after_s=3.0)
+
+        server.scheduler.submit = shed
+        status, headers, payload = self._post(
+            server, "/evaluate", {"workload": "mvm_32x32"}
+        )
+        assert status == 429
+        assert headers.get("Retry-After") == "3"
+        assert payload["error"]["type"] == "QueueFullError"
+        assert payload["error"]["retry_after_s"] == 3.0
+
+    def test_shutdown_maps_to_503_and_deadline_to_504(self, server):
+        def closed(request):
+            raise ShutdownError("scheduler is shut down")
+
+        server.scheduler.submit = closed
+        status, _, payload = self._post(
+            server, "/evaluate", {"workload": "mvm_32x32"}
+        )
+        assert status == 503
+        assert payload["error"]["type"] == "ShutdownError"
+
+        def late(request):
+            raise DeadlineExceeded("missed deadline")
+
+        server.scheduler.submit = late
+        status, _, payload = self._post(
+            server, "/evaluate", {"workload": "mvm_32x32"}
+        )
+        assert status == 504
+
+    def test_batch_inlines_shed_requests(self, server):
+        real_submit = type(server.scheduler).submit
+        calls = {"n": 0}
+
+        def shed_second(request):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise QueueFullError("queue full", retry_after_s=1.0)
+            return real_submit(server.scheduler, request)
+
+        server.scheduler.submit = shed_second
+        status, _, payload = self._post(
+            server, "/evaluate/batch",
+            {"requests": [
+                {"workload": "mvm_32x32"},
+                {"workload": "mvm_32x32", "overrides": {"adc_resolution": 5}},
+                {"workload": "mvm_32x32", "overrides": {"adc_resolution": 7}},
+            ]},
+        )
+        assert status == 200
+        results = payload["results"]
+        assert "summary" in results[0] and "summary" in results[2]
+        assert results[1]["error"]["type"] == "QueueFullError"
+
+    def test_healthz_exposes_failure_counters(self, server):
+        port = server.server_address[1]
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/healthz", timeout=120
+        ) as response:
+            health = json.loads(response.read())
+        stats = health["scheduler"]
+        for counter in ("retries", "fallbacks", "scalar_fallbacks",
+                        "deadline_expired", "queue_sheds", "breaker_trips",
+                        "breaker_short_circuits", "pool_rebuilds"):
+            assert counter in stats
+        assert "breakers" in health
+        assert "corrupt_entries" in health["store"]
