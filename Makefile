@@ -6,7 +6,8 @@
 PYTHONPATH := src
 
 .PHONY: test test-all lint bench bench-smoke bench-json bench-service \
-	bench-service-chaos bench-config-derivation bench-plot
+	bench-service-chaos bench-service-sharded bench-config-derivation \
+	bench-plot
 
 # Unit tests only: benchmarks (with their timing assertions) live in the
 # separate bench targets so a loaded CI runner cannot flake the test gate.
@@ -72,6 +73,17 @@ bench-service-chaos:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
 		benchmarks/test_service_chaos.py
 	python tools/bench_record.py BENCH_service_chaos.json
+
+# Sharded service replay: a 4k-request hotspot trace through a 4-shard
+# fleet (consistent-hash routing, one scheduler process per shard,
+# shared disk result tier) vs the single coalescing scheduler; asserts
+# bitwise-identical energies and, on >= 4 cores, >= 2.5x throughput.
+# Writes BENCH_service_sharded.json and appends the git-SHA-stamped
+# snapshot to BENCH_history.jsonl.
+bench-service-sharded:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
+		benchmarks/test_service_sharded.py
+	python tools/bench_record.py BENCH_service_sharded.json
 
 bench-plot:
 	python tools/bench_plot.py --text

@@ -59,7 +59,7 @@ def test_service_chaos_replay(benchmark, tmp_path):
     from repro.core.batch import process_energy_cache
 
     process_energy_cache().invalidate()
-    clean_results, clean_s, _ = replay_coalesced(
+    clean_results, clean_s, _, _ = replay_coalesced(
         trace, workers=WORKERS, window=WINDOW
     )
 
@@ -74,7 +74,7 @@ def test_service_chaos_replay(benchmark, tmp_path):
         directory = tmp_path / f"store-{state.get('round', 0)}"
         state["round"] = state.get("round", 0) + 1
         store = ResultStore(directory=directory)
-        results, elapsed, scheduler = replay_coalesced(
+        results, elapsed, scheduler, _ = replay_coalesced(
             trace, workers=WORKERS, window=WINDOW, store=store, chaos=chaos
         )
         state.update(chaos=chaos, store=store, scheduler=scheduler)

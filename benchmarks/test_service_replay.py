@@ -21,6 +21,7 @@ from conftest import emit
 
 from repro.service.replay import (
     generate_trace,
+    latency_percentiles,
     replay_coalesced,
     replay_serial,
     trace_profile,
@@ -55,7 +56,8 @@ def test_service_replay_throughput(benchmark):
         process_energy_cache().invalidate()
         return replay_coalesced(trace, window=128)
 
-    (results, coalesced_s, scheduler) = benchmark(_coalesced)
+    (results, coalesced_s, scheduler, latencies) = benchmark(_coalesced)
+    latency = latency_percentiles(latencies)
 
     serial_results, serial_s = replay_serial(trace)
 
@@ -90,6 +92,7 @@ def test_service_replay_throughput(benchmark):
         "speedup": speedup,
         "dispatched_batches": stats.dispatched_batches,
         "max_rel_energy_error": worst,
+        "latency": latency,
     }
     if FULL_SIZE:
         (REPO_ROOT / "BENCH_service.json").write_text(
@@ -106,6 +109,8 @@ def test_service_replay_throughput(benchmark):
             f"({stats.dispatched_batches} batched dispatches)",
             f"serial    {len(trace) / serial_s:10.1f} requests/s",
             f"speedup   {speedup:10.1f}x",
+            f"latency   p50 {latency['p50_ms']:.1f}ms  "
+            f"p95 {latency['p95_ms']:.1f}ms  p99 {latency['p99_ms']:.1f}ms",
             f"max rel energy error {worst:.2e} (gate: 1e-9)",
         ],
     )

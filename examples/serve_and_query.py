@@ -87,7 +87,7 @@ def main() -> None:
     #    coalesced through the scheduler vs the serial library baseline.
     trace = generate_trace(num_requests=200, duplicate_fraction=0.6, families=3)
     print(f"\nreplaying trace: {trace_profile(trace)}")
-    results, coalesced_s, replay_scheduler = replay_coalesced(trace, window=64)
+    results, coalesced_s, replay_scheduler, _ = replay_coalesced(trace, window=64)
     serial_results, serial_s = replay_serial(trace[:40])  # sampled: it is slow
     serial_s *= len(trace) / 40  # scale the sample to the full trace
     print(f"  coalesced: {len(trace) / coalesced_s:7.1f} requests/s "

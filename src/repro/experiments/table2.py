@@ -218,7 +218,7 @@ def run_service_speed(
         families=families,
         seed=seed,
     )
-    _, elapsed, _ = replay_coalesced(trace)
+    _, elapsed, _, _ = replay_coalesced(trace)
     return Table2Row(
         model="service",
         workers=1,

@@ -23,10 +23,16 @@ Layers (one module each):
   (retryable vs. permanent), retry backoff, and the circuit breaker.
 * :mod:`repro.service.chaos` — deterministic, seedable fault injection
   (worker kills, corrupt store entries, transient dispatch failures).
-* :mod:`repro.service.replay` — trace synthesis and replay drivers
-  (including ``--chaos`` replays).
+* :mod:`repro.service.replay` — trace synthesis (uniform / diurnal /
+  bursty / hotspot arrival shapes) and replay drivers (including
+  ``--chaos`` and ``--shards`` replays).
+* :mod:`repro.service.shard` — the sharded deployment: a selectors-based
+  async front end routing request hashes over a consistent-hash ring to
+  N scheduler worker processes that share one disk result tier, with
+  live shard add/drain.
 * :mod:`repro.service.cli` — ``python -m repro.service``
-  serve / submit / trace / replay.
+  serve / submit / trace / replay (``serve --shards N`` serves the
+  fleet).
 
 Quickstart::
 

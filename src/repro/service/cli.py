@@ -5,20 +5,26 @@ Commands
 ``serve``
     Run the HTTP evaluation service (``--host``, ``--port``,
     ``--workers``; ``--port 0`` picks an ephemeral port and prints it).
+    ``--shards N`` serves the sharded deployment instead: the async
+    front end routing over a consistent-hash ring to ``N`` scheduler
+    worker processes sharing one disk result tier (``--store-dir``).
 ``submit``
     Send one request to a running service (``--url``) or evaluate it
     in-process (``--local``).  The request comes from ``--file`` (JSON,
     ``-`` for stdin) or is assembled from ``--macro`` / ``--workload`` /
     ``--objective`` / ``--override key=value`` flags.
 ``trace``
-    Synthesise a replay trace (JSONL) with a target duplicate fraction
-    and family count.
+    Synthesise a replay trace (JSONL) with a target duplicate fraction,
+    family count, and arrival shape (``--shape uniform|diurnal|bursty|
+    hotspot``).
 ``replay``
     Replay a trace in-process through the coalescing scheduler (default)
-    or serially per request (``--serial``), printing throughput and
-    coalescing statistics as JSON.  ``--chaos`` replays under the
-    deterministic fault-injection preset (``--chaos-seed``) and adds the
-    injector's counters to the report — results must be unaffected.
+    or serially per request (``--serial``), printing throughput,
+    latency percentiles, and coalescing statistics as JSON.  ``--chaos``
+    replays under the deterministic fault-injection preset
+    (``--chaos-seed``) and adds the injector's counters to the report —
+    results must be unaffected.  ``--shards N`` replays through a shard
+    fleet instead, reporting the merged fleet health.
 """
 
 from __future__ import annotations
@@ -63,6 +69,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="bound the pending queue; excess requests are "
                             "shed with HTTP 429 + Retry-After "
                             "(default: REPRO_SERVICE_MAX_PENDING, else unbounded)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="serve the sharded deployment: async front end "
+                            "+ N scheduler worker processes (0 = the "
+                            "single-process service)")
+    serve.add_argument("--store-dir", default=None,
+                       help="shared disk result tier of the shard fleet "
+                            "(sharded mode; default REPRO_RESULT_STORE_DIR "
+                            "per worker)")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request to stderr")
 
@@ -85,6 +99,9 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--duplicate-fraction", type=float, default=0.6)
     trace.add_argument("--families", type=int, default=3)
     trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--shape", default="uniform",
+                       help="arrival shape: uniform, diurnal, bursty, "
+                            "or hotspot")
 
     replay = commands.add_parser("replay", help="replay a trace in-process")
     replay.add_argument("--trace", required=True, help="JSONL trace path")
@@ -99,11 +116,20 @@ def _build_parser() -> argparse.ArgumentParser:
                              "dispatch failures, slow dispatches)")
     replay.add_argument("--chaos-seed", type=int, default=0,
                         help="seed of the chaos injector's RNG")
+    replay.add_argument("--shards", type=int, default=0,
+                        help="replay through a shard fleet of N workers "
+                             "(0 = single in-process scheduler)")
+    replay.add_argument("--store-dir", default=None,
+                        help="shared disk tier of the replay fleet "
+                             "(sharded mode; default: a temporary dir)")
     return parser
 
 
 def _cmd_serve(args) -> int:
     import signal
+
+    if args.shards > 0:
+        return _cmd_serve_sharded(args)
 
     from repro.service.http import EvaluationServiceHandler, serve
     from repro.service.scheduler import EvaluationScheduler
@@ -133,6 +159,40 @@ def _cmd_serve(args) -> int:
         server.shutdown()
         server.server_close()
         scheduler.close()
+    return 0
+
+
+def _cmd_serve_sharded(args) -> int:
+    import signal
+
+    from repro.service.shard import serve_sharded
+
+    frontend = serve_sharded(
+        host=args.host, port=args.port, shards=args.shards,
+        pool_workers=args.workers, store_dir=args.store_dir,
+        max_pending=args.max_pending, verbose=args.verbose,
+    )
+    host, port = frontend.address
+    print(f"repro.service (sharded) listening on http://{host}:{port} "
+          f"(shards={args.shards}, pool_workers={args.workers})",
+          file=sys.stderr)
+
+    # Same drain contract as the single-process server: SIGTERM exits the
+    # loop, then every shard drains (in-flight requests finish, queued
+    # slots get their final tick) before the process exits.
+    def _drain(signum, frame):  # noqa: ARG001 - signal API
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _drain)
+    try:
+        frontend.serve_forever()
+    except KeyboardInterrupt:
+        print("repro.service: shutdown signal received; draining "
+              f"{len(frontend.fleet.members())} shards", file=sys.stderr)
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
+        frontend.shutdown()
+        frontend.fleet.close()
     return 0
 
 
@@ -193,16 +253,21 @@ def _cmd_trace(args) -> int:
         families=args.families,
         seed=args.seed,
         path=args.out,
+        shape=args.shape,
     )
-    print(json.dumps(trace_profile(trace), indent=2, sort_keys=True))
+    profile = dict(trace_profile(trace))
+    profile["shape"] = args.shape
+    print(json.dumps(profile, indent=2, sort_keys=True))
     return 0
 
 
 def _cmd_replay(args) -> int:
     from repro.service.replay import (
+        latency_percentiles,
         load_trace,
         replay_coalesced,
         replay_serial,
+        replay_sharded,
         trace_profile,
     )
 
@@ -212,17 +277,27 @@ def _cmd_replay(args) -> int:
         _, elapsed = replay_serial(trace)
         report.update(mode="serial", wall_s=elapsed,
                       requests_per_s=len(trace) / elapsed if elapsed else 0.0)
+    elif args.shards > 0:
+        _, elapsed, health, latencies = replay_sharded(
+            trace, shards=args.shards, pool_workers=args.workers,
+            window=args.window, store_dir=args.store_dir,
+        )
+        report.update(mode="sharded", shards=args.shards, wall_s=elapsed,
+                      requests_per_s=len(trace) / elapsed if elapsed else 0.0,
+                      latency=latency_percentiles(latencies),
+                      fleet=health)
     else:
         chaos = None
         if args.chaos:
             from repro.service.chaos import ChaosConfig, ChaosInjector
 
             chaos = ChaosInjector(ChaosConfig.preset(seed=args.chaos_seed))
-        _, elapsed, scheduler = replay_coalesced(
+        _, elapsed, scheduler, latencies = replay_coalesced(
             trace, workers=args.workers, window=args.window, chaos=chaos
         )
         report.update(mode="coalesced", wall_s=elapsed,
                       requests_per_s=len(trace) / elapsed if elapsed else 0.0,
+                      latency=latency_percentiles(latencies),
                       scheduler=scheduler.stats.as_dict())
         if chaos is not None:
             report["chaos"] = chaos.stats()

@@ -18,7 +18,9 @@ the serial one while being several times faster (``BENCH_service.json``).
 from __future__ import annotations
 
 import json
+import math
 import random
+import tempfile
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -30,6 +32,22 @@ from repro.service.store import ResultStore
 #: Workloads the synthetic trace spreads its families over (distinct
 #: single-layer MVM geometries -> distinct scheduler families).
 _TRACE_WORKLOADS = ("mvm_48x48", "mvm_64x64", "mvm_96x96", "mvm_64x128")
+
+#: Arrival shapes :func:`generate_trace` can synthesise.  All shapes
+#: share the same unique-request pool (so ``duplicate_fraction`` stays
+#: exact by construction); they differ in *which* uniques fill the
+#: duplicate slots and in arrival order:
+#:
+#: * ``uniform`` — duplicates drawn uniformly, fully shuffled (the
+#:   original shape).
+#: * ``hotspot`` — Zipf-like popularity: a few requests dominate the
+#:   duplicate mass, stressing one shard's store and in-flight dedup.
+#: * ``bursty`` — duplicates arrive as contiguous runs of the same
+#:   request, stressing window-level coalescing.
+#: * ``diurnal`` — the trace is phased; each phase's traffic leans
+#:   heavily on one config family, modelling load that migrates over a
+#:   day, stressing cross-shard store sharing as phases hand over.
+TRACE_SHAPES = ("uniform", "diurnal", "bursty", "hotspot")
 
 #: Config-override axes of the synthetic trace's unique-request pool
 #: (their product, times the family count, bounds the pool size).
@@ -45,6 +63,7 @@ def generate_trace(
     families: int = 3,
     seed: int = 0,
     path: Optional[Union[str, Path]] = None,
+    shape: str = "uniform",
 ) -> List[Dict]:
     """Synthesise a service trace: repetitive requests over few families.
 
@@ -53,15 +72,22 @@ def generate_trace(
     round-robin over ``families`` config families (distinct workloads),
     each family sweeping ADC resolution x supply voltage.  Every unique
     request appears at least once, so the duplicate fraction is exact by
-    construction; the arrival order is shuffled.  When ``path`` is given
-    the trace is also written as JSONL (one request object per line).
+    construction regardless of ``shape`` (one of :data:`TRACE_SHAPES`),
+    which controls arrival order and duplicate popularity.  When ``path``
+    is given the trace is also written as JSONL (one request object per
+    line).
     """
     if not 1 <= families <= len(_TRACE_WORKLOADS):
         raise ValueError(f"families must be in [1, {len(_TRACE_WORKLOADS)}]")
     if not 0.0 <= duplicate_fraction < 1.0:
         raise ValueError("duplicate_fraction must be in [0, 1)")
+    if shape not in TRACE_SHAPES:
+        raise ValueError(
+            f"unknown trace shape {shape!r}; available: {', '.join(TRACE_SHAPES)}"
+        )
     unique_count = max(int(num_requests * (1.0 - duplicate_fraction)), 1)
     unique: List[Dict] = []
+    unique_family: List[int] = []
     # Walk the override grid family-round-robin so every family gets its
     # share of the pool; the pool is genuinely duplicate-free, so the
     # requested duplicate fraction is met exactly (or exceeded when the
@@ -87,11 +113,48 @@ def generate_trace(
             objective="energy",
         )
         unique.append(request.to_dict())
+        unique_family.append(workload_index)
     rng = random.Random(seed)
-    trace = list(unique)
-    while len(trace) < num_requests:
-        trace.append(rng.choice(unique))
-    rng.shuffle(trace)
+    fills = max(num_requests - len(unique), 0)
+    if shape == "uniform":
+        trace = list(unique) + [rng.choice(unique) for _ in range(fills)]
+        rng.shuffle(trace)
+    elif shape == "hotspot":
+        # Zipf-ish popularity over a seed-shuffled ranking: rank r gets
+        # weight 1/(r+1), so the top few uniques absorb most duplicates.
+        ranked = list(unique)
+        rng.shuffle(ranked)
+        weights = [1.0 / (rank + 1) for rank in range(len(ranked))]
+        trace = list(unique) + rng.choices(ranked, weights=weights, k=fills)
+        rng.shuffle(trace)
+    elif shape == "bursty":
+        trace = list(unique)
+        rng.shuffle(trace)
+        while fills > 0:
+            # A burst: the same request arriving back to back, spliced
+            # into the timeline at a random point.
+            run = min(rng.randint(2, 16), fills)
+            position = rng.randrange(len(trace) + 1)
+            trace[position:position] = [rng.choice(unique)] * run
+            fills -= run
+    else:  # diurnal
+        # One phase per family; each phase's traffic is ~80% its own
+        # (hot) family, so the dominant load migrates across families
+        # over the trace the way real traffic migrates over a day.
+        by_family: List[List[Dict]] = [[] for _ in range(families)]
+        for payload, family in zip(unique, unique_family):
+            by_family[family].append(payload)
+        base, remainder = divmod(fills, families)
+        phases: List[List[Dict]] = []
+        for family in range(families):
+            hot = by_family[family] or unique
+            phase = list(by_family[family])
+            for _ in range(base + (1 if family < remainder else 0)):
+                pool = hot if rng.random() < 0.8 else unique
+                phase.append(rng.choice(pool))
+            rng.shuffle(phase)
+            phases.append(phase)
+        trace = [entry for phase in phases for entry in phase]
     trace = trace[:num_requests]
     if path is not None:
         Path(path).write_text(
@@ -123,13 +186,37 @@ def trace_profile(trace: Sequence[Dict]) -> Dict[str, object]:
     }
 
 
+def latency_percentiles(latencies_s: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99 of per-request latencies, reported in milliseconds.
+
+    Nearest-rank percentiles over the full population (no
+    interpolation), so small benchmark runs report latencies that were
+    actually observed.
+    """
+    if not latencies_s:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    ordered = sorted(latencies_s)
+
+    def rank(q: float) -> float:
+        index = max(int(math.ceil(q / 100.0 * len(ordered))) - 1, 0)
+        return ordered[index] * 1000.0
+
+    return {"p50_ms": rank(50), "p95_ms": rank(95), "p99_ms": rank(99)}
+
+
+def _windowed(requests: Sequence[EvaluationRequest], window: int):
+    step = max(window, 1)
+    for begin in range(0, len(requests), step):
+        yield begin, requests[begin:begin + step]
+
+
 def replay_coalesced(
     trace: Sequence[Dict],
     workers: int = 1,
     window: int = 128,
     store: Optional[ResultStore] = None,
     chaos=None,
-) -> Tuple[List[Dict], float, EvaluationScheduler]:
+) -> Tuple[List[Dict], float, EvaluationScheduler, List[float]]:
     """Replay a trace through the coalescing scheduler.
 
     Requests arrive in windows of ``window`` (modelling concurrent
@@ -140,19 +227,89 @@ def replay_coalesced(
     :class:`~repro.service.chaos.ChaosInjector`) replays the trace under
     deterministic fault injection — the results must still be correct,
     which is exactly what the chaos benchmark asserts.
-    Returns ``(results in trace order, elapsed seconds, scheduler)``.
+    Returns ``(results in trace order, elapsed seconds, scheduler,
+    per-request latencies in seconds)``; each latency runs from the
+    request's arrival (its window starting to submit) to its future
+    resolving, feeding :func:`latency_percentiles`.
     """
     scheduler = EvaluationScheduler(store=store, workers=workers, chaos=chaos)
     requests = [EvaluationRequest.from_dict(entry) for entry in trace]
+    latencies: List[float] = [0.0] * len(requests)
     start = time.perf_counter()
     results: List[Dict] = []
-    for begin in range(0, len(requests), max(window, 1)):
-        chunk = requests[begin:begin + max(window, 1)]
-        futures = [scheduler.submit(request) for request in chunk]
+    for begin, chunk in _windowed(requests, window):
+        arrival = time.perf_counter()
+        futures = []
+        for offset, request in enumerate(chunk):
+            future = scheduler.submit(request)
+            future.add_done_callback(
+                lambda done, i=begin + offset, t=arrival:
+                    latencies.__setitem__(i, time.perf_counter() - t)
+            )
+            futures.append(future)
         scheduler.run_pending()
         results.extend(future.result() for future in futures)
     elapsed = time.perf_counter() - start
-    return results, elapsed, scheduler
+    return results, elapsed, scheduler, latencies
+
+
+def replay_sharded(
+    trace: Sequence[Dict],
+    shards: int = 4,
+    pool_workers: int = 1,
+    window: int = 128,
+    store_dir: Optional[Union[str, Path]] = None,
+    cold_start: bool = True,
+    fleet=None,
+) -> Tuple[List[Dict], float, Dict, List[float]]:
+    """Replay a trace through a shard fleet (the parallel counterpart).
+
+    Each window's requests route by content hash across ``shards``
+    worker processes, which coalesce/dedup/store-hit independently and
+    share one disk result tier (a temporary directory when ``store_dir``
+    is not given).  ``cold_start`` makes each worker invalidate its
+    fork-inherited energy cache, so a benchmark compares cold fleet
+    against cold single scheduler.  Pass an existing ``fleet`` to reuse
+    one (the caller then owns its lifecycle).  Returns ``(results in
+    trace order, elapsed seconds, final fleet health, per-request
+    latencies in seconds)``.
+    """
+    from repro.service.shard.worker import ShardFleet
+
+    requests = [EvaluationRequest.from_dict(entry) for entry in trace]
+    own_fleet = fleet is None
+    tempdir: Optional[tempfile.TemporaryDirectory] = None
+    if own_fleet:
+        if store_dir is None:
+            tempdir = tempfile.TemporaryDirectory(prefix="repro-shard-replay-")
+            store_dir = tempdir.name
+        fleet = ShardFleet(
+            shards=shards, pool_workers=pool_workers,
+            store_dir=str(store_dir), cold_start=cold_start,
+        )
+    latencies: List[float] = [0.0] * len(requests)
+    try:
+        start = time.perf_counter()
+        results: List[Dict] = []
+        for begin, chunk in _windowed(requests, window):
+            arrival = time.perf_counter()
+            futures = []
+            for offset, request in enumerate(chunk):
+                future = fleet.submit(request)
+                future.add_done_callback(
+                    lambda done, i=begin + offset, t=arrival:
+                        latencies.__setitem__(i, time.perf_counter() - t)
+                )
+                futures.append(future)
+            results.extend(future.result() for future in futures)
+        elapsed = time.perf_counter() - start
+        health = fleet.health()
+    finally:
+        if own_fleet:
+            fleet.close()
+        if tempdir is not None:
+            tempdir.cleanup()
+    return results, elapsed, health, latencies
 
 
 def evaluate_serial(request: EvaluationRequest) -> Dict:

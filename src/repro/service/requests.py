@@ -289,6 +289,23 @@ class EvaluationRequest:
             payload["seed"] = self.seed
         return payload
 
+    def transport_dict(self) -> Dict[str, object]:
+        """The canonical dict *plus* execution hints, for forwarding.
+
+        The sharded front end routes by content hash but must not strip
+        a request's scheduling hints on the way to its shard worker:
+        hints are excluded from :meth:`to_dict` (they are not part of the
+        request's identity) yet the worker's scheduler still honours
+        them.  Round-trips through :meth:`from_dict` to an equal request,
+        hints included.
+        """
+        payload = self.to_dict()
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
+        if self.max_retries != DEFAULT_MAX_RETRIES:
+            payload["max_retries"] = self.max_retries
+        return payload
+
     def canonical_json(self) -> str:
         """Byte-stable serialisation: sorted keys, no whitespace.
 

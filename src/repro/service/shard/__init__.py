@@ -1,0 +1,70 @@
+"""repro.service.shard — the evaluation service as a fleet.
+
+The single-process service (:mod:`repro.service`) is one coalescing
+scheduler behind one HTTP server; this package multiplies it:
+
+* :mod:`repro.service.shard.ring` — deterministic consistent-hash
+  routing of request content hashes to shards, bounded remap on
+  membership change.
+* :mod:`repro.service.shard.protocol` — length-prefixed JSON framing
+  between the front end and its workers, with the fault taxonomy
+  crossing the channel by type name.
+* :mod:`repro.service.shard.worker` — the shard worker process (one
+  full scheduler each, fleet-shared disk result store), the parent-side
+  :class:`ShardClient`, and the :class:`ShardFleet` with live
+  add/drain.
+* :mod:`repro.service.shard.frontend` — the selectors-based async HTTP
+  front end: thousands of connections on one thread, same protocol as
+  the single-process server, plus fleet-management routes.
+
+Quickstart::
+
+    from repro.service import EvaluationRequest
+    from repro.service.shard import ShardFleet
+
+    fleet = ShardFleet(shards=4, store_dir="/tmp/results")
+    future = fleet.submit(EvaluationRequest(
+        macro="macro_b", workload="mvm_64x64", objective="energy",
+    ))
+    print(future.result()["summary"]["energy_per_mac_fj"])
+    fleet.close()  # drains every shard; no request is dropped
+"""
+
+from repro.service.shard.frontend import AsyncFrontend, serve_sharded
+from repro.service.shard.protocol import (
+    FAULT_STATUS,
+    FrameDecoder,
+    ProtocolError,
+    RemoteFault,
+    encode_frame,
+)
+from repro.service.shard.ring import (
+    DEFAULT_REPLICAS,
+    HashRing,
+    RingEmptyError,
+    key_point,
+    shard_point,
+)
+from repro.service.shard.worker import (
+    ShardClient,
+    ShardFleet,
+    merge_health,
+)
+
+__all__ = [
+    "AsyncFrontend",
+    "serve_sharded",
+    "HashRing",
+    "RingEmptyError",
+    "DEFAULT_REPLICAS",
+    "key_point",
+    "shard_point",
+    "ShardClient",
+    "ShardFleet",
+    "merge_health",
+    "FrameDecoder",
+    "ProtocolError",
+    "RemoteFault",
+    "FAULT_STATUS",
+    "encode_frame",
+]

@@ -1,0 +1,143 @@
+"""Length-prefixed JSON framing between the front end and shard workers.
+
+The front end and its workers speak a minimal message protocol over a
+socketpair: each frame is a 4-byte big-endian length followed by that
+many bytes of canonical JSON.  Framing (rather than raw pipes) keeps the
+channel multiplexable — many in-flight requests share one socket, paired
+up by a per-channel correlation ``id`` — and lets either side consume
+the stream incrementally (:class:`FrameDecoder`), which is what the
+selectors-based front end needs.
+
+Message shapes
+--------------
+Requests (front end -> worker)::
+
+    {"id": N, "op": "evaluate", "request": {...}}   # one request payload
+    {"id": N, "op": "result", "hash": "<sha256>"}   # store lookup
+    {"id": N, "op": "healthz"}                      # scheduler health
+    {"id": N, "op": "shutdown"}                     # drain + final stats
+
+Replies (worker -> front end)::
+
+    {"id": N, "ok": true, "result": {...}}
+    {"id": N, "ok": false,
+     "error": {"type": ..., "message": ..., "retry_after_s": ...}}
+
+Worker-side exceptions cross the channel by *name*: the worker
+serialises the exception type, message, and any ``retry_after_s``
+backpressure hint, and the parent rebuilds a :class:`RemoteFault` whose
+HTTP status comes from :data:`FAULT_STATUS` — the same taxonomy mapping
+the single-process front end applies directly
+(:func:`repro.service.http.fault_status`).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, List, Optional
+
+from repro.utils.errors import CiMLoopError
+
+#: Frame header: one unsigned 32-bit big-endian payload length.
+HEADER = struct.Struct(">I")
+
+#: Largest accepted frame (8 MiB): far beyond any legal result payload,
+#: small enough that a corrupted length prefix cannot balloon memory.
+MAX_FRAME_BYTES = 8 << 20
+
+#: The correlation id of the worker's unsolicited ready announcement.
+READY_ID = -1
+
+#: HTTP statuses of faults crossing the channel by type name — mirrors
+#: :func:`repro.service.http.fault_status` plus the 400 of a request
+#: that failed validation inside the worker.
+FAULT_STATUS = {
+    "QueueFullError": 429,
+    "DeadlineExceeded": 504,
+    "ShutdownError": 503,
+    "CircuitOpenError": 503,
+    "ServiceError": 400,
+}
+
+
+class ProtocolError(CiMLoopError):
+    """A malformed frame on the worker channel (desynced or hostile)."""
+
+
+class RemoteFault(CiMLoopError):
+    """A worker-side failure rebuilt on the parent side of the channel.
+
+    Carries the original exception's type name (``remote_type``), its
+    ``retry_after_s`` backpressure hint when one crossed the channel,
+    and the HTTP ``status`` the front end should serve.
+    """
+
+    def __init__(
+        self,
+        remote_type: str,
+        message: str,
+        retry_after_s: Optional[float] = None,
+    ):
+        super().__init__(message)
+        self.remote_type = remote_type
+        self.retry_after_s = retry_after_s
+        self.status = FAULT_STATUS.get(remote_type, 500)
+
+
+def encode_frame(message: Dict) -> bytes:
+    """One length-prefixed frame of canonical JSON."""
+    blob = json.dumps(message, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(blob) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(blob)} bytes exceeds {MAX_FRAME_BYTES}")
+    return HEADER.pack(len(blob)) + blob
+
+
+class FrameDecoder:
+    """Incremental frame decoder: feed bytes, get complete messages."""
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict]:
+        """Append received bytes; return every now-complete message."""
+        self._buffer.extend(data)
+        messages: List[Dict] = []
+        while True:
+            if len(self._buffer) < HEADER.size:
+                return messages
+            (length,) = HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame length {length} exceeds {MAX_FRAME_BYTES}; "
+                    "channel is desynced"
+                )
+            if len(self._buffer) < HEADER.size + length:
+                return messages
+            blob = bytes(self._buffer[HEADER.size:HEADER.size + length])
+            del self._buffer[:HEADER.size + length]
+            try:
+                messages.append(json.loads(blob))
+            except ValueError as error:
+                raise ProtocolError(f"frame is not valid JSON: {error}") from None
+
+
+def fault_message(correlation: int, error: BaseException) -> Dict:
+    """The error reply a worker sends for one failed correlation id."""
+    payload: Dict[str, object] = {
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    retry_after = getattr(error, "retry_after_s", None)
+    if retry_after is not None:
+        payload["retry_after_s"] = retry_after
+    return {"id": correlation, "ok": False, "error": payload}
+
+
+def remote_fault(error_payload: Dict) -> RemoteFault:
+    """Rebuild the parent-side exception of one error reply."""
+    return RemoteFault(
+        str(error_payload.get("type", "RemoteFault")),
+        str(error_payload.get("message", "shard worker failed")),
+        error_payload.get("retry_after_s"),
+    )

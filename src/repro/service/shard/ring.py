@@ -1,0 +1,110 @@
+"""Consistent-hash routing of request hashes to shard workers.
+
+The sharded service routes every request by its canonical
+:meth:`~repro.service.requests.EvaluationRequest.content_hash` — the same
+identity the result store and the coalescing scheduler key on — so a
+hash always lands on the same shard and coalescing keeps working per
+shard.  The ring gives that mapping *bounded-remap* semantics on
+membership change:
+
+* Each shard owns ``replicas`` pseudo-random points on a 64-bit ring
+  (the SHA-256 of ``"<shard>#<replica>"``); a request hash routes to the
+  owner of the first point clockwise of its own position (the top 64
+  bits of the content hash).
+* Adding a shard moves only the keys the new shard's points claim —
+  roughly ``1/(N+1)`` of the keyspace — and every moved key lands on the
+  *new* shard; nothing reshuffles between survivors.
+* Removing (draining) a shard moves only the drained shard's keys, each
+  to the next surviving point clockwise.
+
+Placement is deterministic across processes and runs: every point is a
+pure function of the shard id and SHA-256, never of ``hash()`` (which is
+salted per process) or insertion order — a front end and a replay driver
+built from the same membership list route identically.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List
+
+#: Virtual nodes per shard: enough that a 4-shard ring balances a
+#: uniform key population within a few percent, cheap enough that
+#: membership changes rebuild in microseconds.
+DEFAULT_REPLICAS = 64
+
+
+class RingEmptyError(LookupError):
+    """Routing was attempted on a ring with no members."""
+
+
+def shard_point(label: str) -> int:
+    """The 64-bit ring position of a shard's virtual-node label."""
+    return int.from_bytes(hashlib.sha256(label.encode("utf-8")).digest()[:8], "big")
+
+
+def key_point(request_hash: str) -> int:
+    """The 64-bit ring position of a request's content hash.
+
+    Content hashes are already SHA-256 hex, so the top 64 bits are
+    uniformly distributed — no re-hashing needed.
+    """
+    return int(request_hash[:16], 16)
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over shard ids."""
+
+    def __init__(self, replicas: int = DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        self.replicas = replicas
+        self._vnodes: Dict[str, List[int]] = {}
+        self._points: List[int] = []
+        self._owners: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._vnodes)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._vnodes
+
+    def members(self) -> List[str]:
+        """The current shard ids, sorted for stable reporting."""
+        return sorted(self._vnodes)
+
+    def add(self, shard_id: str) -> None:
+        """Claim a new shard's points (bounded remap: ~1/(N+1) of keys)."""
+        if shard_id in self._vnodes:
+            raise ValueError(f"shard {shard_id!r} is already on the ring")
+        self._vnodes[shard_id] = [
+            shard_point(f"{shard_id}#{replica}") for replica in range(self.replicas)
+        ]
+        self._rebuild()
+
+    def remove(self, shard_id: str) -> None:
+        """Release a shard's points (only its keys move, to survivors)."""
+        if shard_id not in self._vnodes:
+            raise ValueError(f"shard {shard_id!r} is not on the ring")
+        del self._vnodes[shard_id]
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        # Point collisions between shards are astronomically unlikely but
+        # must still be deterministic: ties break by shard id, the same
+        # way in every process.
+        pairs = sorted(
+            (point, shard_id)
+            for shard_id, points in self._vnodes.items()
+            for point in points
+        )
+        self._points = [point for point, _ in pairs]
+        self._owners = [shard_id for _, shard_id in pairs]
+
+    def route(self, request_hash: str) -> str:
+        """The shard a request hash belongs to."""
+        if not self._owners:
+            raise RingEmptyError("cannot route: the ring has no shards")
+        index = bisect.bisect_right(self._points, key_point(request_hash))
+        return self._owners[index % len(self._owners)]

@@ -1,0 +1,537 @@
+"""Shard workers: one :class:`EvaluationScheduler` per process, a fleet on top.
+
+A *shard worker* is the single-process evaluation service wrapped in a
+child process: its own coalescing scheduler (with the full fault
+pipeline — retries, isolation, scalar rescue, breakers — and chaos
+wiring via the usual ``REPRO_CHAOS`` knobs), its own process pool, and a
+:class:`~repro.service.store.ResultStore` whose **disk tier is shared**
+across the fleet — every worker points at the same directory, writes are
+atomic and content-addressed, so any worker serves any hash the fleet
+has ever computed (term-granular energy entries share the disk the same
+way through ``REPRO_ENERGY_CACHE_DIR``).
+
+Three layers live here:
+
+* :func:`_worker_main` — the child-process loop: read frames, submit
+  ``evaluate`` ops into the scheduler, reply from future callbacks (so
+  many requests are in flight at once), answer ``healthz`` / ``result``
+  / ``shutdown``.
+* :class:`ShardClient` — the parent-side handle: a framed socket, a
+  correlation-id table of outstanding futures, and one reader thread
+  per worker (threads scale with shard count, not connection count —
+  client connections are the front end's selectors loop's problem).
+* :class:`ShardFleet` — N workers behind a
+  :class:`~repro.service.shard.ring.HashRing`: ``submit`` routes by
+  content hash, ``add_shard`` / ``drain_shard`` change membership live
+  (drain = stop routing new hashes, let in-flight work finish, fold the
+  worker's final stats into the fleet aggregate), ``health`` merges
+  per-shard :class:`~repro.service.scheduler.SchedulerStats` into one
+  fleet-level payload.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from typing import Dict, List, Optional
+
+from repro.service.requests import EvaluationRequest, ServiceError
+from repro.service.shard.protocol import (
+    READY_ID,
+    FrameDecoder,
+    RemoteFault,
+    encode_frame,
+    fault_message,
+    remote_fault,
+)
+from repro.service.shard.ring import DEFAULT_REPLICAS, HashRing
+
+#: Seconds the parent waits for a freshly-forked worker's ready frame.
+DEFAULT_READY_TIMEOUT_S = 60.0
+
+#: Seconds a drain waits for in-flight work before forcing shutdown.
+DEFAULT_DRAIN_TIMEOUT_S = 120.0
+
+
+# ----------------------------------------------------------------------
+# Child-process side
+# ----------------------------------------------------------------------
+def _worker_main(conn: socket.socket, shard_id: str, options: Dict) -> None:
+    """Run one shard worker until its channel closes or ``shutdown``.
+
+    The loop thread only parses frames and submits; replies are sent
+    from future done-callbacks (scheduler dispatcher thread), so a slow
+    evaluation never blocks later arrivals from joining the scheduler's
+    coalescing window.
+    """
+    from repro.core.batch import process_energy_cache
+    from repro.service.scheduler import EvaluationScheduler
+    from repro.service.store import ResultStore
+
+    if options.get("cold_start"):
+        # Workers fork from the parent and inherit its in-memory energy
+        # cache; benchmarks comparing cold sharded vs cold single-process
+        # replays need genuinely cold workers.
+        process_energy_cache().invalidate()
+    store_dir = options.get("store_dir")
+    store = (
+        ResultStore(
+            directory=store_dir,
+            disk_max_entries=options.get("disk_max_entries"),
+            disk_max_bytes=options.get("disk_max_bytes"),
+        )
+        if store_dir
+        else ResultStore.from_env()
+    )
+    scheduler_kwargs: Dict = {
+        "store": store,
+        "workers": options.get("pool_workers", 1),
+        "max_pending": options.get("max_pending"),
+    }
+    if options.get("coalesce_window_s") is not None:
+        scheduler_kwargs["coalesce_window_s"] = options["coalesce_window_s"]
+    scheduler = EvaluationScheduler(**scheduler_kwargs)
+    scheduler.start()
+
+    send_lock = threading.Lock()
+
+    def send(message: Dict) -> None:
+        # Serialise concurrent repliers (dispatcher callbacks, the loop
+        # thread) onto the socket; a dead channel just drops replies —
+        # the parent's reader failing all outstanding futures is the
+        # real signal.
+        try:
+            blob = encode_frame(message)
+            with send_lock:
+                conn.sendall(blob)
+        except OSError:
+            pass
+
+    def reply(correlation: int, future: Future) -> None:
+        try:
+            result = future.result()
+        except BaseException as error:  # noqa: BLE001 - crosses the channel
+            send(fault_message(correlation, error))
+        else:
+            send({"id": correlation, "ok": True, "result": result})
+
+    send({"id": READY_ID, "ok": True, "ready": shard_id, "pid": os.getpid()})
+    decoder = FrameDecoder()
+    running = True
+    while running:
+        try:
+            data = conn.recv(1 << 16)
+        except OSError:
+            break
+        if not data:
+            break
+        for message in decoder.feed(data):
+            op = message.get("op")
+            correlation = int(message.get("id", READY_ID))
+            if op == "evaluate":
+                try:
+                    request = EvaluationRequest.from_dict(message["request"])
+                    future = scheduler.submit(request)
+                except Exception as error:  # noqa: BLE001 - crosses the channel
+                    send(fault_message(correlation, error))
+                    continue
+                future.add_done_callback(
+                    lambda done, c=correlation: reply(c, done)
+                )
+            elif op == "result":
+                # Shared disk tier: this worker can serve the hash even
+                # when another shard computed it.
+                send({
+                    "id": correlation,
+                    "ok": True,
+                    "result": scheduler.store.get(str(message.get("hash", ""))),
+                })
+            elif op == "healthz":
+                payload = scheduler.health()
+                payload["shard"] = shard_id
+                payload["pid"] = os.getpid()
+                send({"id": correlation, "ok": True, "result": payload})
+            elif op == "shutdown":
+                # close() drains the dispatcher: every queued slot gets a
+                # final tick (its waiters' replies go out from callbacks
+                # above) before the final stats are reported.
+                scheduler.close()
+                payload = scheduler.health()
+                payload["status"] = "drained"
+                payload["shard"] = shard_id
+                payload["pid"] = os.getpid()
+                send({"id": correlation, "ok": True, "result": payload})
+                running = False
+            else:
+                send(fault_message(
+                    correlation, ServiceError(f"unknown shard op {op!r}")
+                ))
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ShardClient:
+    """Parent-side handle of one shard worker's framed channel."""
+
+    def __init__(self, shard_id: str, sock: socket.socket,
+                 process: multiprocessing.Process):
+        self.shard_id = shard_id
+        self.process = process
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._table_lock = threading.Lock()
+        self._pending: Dict[int, Future] = {}
+        self._next_id = 0
+        self.alive = True
+        self._ready = threading.Event()
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"shard-client-{shard_id}", daemon=True
+        )
+
+    def start(self, timeout: float = DEFAULT_READY_TIMEOUT_S) -> "ShardClient":
+        """Start the reader and wait for the worker's ready frame."""
+        self._reader.start()
+        if not self._ready.wait(timeout):
+            raise RemoteFault(
+                "ShutdownError",
+                f"shard {self.shard_id} did not become ready within {timeout}s",
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    def _read_loop(self) -> None:
+        decoder = FrameDecoder()
+        while True:
+            try:
+                data = self._sock.recv(1 << 16)
+            except OSError:
+                data = b""
+            if not data:
+                break
+            try:
+                messages = decoder.feed(data)
+            except Exception:  # noqa: BLE001 - desynced channel is fatal
+                break
+            for message in messages:
+                self._deliver(message)
+        self.alive = False
+        self._ready.set()  # unblock a starter waiting on a dead worker
+        self._fail_all(RemoteFault(
+            "ShutdownError", f"shard {self.shard_id} channel closed"
+        ))
+
+    def _deliver(self, message: Dict) -> None:
+        correlation = int(message.get("id", READY_ID))
+        if correlation == READY_ID:
+            self._ready.set()
+            return
+        with self._table_lock:
+            future = self._pending.pop(correlation, None)
+        if future is None:
+            return
+        try:
+            if message.get("ok"):
+                future.set_result(message.get("result"))
+            else:
+                future.set_exception(remote_fault(message.get("error") or {}))
+        except InvalidStateError:  # pragma: no cover - defensive
+            pass
+
+    def _fail_all(self, error: BaseException) -> None:
+        with self._table_lock:
+            stranded = list(self._pending.values())
+            self._pending.clear()
+        for future in stranded:
+            try:
+                future.set_exception(error)
+            except InvalidStateError:  # pragma: no cover - defensive
+                pass
+
+    # ------------------------------------------------------------------
+    def send_op(self, op: str, **fields) -> Future:
+        """Send one op frame; the future resolves with the worker's reply."""
+        future: Future = Future()
+        with self._table_lock:
+            if not self.alive:
+                future.set_exception(RemoteFault(
+                    "ShutdownError", f"shard {self.shard_id} is gone"
+                ))
+                return future
+            correlation = self._next_id
+            self._next_id += 1
+            self._pending[correlation] = future
+        message = {"id": correlation, "op": op}
+        message.update(fields)
+        try:
+            blob = encode_frame(message)
+            with self._send_lock:
+                self._sock.sendall(blob)
+        except OSError as error:
+            with self._table_lock:
+                self._pending.pop(correlation, None)
+            future.set_exception(RemoteFault(
+                "ShutdownError",
+                f"cannot reach shard {self.shard_id}: {error}",
+            ))
+        return future
+
+    def evaluate(self, payload: Dict) -> Future:
+        """Submit one request payload; resolves to its result dict."""
+        return self.send_op("evaluate", request=payload)
+
+    def call(self, op: str, timeout: float = 60.0, **fields) -> Dict:
+        """Synchronous convenience: one op, block for the reply."""
+        return self.send_op(op, **fields).result(timeout)
+
+    def outstanding(self) -> int:
+        """How many ops are awaiting replies (drain watches this)."""
+        with self._table_lock:
+            return len(self._pending)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.join(timeout=10.0)
+            if self.process.is_alive():  # pragma: no cover - defensive
+                self.process.terminate()
+                self.process.join(timeout=5.0)
+
+
+class ShardFleet:
+    """N shard workers behind a consistent-hash ring."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        pool_workers: int = 1,
+        store_dir: Optional[str] = None,
+        replicas: int = DEFAULT_REPLICAS,
+        max_pending: Optional[int] = None,
+        coalesce_window_s: Optional[float] = None,
+        cold_start: bool = False,
+    ):
+        if shards < 1:
+            raise ValueError("a fleet needs at least one shard")
+        self.ring = HashRing(replicas)
+        self.clients: Dict[str, ShardClient] = {}
+        self.retired: List[Dict] = []
+        self._draining: Dict[str, ShardClient] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._options: Dict = {
+            "pool_workers": pool_workers,
+            "store_dir": str(store_dir) if store_dir else None,
+            "max_pending": max_pending,
+            "coalesce_window_s": coalesce_window_s,
+            "cold_start": cold_start,
+        }
+        for _ in range(shards):
+            self.add_shard()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_shard(self, shard_id: Optional[str] = None) -> str:
+        """Fork one worker and claim its ring points (live add)."""
+        with self._lock:
+            if shard_id is None:
+                shard_id = f"shard-{self._counter}"
+                self._counter += 1
+            if shard_id in self.clients or shard_id in self._draining:
+                raise ValueError(f"shard {shard_id!r} already exists")
+        parent_sock, child_sock = socket.socketpair()
+        process = multiprocessing.Process(
+            target=_worker_main,
+            args=(child_sock, shard_id, dict(self._options)),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_sock.close()
+        client = ShardClient(shard_id, parent_sock, process).start()
+        # The ring only learns about the shard once it answered ready, so
+        # no request ever routes to a worker that cannot take it yet.
+        with self._lock:
+            self.clients[shard_id] = client
+            self.ring.add(shard_id)
+        return shard_id
+
+    def members(self) -> List[str]:
+        """The shard ids currently taking new hashes (sorted)."""
+        with self._lock:
+            return self.ring.members()
+
+    def begin_drain(self, shard_id: str) -> ShardClient:
+        """Stop routing new hashes to a shard (in-flight work continues)."""
+        with self._lock:
+            if shard_id not in self.clients:
+                raise ValueError(f"shard {shard_id!r} is not serving")
+            client = self.clients.pop(shard_id)
+            self.ring.remove(shard_id)
+            self._draining[shard_id] = client
+        return client
+
+    def finish_drain(
+        self, shard_id: str, timeout: float = DEFAULT_DRAIN_TIMEOUT_S
+    ) -> Dict:
+        """Wait out a draining shard's in-flight work, fold its stats.
+
+        Every hash in flight on the shard resolves through its existing
+        future; once the channel is idle the worker shuts down its
+        scheduler (which drains any queued slot) and reports final
+        stats, which join :attr:`retired` — the fleet aggregate keeps
+        counting the drained shard's lifetime work.
+        """
+        with self._lock:
+            client = self._draining.get(shard_id)
+        if client is None:
+            raise ValueError(f"shard {shard_id!r} is not draining")
+        deadline = time.monotonic() + timeout
+        while (
+            client.alive and client.outstanding()
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        try:
+            final = client.call("shutdown", timeout=timeout)
+        except RemoteFault:
+            # The worker died mid-drain; its in-flight futures were
+            # already failed by the reader.  Record the loss.
+            final = {"status": "lost", "shard": shard_id}
+        with self._lock:
+            self._draining.pop(shard_id, None)
+            self.retired.append(final)
+        client.close()
+        return final
+
+    def drain_shard(
+        self, shard_id: str, timeout: float = DEFAULT_DRAIN_TIMEOUT_S
+    ) -> Dict:
+        """Live drain: remove from the ring, finish in-flight, retire."""
+        self.begin_drain(shard_id)
+        return self.finish_drain(shard_id, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(self, request: EvaluationRequest) -> Future:
+        """Route one request by content hash; resolves to its result."""
+        return self.submit_payload(request.transport_dict(),
+                                   request.content_hash())
+
+    def submit_payload(self, payload: Dict, request_hash: str) -> Future:
+        """Route an already-validated payload by its content hash."""
+        with self._lock:
+            shard_id = self.ring.route(request_hash)
+            client = self.clients[shard_id]
+        return client.evaluate(payload)
+
+    def result_lookup(self, request_hash: str) -> Future:
+        """Content-addressed store lookup on the hash's owning shard.
+
+        The owner sees its in-memory tier plus the shared disk tier, so
+        a hash computed by a *drained* shard still resolves (the disk
+        entry outlives the worker).
+        """
+        with self._lock:
+            shard_id = self.ring.route(request_hash)
+            client = self.clients[shard_id]
+        return client.send_op("result", hash=request_hash)
+
+    def client_for(self, shard_id: str) -> ShardClient:
+        with self._lock:
+            client = self.clients.get(shard_id) or self._draining.get(shard_id)
+        if client is None:
+            raise ValueError(f"unknown shard {shard_id!r}")
+        return client
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def health(self, timeout: float = 30.0) -> Dict:
+        """Fleet-level health: per-shard payloads plus merged counters."""
+        with self._lock:
+            serving = dict(self.clients)
+            draining = sorted(self._draining)
+        payloads: Dict[str, Dict] = {}
+        for shard_id, client in serving.items():
+            try:
+                payloads[shard_id] = client.call("healthz", timeout=timeout)
+            except Exception:  # noqa: BLE001 - a lost shard is reportable
+                payloads[shard_id] = {"status": "lost", "shard": shard_id}
+        return merge_health(
+            payloads, self.ring.members(), draining, list(self.retired)
+        )
+
+    def close(self) -> None:
+        """Drain every shard (idempotent); no request is ever dropped."""
+        with self._lock:
+            serving = list(self.clients)
+        for shard_id in serving:
+            try:
+                self.drain_shard(shard_id)
+            except ValueError:
+                continue
+
+
+def merge_health(
+    shard_payloads: Dict[str, Dict],
+    members: List[str],
+    draining: List[str],
+    retired: List[Dict],
+) -> Dict:
+    """Merge per-shard health payloads into the fleet-level report.
+
+    Scheduler counters (and store counters) sum across serving *and*
+    retired shards, so a drain never loses history; ratios are
+    recomputed from the summed counters rather than averaged.
+    """
+    sources = [p for p in shard_payloads.values() if "scheduler" in p]
+    sources += [p for p in retired if isinstance(p, dict) and "scheduler" in p]
+    scheduler = _sum_counters([p["scheduler"] for p in sources])
+    term_lookups = scheduler.get("term_hits", 0) + scheduler.get("term_misses", 0)
+    scheduler["term_hit_ratio"] = (
+        scheduler.get("term_hits", 0) / term_lookups if term_lookups else 0.0
+    )
+    store = _sum_counters([p["store"] for p in sources if "store" in p])
+    store.pop("disk_directory", None)
+    lost = [sid for sid, p in shard_payloads.items() if p.get("status") != "ok"]
+    lost += [
+        str(p.get("shard", "?")) for p in retired
+        if isinstance(p, dict) and p.get("status") == "lost"
+    ]
+    return {
+        "status": "ok" if not lost else "degraded",
+        "members": members,
+        "draining": draining,
+        "lost": lost,
+        "retired_shards": len(retired),
+        "pending": sum(p.get("pending", 0) for p in sources),
+        "inflight": sum(p.get("inflight", 0) for p in sources),
+        "scheduler": scheduler,
+        "store": store,
+        "shards": shard_payloads,
+    }
+
+
+def _sum_counters(dicts: List[Dict]) -> Dict:
+    """Elementwise sum of the numeric fields of per-shard counter dicts."""
+    merged: Dict[str, object] = {}
+    for entry in dicts:
+        for key, value in entry.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            merged[key] = merged.get(key, 0) + value
+    return merged

@@ -390,7 +390,7 @@ class TestReplay:
 
     def test_coalesced_replay_answers_every_request_in_order(self):
         trace = generate_trace(num_requests=40, duplicate_fraction=0.5, families=2)
-        results, _, scheduler = replay_coalesced(trace, window=16)
+        results, _, scheduler, _ = replay_coalesced(trace, window=16)
         assert len(results) == len(trace)
         hashes = [EvaluationRequest.from_dict(entry).content_hash()
                   for entry in trace]

@@ -507,13 +507,13 @@ class TestChaos:
 
         trace = generate_trace(num_requests=40, duplicate_fraction=0.5,
                                families=2, seed=3)
-        clean_results, _, _ = replay_coalesced(trace, window=16)
+        clean_results, _, _, _ = replay_coalesced(trace, window=16)
         chaos = ChaosInjector(ChaosConfig(
             seed=1, transient=0.25, corrupt_entry=0.3,
             slow_dispatch=0.1, slow_dispatch_s=0.001,
         ))
         store = ResultStore(directory=tmp_path)
-        chaos_results, _, scheduler = replay_coalesced(
+        chaos_results, _, scheduler, _ = replay_coalesced(
             trace, window=16, store=store, chaos=chaos,
         )
         assert chaos_results == clean_results

@@ -1,0 +1,360 @@
+"""The sharded service: framing, fleet lifecycle, async front end.
+
+Covers the channel protocol units (framing, incremental decode, fault
+serialisation), the fleet end to end against the scalar oracle, the
+zero-loss drain contract under load, live shard add, and the selectors
+front end speaking the single-process server's HTTP protocol.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.requests import EvaluationRequest
+from repro.service.scheduler import evaluate_scalar
+from repro.service.shard import (
+    AsyncFrontend,
+    FrameDecoder,
+    ProtocolError,
+    RemoteFault,
+    ShardFleet,
+    encode_frame,
+)
+from repro.service.shard.protocol import fault_message, remote_fault
+
+
+def _request(index=0, objective="energy"):
+    return EvaluationRequest(
+        macro="macro_b",
+        workload="mvm_64x64",
+        objective=objective,
+        overrides={"adc_resolution": 4 + index % 4},
+    )
+
+
+# ----------------------------------------------------------------------
+# Protocol units
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_roundtrip_single_frame(self):
+        message = {"id": 7, "op": "evaluate", "request": {"macro": "m"}}
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(message)) == [message]
+
+    def test_incremental_feed_byte_by_byte(self):
+        message = {"id": 1, "ok": True, "result": {"value": 2}}
+        blob = encode_frame(message)
+        decoder = FrameDecoder()
+        seen = []
+        for offset in range(len(blob)):
+            seen.extend(decoder.feed(blob[offset:offset + 1]))
+        assert seen == [message]
+
+    def test_many_frames_in_one_feed(self):
+        messages = [{"id": i} for i in range(5)]
+        blob = b"".join(encode_frame(m) for m in messages)
+        assert FrameDecoder().feed(blob) == messages
+
+    def test_oversized_length_prefix_raises(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"\xff\xff\xff\xff")
+
+    def test_invalid_json_raises(self):
+        blob = b"\x00\x00\x00\x03abc"
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(blob)
+
+    def test_fault_roundtrip_preserves_type_and_backpressure(self):
+        class QueueFullError(Exception):
+            retry_after_s = 1.5
+
+        message = fault_message(3, QueueFullError("queue is full"))
+        rebuilt = remote_fault(message["error"])
+        assert isinstance(rebuilt, RemoteFault)
+        assert rebuilt.remote_type == "QueueFullError"
+        assert rebuilt.retry_after_s == 1.5
+        assert rebuilt.status == 429
+
+    def test_unknown_fault_type_maps_to_500(self):
+        assert remote_fault({"type": "WeirdError", "message": "?"}).status == 500
+
+
+# ----------------------------------------------------------------------
+# Fleet end to end
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    fleet = ShardFleet(
+        shards=2, store_dir=str(tmp_path_factory.mktemp("shared-store"))
+    )
+    yield fleet
+    fleet.close()
+
+
+class TestShardFleet:
+    def test_results_match_the_scalar_oracle(self, fleet):
+        requests = [_request(0), _request(1), _request(0, objective="area")]
+        futures = [fleet.submit(request) for request in requests]
+        for request, future in zip(requests, futures):
+            assert future.result(timeout=180) == evaluate_scalar(request)
+
+    def test_duplicate_hashes_route_to_one_shard_and_dedup(self, fleet):
+        request = _request(2)
+        futures = [fleet.submit(request) for _ in range(6)]
+        results = [future.result(timeout=180) for future in futures]
+        assert all(result == results[0] for result in results)
+        health = fleet.health()
+        # 6 submissions of one hash cost at most one dispatch fleet-wide.
+        assert health["scheduler"]["submitted"] >= 6
+
+    def test_result_lookup_serves_the_stored_hash(self, fleet):
+        request = _request(3)
+        expected = fleet.submit(request).result(timeout=180)
+        found = fleet.result_lookup(request.content_hash()).result(timeout=30)
+        assert found == expected
+
+    def test_result_lookup_misses_cleanly(self, fleet):
+        assert fleet.result_lookup("0" * 64).result(timeout=30) is None
+
+    def test_worker_side_validation_fault_crosses_the_channel(self, fleet):
+        client = fleet.client_for(fleet.members()[0])
+        future = client.evaluate({"macro": "macro_b", "objective": "nope"})
+        with pytest.raises(RemoteFault) as excinfo:
+            future.result(timeout=30)
+        assert excinfo.value.remote_type == "ServiceError"
+        assert excinfo.value.status == 400
+
+    def test_unknown_op_is_a_service_error(self, fleet):
+        client = fleet.client_for(fleet.members()[0])
+        with pytest.raises(RemoteFault) as excinfo:
+            client.send_op("frobnicate").result(timeout=30)
+        assert excinfo.value.remote_type == "ServiceError"
+
+    def test_health_merges_counters_and_membership(self, fleet):
+        health = fleet.health()
+        assert health["status"] == "ok"
+        assert health["members"] == fleet.members()
+        assert set(health["shards"]) == set(fleet.members())
+        per_shard = sum(
+            payload["scheduler"]["submitted"]
+            for payload in health["shards"].values()
+        )
+        assert health["scheduler"]["submitted"] >= per_shard
+
+
+class TestDrainAndAdd:
+    def test_drain_under_load_loses_zero_requests(self, tmp_path):
+        fleet = ShardFleet(shards=2, store_dir=str(tmp_path))
+        try:
+            requests = [_request(index) for index in range(4)] * 4
+            futures = [fleet.submit(request) for request in requests]
+            # Drain a shard while its work is still in flight.
+            victim = fleet.members()[0]
+            fleet.begin_drain(victim)
+            final = fleet.finish_drain(victim)
+            assert final["status"] == "drained"
+            results = [future.result(timeout=180) for future in futures]
+            for request, result in zip(requests, results):
+                assert result["request_hash"] == request.content_hash()
+            health = fleet.health()
+            assert health["members"] == [m for m in ("shard-0", "shard-1")
+                                         if m != victim]
+            assert health["retired_shards"] == 1
+            assert health["lost"] == []
+            # The drained shard's lifetime counters stayed in the merge.
+            assert health["scheduler"]["submitted"] == len(requests)
+        finally:
+            fleet.close()
+
+    def test_drained_shards_disk_entries_survive_via_shared_tier(self, tmp_path):
+        fleet = ShardFleet(shards=2, store_dir=str(tmp_path))
+        try:
+            request = _request(1)
+            expected = fleet.submit(request).result(timeout=180)
+            owner = fleet.ring.route(request.content_hash())
+            fleet.drain_shard(owner)
+            # The hash now routes to the surviving shard, whose store
+            # reads the same directory the drained worker wrote.
+            found = fleet.result_lookup(request.content_hash()).result(timeout=30)
+            assert found == expected
+        finally:
+            fleet.close()
+
+    def test_live_add_joins_the_ring_after_ready(self, tmp_path):
+        fleet = ShardFleet(shards=1, store_dir=str(tmp_path))
+        try:
+            before = fleet.members()
+            added = fleet.add_shard()
+            assert fleet.members() == sorted(before + [added])
+            result = fleet.submit(_request(2)).result(timeout=180)
+            assert result["request_hash"] == _request(2).content_hash()
+        finally:
+            fleet.close()
+
+    def test_draining_an_unknown_shard_raises(self, tmp_path):
+        fleet = ShardFleet(shards=1, store_dir=str(tmp_path))
+        try:
+            with pytest.raises(ValueError):
+                fleet.begin_drain("shard-99")
+        finally:
+            fleet.close()
+
+
+# ----------------------------------------------------------------------
+# Async front end over real HTTP
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def frontend(fleet):
+    frontend = AsyncFrontend(fleet, host="127.0.0.1", port=0).start()
+    yield frontend
+    frontend.shutdown()
+
+
+def _call(frontend, method, path, payload=None, timeout=180):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{frontend.port}{path}",
+        data=None if payload is None else json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestAsyncFrontend:
+    def test_evaluate_matches_the_oracle(self, frontend):
+        request = _request(0)
+        status, body = _call(frontend, "POST", "/evaluate", request.to_dict())
+        assert status == 200
+        assert body == evaluate_scalar(request)
+
+    def test_batch_mixes_results_and_inline_envelopes(self, frontend):
+        status, body = _call(frontend, "POST", "/evaluate/batch", {
+            "requests": [
+                _request(1).to_dict(),
+                {"macro": "macro_b", "objective": "nope"},
+            ],
+        })
+        assert status == 200
+        first, second = body["results"]
+        assert first["request_hash"] == _request(1).content_hash()
+        assert second["error"]["type"] == "ServiceError"
+
+    def test_validation_errors_are_http_400(self, frontend):
+        status, body = _call(frontend, "POST", "/evaluate", {"macro": "macro_b",
+                                                            "objective": "nope"})
+        assert status == 400
+        assert body["error"]["type"] == "ServiceError"
+
+    def test_malformed_json_is_http_400(self, frontend):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{frontend.port}/evaluate",
+            data=b"{ not json", method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_result_roundtrip_and_missing_hash(self, frontend):
+        request = _request(0)
+        _call(frontend, "POST", "/evaluate", request.to_dict())
+        status, body = _call(
+            frontend, "GET", f"/result/{request.content_hash()}"
+        )
+        assert status == 200 and body["request_hash"] == request.content_hash()
+        status, _ = _call(frontend, "GET", "/result/" + "f" * 64)
+        assert status == 404
+        status, _ = _call(frontend, "GET", "/result/not-a-hash")
+        assert status == 404
+
+    def test_fleet_healthz_includes_frontend_counters(self, frontend):
+        status, health = _call(frontend, "GET", "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["frontend"]["requests_served"] >= 1
+        assert set(health["shards"]) == set(health["members"])
+
+    def test_per_shard_healthz_passthrough(self, frontend, fleet):
+        shard_id = fleet.members()[0]
+        status, payload = _call(frontend, "GET", f"/shards/{shard_id}/healthz")
+        assert status == 200
+        assert payload["shard"] == shard_id
+        status, _ = _call(frontend, "GET", "/shards/shard-99/healthz")
+        assert status == 404
+
+    def test_unknown_route_and_method(self, frontend):
+        status, _ = _call(frontend, "GET", "/nope")
+        assert status == 404
+        status, _ = _call(frontend, "PUT", "/evaluate", {})
+        assert status == 405
+
+    def test_keep_alive_serves_many_requests_on_one_connection(self, frontend):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", frontend.port, timeout=180
+        )
+        try:
+            payload = json.dumps(_request(3).to_dict())
+            for _ in range(3):
+                connection.request("POST", "/evaluate", body=payload,
+                                   headers={"Content-Type": "application/json"})
+                response = connection.getresponse()
+                body = json.loads(response.read())
+                assert response.status == 200
+                assert body["request_hash"] == _request(3).content_hash()
+        finally:
+            connection.close()
+
+    def test_many_concurrent_connections(self, frontend):
+        """Dozens of sockets at once on the single selectors thread."""
+        request = _request(0)
+        errors = []
+
+        def _one():
+            try:
+                status, body = _call(frontend, "POST", "/evaluate",
+                                     request.to_dict())
+                assert status == 200
+                assert body["request_hash"] == request.content_hash()
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=_one) for _ in range(32)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180)
+        assert errors == []
+
+    def test_http_drain_and_add_cycle(self, tmp_path):
+        fleet = ShardFleet(shards=2, store_dir=str(tmp_path))
+        frontend = AsyncFrontend(fleet, host="127.0.0.1", port=0).start()
+        try:
+            victim = fleet.members()[0]
+            status, body = _call(frontend, "POST", f"/shards/{victim}/drain")
+            assert status == 202
+            assert victim not in body["members"]
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                status, health = _call(frontend, "GET", "/healthz")
+                if health["retired_shards"] == 1:
+                    break
+                time.sleep(0.05)
+            assert health["retired_shards"] == 1
+            status, added = _call(frontend, "POST", "/shards")
+            assert status == 200
+            assert len(added["members"]) == 2
+            status, _ = _call(frontend, "POST", "/shards/shard-99/drain")
+            assert status == 404
+        finally:
+            frontend.shutdown()
+            fleet.close()
