@@ -6,8 +6,8 @@
 PYTHONPATH := src
 
 .PHONY: test test-all lint bench bench-smoke bench-json bench-service \
-	bench-service-chaos bench-service-sharded bench-config-derivation \
-	bench-plot
+	bench-service-chaos bench-service-sharded bench-service-fleet-chaos \
+	bench-config-derivation bench-plot
 
 # Unit tests only: benchmarks (with their timing assertions) live in the
 # separate bench targets so a loaded CI runner cannot flake the test gate.
@@ -84,6 +84,17 @@ bench-service-sharded:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
 		benchmarks/test_service_sharded.py
 	python tools/bench_record.py BENCH_service_sharded.json
+
+# Fleet chaos: the 4k-request hotspot trace through 4 shards with whole
+# shard workers SIGKILLed at scheduled points mid-replay (plus frame
+# corruption); asserts 4000/4000 results bitwise-identical to the
+# fault-free sharded replay, zero hung futures, every crash detected and
+# re-dispatched, and <= 1.5x re-dispatch amplification.  Writes
+# BENCH_service_fleet_chaos.json.
+bench-service-fleet-chaos:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q --benchmark-only \
+		benchmarks/test_service_fleet_chaos.py
+	python tools/bench_record.py BENCH_service_fleet_chaos.json
 
 bench-plot:
 	python tools/bench_plot.py --text

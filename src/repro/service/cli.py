@@ -24,7 +24,10 @@ Commands
     replays under the deterministic fault-injection preset
     (``--chaos-seed``) and adds the injector's counters to the report —
     results must be unaffected.  ``--shards N`` replays through a shard
-    fleet instead, reporting the merged fleet health.
+    fleet instead, reporting the merged fleet health; combined with
+    ``--chaos`` the faults move up a level (``--chaos-kills`` shard
+    SIGKILLs mid-replay plus frame corruption) and the supervised fleet
+    must still return every result.
 """
 
 from __future__ import annotations
@@ -116,6 +119,10 @@ def _build_parser() -> argparse.ArgumentParser:
                              "dispatch failures, slow dispatches)")
     replay.add_argument("--chaos-seed", type=int, default=0,
                         help="seed of the chaos injector's RNG")
+    replay.add_argument("--chaos-kills", type=int, default=1,
+                        help="with --chaos --shards: SIGKILL this many "
+                             "shard workers at scheduled points mid-replay "
+                             "(the supervisor must recover every one)")
     replay.add_argument("--shards", type=int, default=0,
                         help="replay through a shard fleet of N workers "
                              "(0 = single in-process scheduler)")
@@ -278,9 +285,17 @@ def _cmd_replay(args) -> int:
         report.update(mode="serial", wall_s=elapsed,
                       requests_per_s=len(trace) / elapsed if elapsed else 0.0)
     elif args.shards > 0:
+        fleet_chaos = None
+        if args.chaos:
+            from repro.service.chaos import FleetChaosConfig
+
+            fleet_chaos = FleetChaosConfig.preset(
+                seed=args.chaos_seed, kills=args.chaos_kills
+            )
         _, elapsed, health, latencies = replay_sharded(
             trace, shards=args.shards, pool_workers=args.workers,
             window=args.window, store_dir=args.store_dir,
+            fleet_chaos=fleet_chaos,
         )
         report.update(mode="sharded", shards=args.shards, wall_s=elapsed,
                       requests_per_s=len(trace) / elapsed if elapsed else 0.0,

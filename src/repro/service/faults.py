@@ -97,6 +97,20 @@ class CircuitOpenError(PermanentError):
         self.retry_after_s = retry_after_s
 
 
+class FleetDegradedError(FaultError):
+    """The shard fleet lost quorum: too few live shards to accept work.
+
+    Raised by the fleet's submit path after crashes (or an exhausted
+    restart budget) dropped live membership below the supervisor's
+    ``min_quorum``.  Carries ``retry_after_s`` — respawns may restore
+    quorum — and maps to HTTP 503 on both front ends.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 5.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 def is_retryable(error: BaseException) -> bool:
     """Whether a dispatch failure is worth retrying.
 

@@ -261,6 +261,8 @@ def replay_sharded(
     store_dir: Optional[Union[str, Path]] = None,
     cold_start: bool = True,
     fleet=None,
+    supervise: bool = True,
+    fleet_chaos=None,
 ) -> Tuple[List[Dict], float, Dict, List[float]]:
     """Replay a trace through a shard fleet (the parallel counterpart).
 
@@ -273,12 +275,31 @@ def replay_sharded(
     one (the caller then owns its lifecycle).  Returns ``(results in
     trace order, elapsed seconds, final fleet health, per-request
     latencies in seconds)``.
+
+    ``supervise`` attaches a :class:`FleetSupervisor` to a replay-owned
+    fleet: heartbeat failure detection, crash recovery, in-flight
+    re-dispatch, and respawns — a SIGKILLed shard costs latency, never
+    results.  ``fleet_chaos`` (a
+    :class:`~repro.service.chaos.FleetChaosConfig` or ready-made
+    :class:`~repro.service.chaos.FleetChaosInjector`) arms fleet-fabric
+    faults during the replay: scheduled/probabilistic shard SIGKILLs,
+    frame corruption, worker heartbeat delay.  The final health payload
+    then carries a ``fleet_chaos`` stats block.
     """
+    from repro.service.chaos import FleetChaosConfig, FleetChaosInjector
+    from repro.service.shard.frontend import FleetSupervisor
     from repro.service.shard.worker import ShardFleet
 
     requests = [EvaluationRequest.from_dict(entry) for entry in trace]
+    injector = None
+    if fleet_chaos is not None:
+        injector = (
+            FleetChaosInjector(fleet_chaos, trace_len=len(requests))
+            if isinstance(fleet_chaos, FleetChaosConfig) else fleet_chaos
+        )
     own_fleet = fleet is None
     tempdir: Optional[tempfile.TemporaryDirectory] = None
+    supervisor = None
     if own_fleet:
         if store_dir is None:
             tempdir = tempfile.TemporaryDirectory(prefix="repro-shard-replay-")
@@ -286,15 +307,26 @@ def replay_sharded(
         fleet = ShardFleet(
             shards=shards, pool_workers=pool_workers,
             store_dir=str(store_dir), cold_start=cold_start,
+            chaos_heartbeat=(
+                injector.heartbeat_options() if injector is not None else None
+            ),
         )
+        if supervise:
+            supervisor = FleetSupervisor(fleet).start()
+    if injector is not None:
+        injector.install(fleet)
     latencies: List[float] = [0.0] * len(requests)
     try:
         start = time.perf_counter()
         results: List[Dict] = []
         for begin, chunk in _windowed(requests, window):
+            if injector is not None:
+                injector.on_window()
             arrival = time.perf_counter()
             futures = []
             for offset, request in enumerate(chunk):
+                if injector is not None:
+                    injector.on_request(begin + offset)
                 future = fleet.submit(request)
                 future.add_done_callback(
                     lambda done, i=begin + offset, t=arrival:
@@ -303,8 +335,16 @@ def replay_sharded(
                 futures.append(future)
             results.extend(future.result() for future in futures)
         elapsed = time.perf_counter() - start
+        if injector is not None:
+            # Disarm before the health sweep + drain: teardown traffic
+            # must not be corrupted into fake crashes.
+            injector.uninstall()
         health = fleet.health()
+        if injector is not None:
+            health["fleet_chaos"] = injector.stats()
     finally:
+        if injector is not None:
+            injector.uninstall()
         if own_fleet:
             fleet.close()
         if tempdir is not None:

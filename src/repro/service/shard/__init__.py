@@ -15,7 +15,10 @@ scheduler behind one HTTP server; this package multiplies it:
   add/drain.
 * :mod:`repro.service.shard.frontend` — the selectors-based async HTTP
   front end: thousands of connections on one thread, same protocol as
-  the single-process server, plus fleet-management routes.
+  the single-process server, plus fleet-management routes — and the
+  :class:`FleetSupervisor`: heartbeat failure detection, crash
+  recovery with in-flight re-dispatch, respawns under a restart
+  budget, and quorum-based :class:`FleetDegradedError` admission.
 
 Quickstart::
 
@@ -30,13 +33,21 @@ Quickstart::
     fleet.close()  # drains every shard; no request is dropped
 """
 
-from repro.service.shard.frontend import AsyncFrontend, serve_sharded
+from repro.service.faults import FleetDegradedError
+from repro.service.shard.frontend import (
+    AsyncFrontend,
+    FleetSupervisor,
+    serve_sharded,
+)
 from repro.service.shard.protocol import (
     FAULT_STATUS,
+    HEARTBEAT_ID,
+    READY_ID,
     FrameDecoder,
     ProtocolError,
     RemoteFault,
     encode_frame,
+    heartbeat_message,
 )
 from repro.service.shard.ring import (
     DEFAULT_REPLICAS,
@@ -53,7 +64,12 @@ from repro.service.shard.worker import (
 
 __all__ = [
     "AsyncFrontend",
+    "FleetSupervisor",
+    "FleetDegradedError",
     "serve_sharded",
+    "HEARTBEAT_ID",
+    "READY_ID",
+    "heartbeat_message",
     "HashRing",
     "RingEmptyError",
     "DEFAULT_REPLICAS",

@@ -26,6 +26,17 @@ adds the fleet-management routes:
 Evaluation never blocks the loop: worker replies resolve futures on the
 shard reader threads, whose callbacks queue the finished response and
 wake the selector through a self-pipe.
+
+The :class:`FleetSupervisor` lives here too: a heartbeat-timeout failure
+detector plus crash recovery.  A shard whose beats stop (SIGKILL, hang,
+SIGSTOP — no EOF required) is declared dead within the configured
+timeout; its ring points are released, its tracked in-flight ops are
+**re-dispatched** to surviving shards under the same futures (safe:
+evaluation is deterministic and the shared disk store dedups), and a
+replacement worker is respawned under the same shard id — identical
+ring placement — while a restart budget and a quorum floor bound how
+much failure the fleet absorbs before refusing new work with
+:class:`~repro.service.faults.FleetDegradedError`.
 """
 
 from __future__ import annotations
@@ -37,9 +48,10 @@ import os
 import selectors
 import socket
 import threading
-from concurrent.futures import Future
-from typing import Dict, List, Optional, Tuple
+from concurrent.futures import Future, InvalidStateError
+from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.service.faults import FleetDegradedError, env_positive_float
 from repro.service.http import MAX_BODY_BYTES, error_envelope
 from repro.service.requests import EvaluationRequest, ServiceError
 from repro.service.shard.protocol import RemoteFault
@@ -151,7 +163,7 @@ def fault_response(error: BaseException) -> Tuple[int, Dict, Optional[Dict[str, 
         return error.status, envelope, headers
     if isinstance(error, ServiceError):
         return 400, error_envelope(error), headers
-    if isinstance(error, RingEmptyError):
+    if isinstance(error, (RingEmptyError, FleetDegradedError)):
         return 503, error_envelope(error), headers
     return 500, error_envelope(error), headers
 
@@ -194,6 +206,281 @@ def _gather(futures: List) -> Future:
                 lambda future, i=index: _finish(i, future)
             )
     return aggregate
+
+
+HEARTBEAT_TIMEOUT_ENV = "REPRO_FLEET_HEARTBEAT_TIMEOUT_S"
+RESTART_BUDGET_ENV = "REPRO_FLEET_RESTART_BUDGET"
+QUORUM_ENV = "REPRO_FLEET_QUORUM"
+
+#: Default failure-detector timeout, in heartbeat intervals: a shard is
+#: declared dead after missing this many consecutive beats.
+DEFAULT_TIMEOUT_INTERVALS = 8
+
+#: Default respawn budget across the supervisor's lifetime.
+DEFAULT_RESTART_BUDGET = 16
+
+#: Default quorum: the fleet only refuses work with zero live shards.
+DEFAULT_MIN_QUORUM = 1
+
+#: How many shard deaths one op survives before its future is failed —
+#: a backstop against a pathological fleet where every shard an op
+#: lands on dies; in practice one re-dispatch resolves it.
+MAX_REDISPATCH_ATTEMPTS = 8
+
+
+def _env_positive_int(variable: str) -> Optional[int]:
+    raw = os.environ.get(variable, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+class FleetSupervisor:
+    """Heartbeat failure detector + crash recovery for a :class:`ShardFleet`.
+
+    One monitor thread sweeps the serving shards every fraction of the
+    heartbeat timeout; a shard whose last beat is older than
+    ``heartbeat_timeout_s`` is declared dead **without waiting for
+    channel EOF** — detection latency is bounded by the timeout even
+    when the worker is hung or SIGSTOPped and its socket stays open.
+    Channel EOFs (the fast path for a SIGKILL) feed the same recovery
+    through :meth:`handle_channel_closed`, and :meth:`ShardFleet.take_failure`
+    arbitrates the race so each death is recovered exactly once.
+
+    Recovery is zero-loss by construction: the victim is SIGKILLed
+    first (a false-positive declaration is *made* true, so an op can
+    never run to completion on both the victim and its re-dispatch
+    target's future), its pending op records are atomically taken, a
+    replacement respawns under the same shard id (identical ring
+    placement) while the restart budget lasts, and every taken op
+    re-dispatches on the updated ring under its original future.  When
+    live membership falls below ``min_quorum`` the fleet is marked
+    degraded: submits fail fast with :class:`FleetDegradedError` until
+    a respawn or live add restores quorum.
+
+    Env knobs: ``REPRO_FLEET_HEARTBEAT_TIMEOUT_S``,
+    ``REPRO_FLEET_RESTART_BUDGET``, ``REPRO_FLEET_QUORUM``.
+    """
+
+    def __init__(
+        self,
+        fleet: ShardFleet,
+        heartbeat_timeout_s: Optional[float] = None,
+        restart_budget: Optional[int] = None,
+        min_quorum: Optional[int] = None,
+        respawn: bool = True,
+    ):
+        self.fleet = fleet
+        if heartbeat_timeout_s is None:
+            heartbeat_timeout_s = env_positive_float(HEARTBEAT_TIMEOUT_ENV) or (
+                DEFAULT_TIMEOUT_INTERVALS * fleet.heartbeat_interval_s
+            )
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        if restart_budget is None:
+            restart_budget = _env_positive_int(RESTART_BUDGET_ENV)
+            if restart_budget is None:
+                restart_budget = DEFAULT_RESTART_BUDGET
+        self.restart_budget = restart_budget
+        if min_quorum is None:
+            min_quorum = _env_positive_int(QUORUM_ENV) or DEFAULT_MIN_QUORUM
+        self.min_quorum = max(1, min_quorum)
+        self.respawn = respawn
+        self._check_interval = max(0.01, min(
+            heartbeat_timeout_s / 4.0, fleet.heartbeat_interval_s
+        ))
+        self._suspect_after_s = heartbeat_timeout_s / 2.0
+        self._lock = threading.Lock()
+        self._states: Dict[str, str] = {}
+        self._restarts: Dict[str, int] = {}
+        self._retired_views: Dict[str, Dict] = {}
+        self._queue: Deque[Tuple[object, str]] = collections.deque()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.detected_failures = 0
+        self.redispatched_ops = 0
+        self.failed_redispatches = 0
+        self.restarts_used = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> "FleetSupervisor":
+        """Attach to the fleet and run the monitor thread."""
+        self.fleet.attach_supervisor(self)
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-fleet-supervisor", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop monitoring; channel deaths fall back to fail-fast."""
+        self._stop.set()
+        self._wake.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=10.0)
+            self._thread = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop.is_set()
+
+    def handle_channel_closed(self, client) -> None:
+        """Reader-thread EOF notification: queue recovery, wake the sweep.
+
+        Carries the client *object*, not just the shard id: recovery
+        claims by identity, so a stale EOF from a killed incarnation can
+        never be mistaken for a death of its respawned replacement."""
+        self._queue.append((client, "channel EOF"))
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(self._check_interval)
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            while self._queue:
+                client, reason = self._queue.popleft()
+                self._recover(client, reason)
+            for shard_id, client in self.fleet.serving_clients():
+                if client.drained or client.crash_claimed:
+                    continue
+                age = client.heartbeat_age()
+                if age is None:
+                    continue
+                if age >= self.heartbeat_timeout_s:
+                    self._recover(client, (
+                        f"heartbeat timeout: last beat {age:.2f}s ago "
+                        f"(timeout {self.heartbeat_timeout_s:.2f}s)"
+                    ))
+                else:
+                    with self._lock:
+                        self._states[shard_id] = (
+                            "suspect" if age >= self._suspect_after_s else "live"
+                        )
+
+    def _recover(self, client, reason: str) -> None:
+        """Recover one dead shard incarnation: kill, take, respawn,
+        re-dispatch."""
+        was_draining = self.fleet.take_failure(client)
+        if was_draining is None:
+            return  # already recovered, stale incarnation, or unknown
+        shard_id = client.shard_id
+        with self._lock:
+            self._states[shard_id] = "restarting"
+            self.detected_failures += 1
+        # Make the declaration true before touching its in-flight work:
+        # a suspect that was merely slow must not complete ops that are
+        # about to run elsewhere.
+        client.kill()
+        pending = client.take_pending()
+        respawned = False
+        if not was_draining and self.respawn and not self._stop.is_set():
+            with self._lock:
+                under_budget = self.restarts_used < self.restart_budget
+                if under_budget:
+                    self.restarts_used += 1
+                    self._restarts[shard_id] = self._restarts.get(shard_id, 0) + 1
+            if under_budget:
+                try:
+                    # Same shard id => identical ring points: the dead
+                    # shard's keys come straight back, nothing else moves.
+                    self.fleet.add_shard(shard_id)
+                    respawned = True
+                except Exception:  # noqa: BLE001 - respawn is best-effort
+                    respawned = False
+        live = len(self.fleet.members())
+        if live < self.min_quorum:
+            self.fleet.mark_degraded(
+                f"fleet degraded: {live} live shard(s) below quorum "
+                f"{self.min_quorum} after losing {shard_id} ({reason})"
+            )
+        else:
+            self.fleet.clear_degraded()
+        redispatched = failed = 0
+        for record in pending:
+            record.attempts += 1
+            if (
+                record.attempts <= MAX_REDISPATCH_ATTEMPTS
+                and self.fleet.redispatch(record)
+            ):
+                redispatched += 1
+                continue
+            failed += 1
+            degraded = self.fleet.degraded
+            error: BaseException = (
+                FleetDegradedError(degraded) if degraded else RemoteFault(
+                    "ShutdownError",
+                    f"shard {shard_id} died ({reason}) and its "
+                    f"{record.op!r} op could not be re-dispatched",
+                )
+            )
+            try:
+                record.future.set_exception(error)
+            except InvalidStateError:  # pragma: no cover - defensive
+                pass
+        info = {
+            "status": "crashed",
+            "shard": shard_id,
+            "reason": reason,
+            "redispatched": redispatched,
+            "failed": failed,
+            "respawned": respawned,
+        }
+        client.crash_info = info
+        with self._lock:
+            self.redispatched_ops += redispatched
+            self.failed_redispatches += failed
+            if respawned:
+                self._states[shard_id] = "live"
+            else:
+                self._states.pop(shard_id, None)
+                self._retired_views[shard_id] = {
+                    "state": "retired",
+                    "restarts": self._restarts.get(shard_id, 0),
+                    "reason": reason,
+                }
+        if not was_draining:
+            # Draining shards fold through finish_drain instead.
+            self.fleet.record_crash(info)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def shard_view(self, shard_id: str) -> Dict:
+        """The supervisor's view of one serving shard (liveness merge)."""
+        with self._lock:
+            return {
+                "state": self._states.get(shard_id, "live"),
+                "restarts": self._restarts.get(shard_id, 0),
+            }
+
+    def retired_views(self) -> List[Tuple[str, Dict]]:
+        """Shards the supervisor retired without respawning."""
+        with self._lock:
+            return [(sid, dict(view)) for sid, view in self._retired_views.items()]
+
+    def stats_payload(self) -> Dict:
+        with self._lock:
+            return {
+                "heartbeat_interval_s": self.fleet.heartbeat_interval_s,
+                "heartbeat_timeout_s": self.heartbeat_timeout_s,
+                "min_quorum": self.min_quorum,
+                "restart_budget": self.restart_budget,
+                "restarts_used": self.restarts_used,
+                "detected_failures": self.detected_failures,
+                "redispatched_ops": self.redispatched_ops,
+                "failed_redispatches": self.failed_redispatches,
+                "degraded": self.fleet.degraded,
+                "states": dict(self._states),
+            }
 
 
 class AsyncFrontend:
@@ -608,15 +895,20 @@ def serve_sharded(
     max_pending: Optional[int] = None,
     verbose: bool = False,
     fleet: Optional[ShardFleet] = None,
+    supervise: bool = True,
 ) -> AsyncFrontend:
     """Bind the sharded service (``port=0`` picks an ephemeral port).
 
     The caller owns both loops: ``frontend.serve_forever()`` (the CLI
     does) or ``frontend.start()`` from tests, then ``shutdown()`` and
-    ``fleet.close()`` when done.
+    ``fleet.close()`` when done.  Unless ``supervise`` is off, a
+    :class:`FleetSupervisor` is attached (env-tuned) so shard crashes
+    self-heal instead of stranding in-flight requests.
     """
     fleet = fleet if fleet is not None else ShardFleet(
         shards=shards, pool_workers=pool_workers,
         store_dir=store_dir, max_pending=max_pending,
     )
+    if supervise and fleet.supervisor is None:
+        FleetSupervisor(fleet).start()
     return AsyncFrontend(fleet, host=host, port=port, verbose=verbose)

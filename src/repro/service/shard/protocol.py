@@ -23,6 +23,13 @@ Replies (worker -> front end)::
     {"id": N, "ok": false,
      "error": {"type": ..., "message": ..., "retry_after_s": ...}}
 
+Unsolicited worker frames use negative correlation ids: the one-time
+ready announcement (:data:`READY_ID`) and the periodic heartbeat
+(:data:`HEARTBEAT_ID`), which feeds the front end's timeout-based
+failure detector — a shard is declared dead when its beats stop, not
+when its channel finally reports EOF, so a hung worker is detected
+within the configured heartbeat timeout.
+
 Worker-side exceptions cross the channel by *name*: the worker
 serialises the exception type, message, and any ``retry_after_s``
 backpressure hint, and the parent rebuilds a :class:`RemoteFault` whose
@@ -37,7 +44,7 @@ import json
 import struct
 from typing import Dict, List, Optional
 
-from repro.utils.errors import CiMLoopError
+from repro.service.faults import FaultError
 
 #: Frame header: one unsigned 32-bit big-endian payload length.
 HEADER = struct.Struct(">I")
@@ -49,6 +56,9 @@ MAX_FRAME_BYTES = 8 << 20
 #: The correlation id of the worker's unsolicited ready announcement.
 READY_ID = -1
 
+#: The correlation id of the worker's unsolicited periodic heartbeat.
+HEARTBEAT_ID = -2
+
 #: HTTP statuses of faults crossing the channel by type name — mirrors
 #: :func:`repro.service.http.fault_status` plus the 400 of a request
 #: that failed validation inside the worker.
@@ -57,15 +67,23 @@ FAULT_STATUS = {
     "DeadlineExceeded": 504,
     "ShutdownError": 503,
     "CircuitOpenError": 503,
+    "FleetDegradedError": 503,
     "ServiceError": 400,
+    "ProtocolError": 500,
 }
 
 
-class ProtocolError(CiMLoopError):
-    """A malformed frame on the worker channel (desynced or hostile)."""
+class ProtocolError(FaultError):
+    """A malformed frame on the worker channel (desynced or hostile).
+
+    Part of the service fault taxonomy (:class:`FaultError`): a corrupt
+    or oversized length prefix raises this *before* any read is
+    attempted, and both channel ends count it (worker stats, parent-side
+    :attr:`ShardClient.protocol_errors`) instead of silently desyncing.
+    """
 
 
-class RemoteFault(CiMLoopError):
+class RemoteFault(FaultError):
     """A worker-side failure rebuilt on the parent side of the channel.
 
     Carries the original exception's type name (``remote_type``), its
@@ -120,6 +138,16 @@ class FrameDecoder:
                 messages.append(json.loads(blob))
             except ValueError as error:
                 raise ProtocolError(f"frame is not valid JSON: {error}") from None
+
+
+def heartbeat_message(sequence: int, shard_id: str) -> Dict:
+    """One unsolicited worker heartbeat frame (liveness, not a reply)."""
+    return {
+        "id": HEARTBEAT_ID,
+        "ok": True,
+        "heartbeat": sequence,
+        "shard": shard_id,
+    }
 
 
 def fault_message(correlation: int, error: BaseException) -> Dict:

@@ -90,6 +90,17 @@ class HashRing:
         del self._vnodes[shard_id]
         self._rebuild()
 
+    def discard(self, shard_id: str) -> bool:
+        """Idempotent :meth:`remove` for the crash path: the failure
+        detector and the channel-EOF handler may race to evict the same
+        dead shard, and whichever loses must be a no-op, never an
+        exception mid-recovery.  Returns whether the shard was present."""
+        if shard_id not in self._vnodes:
+            return False
+        del self._vnodes[shard_id]
+        self._rebuild()
+        return True
+
     def _rebuild(self) -> None:
         # Point collisions between shards are astronomically unlikely but
         # must still be deterministic: ties break by shard id, the same

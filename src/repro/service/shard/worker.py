@@ -15,40 +15,51 @@ Three layers live here:
 * :func:`_worker_main` — the child-process loop: read frames, submit
   ``evaluate`` ops into the scheduler, reply from future callbacks (so
   many requests are in flight at once), answer ``healthz`` / ``result``
-  / ``shutdown``.
+  / ``shutdown``, and send a periodic heartbeat frame from a side
+  thread so the parent's failure detector never depends on channel EOF.
 * :class:`ShardClient` — the parent-side handle: a framed socket, a
-  correlation-id table of outstanding futures, and one reader thread
-  per worker (threads scale with shard count, not connection count —
-  client connections are the front end's selectors loop's problem).
+  correlation-id table of outstanding :class:`_PendingOp` records (each
+  keeps the op, its fields, and its routing hash so a supervisor can
+  **re-dispatch** it to another shard without failing the caller's
+  future), and one reader thread per worker.
 * :class:`ShardFleet` — N workers behind a
   :class:`~repro.service.shard.ring.HashRing`: ``submit`` routes by
-  content hash, ``add_shard`` / ``drain_shard`` change membership live
-  (drain = stop routing new hashes, let in-flight work finish, fold the
-  worker's final stats into the fleet aggregate), ``health`` merges
-  per-shard :class:`~repro.service.scheduler.SchedulerStats` into one
-  fleet-level payload.
+  content hash, ``add_shard`` / ``drain_shard`` change membership live,
+  ``health`` merges per-shard payloads plus per-shard **liveness**
+  (heartbeat age, misses, supervisor state) into one fleet payload.
+  A :class:`~repro.service.shard.frontend.FleetSupervisor` may attach
+  to run the heartbeat failure detector, crash recovery, and respawns;
+  when quorum is lost the fleet refuses new work with
+  :class:`~repro.service.faults.FleetDegradedError` instead of hanging.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import random
+import signal
 import socket
 import threading
 import time
+import zlib
 from concurrent.futures import Future, InvalidStateError
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.service.faults import FleetDegradedError
 from repro.service.requests import EvaluationRequest, ServiceError
 from repro.service.shard.protocol import (
+    HEARTBEAT_ID,
     READY_ID,
     FrameDecoder,
+    ProtocolError,
     RemoteFault,
     encode_frame,
     fault_message,
+    heartbeat_message,
     remote_fault,
 )
-from repro.service.shard.ring import DEFAULT_REPLICAS, HashRing
+from repro.service.shard.ring import DEFAULT_REPLICAS, HashRing, RingEmptyError
 
 #: Seconds the parent waits for a freshly-forked worker's ready frame.
 DEFAULT_READY_TIMEOUT_S = 60.0
@@ -56,22 +67,78 @@ DEFAULT_READY_TIMEOUT_S = 60.0
 #: Seconds a drain waits for in-flight work before forcing shutdown.
 DEFAULT_DRAIN_TIMEOUT_S = 120.0
 
+#: Seconds between worker heartbeat frames.  The failure detector's
+#: timeout is expressed in multiples of this (see
+#: :class:`~repro.service.shard.frontend.FleetSupervisor`).
+DEFAULT_HEARTBEAT_INTERVAL_S = 0.25
+
+HEARTBEAT_INTERVAL_ENV = "REPRO_FLEET_HEARTBEAT_INTERVAL_S"
+
+#: How many times the fleet's submit path re-routes a hash whose chosen
+#: shard died between routing and dispatch before declaring the fleet
+#: unable to take the request.
+_ROUTE_ATTEMPTS = 64
+
 
 # ----------------------------------------------------------------------
 # Child-process side
 # ----------------------------------------------------------------------
+class _ReplySender:
+    """Child-side framed sender shared by the loop thread, the future
+    done-callbacks, and the heartbeat thread.
+
+    A reply that cannot cross the channel is **counted**, never silently
+    lost: ``dropped_replies`` is surfaced through the shard's healthz
+    payload (and summed into the fleet merge), and a result too large to
+    frame degrades to a framed error reply — the parent's future resolves
+    with a :class:`ProtocolError` fault instead of hanging forever.
+    """
+
+    def __init__(self, conn: socket.socket):
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.dropped_replies = 0
+        self.heartbeats_sent = 0
+        self.alive = True
+
+    def send(self, message: Dict, count_drop: bool = True) -> bool:
+        correlation = int(message.get("id", READY_ID))
+        try:
+            blob = encode_frame(message)
+        except ProtocolError as error:
+            if not (count_drop and correlation >= 0):
+                return False
+            blob = encode_frame(fault_message(correlation, error))
+        try:
+            with self.lock:
+                self.conn.sendall(blob)
+            return True
+        except OSError:
+            self.alive = False
+            if count_drop and correlation >= 0:
+                self.dropped_replies += 1
+            return False
+
+
 def _worker_main(conn: socket.socket, shard_id: str, options: Dict) -> None:
     """Run one shard worker until its channel closes or ``shutdown``.
 
     The loop thread only parses frames and submits; replies are sent
     from future done-callbacks (scheduler dispatcher thread), so a slow
     evaluation never blocks later arrivals from joining the scheduler's
-    coalescing window.
+    coalescing window.  A heartbeat thread beats every
+    ``heartbeat_interval_s`` independently of evaluation load.
     """
     from repro.core.batch import process_energy_cache
     from repro.service.scheduler import EvaluationScheduler
     from repro.service.store import ResultStore
 
+    # A terminal Ctrl-C reaches every process in the foreground group;
+    # shutdown is the parent's job (it catches the signal and drains the
+    # fleet over the framed channel).  A worker that died to SIGINT
+    # mid-drain would race that drain and be declared crashed by the
+    # supervisor, so ignore it here and wait for the shutdown op.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     if options.get("cold_start"):
         # Workers fork from the parent and inherit its in-memory energy
         # cache; benchmarks comparing cold sharded vs cold single-process
@@ -97,29 +164,55 @@ def _worker_main(conn: socket.socket, shard_id: str, options: Dict) -> None:
     scheduler = EvaluationScheduler(**scheduler_kwargs)
     scheduler.start()
 
-    send_lock = threading.Lock()
-
-    def send(message: Dict) -> None:
-        # Serialise concurrent repliers (dispatcher callbacks, the loop
-        # thread) onto the socket; a dead channel just drops replies —
-        # the parent's reader failing all outstanding futures is the
-        # real signal.
-        try:
-            blob = encode_frame(message)
-            with send_lock:
-                conn.sendall(blob)
-        except OSError:
-            pass
+    sender = _ReplySender(conn)
+    protocol_errors = 0
 
     def reply(correlation: int, future: Future) -> None:
         try:
             result = future.result()
         except BaseException as error:  # noqa: BLE001 - crosses the channel
-            send(fault_message(correlation, error))
+            sender.send(fault_message(correlation, error))
         else:
-            send({"id": correlation, "ok": True, "result": result})
+            sender.send({"id": correlation, "ok": True, "result": result})
 
-    send({"id": READY_ID, "ok": True, "ready": shard_id, "pid": os.getpid()})
+    # Heartbeats: liveness decoupled from evaluation — a worker stuck in
+    # a long dispatch still beats, a SIGKILLed/SIGSTOPped one goes quiet
+    # and the parent's detector fires within its configured timeout.
+    interval = float(
+        options.get("heartbeat_interval_s") or DEFAULT_HEARTBEAT_INTERVAL_S
+    )
+    beat_stop = threading.Event()
+    delay_probability = float(options.get("chaos_heartbeat_delay") or 0.0)
+    delay_s = float(options.get("chaos_heartbeat_delay_s") or 0.0)
+    beat_rng = random.Random(
+        int(options.get("chaos_seed") or 0) ^ zlib.crc32(shard_id.encode("utf-8"))
+    )
+
+    def _heartbeat_loop() -> None:
+        while not beat_stop.wait(interval):
+            if delay_probability > 0.0 and beat_rng.random() < delay_probability:
+                # Injected heartbeat delay: the worker stays healthy but
+                # goes quiet past the detector's timeout, exercising the
+                # false-positive path (declared dead, killed, in-flight
+                # work re-dispatched — correctness must be unaffected).
+                if beat_stop.wait(delay_s):
+                    break
+            sender.heartbeats_sent += 1
+            if not sender.send(
+                heartbeat_message(sender.heartbeats_sent, shard_id),
+                count_drop=False,
+            ):
+                break
+
+    heartbeat_thread = threading.Thread(
+        target=_heartbeat_loop, name=f"shard-heartbeat-{shard_id}", daemon=True
+    )
+
+    sender.send(
+        {"id": READY_ID, "ok": True, "ready": shard_id, "pid": os.getpid()},
+        count_drop=False,
+    )
+    heartbeat_thread.start()
     decoder = FrameDecoder()
     running = True
     while running:
@@ -129,7 +222,16 @@ def _worker_main(conn: socket.socket, shard_id: str, options: Dict) -> None:
             break
         if not data:
             break
-        for message in decoder.feed(data):
+        try:
+            messages = decoder.feed(data)
+        except ProtocolError:
+            # A corrupt frame desynced the channel; there is no way to
+            # resynchronise a length-prefixed stream, so the worker exits
+            # and the parent's supervisor re-dispatches its in-flight
+            # work to surviving shards.
+            protocol_errors += 1
+            break
+        for message in messages:
             op = message.get("op")
             correlation = int(message.get("id", READY_ID))
             if op == "evaluate":
@@ -137,7 +239,7 @@ def _worker_main(conn: socket.socket, shard_id: str, options: Dict) -> None:
                     request = EvaluationRequest.from_dict(message["request"])
                     future = scheduler.submit(request)
                 except Exception as error:  # noqa: BLE001 - crosses the channel
-                    send(fault_message(correlation, error))
+                    sender.send(fault_message(correlation, error))
                     continue
                 future.add_done_callback(
                     lambda done, c=correlation: reply(c, done)
@@ -145,7 +247,7 @@ def _worker_main(conn: socket.socket, shard_id: str, options: Dict) -> None:
             elif op == "result":
                 # Shared disk tier: this worker can serve the hash even
                 # when another shard computed it.
-                send({
+                sender.send({
                     "id": correlation,
                     "ok": True,
                     "result": scheduler.store.get(str(message.get("hash", ""))),
@@ -154,22 +256,32 @@ def _worker_main(conn: socket.socket, shard_id: str, options: Dict) -> None:
                 payload = scheduler.health()
                 payload["shard"] = shard_id
                 payload["pid"] = os.getpid()
-                send({"id": correlation, "ok": True, "result": payload})
+                payload["dropped_replies"] = sender.dropped_replies
+                payload["protocol_errors"] = protocol_errors
+                payload["heartbeat"] = {
+                    "interval_s": interval,
+                    "sent": sender.heartbeats_sent,
+                }
+                sender.send({"id": correlation, "ok": True, "result": payload})
             elif op == "shutdown":
                 # close() drains the dispatcher: every queued slot gets a
                 # final tick (its waiters' replies go out from callbacks
                 # above) before the final stats are reported.
+                beat_stop.set()
                 scheduler.close()
                 payload = scheduler.health()
                 payload["status"] = "drained"
                 payload["shard"] = shard_id
                 payload["pid"] = os.getpid()
-                send({"id": correlation, "ok": True, "result": payload})
+                payload["dropped_replies"] = sender.dropped_replies
+                payload["protocol_errors"] = protocol_errors
+                sender.send({"id": correlation, "ok": True, "result": payload})
                 running = False
             else:
-                send(fault_message(
+                sender.send(fault_message(
                     correlation, ServiceError(f"unknown shard op {op!r}")
                 ))
+    beat_stop.set()
     try:
         conn.close()
     except OSError:
@@ -179,19 +291,56 @@ def _worker_main(conn: socket.socket, shard_id: str, options: Dict) -> None:
 # ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
+class _PendingOp:
+    """One outstanding op on a shard channel, re-dispatchable by hash.
+
+    The record outlives the channel it was first sent on: when a shard
+    dies, the supervisor takes its pending records and dispatches each
+    on a surviving shard under a fresh correlation id — the *same*
+    future resolves, so the caller never observes the crash.
+    """
+
+    __slots__ = ("future", "op", "fields", "request_hash", "attempts")
+
+    def __init__(self, future: Future, op: str, fields: Dict,
+                 request_hash: Optional[str] = None):
+        self.future = future
+        self.op = op
+        self.fields = fields
+        self.request_hash = request_hash
+        self.attempts = 0
+
+    @property
+    def redispatchable(self) -> bool:
+        """Evaluate/result ops are deterministic and content-addressed,
+        so running one twice is safe (the shared store dedups); control
+        ops (healthz/shutdown) are bound to the dead shard and fail."""
+        return self.op in ("evaluate", "result") and bool(self.request_hash)
+
+
 class ShardClient:
     """Parent-side handle of one shard worker's framed channel."""
 
     def __init__(self, shard_id: str, sock: socket.socket,
-                 process: multiprocessing.Process):
+                 process: multiprocessing.Process,
+                 on_closed: Optional[Callable[["ShardClient"], None]] = None):
         self.shard_id = shard_id
         self.process = process
         self._sock = sock
         self._send_lock = threading.Lock()
         self._table_lock = threading.Lock()
-        self._pending: Dict[int, Future] = {}
+        self._pending: Dict[int, _PendingOp] = {}
         self._next_id = 0
         self.alive = True
+        self.drained = False
+        self.crash_claimed = False
+        self.crash_info: Optional[Dict] = None
+        self.protocol_errors = 0
+        self.heartbeats_received = 0
+        self.last_heartbeat: Optional[float] = None
+        #: Chaos hook: transforms outgoing frame bytes (frame corruption).
+        self.corrupt_hook: Optional[Callable[[bytes], bytes]] = None
+        self._on_closed = on_closed
         self._ready = threading.Event()
         self._reader = threading.Thread(
             target=self._read_loop, name=f"shard-client-{shard_id}", daemon=True
@@ -200,7 +349,7 @@ class ShardClient:
     def start(self, timeout: float = DEFAULT_READY_TIMEOUT_S) -> "ShardClient":
         """Start the reader and wait for the worker's ready frame."""
         self._reader.start()
-        if not self._ready.wait(timeout):
+        if not self._ready.wait(timeout) or not self.alive:
             raise RemoteFault(
                 "ShutdownError",
                 f"shard {self.shard_id} did not become ready within {timeout}s",
@@ -219,74 +368,136 @@ class ShardClient:
                 break
             try:
                 messages = decoder.feed(data)
-            except Exception:  # noqa: BLE001 - desynced channel is fatal
+            except ProtocolError:
+                # Desynced channel: unrecoverable, counted, treated as a
+                # channel death (the supervisor re-dispatches).
+                self.protocol_errors += 1
+                break
+            except Exception:  # noqa: BLE001 - defensive
                 break
             for message in messages:
                 self._deliver(message)
         self.alive = False
         self._ready.set()  # unblock a starter waiting on a dead worker
-        self._fail_all(RemoteFault(
-            "ShutdownError", f"shard {self.shard_id} channel closed"
-        ))
+        handler = self._on_closed
+        if handler is not None:
+            handler(self)
+        else:
+            self._fail_all(RemoteFault(
+                "ShutdownError", f"shard {self.shard_id} channel closed"
+            ))
 
     def _deliver(self, message: Dict) -> None:
         correlation = int(message.get("id", READY_ID))
+        if correlation == HEARTBEAT_ID:
+            self.last_heartbeat = time.monotonic()
+            self.heartbeats_received += 1
+            return
         if correlation == READY_ID:
+            self.last_heartbeat = time.monotonic()
             self._ready.set()
             return
         with self._table_lock:
-            future = self._pending.pop(correlation, None)
-        if future is None:
+            record = self._pending.pop(correlation, None)
+        if record is None:
             return
         try:
             if message.get("ok"):
-                future.set_result(message.get("result"))
+                record.future.set_result(message.get("result"))
             else:
-                future.set_exception(remote_fault(message.get("error") or {}))
+                record.future.set_exception(remote_fault(message.get("error") or {}))
         except InvalidStateError:  # pragma: no cover - defensive
             pass
 
     def _fail_all(self, error: BaseException) -> None:
-        with self._table_lock:
-            stranded = list(self._pending.values())
-            self._pending.clear()
-        for future in stranded:
+        for record in self.take_pending():
             try:
-                future.set_exception(error)
+                record.future.set_exception(error)
             except InvalidStateError:  # pragma: no cover - defensive
                 pass
 
     # ------------------------------------------------------------------
-    def send_op(self, op: str, **fields) -> Future:
-        """Send one op frame; the future resolves with the worker's reply."""
-        future: Future = Future()
+    def heartbeat_age(self) -> Optional[float]:
+        """Seconds since the last heartbeat (None before ready)."""
+        last = self.last_heartbeat
+        if last is None:
+            return None
+        return time.monotonic() - last
+
+    def take_pending(self) -> List[_PendingOp]:
+        """Atomically strip every outstanding op (the recovery handoff).
+
+        Marks the client dead so no new op can slip in behind the
+        supervisor's back; any late reply from a not-actually-dead
+        worker (a false-positive detection) finds an empty table and is
+        ignored, so a future is never resolved twice.
+        """
+        with self._table_lock:
+            self.alive = False
+            records = list(self._pending.values())
+            self._pending.clear()
+        return records
+
+    def dispatch(self, record: _PendingOp, fail_fast: bool = False) -> bool:
+        """Send one op record; False when this client can no longer take it.
+
+        The record is registered *before* the write, so a channel that
+        dies mid-send strands nothing: the reader's exit hands the still
+        registered record to the supervisor, which re-dispatches it.
+        Without a supervisor (``fail_fast``), a send failure fails the
+        future immediately, preserving the standalone-client contract.
+        """
         with self._table_lock:
             if not self.alive:
-                future.set_exception(RemoteFault(
-                    "ShutdownError", f"shard {self.shard_id} is gone"
-                ))
-                return future
+                return False
             correlation = self._next_id
             self._next_id += 1
-            self._pending[correlation] = future
-        message = {"id": correlation, "op": op}
-        message.update(fields)
+            self._pending[correlation] = record
+        message = {"id": correlation, "op": record.op}
+        message.update(record.fields)
         try:
             blob = encode_frame(message)
+            hook = self.corrupt_hook
+            if hook is not None:
+                blob = hook(blob)
             with self._send_lock:
                 self._sock.sendall(blob)
         except OSError as error:
-            with self._table_lock:
-                self._pending.pop(correlation, None)
-            future.set_exception(RemoteFault(
-                "ShutdownError",
-                f"cannot reach shard {self.shard_id}: {error}",
-            ))
-        return future
+            if fail_fast:
+                with self._table_lock:
+                    self._pending.pop(correlation, None)
+                try:
+                    record.future.set_exception(RemoteFault(
+                        "ShutdownError",
+                        f"cannot reach shard {self.shard_id}: {error}",
+                    ))
+                except InvalidStateError:  # pragma: no cover - defensive
+                    pass
+        return True
 
-    def evaluate(self, payload: Dict) -> Future:
+    def send_op(self, op: str, *, request_hash: Optional[str] = None,
+                **fields) -> Future:
+        """Send one op frame; the future resolves with the worker's reply."""
+        record = _PendingOp(Future(), op, fields, request_hash)
+        if not self.dispatch(record, fail_fast=self._on_closed is None):
+            record.future.set_exception(RemoteFault(
+                "ShutdownError", f"shard {self.shard_id} is gone"
+            ))
+        return record.future
+
+    def evaluate(self, payload: Dict,
+                 request_hash: Optional[str] = None) -> Future:
         """Submit one request payload; resolves to its result dict."""
-        return self.send_op("evaluate", request=payload)
+        return self.send_op("evaluate", request_hash=request_hash,
+                            request=payload)
+
+    def try_evaluate(self, payload: Dict, request_hash: str) -> Optional[Future]:
+        """Supervised submit: None (caller re-routes) when already dead."""
+        record = _PendingOp(Future(), "evaluate", {"request": payload},
+                            request_hash)
+        if not self.dispatch(record):
+            return None
+        return record.future
 
     def call(self, op: str, timeout: float = 60.0, **fields) -> Dict:
         """Synchronous convenience: one op, block for the reply."""
@@ -296,6 +507,26 @@ class ShardClient:
         """How many ops are awaiting replies (drain watches this)."""
         with self._table_lock:
             return len(self._pending)
+
+    def kill(self) -> None:
+        """SIGKILL the worker and reap it (the crash path; idempotent).
+
+        Used on detected failure: a heartbeat-timeout victim may be hung
+        rather than dead (or merely slow — a false positive), and the
+        recovery contract requires its in-flight work to run exactly
+        once more elsewhere, so the declaration is made true first.
+        """
+        process = self.process
+        if process.pid is not None and process.is_alive():
+            try:
+                os.kill(process.pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):  # pragma: no cover
+                pass
+        process.join(timeout=10.0)
+        try:
+            self._sock.close()
+        except OSError:
+            pass
 
     def close(self) -> None:
         try:
@@ -321,22 +552,43 @@ class ShardFleet:
         max_pending: Optional[int] = None,
         coalesce_window_s: Optional[float] = None,
         cold_start: bool = False,
+        heartbeat_interval_s: Optional[float] = None,
+        chaos_heartbeat: Optional[Dict] = None,
     ):
         if shards < 1:
             raise ValueError("a fleet needs at least one shard")
+        if heartbeat_interval_s is None:
+            heartbeat_interval_s = float(
+                os.environ.get(HEARTBEAT_INTERVAL_ENV, "")
+                or DEFAULT_HEARTBEAT_INTERVAL_S
+            )
+        self.heartbeat_interval_s = heartbeat_interval_s
         self.ring = HashRing(replicas)
         self.clients: Dict[str, ShardClient] = {}
         self.retired: List[Dict] = []
         self._draining: Dict[str, ShardClient] = {}
         self._lock = threading.Lock()
         self._counter = 0
+        self._degraded: Optional[str] = None
+        #: Set by :meth:`attach_supervisor`; when present, channel deaths
+        #: route to crash recovery instead of failing in-flight futures.
+        self.supervisor = None
+        #: Chaos hook applied to every (current and future) shard channel.
+        self.frame_corrupt_hook: Optional[Callable[[bytes], bytes]] = None
         self._options: Dict = {
             "pool_workers": pool_workers,
             "store_dir": str(store_dir) if store_dir else None,
             "max_pending": max_pending,
             "coalesce_window_s": coalesce_window_s,
             "cold_start": cold_start,
+            "heartbeat_interval_s": heartbeat_interval_s,
         }
+        if chaos_heartbeat:
+            self._options.update({
+                "chaos_heartbeat_delay": chaos_heartbeat.get("delay", 0.0),
+                "chaos_heartbeat_delay_s": chaos_heartbeat.get("delay_s", 0.0),
+                "chaos_seed": chaos_heartbeat.get("seed", 0),
+            })
         for _ in range(shards):
             self.add_shard()
 
@@ -360,18 +612,34 @@ class ShardFleet:
         )
         process.start()
         child_sock.close()
-        client = ShardClient(shard_id, parent_sock, process).start()
+        client = ShardClient(
+            shard_id, parent_sock, process, on_closed=self._channel_closed
+        ).start()
+        client.corrupt_hook = self.frame_corrupt_hook
         # The ring only learns about the shard once it answered ready, so
         # no request ever routes to a worker that cannot take it yet.
         with self._lock:
             self.clients[shard_id] = client
             self.ring.add(shard_id)
+            supervisor = self.supervisor
+            if (
+                self._degraded
+                and supervisor is not None
+                and len(self.ring) >= supervisor.min_quorum
+            ):
+                # A live add restored quorum: reopen admission.
+                self._degraded = None
         return shard_id
 
     def members(self) -> List[str]:
         """The shard ids currently taking new hashes (sorted)."""
         with self._lock:
             return self.ring.members()
+
+    def serving_clients(self) -> List[Tuple[str, ShardClient]]:
+        """Snapshot of the serving shards (supervisor's check loop)."""
+        with self._lock:
+            return list(self.clients.items())
 
     def begin_drain(self, shard_id: str) -> ShardClient:
         """Stop routing new hashes to a shard (in-flight work continues)."""
@@ -392,7 +660,10 @@ class ShardFleet:
         future; once the channel is idle the worker shuts down its
         scheduler (which drains any queued slot) and reports final
         stats, which join :attr:`retired` — the fleet aggregate keeps
-        counting the drained shard's lifetime work.
+        counting the drained shard's lifetime work.  A worker that dies
+        *mid-drain* is folded too: the supervisor (when attached)
+        re-dispatches its in-flight work so nothing is lost, and the
+        retired record carries the crash instead of the final stats.
         """
         with self._lock:
             client = self._draining.get(shard_id)
@@ -406,10 +677,18 @@ class ShardFleet:
             time.sleep(0.005)
         try:
             final = client.call("shutdown", timeout=timeout)
-        except RemoteFault:
-            # The worker died mid-drain; its in-flight futures were
-            # already failed by the reader.  Record the loss.
-            final = {"status": "lost", "shard": shard_id}
+            client.drained = True
+        except (RemoteFault, FleetDegradedError):
+            # The worker died mid-drain.  With a supervisor its in-flight
+            # futures were re-dispatched (crash_info records how many);
+            # without one, the reader already failed them.  Recovery may
+            # still be in flight, so give it a moment to stamp the crash
+            # record before declaring the shard lost.
+            if self.supervisor is not None:
+                grace = time.monotonic() + 5.0
+                while client.crash_info is None and time.monotonic() < grace:
+                    time.sleep(0.005)
+            final = client.crash_info or {"status": "lost", "shard": shard_id}
         with self._lock:
             self._draining.pop(shard_id, None)
             self.retired.append(final)
@@ -424,6 +703,89 @@ class ShardFleet:
         return self.finish_drain(shard_id, timeout=timeout)
 
     # ------------------------------------------------------------------
+    # Crash recovery (driven by the attached FleetSupervisor)
+    # ------------------------------------------------------------------
+    def attach_supervisor(self, supervisor) -> None:
+        """Route channel deaths through a supervisor's crash recovery."""
+        self.supervisor = supervisor
+
+    def _channel_closed(self, client: ShardClient) -> None:
+        """Reader-thread exit hook: recover in-flight work or fail it."""
+        supervisor = self.supervisor
+        if supervisor is not None and not supervisor.stopped:
+            supervisor.handle_channel_closed(client)
+            return
+        if client.drained:
+            return
+        client._fail_all(RemoteFault(
+            "ShutdownError", f"shard {client.shard_id} channel closed"
+        ))
+
+    def take_failure(self, client: ShardClient) -> Optional[bool]:
+        """Atomically claim one failed shard *incarnation* for recovery.
+
+        Returns ``was_draining``, or None when this exact client is not
+        the current holder of its shard id (already claimed, already
+        retired, or — crucially — a *stale* death report: the SIGKILLed
+        incarnation's channel EOF arriving after a replacement was
+        respawned under the same id must never claim the replacement).
+        The heartbeat detector and the EOF handler race to report the
+        same death; identity comparison lets exactly one win.  A
+        draining shard stays in the draining table so
+        :meth:`finish_drain` still folds its (crash) record.
+        """
+        with self._lock:
+            shard_id = client.shard_id
+            if self.clients.get(shard_id) is client:
+                del self.clients[shard_id]
+                self.ring.discard(shard_id)
+                client.crash_claimed = True
+                return False
+            if (
+                self._draining.get(shard_id) is client
+                and not client.crash_claimed
+                and not client.drained
+            ):
+                client.crash_claimed = True
+                return True
+        return None
+
+    def record_crash(self, info: Dict) -> None:
+        """Fold a crashed serving shard into the retired history."""
+        with self._lock:
+            self.retired.append(info)
+
+    def redispatch(self, record: _PendingOp) -> bool:
+        """Route one recovered in-flight op to a live shard (same future)."""
+        if not record.redispatchable:
+            return False
+        for _ in range(_ROUTE_ATTEMPTS):
+            with self._lock:
+                if self._degraded:
+                    return False
+                try:
+                    shard_id = self.ring.route(record.request_hash)
+                except RingEmptyError:
+                    return False
+                client = self.clients.get(shard_id)
+            if client is not None and client.dispatch(record):
+                return True
+            time.sleep(0.005)
+        return False
+
+    def mark_degraded(self, reason: str) -> None:
+        with self._lock:
+            self._degraded = reason
+
+    def clear_degraded(self) -> None:
+        with self._lock:
+            self._degraded = None
+
+    @property
+    def degraded(self) -> Optional[str]:
+        return self._degraded
+
+    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def submit(self, request: EvaluationRequest) -> Future:
@@ -432,11 +794,30 @@ class ShardFleet:
                                    request.content_hash())
 
     def submit_payload(self, payload: Dict, request_hash: str) -> Future:
-        """Route an already-validated payload by its content hash."""
-        with self._lock:
-            shard_id = self.ring.route(request_hash)
-            client = self.clients[shard_id]
-        return client.evaluate(payload)
+        """Route an already-validated payload by its content hash.
+
+        Routing and dispatch race with crash recovery: the chosen shard
+        may die in between, in which case the hash is re-routed on the
+        updated ring (membership changes are bounded-remap, so only the
+        dead shard's keys move).  A fleet below quorum refuses the
+        request with :class:`FleetDegradedError` instead of hanging it.
+        """
+        for _ in range(_ROUTE_ATTEMPTS):
+            with self._lock:
+                if self._degraded:
+                    raise FleetDegradedError(self._degraded)
+                shard_id = self.ring.route(request_hash)
+                client = self.clients[shard_id]
+            future = client.try_evaluate(payload, request_hash)
+            if future is not None:
+                return future
+            # The routed shard died between routing and dispatch; the
+            # supervisor is updating membership — re-route.
+            time.sleep(0.005)
+        raise FleetDegradedError(
+            f"no live shard accepted hash {request_hash[:12]}… after "
+            f"{_ROUTE_ATTEMPTS} routing attempts"
+        )
 
     def result_lookup(self, request_hash: str) -> Future:
         """Content-addressed store lookup on the hash's owning shard.
@@ -446,9 +827,12 @@ class ShardFleet:
         entry outlives the worker).
         """
         with self._lock:
+            if self._degraded:
+                raise FleetDegradedError(self._degraded)
             shard_id = self.ring.route(request_hash)
             client = self.clients[shard_id]
-        return client.send_op("result", hash=request_hash)
+        return client.send_op("result", request_hash=request_hash,
+                              hash=request_hash)
 
     def client_for(self, shard_id: str) -> ShardClient:
         with self._lock:
@@ -460,6 +844,30 @@ class ShardFleet:
     # ------------------------------------------------------------------
     # Observability / lifecycle
     # ------------------------------------------------------------------
+    def liveness(self) -> Dict[str, Dict]:
+        """Per-shard liveness: heartbeat age, misses, supervisor state."""
+        supervisor = self.supervisor
+        payload: Dict[str, Dict] = {}
+        for shard_id, client in self.serving_clients():
+            age = client.heartbeat_age()
+            entry: Dict[str, object] = {
+                "state": "live",
+                "last_heartbeat_age_s": age,
+                "heartbeats_received": client.heartbeats_received,
+                "consecutive_misses": (
+                    int(age / self.heartbeat_interval_s) if age else 0
+                ),
+                "restarts": 0,
+                "protocol_errors": client.protocol_errors,
+            }
+            if supervisor is not None:
+                entry.update(supervisor.shard_view(shard_id))
+            payload[shard_id] = entry
+        if supervisor is not None:
+            for shard_id, view in supervisor.retired_views():
+                payload.setdefault(shard_id, view)
+        return payload
+
     def health(self, timeout: float = 30.0) -> Dict:
         """Fleet-level health: per-shard payloads plus merged counters."""
         with self._lock:
@@ -471,12 +879,19 @@ class ShardFleet:
                 payloads[shard_id] = client.call("healthz", timeout=timeout)
             except Exception:  # noqa: BLE001 - a lost shard is reportable
                 payloads[shard_id] = {"status": "lost", "shard": shard_id}
+        supervisor = self.supervisor
         return merge_health(
-            payloads, self.ring.members(), draining, list(self.retired)
+            payloads, self.ring.members(), draining, list(self.retired),
+            liveness=self.liveness(),
+            supervisor=(
+                supervisor.stats_payload() if supervisor is not None else None
+            ),
         )
 
     def close(self) -> None:
         """Drain every shard (idempotent); no request is ever dropped."""
+        if self.supervisor is not None:
+            self.supervisor.stop()
         with self._lock:
             serving = list(self.clients)
         for shard_id in serving:
@@ -491,12 +906,18 @@ def merge_health(
     members: List[str],
     draining: List[str],
     retired: List[Dict],
+    liveness: Optional[Dict[str, Dict]] = None,
+    supervisor: Optional[Dict] = None,
 ) -> Dict:
     """Merge per-shard health payloads into the fleet-level report.
 
     Scheduler counters (and store counters) sum across serving *and*
     retired shards, so a drain never loses history; ratios are
-    recomputed from the summed counters rather than averaged.
+    recomputed from the summed counters rather than averaged.  Crashed
+    shards whose in-flight work was re-dispatched appear as
+    ``crashed_shards`` (the fleet healed; status stays ``ok``); shards
+    that died with requests unrecovered appear in ``lost`` and degrade
+    the status.
     """
     sources = [p for p in shard_payloads.values() if "scheduler" in p]
     sources += [p for p in retired if isinstance(p, dict) and "scheduler" in p]
@@ -512,18 +933,29 @@ def merge_health(
         str(p.get("shard", "?")) for p in retired
         if isinstance(p, dict) and p.get("status") == "lost"
     ]
-    return {
-        "status": "ok" if not lost else "degraded",
+    crashed = [
+        str(p.get("shard", "?")) for p in retired
+        if isinstance(p, dict) and p.get("status") == "crashed"
+    ]
+    degraded = bool(lost) or bool((supervisor or {}).get("degraded"))
+    payload = {
+        "status": "degraded" if degraded else "ok",
         "members": members,
         "draining": draining,
         "lost": lost,
+        "crashed_shards": crashed,
         "retired_shards": len(retired),
         "pending": sum(p.get("pending", 0) for p in sources),
         "inflight": sum(p.get("inflight", 0) for p in sources),
+        "dropped_replies": sum(p.get("dropped_replies", 0) for p in sources),
         "scheduler": scheduler,
         "store": store,
         "shards": shard_payloads,
+        "liveness": liveness or {},
     }
+    if supervisor is not None:
+        payload["supervisor"] = supervisor
+    return payload
 
 
 def _sum_counters(dicts: List[Dict]) -> Dict:

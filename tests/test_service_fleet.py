@@ -1,0 +1,356 @@
+"""The self-healing fleet: heartbeats, crash detection, re-dispatch.
+
+Covers the heartbeat protocol additions, the reply sender's
+dropped-reply accounting, the timeout-based failure detector (detection
+bounded by the heartbeat timeout, **not** channel EOF — proven with a
+SIGSTOPped worker whose socket stays open), zero-loss crash recovery
+with in-flight re-dispatch and respawn, quorum loss ->
+:class:`FleetDegradedError`, drain-vs-crash races, and the per-shard
+liveness surfaced through the fleet health payload.
+"""
+
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service.faults import FaultError, FleetDegradedError
+from repro.service.requests import EvaluationRequest
+from repro.service.scheduler import evaluate_scalar
+from repro.service.shard import (
+    HEARTBEAT_ID,
+    FleetSupervisor,
+    FrameDecoder,
+    ProtocolError,
+    ShardFleet,
+    encode_frame,
+    heartbeat_message,
+)
+from repro.service.shard.worker import _ReplySender
+
+#: Fast liveness for tests: beats every 50 ms, detector fires after
+#: 400 ms of silence — orders of magnitude below any EOF-free hang.
+HEARTBEAT_INTERVAL_S = 0.05
+DETECT_TIMEOUT_S = 0.4
+
+
+def _request(index=0, objective="energy"):
+    return EvaluationRequest(
+        macro="macro_b",
+        workload="mvm_64x64",
+        objective=objective,
+        overrides={"adc_resolution": 4 + index % 4},
+    )
+
+
+def _wait(predicate, timeout=15.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    fleet = ShardFleet(
+        shards=2,
+        store_dir=str(tmp_path / "store"),
+        heartbeat_interval_s=HEARTBEAT_INTERVAL_S,
+    )
+    yield fleet
+    fleet.close()
+
+
+@pytest.fixture
+def supervised(fleet):
+    supervisor = FleetSupervisor(
+        fleet, heartbeat_timeout_s=DETECT_TIMEOUT_S
+    ).start()
+    return fleet, supervisor
+
+
+# ----------------------------------------------------------------------
+# Protocol + reply-sender units
+# ----------------------------------------------------------------------
+class TestHeartbeatProtocol:
+    def test_heartbeat_frame_roundtrip(self):
+        frame = heartbeat_message(12, "shard-3")
+        assert frame["id"] == HEARTBEAT_ID
+        assert FrameDecoder().feed(encode_frame(frame)) == [frame]
+
+    def test_corrupt_length_prefix_is_a_typed_fault(self):
+        # The bounds check fires on the prefix alone — before any read
+        # is attempted — and the error is part of the fault taxonomy.
+        decoder = FrameDecoder()
+        with pytest.raises(FaultError) as excinfo:
+            decoder.feed(b"\xff\xff\xff\xff" + b"x" * 64)
+        assert isinstance(excinfo.value, ProtocolError)
+
+    def test_oversized_encode_is_a_typed_fault(self):
+        with pytest.raises(FaultError):
+            encode_frame({"id": 1, "blob": "x" * (9 << 20)})
+
+
+class TestReplySender:
+    def test_dead_channel_reply_is_counted_not_silently_dropped(self):
+        left, right = socket.socketpair()
+        sender = _ReplySender(left)
+        right.close()
+        # A broken pipe may take one buffered send to surface.
+        ok = True
+        for _ in range(64):
+            ok = sender.send({"id": 1, "ok": True, "result": {}})
+            if not ok:
+                break
+        left.close()
+        assert not ok
+        assert not sender.alive
+        assert sender.dropped_replies == 1
+
+    def test_unsendable_result_degrades_to_a_framed_fault_reply(self):
+        # A result too large to frame must resolve the parent future
+        # with a ProtocolError fault, never hang it.
+        left, right = socket.socketpair()
+        sender = _ReplySender(left)
+        assert sender.send({"id": 5, "ok": True, "result": "x" * (9 << 20)})
+        reply = FrameDecoder().feed(right.recv(1 << 16))[0]
+        left.close()
+        right.close()
+        assert reply["id"] == 5
+        assert reply["ok"] is False
+        assert reply["error"]["type"] == "ProtocolError"
+
+    def test_heartbeats_are_never_counted_as_dropped_replies(self):
+        left, right = socket.socketpair()
+        sender = _ReplySender(left)
+        right.close()
+        for _ in range(64):
+            if not sender.send(heartbeat_message(1, "s"), count_drop=False):
+                break
+        left.close()
+        assert sender.dropped_replies == 0
+
+
+# ----------------------------------------------------------------------
+# Failure detection
+# ----------------------------------------------------------------------
+class TestFailureDetector:
+    def test_workers_heartbeat(self, fleet):
+        clients = dict(fleet.serving_clients())
+        assert _wait(lambda: all(
+            c.heartbeats_received >= 2 for c in clients.values()
+        ), timeout=10.0)
+        for client in clients.values():
+            assert client.heartbeat_age() < 5.0
+
+    def test_sigstop_detected_by_timeout_not_eof(self, supervised):
+        """The load-bearing claim: a hung worker whose channel never
+        EOFs is still detected, within the heartbeat timeout."""
+        fleet, supervisor = supervised
+        shard_id, client = fleet.serving_clients()[0]
+        assert _wait(lambda: client.heartbeats_received >= 1)
+        os.kill(client.process.pid, signal.SIGSTOP)
+        started = time.monotonic()
+        try:
+            assert _wait(
+                lambda: supervisor.detected_failures >= 1, timeout=10.0
+            )
+        finally:
+            try:
+                os.kill(client.process.pid, signal.SIGCONT)
+            except (OSError, ProcessLookupError):
+                pass
+        detection_s = time.monotonic() - started
+        # Bounded by the configured timeout plus sweep/beat slack — a
+        # SIGSTOPped process sends no EOF, so only the timeout can fire.
+        assert detection_s < DETECT_TIMEOUT_S + 1.0
+        # Recovery made the declaration true (killed it) and respawned
+        # a replacement under the same id: membership is whole again.
+        assert _wait(lambda: len(fleet.members()) == 2, timeout=10.0)
+        assert shard_id in fleet.members()
+
+
+# ----------------------------------------------------------------------
+# Crash recovery
+# ----------------------------------------------------------------------
+class TestCrashRecovery:
+    def test_sigkill_with_inflight_loses_nothing(self, supervised):
+        fleet, supervisor = supervised
+        requests = [_request(i) for i in range(24)]
+        futures = [fleet.submit(request) for request in requests]
+        # Kill a shard while that work is in flight.
+        victim_id, victim = fleet.serving_clients()[0]
+        os.kill(victim.process.pid, signal.SIGKILL)
+        results = [future.result(timeout=180) for future in futures]
+        for request, result in zip(requests, results):
+            assert result["request_hash"] == request.content_hash()
+        assert results[0] == evaluate_scalar(requests[0])
+        assert _wait(lambda: supervisor.detected_failures >= 1, timeout=10.0)
+        assert supervisor.failed_redispatches == 0
+        # The fleet healed: replacement respawned, nothing lost.
+        assert _wait(lambda: len(fleet.members()) == 2, timeout=10.0)
+        health = fleet.health()
+        assert health["status"] == "ok"
+        assert health["lost"] == []
+        assert victim_id in health["crashed_shards"]
+
+    def test_corrupted_frame_kills_channel_but_not_the_request(self, supervised):
+        fleet, supervisor = supervised
+        request = _request(31)
+        owner = fleet.ring.route(request.content_hash())
+        client = fleet.client_for(owner)
+        armed = {"left": 1}
+
+        def corrupt_once(blob):
+            if armed["left"] > 0:
+                armed["left"] -= 1
+                return b"\xff\xff\xff\xff" + blob[4:]
+            return blob
+
+        client.corrupt_hook = corrupt_once
+        future = fleet.submit(request)
+        # The worker's bounds check trips, the channel dies, and the
+        # supervisor re-dispatches the op — same future, correct result.
+        assert future.result(timeout=180) == evaluate_scalar(request)
+        assert _wait(lambda: supervisor.detected_failures >= 1, timeout=10.0)
+
+    def test_quorum_loss_degrades_and_live_add_restores(self, tmp_path):
+        fleet = ShardFleet(
+            shards=1,
+            store_dir=str(tmp_path / "store"),
+            heartbeat_interval_s=HEARTBEAT_INTERVAL_S,
+        )
+        supervisor = FleetSupervisor(
+            fleet, heartbeat_timeout_s=DETECT_TIMEOUT_S,
+            min_quorum=1, respawn=False,
+        ).start()
+        try:
+            _, client = fleet.serving_clients()[0]
+            os.kill(client.process.pid, signal.SIGKILL)
+            assert _wait(lambda: fleet.degraded is not None, timeout=10.0)
+            with pytest.raises(FleetDegradedError) as excinfo:
+                fleet.submit(_request(0))
+            assert excinfo.value.retry_after_s > 0
+            # A live add restores quorum and reopens admission.
+            fleet.add_shard()
+            assert fleet.degraded is None
+            result = fleet.submit(_request(0)).result(timeout=180)
+            assert result == evaluate_scalar(_request(0))
+        finally:
+            fleet.close()
+
+    def test_restart_budget_bounds_respawns(self, tmp_path):
+        fleet = ShardFleet(
+            shards=2,
+            store_dir=str(tmp_path / "store"),
+            heartbeat_interval_s=HEARTBEAT_INTERVAL_S,
+        )
+        supervisor = FleetSupervisor(
+            fleet, heartbeat_timeout_s=DETECT_TIMEOUT_S, restart_budget=1,
+        ).start()
+        try:
+            for round_index in range(2):
+                _, client = fleet.serving_clients()[0]
+                os.kill(client.process.pid, signal.SIGKILL)
+                assert _wait(
+                    lambda r=round_index: supervisor.detected_failures >= r + 1,
+                    timeout=10.0,
+                )
+            assert supervisor.restarts_used == 1
+            assert _wait(lambda: len(fleet.members()) == 1, timeout=10.0)
+        finally:
+            fleet.close()
+
+
+# ----------------------------------------------------------------------
+# Drain-vs-crash races
+# ----------------------------------------------------------------------
+class TestDrainVsCrash:
+    def test_worker_dying_mid_drain_still_folds_and_loses_nothing(
+        self, supervised
+    ):
+        fleet, supervisor = supervised
+        # Park work on both shards, then start draining one and kill it
+        # before the drain's shutdown handshake completes.
+        futures = [fleet.submit(_request(i)) for i in range(16)]
+        victim_id = fleet.members()[0]
+        client = fleet.begin_drain(victim_id)
+        os.kill(client.process.pid, signal.SIGKILL)
+        record = fleet.finish_drain(victim_id)
+        # The crash was folded as a supervised crash, not silent loss.
+        assert record["shard"] == victim_id
+        assert record["status"] == "crashed"
+        for future in futures:
+            future.result(timeout=180)  # zero loss
+        health = fleet.health()
+        assert health["lost"] == []
+        assert health["status"] == "ok"
+
+    def test_kill_during_ring_add_leaves_placement_consistent(
+        self, supervised
+    ):
+        fleet, supervisor = supervised
+        _, victim = fleet.serving_clients()[0]
+        added = {}
+
+        def _add():
+            added["id"] = fleet.add_shard()
+
+        adder = threading.Thread(target=_add)
+        adder.start()
+        os.kill(victim.process.pid, signal.SIGKILL)
+        adder.join(timeout=120)
+        assert not adder.is_alive()
+        assert _wait(lambda: supervisor.detected_failures >= 1, timeout=10.0)
+        assert _wait(lambda: len(fleet.members()) == 3, timeout=10.0)
+        # Placement is consistent: every member routes to a live client,
+        # and requests keep resolving.
+        members = set(fleet.members())
+        assert added["id"] in members
+        with fleet._lock:
+            assert set(fleet.clients) == members
+        for index in range(8):
+            request = _request(index)
+            assert fleet.ring.route(request.content_hash()) in members
+        result = fleet.submit(_request(2)).result(timeout=180)
+        assert result == evaluate_scalar(_request(2))
+
+
+# ----------------------------------------------------------------------
+# Liveness observability
+# ----------------------------------------------------------------------
+class TestLivenessHealth:
+    def test_health_surfaces_liveness_and_supervisor(self, supervised):
+        fleet, supervisor = supervised
+        clients = dict(fleet.serving_clients())
+        assert _wait(lambda: all(
+            c.heartbeats_received >= 1 for c in clients.values()
+        ), timeout=10.0)
+        health = fleet.health()
+        assert health["dropped_replies"] == 0
+        liveness = health["liveness"]
+        assert set(liveness) == set(fleet.members())
+        for entry in liveness.values():
+            assert entry["state"] in {"live", "suspect"}
+            assert entry["last_heartbeat_age_s"] is not None
+            assert entry["restarts"] == 0
+            assert entry["consecutive_misses"] >= 0
+        sup = health["supervisor"]
+        assert sup["heartbeat_timeout_s"] == DETECT_TIMEOUT_S
+        assert sup["min_quorum"] == 1
+        assert sup["degraded"] is None
+
+    def test_crashed_shard_restart_count_appears_in_liveness(self, supervised):
+        fleet, supervisor = supervised
+        victim_id, victim = fleet.serving_clients()[0]
+        os.kill(victim.process.pid, signal.SIGKILL)
+        assert _wait(lambda: supervisor.restarts_used >= 1, timeout=10.0)
+        assert _wait(lambda: len(fleet.members()) == 2, timeout=10.0)
+        liveness = fleet.liveness()
+        assert liveness[victim_id]["restarts"] == 1
+        assert liveness[victim_id]["state"] in {"live", "restarting", "suspect"}
